@@ -1,0 +1,50 @@
+"""Figure 10: DNS measurement CDFs.
+
+Paper: DNS median 42 ms overall, ~80 % below 100 ms; WiFi median 33 ms
+vs cellular 61 ms; per-technology medians 4G 56 / 3G 105 / 2G 755 ms;
+~80 % of cellular DNS RTTs come from 4G.
+"""
+
+import pytest
+
+from repro.analysis import dns_cdfs_by_network, dns_cdfs_by_technology
+from repro.analysis.dnsperf import dns_medians
+from repro.analysis.report import format_cdf_summary
+from repro.analysis.stats import fraction_below
+from repro.network.link import NetworkType
+
+
+def test_fig10_dns(crowd_store, benchmark):
+    from benchmarks._common import save_result
+
+    def compute():
+        return (dns_cdfs_by_network(crowd_store),
+                dns_cdfs_by_technology(crowd_store),
+                dns_medians(crowd_store))
+
+    by_network, by_tech, medians = benchmark(compute)
+
+    lines = ["Figure 10(a): DNS RTT CDFs (paper medians: all 42 / "
+             "WiFi 33 / cellular 61)"]
+    for name, (xs, fs) in by_network.items():
+        lines.append(format_cdf_summary(name, xs, fs))
+    lines.append("")
+    lines.append("Figure 10(b): cellular DNS by technology (paper "
+                 "medians: 4G 56 / 3G 105 / 2G 755)")
+    for name, (xs, fs) in by_tech.items():
+        lines.append(format_cdf_summary(name, xs, fs,
+                                        probes=(50, 100, 200, 800)))
+    lines.append("measured medians: " + "  ".join(
+        "%s=%.1fms" % (k, v) for k, v in medians.items()))
+    save_result("fig10_dns", "\n".join(lines))
+
+    dns = crowd_store.dns()
+    assert 30 < medians["All"] < 60
+    assert medians["WiFi"] < medians["Cellular"]
+    assert medians["4G"] < medians["3G"] < medians["2G"]
+    assert 450 < medians["2G"] < 1200
+    assert fraction_below(dns.rtts(), 100) > 0.7
+    # ~80 % of cellular DNS samples are 4G.
+    cellular = dns.for_network_type(*NetworkType.CELLULAR)
+    lte = dns.for_network_type(NetworkType.LTE)
+    assert 0.65 < len(lte) / len(cellular) < 0.95

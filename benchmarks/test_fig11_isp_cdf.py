@@ -1,0 +1,60 @@
+"""Figure 11: DNS RTT CDFs of four selected LTE ISPs.
+
+Paper: Singtel has 14.7 % of its DNS RTTs below 10 ms (Verizon < 1 %);
+Cricket and U.S. Cellular have minimum RTTs around 43 ms and roughly
+half their samples from non-LTE networks (64 % and 45 %).
+"""
+
+import pytest
+
+from repro.analysis import isp_dns_cdfs
+from repro.analysis.dnsperf import isp_dns_profile
+from repro.analysis.report import format_cdf_summary
+
+ISPS = ["Verizon", "Singtel", "Cricket", "U.S. Cellular"]
+
+
+def test_fig11_isp_cdfs(crowd_store, benchmark):
+    from benchmarks._common import save_result
+
+    def compute():
+        cdfs = isp_dns_cdfs(crowd_store, ISPS)
+        profiles = {}
+        for isp in ISPS:
+            try:
+                profiles[isp] = isp_dns_profile(crowd_store, isp)
+            except ValueError:
+                profiles[isp] = None
+        return cdfs, profiles
+
+    cdfs, profiles = benchmark(compute)
+
+    lines = ["Figure 11: DNS CDFs of four LTE ISPs (paper: Singtel "
+             "14.7% below 10 ms; Cricket/USC min ~43 ms, ~half "
+             "non-LTE)"]
+    for isp in ISPS:
+        xs, fs = cdfs[isp]
+        if xs:
+            lines.append(format_cdf_summary(isp, xs, fs,
+                                            probes=(10, 50, 100, 200)))
+        profile = profiles[isp]
+        if profile:
+            lines.append(
+                "  %-14s below10=%.1f%%  min=%.1fms  median=%.1fms  "
+                "non-LTE=%.0f%%" % (isp, 100 * profile["below_10ms"],
+                                    profile["min_ms"],
+                                    profile["median_ms"],
+                                    100 * profile["non_lte_share"]))
+    save_result("fig11_isp_cdf", "\n".join(lines))
+
+    singtel = profiles["Singtel"]
+    verizon = profiles["Verizon"]
+    assert singtel["below_10ms"] > 0.05
+    assert verizon["below_10ms"] < 0.03
+    for outlier in ("Cricket", "U.S. Cellular"):
+        profile = profiles[outlier]
+        if profile is None:
+            continue
+        assert profile["min_ms"] > 25
+        assert profile["non_lte_share"] > 0.3
+        assert profile["median_ms"] > verizon["median_ms"]

@@ -1,0 +1,46 @@
+"""Figure 6: number of measurements per user and per app.
+
+Paper buckets (>10K / 5-10K / 1-5K / 100-1K): users 104/70/288/575,
+apps 60/58/306/1125.
+"""
+
+import pytest
+
+from repro.analysis import (
+    format_table,
+    measurements_per_app,
+    measurements_per_user,
+)
+
+PAPER_USERS = {"> 10K": 104, "5K - 10K": 70, "1K - 5K": 288,
+               "100 - 1K": 575}
+PAPER_APPS = {"> 10K": 60, "5K - 10K": 58, "1K - 5K": 306,
+              "100 - 1K": 1125}
+
+
+def test_fig6_coverage(crowd_store, bench_scale, benchmark):
+    from benchmarks._common import save_result
+
+    def compute():
+        return (measurements_per_user(crowd_store, scale=bench_scale),
+                measurements_per_app(crowd_store, scale=bench_scale))
+
+    users, apps = benchmark(compute)
+
+    rows = [[bucket, users[bucket], PAPER_USERS[bucket], apps[bucket],
+             PAPER_APPS[bucket]] for bucket in users]
+    text = format_table(
+        ["Bucket", "Users", "Paper users", "Apps", "Paper apps"],
+        rows, title="Figure 6: measurements per user / per app.")
+    save_result("fig6_coverage", text)
+
+    # Shape: same rank ordering of buckets as the paper, right orders
+    # of magnitude everywhere.
+    assert users["100 - 1K"] > users["1K - 5K"] > users["5K - 10K"]
+    assert apps["100 - 1K"] > apps["1K - 5K"] > apps["5K - 10K"]
+    for bucket, paper in PAPER_USERS.items():
+        assert 0.3 * paper < users[bucket] < 3.0 * paper, \
+            "users %s: %d vs paper %d" % (bucket, users[bucket], paper)
+    for bucket, paper in PAPER_APPS.items():
+        assert 0.3 * paper < apps[bucket] < 3.0 * paper, \
+            "apps %s: %d vs paper %d" % (bucket, apps[bucket], paper)

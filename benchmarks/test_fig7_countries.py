@@ -1,0 +1,32 @@
+"""Figure 7: distribution of the top-20 MopEye user countries.
+
+Paper: USA 790, UK 116, India 70, Italy 68, Malaysia 43, ... 114
+countries in total.
+"""
+
+import pytest
+
+from repro.analysis import country_distribution, format_table
+from repro.crowd.population import COUNTRY_USERS
+
+
+def test_fig7_countries(crowd_store, benchmark):
+    from benchmarks._common import save_result
+    top = benchmark(country_distribution, crowd_store, 20)
+
+    paper = dict(COUNTRY_USERS)
+    rows = [[country, count, paper.get(country, "-")]
+            for country, count in top]
+    text = format_table(["Country", "Users", "Paper"], rows,
+                        title="Figure 7: top-20 user countries.")
+    save_result("fig7_countries", text)
+
+    assert top[0][0] == "USA"
+    top_names = [country for country, _count in top]
+    for expected in ("UK", "India", "Italy"):
+        assert expected in top_names
+    # Counts match the paper's figure (population is built from it).
+    for country, count in top:
+        if country in paper:
+            assert abs(count - paper[country]) <= \
+                max(3, 0.1 * paper[country])

@@ -1,0 +1,40 @@
+"""Figure 8: geographic locations of MopEye measurements.
+
+Paper: 6,987 distinct locations covering North America, Europe, India,
+coastal South America, Southeast Asia and the Pacific Rim.
+"""
+
+import pytest
+
+from repro.analysis import format_table, location_scatter
+
+
+def _in_box(locations, lat_range, lon_range):
+    return sum(1 for lat, lon in locations
+               if lat_range[0] <= lat <= lat_range[1]
+               and lon_range[0] <= lon <= lon_range[1])
+
+
+def test_fig8_locations(crowd_store, benchmark):
+    from benchmarks._common import save_result
+    locations = benchmark(location_scatter, crowd_store)
+
+    regions = {
+        "North America": _in_box(locations, (25, 56), (-125, -60)),
+        "Europe": _in_box(locations, (36, 60), (-10, 30)),
+        "India": _in_box(locations, (8, 32), (69, 89)),
+        "Southeast Asia": _in_box(locations, (-10, 20), (95, 140)),
+        "South America": _in_box(locations, (-35, 0), (-65, -30)),
+    }
+    rows = [[region, count] for region, count in regions.items()]
+    rows.append(["TOTAL distinct locations", len(locations)])
+    text = format_table(["Region", "Locations"], rows,
+                        title=("Figure 8: measurement locations "
+                               "(paper: 6,987 distinct points)."))
+    save_result("fig8_locations", text)
+
+    assert 2000 < len(locations) < 15000
+    for region, count in regions.items():
+        assert count > 10, "no coverage in %s" % region
+    # North America dominates (USA has 1/3 of users).
+    assert regions["North America"] == max(regions.values())

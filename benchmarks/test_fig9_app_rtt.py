@@ -1,0 +1,56 @@
+"""Figure 9: CDFs of apps' raw RTTs and per-app median RTTs.
+
+Paper: overall median 65 ms; ~40 % of RTTs below 50 ms, ~60 % below
+100 ms, ~20 % above 200 ms, ~10 % above 400 ms; medians WiFi 58 /
+cellular 84 / LTE 76.  Per-app medians (424 apps with >1K samples):
+>70 % below 100 ms, ~10 % above 200 ms.
+"""
+
+import pytest
+
+from repro.analysis import app_rtt_cdfs, format_table, per_app_median_cdf
+from repro.analysis.perapp import raw_rtt_medians
+from repro.analysis.report import format_cdf_summary
+from repro.analysis.stats import fraction_below
+
+
+def test_fig9_app_rtt(crowd_store, bench_scale, benchmark):
+    from benchmarks._common import save_result
+
+    def compute():
+        cdfs = app_rtt_cdfs(crowd_store)
+        medians = raw_rtt_medians(crowd_store)
+        per_app = per_app_median_cdf(crowd_store, min_count=1000,
+                                     scale=bench_scale)
+        return cdfs, medians, per_app
+
+    cdfs, medians, (xs, fractions, n_apps) = benchmark(compute)
+
+    lines = ["Figure 9(a): raw app RTT CDFs "
+             "(paper medians: all 65 / WiFi 58 / cellular 84 / LTE 76)"]
+    for name, (cx, cf) in cdfs.items():
+        lines.append(format_cdf_summary(name, cx, cf))
+    lines.append("measured medians: " + "  ".join(
+        "%s=%.1fms" % (k, v) for k, v in medians.items()))
+    lines.append("")
+    lines.append("Figure 9(b): per-app median RTT CDF over %d apps "
+                 "with >1K measurements (paper: 424 apps, >70%% below "
+                 "100 ms, ~10%% above 200 ms)" % n_apps)
+    lines.append(format_cdf_summary("medians", xs, fractions,
+                                    probes=(50, 100, 200, 400)))
+    save_result("fig9_app_rtt", "\n".join(lines))
+
+    raw = crowd_store.tcp().rtts()
+    # Paper's checkpoints, with shape tolerance.
+    assert 50 < medians["All"] < 90
+    assert medians["WiFi"] < medians["LTE"] <= medians["Cellular"]
+    assert 0.25 < fraction_below(raw, 50) < 0.55
+    assert 0.45 < fraction_below(raw, 100) < 0.75
+    assert 0.10 < 1 - fraction_below(raw, 200) < 0.35
+    assert 0.04 < 1 - fraction_below(raw, 400) < 0.20
+    # Per-app medians.
+    assert n_apps > 200
+    below_100 = fraction_below([x for x in xs], 100) if xs else 0
+    medians_list = xs  # xs are the sorted medians
+    assert fraction_below(medians_list, 100) > 0.55
+    assert 1 - fraction_below(medians_list, 200) > 0.04

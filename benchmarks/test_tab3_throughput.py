@@ -1,0 +1,102 @@
+"""Table 3 + section 4.1.2: throughput and delay overhead.
+
+Paper results on a ~25 Mbps WiFi link:
+* download: baseline 24.47, MopEye 24.01 (delta 0.46), Haystack 20.19
+  (delta 4.28) Mbps;
+* upload: baseline 25.97, MopEye 25.08 (delta 0.89), Haystack 6.79
+  (delta 19.18) Mbps;
+* connect (SYN round) overhead of MopEye: 3.26-4.27 ms; data-packet
+  overhead 1.22-2.18 ms.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.baselines import haystack_config
+from repro.core import MopEyeService
+from repro.phone import ConnectProbeApp, SpeedtestApp
+
+from benchmarks._common import BenchWorld, save_result
+
+TRANSFER_BYTES = 2_000_000
+SERVER_IP = "198.51.100.50"
+
+
+def make_world(seed):
+    world = BenchWorld(seed=seed, bandwidth_mbps=25.0)
+    world.add_server(SERVER_IP, name="speedtest")
+    return world
+
+
+def measure_throughput(config=None, seed=71):
+    """Returns (download_mbps, upload_mbps) with the given VPN service
+    (None = baseline, no VPN)."""
+    world = make_world(seed)
+    if config is not None:
+        MopEyeService(world.device, config).start()
+    speedtest = SpeedtestApp(world.device, "org.zwanoo.android.speedtest")
+
+    def run():
+        down = yield from speedtest.download(SERVER_IP, TRANSFER_BYTES)
+        up = yield from speedtest.upload(SERVER_IP, TRANSFER_BYTES)
+        return down, up
+
+    return world.run_process(run(), until=9e6)
+
+
+def measure_connect_overhead(seed=81, rounds=30):
+    """App-observed connect() time with and without MopEye."""
+    without_world = make_world(seed)
+    probe = ConnectProbeApp(without_world.device, "com.probe")
+    base = without_world.run_process(
+        probe.probe(SERVER_IP, 80, rounds), until=9e6)
+
+    with_world = make_world(seed)
+    MopEyeService(with_world.device).start()
+    probe2 = ConnectProbeApp(with_world.device, "com.probe")
+    relayed = with_world.run_process(
+        probe2.probe(SERVER_IP, 80, rounds), until=9e6)
+    return (sum(base) / len(base), sum(relayed) / len(relayed))
+
+
+def test_table3_throughput(benchmark):
+    base_down, base_up = measure_throughput(None)
+    mop_down, mop_up = measure_throughput(
+        __import__("repro.core", fromlist=["MopEyeConfig"])
+        .MopEyeConfig())
+    hay_down, hay_up = measure_throughput(haystack_config())
+
+    rows = [
+        ["Download", base_down, mop_down, base_down - mop_down,
+         hay_down, base_down - hay_down],
+        ["Upload", base_up, mop_up, base_up - mop_up,
+         hay_up, base_up - hay_up],
+    ]
+    text = format_table(
+        ["Throughput", "Baseline", "MopEye", "delta", "Haystack",
+         "delta'"],
+        rows,
+        title=("Table 3 (Mbps). Paper: MopEye deltas 0.46/0.89; "
+               "Haystack deltas 4.28 (down) / 19.18 (up)."))
+
+    base_connect, relay_connect = measure_connect_overhead()
+    overhead = relay_connect - base_connect
+    text += ("\n\nSection 4.1.2 connect (SYN round) overhead: "
+             "baseline %.2f ms, with MopEye %.2f ms, overhead %.2f ms "
+             "(paper: 3.26-4.27 ms)." % (base_connect, relay_connect,
+                                         overhead))
+    save_result("tab3_throughput", text)
+
+    # Shape: MopEye within ~1 Mbps of baseline on both directions;
+    # Haystack clearly worse, catastrophically so on upload.
+    assert base_down - mop_down < 2.0
+    assert base_up - mop_up < 2.0
+    assert base_down - hay_down > 2.0
+    assert base_up - hay_up > 10.0
+    assert hay_up < mop_up < base_up + 0.5
+    # Connect overhead: positive, single-digit milliseconds.
+    assert 0.3 < overhead < 10.0
+
+    benchmark.pedantic(
+        lambda: measure_throughput(None, seed=99), rounds=2,
+        iterations=1)

@@ -1,0 +1,55 @@
+"""Table 5: network performance of 16 representative apps.
+
+Paper medians: Facebook 61, Instagram 50.5, Weibo 43, Twitter 56,
+WeChat 36, Messenger 42, Whatsapp 133, Skype 76, Play Store 48,
+Play services 37, Search 45, Maps 38, YouTube 32, Netflix 33,
+Amazon 59, Ebay 70 (ms).
+"""
+
+import pytest
+
+from repro.analysis import format_table, representative_app_table
+from repro.analysis.perapp import representative_packages_table_spec
+
+PAPER_MEDIANS = {
+    "Facebook": 61, "Instagram": 50.5, "Weibo": 43, "Twitter": 56,
+    "WeChat": 36, "Facebook Messenger": 42, "Whatsapp": 133,
+    "Skype": 76, "Google Play Store": 48, "Google Play services": 37,
+    "Google Search": 45, "Google Map": 38, "YouTube": 32,
+    "Netflix": 33, "Amazon": 59, "Ebay": 70,
+}
+
+
+def test_table5_representative_apps(crowd_store, bench_scale,
+                                    benchmark):
+    from benchmarks._common import save_result
+    spec = representative_packages_table_spec()
+    rows = benchmark(representative_app_table, crowd_store, spec)
+
+    table_rows = []
+    for row in rows:
+        paper = PAPER_MEDIANS[row["app"]]
+        table_rows.append([row["category"], row["app"],
+                           int(row["count"] / bench_scale),
+                           row["median_ms"], paper])
+    text = format_table(
+        ["Category", "App", "#RTT (full-scale)", "Median (ms)",
+         "Paper (ms)"],
+        table_rows, title="Table 5: representative apps.")
+    save_result("tab5_rep_apps", text)
+
+    by_name = {row["app"]: row for row in rows}
+    # Shape: every app within a factor of the paper's median, and the
+    # orderings the paper highlights hold.
+    for name, paper in PAPER_MEDIANS.items():
+        measured = by_name[name]["median_ms"]
+        assert measured is not None
+        assert 0.5 * paper < measured < 1.9 * paper, \
+            "%s: %.1f vs paper %.1f" % (name, measured, paper)
+    assert by_name["Whatsapp"]["median_ms"] > 100
+    assert by_name["YouTube"]["median_ms"] < 60
+    fast = ("Instagram", "WeChat", "Google Play Store", "YouTube",
+            "Amazon")
+    for name in fast:
+        assert by_name[name]["median_ms"] < \
+            by_name["Whatsapp"]["median_ms"]

@@ -1,0 +1,51 @@
+"""Table 6: DNS performance of 15 LTE operators.
+
+Paper medians (ms): Verizon 46, Jio 59, AT&T 53, Singtel 27, Boost 50,
+Sprint 51, 3 HK 53, MetroPCS 60, T-Mobile 45, CMHK 50, Celcom 56,
+CSL 61, Cricket 93, Maxis 40, U.S. Cellular 76.
+"""
+
+import pytest
+
+from repro.analysis import format_table, isp_dns_table
+
+PAPER = {
+    "Verizon": 46, "Jio 4G": 59, "AT&T": 53, "Singtel": 27,
+    "Boost Mobile": 50, "Sprint": 51, "3": 53, "MetroPCS": 60,
+    "T-Mobile": 45, "CMHK": 50, "Celcom": 56, "CSL": 61,
+    "Cricket": 93, "Maxis": 40, "U.S. Cellular": 76,
+}
+
+
+def test_table6_isp_dns(crowd_store, bench_scale, benchmark):
+    from benchmarks._common import save_result
+    rows = benchmark(isp_dns_table, crowd_store)
+
+    table_rows = [[row["isp"], row["country"],
+                   int(row["count"] / bench_scale), row["median_ms"],
+                   PAPER.get(row["isp"])] for row in rows]
+    text = format_table(
+        ["ISP", "Country", "#RTT (full-scale)", "Median (ms)",
+         "Paper (ms)"],
+        table_rows, title="Table 6: DNS performance of LTE operators.")
+    save_result("tab6_isp_dns", text)
+
+    by_name = {row["isp"]: row for row in rows}
+    # Most-sampled operators present and near their paper medians.
+    for isp in ("Verizon", "Jio 4G", "AT&T", "Singtel", "Sprint"):
+        assert isp in by_name
+        paper = PAPER[isp]
+        measured = by_name[isp]["median_ms"]
+        assert 0.6 * paper < measured < 1.5 * paper, \
+            "%s: %.1f vs paper %.1f" % (isp, measured, paper)
+    # The paper's outliers keep their roles.
+    assert by_name["Singtel"]["median_ms"] == min(
+        row["median_ms"] for row in rows)
+    if "Cricket" in by_name:
+        assert by_name["Cricket"]["median_ms"] > \
+            by_name["Verizon"]["median_ms"]
+    # Verizon and AT&T head the sample counts (exact rank order among
+    # them is sensitive to the heavy-tailed per-device activity draw).
+    top_two = {rows[0]["isp"], rows[1]["isp"]}
+    assert "Verizon" in top_two or "AT&T" in top_two
+    assert rows[0]["count"] > rows[-1]["count"]

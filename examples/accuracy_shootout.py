@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Accuracy shoot-out: MopEye vs MobiPerf vs tcpdump (Table 2 live).
+
+Measures the same three destinations with MopEye's opportunistic
+SYN/SYN-ACK timing and with MobiPerf-style active HTTP pings, each
+checked against a tcpdump wire capture.  Also demonstrates the
+'selector' ablation: what MopEye's accuracy would be if it took the
+post-connect timestamp in the main event loop instead of a blocking
+socket-connect thread (section 2.4's challenge C2).
+
+Run:  python examples/accuracy_shootout.py
+"""
+
+import random
+
+from repro.baselines import MobiPerf, TcpdumpCapture
+from repro.core import MopEyeConfig, MopEyeService
+from repro.network import AppServer, DnsServer, DnsZone, Internet, wifi_profile
+from repro.phone import AndroidDevice, App
+from repro.sim import Constant, Simulator
+
+DESTINATIONS = [
+    ("Google", "216.58.221.132", 0.0),
+    ("Facebook", "31.13.79.251", 16.0),
+    ("Dropbox", "108.160.166.126", 140.0),
+]
+ROUNDS = 10
+
+
+def build_world(seed):
+    sim = Simulator()
+    internet = Internet(sim)
+    link = wifi_profile(sim, rng=random.Random(seed), median_rtt_ms=4.0)
+    device = AndroidDevice(sim, internet, link, sdk=23)
+    internet.add_server(DnsServer(sim, "8.8.8.8", DnsZone()))
+    for _name, ip, path in DESTINATIONS:
+        internet.add_server(AppServer(sim, [ip], name=ip,
+                                      path_oneway=Constant(path),
+                                      accept_delay=Constant(0.05)))
+    capture = TcpdumpCapture()
+    internet.add_tap(capture.tap)
+    return sim, internet, device, capture
+
+
+def run_process(sim, generator, budget=3e6):
+    process = sim.process(generator)
+    sim.run(until=sim.now + budget)
+    assert process.triggered
+    return process.value
+
+
+def measure_with_mopeye(connect_mode: str):
+    sim, _internet, device, capture = build_world(seed=5)
+    mopeye = MopEyeService(device,
+                          MopEyeConfig(connect_mode=connect_mode))
+    mopeye.start()
+    app = App(device, "com.example.app")
+    rows = []
+    for name, ip, _path in DESTINATIONS:
+        capture.clear()
+
+        def run(ip=ip):
+            for _ in range(ROUNDS):
+                socket = yield from app.timed_connect(ip, 80)
+                if socket is not None:
+                    socket.send(b"ping\n")
+                    yield socket.recv()
+                    socket.close()
+                yield sim.timeout(120.0)
+
+        run_process(sim, run())
+        wire = capture.mean_rtt(ip)
+        measured = [r.rtt_ms for r in mopeye.store.tcp()
+                    if r.dst_ip == ip]
+        rows.append((name, wire, sum(measured) / len(measured)))
+    return rows
+
+
+def measure_with_mobiperf():
+    sim, _internet, device, capture = build_world(seed=6)
+    mobiperf = MobiPerf(device)
+    rows = []
+    for name, ip, _path in DESTINATIONS:
+        capture.clear()
+
+        def run(ip=ip):
+            mean = yield from mobiperf.ping_run(ip, rounds=ROUNDS)
+            return mean
+
+        mean = run_process(sim, run())
+        rows.append((name, capture.mean_rtt(ip), mean))
+    return rows
+
+
+def main():
+    print("%-10s  %-28s  %-28s" % ("", "blocking-thread (MopEye)",
+                                   "selector-loop (ablation)"))
+    accurate = measure_with_mopeye("blocking_thread")
+    sloppy = measure_with_mopeye("selector")
+    for (name, wire_a, rtt_a), (_n, wire_s, rtt_s) in zip(accurate,
+                                                          sloppy):
+        print("%-10s  wire %7.2f meas %7.2f (d=%.2f)   "
+              "wire %7.2f meas %7.2f (d=%.2f)"
+              % (name, wire_a, rtt_a, abs(rtt_a - wire_a),
+                 wire_s, rtt_s, abs(rtt_s - wire_s)))
+
+    print("\nMobiPerf-style active HTTP ping:")
+    for name, wire, reported in measure_with_mobiperf():
+        print("%-10s  wire %7.2f reported %7.2f (d=%.2f)"
+              % (name, wire, reported, abs(reported - wire)))
+    print("\nPaper's Table 2: MopEye within 1 ms of tcpdump; "
+          "MobiPerf off by 12-79 ms.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Render the paper's figures in the terminal.
+
+Synthesises a small campaign and draws Figures 6-11 as ASCII charts:
+CDFs for the RTT/DNS distributions, bar charts for users per country,
+and the Figure 8 world map.
+
+Run:  python examples/terminal_figures.py [scale]
+"""
+
+import sys
+
+from repro.analysis import (
+    app_rtt_cdfs,
+    country_distribution,
+    dns_cdfs_by_technology,
+    isp_dns_cdfs,
+    location_scatter,
+    render_bars,
+    render_cdf,
+    render_map,
+)
+from repro.crowd import Campaign, CampaignConfig
+
+
+def main(scale: float = 0.01) -> None:
+    print("synthesising campaign at scale %g ..." % scale)
+    store = Campaign(config=CampaignConfig(scale=scale,
+                                           seed=2016)).run()
+
+    print()
+    print(render_cdf(app_rtt_cdfs(store),
+                     title="Figure 9(a): apps' raw RTT CDFs"))
+    print()
+    print(render_cdf(dns_cdfs_by_technology(store), max_x=800,
+                     title="Figure 10(b): DNS RTT by technology"))
+    print()
+    print(render_cdf(
+        isp_dns_cdfs(store, ["Verizon", "Singtel"]), max_x=200,
+        title="Figure 11 (excerpt): Verizon vs Singtel DNS"))
+    print()
+    top = country_distribution(store, top=10)
+    print(render_bars(top, title="Figure 7: top-10 user countries"))
+    print()
+    print(render_map(location_scatter(store),
+                     title="Figure 8: measurement locations"))
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.01)

@@ -1,0 +1,18 @@
+"""MopEye reproduction: opportunistic per-app mobile network
+performance monitoring (USENIX ATC 2017).
+
+Subpackages:
+
+* :mod:`repro.sim` -- discrete-event simulation kernel.
+* :mod:`repro.netstack` -- TCP/IP/UDP/DNS wire formats and the
+  user-space RFC 793 state machine.
+* :mod:`repro.phone` -- Android substrate (TUN, VpnService, kernel
+  sockets, /proc/net, NIO, apps).
+* :mod:`repro.network` -- access links, routing fabric, servers.
+* :mod:`repro.core` -- MopEye itself.
+* :mod:`repro.baselines` -- tcpdump / MobiPerf / Haystack comparators.
+* :mod:`repro.crowd` -- synthetic crowdsourcing campaign.
+* :mod:`repro.analysis` -- evaluation tables and figures.
+"""
+
+__version__ = "1.0.0"

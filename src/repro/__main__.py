@@ -1,0 +1,123 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``     -- the quickstart world: relay a few app requests and
+                  print MopEye's measurements.
+* ``crowd``    -- synthesise the crowdsourcing dataset and print the
+                  headline analyses (``--scale`` to size it,
+                  ``--export PATH.jsonl|.csv`` to persist it).
+* ``accuracy`` -- Table 2 live: MopEye vs MobiPerf vs tcpdump.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+
+def _build_demo_world():
+    from repro.network import (
+        AppServer,
+        DnsServer,
+        DnsZone,
+        Internet,
+        wifi_profile,
+    )
+    from repro.phone import AndroidDevice
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    internet = Internet(sim)
+    link = wifi_profile(sim, rng=random.Random(1))
+    device = AndroidDevice(sim, internet, link, sdk=23)
+    zone = DnsZone()
+    zone.add("api.example.com", "93.184.216.34")
+    internet.add_server(DnsServer(sim, "8.8.8.8", zone))
+    internet.add_server(AppServer(sim, ["93.184.216.34"], name="api"))
+    return sim, device
+
+
+def cmd_demo(_args) -> int:
+    from repro.core import MopEyeService
+    from repro.phone import App
+
+    sim, device = _build_demo_world()
+    mopeye = MopEyeService(device)
+    mopeye.start()
+    app = App(device, "com.example.app")
+
+    def workload():
+        for _ in range(5):
+            yield from app.resolve_and_request(
+                "api.example.com", 443, b"GET / HTTP/1.1\r\n\r\n")
+            yield sim.timeout(250.0)
+
+    sim.process(workload())
+    sim.run(until=60_000)
+    print("collected %d measurements:" % len(mopeye.store))
+    for record in mopeye.store:
+        print("  %-4s %7.2f ms  %-22s %s" % (
+            record.kind, record.rtt_ms, record.app_package or "-",
+            record.domain or record.dst_ip))
+    return 0
+
+
+def cmd_crowd(args) -> int:
+    from repro.analysis.coverage import dataset_statistics
+    from repro.analysis.dnsperf import dns_medians
+    from repro.analysis.perapp import raw_rtt_medians
+    from repro.crowd import Campaign, CampaignConfig
+
+    campaign = Campaign(config=CampaignConfig(scale=args.scale,
+                                              seed=args.seed))
+    store = campaign.run()
+    for key, value in dataset_statistics(store).items():
+        print("%-12s %d" % (key, value))
+    print("app-RTT medians:", {k: round(v, 1)
+                               for k, v in raw_rtt_medians(store)
+                               .items()})
+    print("DNS medians:    ", {k: round(v, 1)
+                               for k, v in dns_medians(store).items()})
+    if args.export:
+        from repro.core import save_csv, save_jsonl
+        saver = save_csv if args.export.endswith(".csv") else save_jsonl
+        count = saver(store, args.export)
+        print("exported %d records to %s" % (count, args.export))
+    return 0
+
+
+def cmd_accuracy(_args) -> int:
+    import runpy
+    import os
+    script = os.path.join(os.path.dirname(__file__), "..", "..",
+                          "examples", "accuracy_shootout.py")
+    if os.path.exists(script):
+        runpy.run_path(script, run_name="__main__")
+        return 0
+    print("accuracy example script not found; run "
+          "examples/accuracy_shootout.py from a source checkout",
+          file=sys.stderr)
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo", help="relay demo on a simulated phone")
+    crowd = sub.add_parser("crowd", help="synthesise + analyse the "
+                                         "crowdsourcing dataset")
+    crowd.add_argument("--scale", type=float, default=0.02)
+    crowd.add_argument("--seed", type=int, default=2016)
+    crowd.add_argument("--export", type=str, default=None,
+                       help="write the dataset to a .jsonl or .csv")
+    sub.add_parser("accuracy", help="Table 2 shoot-out")
+    args = parser.parse_args(argv)
+    return {"demo": cmd_demo, "crowd": cmd_crowd,
+            "accuracy": cmd_accuracy}[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

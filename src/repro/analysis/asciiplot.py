@@ -1,0 +1,108 @@
+"""Terminal renderings of the paper's figures.
+
+No plotting library is assumed; CDFs, bar charts and the Figure 8 world
+map are rendered as monospace text.  The benches persist paper-format
+tables; these renderers make the *figures* inspectable too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+_MARKS = "*o+x#@%&"
+
+
+def render_cdf(series: Dict[str, Tuple[List[float], List[float]]],
+               width: int = 64, height: int = 16,
+               max_x: float = 400.0, title: str = "") -> str:
+    """Multi-series CDF plot: x = value (0..max_x), y = fraction."""
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, (xs, fractions)) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        legend.append("%s %s" % (mark, name))
+        for x, fraction in zip(xs, fractions):
+            if x > max_x:
+                break
+            col = min(width - 1, int(x / max_x * (width - 1)))
+            row = min(height - 1, int(fraction * (height - 1)))
+            grid[height - 1 - row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        label = "%4.1f |" % fraction if row_index % 5 == 0 else "     |"
+        lines.append(label + "".join(row))
+    lines.append("     +" + "-" * width)
+    ticks = "      0"
+    step = width // 4
+    for quarter in range(1, 5):
+        value = "%g" % (max_x * quarter / 4)
+        ticks += value.rjust(step)
+    lines.append(ticks + "  (ms)")
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def render_bars(items: Sequence[Tuple[str, float]], width: int = 50,
+                title: str = "") -> str:
+    """Horizontal bar chart (Figures 6/7 style)."""
+    if not items:
+        return title
+    peak = max(value for _label, value in items) or 1.0
+    label_width = max(len(label) for label, _value in items)
+    lines = [title] if title else []
+    for label, value in items:
+        bar = "#" * max(1, int(value / peak * width)) if value else ""
+        lines.append("%s |%s %g" % (label.ljust(label_width), bar,
+                                    value))
+    return "\n".join(lines)
+
+
+def render_map(locations: Sequence[Tuple[float, float]],
+               width: int = 72, height: int = 24,
+               title: str = "") -> str:
+    """Figure 8: a lat/lon scatter on an ASCII world grid."""
+    grid = [[" "] * width for _ in range(height)]
+    for lat, lon in locations:
+        col = int((lon + 180.0) / 360.0 * (width - 1))
+        row = int((90.0 - lat) / 180.0 * (height - 1))
+        if 0 <= row < height and 0 <= col < width:
+            cell = grid[row][col]
+            if cell == " ":
+                grid[row][col] = "."
+            elif cell == ".":
+                grid[row][col] = "o"
+            else:
+                grid[row][col] = "#"
+    lines = [title] if title else []
+    lines.append("+" + "-" * width + "+")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(" density: . few  o some  # many   "
+                 "(%d locations)" % len(locations))
+    return "\n".join(lines)
+
+
+def render_histogram(values: Sequence[float], bins: int = 12,
+                     width: int = 40, title: str = "",
+                     max_value: float = None) -> str:
+    """Vertical-ish histogram as labelled bars."""
+    if not values:
+        return title
+    top = max_value if max_value is not None else max(values)
+    top = top or 1.0
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int(value / top * bins))
+        counts[index] += 1
+    peak = max(counts) or 1
+    lines = [title] if title else []
+    for index, count in enumerate(counts):
+        low = top * index / bins
+        high = top * (index + 1) / bins
+        bar = "#" * int(count / peak * width)
+        lines.append("%7.1f-%-7.1f |%s %d" % (low, high, bar, count))
+    return "\n".join(lines)

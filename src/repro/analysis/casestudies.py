@@ -1,0 +1,138 @@
+"""The section 4.2.2 case studies: Whatsapp (Case 1) and Jio (Case 2)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.stats import median
+from repro.core.records import MeasurementStore
+from repro.network.link import NetworkType
+
+_WHATSAPP_CDN_PREFIXES = ("mme.", "mmg.", "pps.")
+
+
+def whatsapp_analysis(store: MeasurementStore,
+                      min_network_count: int = 100,
+                      scale: float = 1.0) -> Dict[str, object]:
+    """Case 1: the vast majority of *.whatsapp.net domains do not
+    perform well in many networks.
+
+    Returns the paper's talking points: overall chat-domain median, the
+    CDN/SoftLayer split, and the per-network median histogram over the
+    most-accessed networks.
+    """
+    wa = store.tcp().for_domain_suffix("whatsapp.net")
+    if len(wa) == 0:
+        raise ValueError("no whatsapp.net measurements in store")
+    cdn = wa.filter(lambda r: r.domain.startswith(_WHATSAPP_CDN_PREFIXES))
+    chat = wa.filter(
+        lambda r: not r.domain.startswith(_WHATSAPP_CDN_PREFIXES))
+    domains = wa.unique(lambda r: r.domain)
+    chat_domains = chat.unique(lambda r: r.domain)
+
+    # Per-domain medians: how many chat domains exceed 200 ms.
+    chat_domain_medians = {
+        domain: median(group.rtts())
+        for domain, group in chat.by_domain().items()
+    }
+    over_200 = sum(1 for m in chat_domain_medians.values() if m > 200)
+
+    # Per-network medians over the chat domains (the 20-network table).
+    by_network: Dict[Tuple[str, str], List[float]] = {}
+    for record in chat:
+        key = (record.operator, record.network_type)
+        by_network.setdefault(key, []).append(record.rtt_ms)
+    network_rows = [
+        {"network": "%s/%s" % key, "count": len(rtts),
+         "median_ms": median(rtts)}
+        for key, rtts in by_network.items()
+        if len(rtts) / scale >= min_network_count
+    ]
+    network_rows.sort(key=lambda row: -row["count"])
+
+    bands = Counter()
+    for row in network_rows[:20]:
+        value = row["median_ms"]
+        if value < 100:
+            bands["<100ms"] += 1
+        elif value < 200:
+            bands["100-200ms"] += 1
+        elif value < 300:
+            bands["200-300ms"] += 1
+        else:
+            bands[">300ms"] += 1
+
+    return {
+        "total_domains": len(domains),
+        "chat_domains": len(chat_domains),
+        "chat_median_ms": median(chat.rtts()),
+        "cdn_median_ms": median(cdn.rtts()) if len(cdn) else None,
+        "app_median_ms": median(wa.rtts()),
+        "chat_domains_over_200ms": over_200,
+        "chat_domain_count_with_median": len(chat_domain_medians),
+        "network_rows": network_rows[:20],
+        "network_bands": dict(bands),
+    }
+
+
+def jio_analysis(store: MeasurementStore, jio_name: str = "Jio 4G",
+                 min_domain_count: int = 100,
+                 scale: float = 1.0) -> Dict[str, object]:
+    """Case 2: Jio fails to provide acceptable performance to many app
+    domains (app median ~281 ms) while its DNS stays fast (~59 ms) --
+    and the same domains are much faster on non-Jio LTE."""
+    lte = store.for_network_type(NetworkType.LTE)
+    jio = lte.for_operator(jio_name)
+    jio_tcp = jio.tcp()
+    jio_dns = jio.dns()
+    if len(jio_tcp) == 0 or len(jio_dns) == 0:
+        raise ValueError("no Jio measurements in store")
+
+    # Per-domain medians inside Jio.
+    domain_medians = {
+        domain: (median(group.rtts()), len(group))
+        for domain, group in jio_tcp.by_domain().items()
+        if domain is not None and len(group) / scale >= min_domain_count
+    }
+    bands = {"<100ms": 0, ">200ms": 0, ">300ms": 0, ">400ms": 0}
+    for med, _count in domain_medians.values():
+        if med < 100:
+            bands["<100ms"] += 1
+        if med > 200:
+            bands[">200ms"] += 1
+        if med > 300:
+            bands[">300ms"] += 1
+        if med > 400:
+            bands[">400ms"] += 1
+
+    # Same domains on non-Jio LTE networks.
+    non_jio_tcp = lte.tcp().filter(lambda r: r.operator != jio_name)
+    non_jio_by_domain = non_jio_tcp.by_domain()
+    comparable = []
+    for domain, (jio_median, _count) in domain_medians.items():
+        other = non_jio_by_domain.get(domain)
+        if other is None or len(other) / scale < min_domain_count:
+            continue
+        comparable.append({
+            "domain": domain,
+            "jio_median_ms": jio_median,
+            "other_median_ms": median(other.rtts()),
+        })
+    faster_on_other = [row for row in comparable
+                       if row["jio_median_ms"]
+                       - row["other_median_ms"] > 0]
+    mean_gap = (sum(row["jio_median_ms"] - row["other_median_ms"]
+                    for row in faster_on_other) / len(faster_on_other)
+                if faster_on_other else 0.0)
+
+    return {
+        "app_median_ms": median(jio_tcp.rtts()),
+        "dns_median_ms": median(jio_dns.rtts()),
+        "app_rtt_count": len(jio_tcp),
+        "domains_analysed": len(domain_medians),
+        "domain_bands": bands,
+        "comparable_domains": len(comparable),
+        "domains_faster_elsewhere": len(faster_on_other),
+        "mean_gap_ms": mean_gap,
+    }

@@ -1,0 +1,86 @@
+"""Dataset coverage analyses: Figures 6, 7 and 8."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.records import MeasurementStore
+
+# Figure 6's buckets (full-scale measurement counts).
+BUCKETS: List[Tuple[str, float, float]] = [
+    ("> 10K", 10000, float("inf")),
+    ("5K - 10K", 5000, 10000),
+    ("1K - 5K", 1000, 5000),
+    ("100 - 1K", 100, 1000),
+]
+
+
+def bucket_counts(counts: Dict[str, int],
+                  scale: float = 1.0) -> Dict[str, int]:
+    """Histogram entity counts into Figure 6's buckets.  ``scale`` is
+    the campaign scale; thresholds are applied to scale-corrected
+    (full-scale-equivalent) counts."""
+    out = {label: 0 for label, _lo, _hi in BUCKETS}
+    for count in counts.values():
+        full = count / scale
+        for label, lo, hi in BUCKETS:
+            if lo <= full < hi:
+                out[label] += 1
+                break
+    return out
+
+
+def measurements_per_user(store: MeasurementStore,
+                          scale: float = 1.0) -> Dict[str, int]:
+    """Figure 6(a): number of devices in each measurement-count bucket."""
+    counts = Counter(r.device_id for r in store)
+    return bucket_counts(counts, scale)
+
+
+def measurements_per_app(store: MeasurementStore,
+                         scale: float = 1.0) -> Dict[str, int]:
+    """Figure 6(b): number of apps in each measurement-count bucket."""
+    counts = Counter(r.app_package for r in store.tcp()
+                     if r.app_package is not None)
+    return bucket_counts(counts, scale)
+
+
+def country_distribution(store: MeasurementStore,
+                         top: int = 20) -> List[Tuple[str, int]]:
+    """Figure 7: top user countries by number of distinct devices."""
+    devices_by_country: Dict[str, set] = {}
+    for record in store:
+        devices_by_country.setdefault(record.country, set()).add(
+            record.device_id)
+    pairs = [(country, len(devices))
+             for country, devices in devices_by_country.items()]
+    pairs.sort(key=lambda item: (-item[1], item[0]))
+    return pairs[:top]
+
+
+def location_scatter(store: MeasurementStore
+                     ) -> List[Tuple[float, float]]:
+    """Figure 8: distinct measurement locations (lat, lon)."""
+    seen = set()
+    for record in store:
+        if record.location is not None:
+            seen.add(record.location)
+    return sorted(seen)
+
+
+def dataset_statistics(store: MeasurementStore) -> Dict[str, int]:
+    """The section 4.2.1 summary numbers."""
+    tcp = store.tcp()
+    dns = store.dns()
+    return {
+        "total": len(store),
+        "tcp": len(tcp),
+        "dns": len(dns),
+        "devices": len(store.unique(lambda r: r.device_id)),
+        "apps": len(tcp.unique(lambda r: r.app_package) - {None}),
+        "countries": len(store.unique(lambda r: r.country)),
+        "dst_ips": len(tcp.unique(lambda r: r.dst_ip)),
+        "domains": len(tcp.unique(lambda r: r.domain) - {None}),
+        "dns_servers": len(dns.unique(lambda r: r.dst_ip)),
+    }

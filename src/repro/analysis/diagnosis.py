@@ -1,0 +1,190 @@
+"""Automated performance diagnosis over a measurement store.
+
+The paper's case studies follow a recipe (section 4.2.2): compare an
+app's RTT against (a) the same network's DNS RTT (first-hop health),
+(b) other apps on the same network, and (c) the same domains on other
+networks -- then localise the problem to the app's servers, the ISP's
+core network, or the access network.  This module systematises that
+recipe so it runs over any store:
+
+* :func:`diagnose_app` -- "is this app slow, and whose fault is it?"
+  (Case 1's Whatsapp logic);
+* :func:`diagnose_operator` -- "is this ISP slow, and where?"
+  (Case 2's Jio logic);
+* :func:`diagnose_all` -- sweep every app/operator above a sample
+  threshold and return ranked findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.stats import median
+from repro.core.records import MeasurementStore
+from repro.network.link import NetworkType
+
+
+class Verdict:
+    HEALTHY = "HEALTHY"
+    SERVER_SIDE = "SERVER_SIDE"      # app's servers are far/slow
+    CORE_NETWORK = "CORE_NETWORK"    # ISP core (Jio pattern)
+    ACCESS_NETWORK = "ACCESS_NETWORK"  # radio/first hop (2G pattern)
+    INSUFFICIENT_DATA = "INSUFFICIENT_DATA"
+
+
+@dataclass
+class Finding:
+    subject: str                  # app package or operator name
+    kind: str                     # "app" | "operator"
+    verdict: str
+    median_ms: Optional[float] = None
+    baseline_ms: Optional[float] = None
+    evidence: List[str] = field(default_factory=list)
+
+    @property
+    def slowdown(self) -> Optional[float]:
+        if self.median_ms is None or not self.baseline_ms:
+            return None
+        return self.median_ms / self.baseline_ms
+
+
+def _median_or_none(values) -> Optional[float]:
+    return median(values) if values else None
+
+
+def diagnose_app(store: MeasurementStore, package: str,
+                 min_samples: int = 30,
+                 slow_factor: float = 1.6) -> Finding:
+    """Localise an app's slowness.
+
+    The app's median RTT is compared against all other apps measured on
+    the *same network types* (the peer baseline).  A slow app whose
+    peers are fast has a server-side problem -- its servers are far
+    from users (the Whatsapp/SoftLayer pattern).
+    """
+    tcp = store.tcp()
+    app_store = tcp.for_app(package)
+    if len(app_store) < min_samples:
+        return Finding(package, "app", Verdict.INSUFFICIENT_DATA)
+    app_median = median(app_store.rtts())
+    peer_rtts = [r.rtt_ms for r in tcp
+                 if r.app_package != package]
+    peer_median = _median_or_none(peer_rtts)
+    finding = Finding(package, "app", Verdict.HEALTHY,
+                      median_ms=app_median, baseline_ms=peer_median)
+    if peer_median is None:
+        finding.verdict = Verdict.INSUFFICIENT_DATA
+        return finding
+    if app_median <= slow_factor * peer_median:
+        finding.evidence.append(
+            "median %.0f ms within %.1fx of the %.0f ms peer median"
+            % (app_median, slow_factor, peer_median))
+        return finding
+    # App is slow relative to peers on the same networks: the
+    # differential rules out the access path -> server side.
+    finding.verdict = Verdict.SERVER_SIDE
+    finding.evidence.append(
+        "median %.0f ms vs %.0f ms for other apps on the same "
+        "networks (%.1fx)" % (app_median, peer_median,
+                              app_median / peer_median))
+    # Domain breakdown: name the slow server groups, if labelled.
+    by_domain = app_store.by_domain()
+    slow_domains = sorted(
+        ((domain, median(group.rtts()))
+         for domain, group in by_domain.items()
+         if domain and len(group) >= 5),
+        key=lambda item: -item[1])
+    if slow_domains:
+        worst = [d for d, m in slow_domains
+                 if m > slow_factor * peer_median]
+        if worst:
+            finding.evidence.append(
+                "%d/%d of its domains exceed the threshold (worst: "
+                "%s at %.0f ms)" % (len(worst), len(slow_domains),
+                                    slow_domains[0][0],
+                                    slow_domains[0][1]))
+    return finding
+
+
+def diagnose_operator(store: MeasurementStore, operator: str,
+                      min_samples: int = 30,
+                      slow_factor: float = 1.6) -> Finding:
+    """Localise an operator's slowness using the Case-2 recipe:
+
+    * app RTT high + DNS RTT high      -> access network (radio/first
+      hop; the 2G pattern);
+    * app RTT high + DNS RTT normal    -> core network (local DNS
+      bypasses the congested core; the Jio pattern);
+    * both normal                      -> healthy.
+    """
+    op_store = store.for_operator(operator)
+    op_tcp = op_store.tcp()
+    op_dns = op_store.dns()
+    if len(op_tcp) < min_samples or len(op_dns) < min_samples // 3:
+        return Finding(operator, "operator",
+                       Verdict.INSUFFICIENT_DATA)
+    app_median = median(op_tcp.rtts())
+    dns_median = median(op_dns.rtts())
+    # Baselines: every *other* operator of the same network types.
+    types = tuple(op_store.unique(lambda r: r.network_type))
+    peers = store.for_network_type(*types).filter(
+        lambda r: r.operator != operator)
+    peer_tcp = _median_or_none(peers.tcp().rtts())
+    peer_dns = _median_or_none(peers.dns().rtts())
+    finding = Finding(operator, "operator", Verdict.HEALTHY,
+                      median_ms=app_median, baseline_ms=peer_tcp)
+    if peer_tcp is None or peer_dns is None:
+        finding.verdict = Verdict.INSUFFICIENT_DATA
+        return finding
+    app_slow = app_median > slow_factor * peer_tcp
+    dns_slow = dns_median > slow_factor * peer_dns
+    if app_slow and dns_slow:
+        finding.verdict = Verdict.ACCESS_NETWORK
+        finding.evidence.append(
+            "both app RTT (%.0f vs %.0f ms) and DNS RTT (%.0f vs "
+            "%.0f ms) are inflated: first hop / radio"
+            % (app_median, peer_tcp, dns_median, peer_dns))
+    elif app_slow:
+        finding.verdict = Verdict.CORE_NETWORK
+        finding.evidence.append(
+            "app RTT %.0f ms (peers %.0f ms) but DNS only %.0f ms "
+            "(peers %.0f ms): local DNS is fast, the core path is "
+            "not -- the Jio pattern" % (app_median, peer_tcp,
+                                        dns_median, peer_dns))
+    else:
+        finding.evidence.append(
+            "app median %.0f ms and DNS median %.0f ms in line with "
+            "peers" % (app_median, dns_median))
+    return finding
+
+
+def diagnose_all(store: MeasurementStore, min_samples: int = 200,
+                 slow_factor: float = 1.6,
+                 top: int = 20) -> List[Finding]:
+    """Sweep apps and operators; return non-healthy findings ranked by
+    slowdown factor."""
+    findings: List[Finding] = []
+    tcp = store.tcp()
+    app_counts: Dict[str, int] = {}
+    for record in tcp:
+        if record.app_package:
+            app_counts[record.app_package] = \
+                app_counts.get(record.app_package, 0) + 1
+    for package, count in app_counts.items():
+        if count >= min_samples:
+            finding = diagnose_app(store, package,
+                                   min_samples=min_samples,
+                                   slow_factor=slow_factor)
+            if finding.verdict not in (Verdict.HEALTHY,
+                                       Verdict.INSUFFICIENT_DATA):
+                findings.append(finding)
+    for operator in store.unique(lambda r: r.operator):
+        finding = diagnose_operator(store, operator,
+                                    min_samples=min_samples,
+                                    slow_factor=slow_factor)
+        if finding.verdict not in (Verdict.HEALTHY,
+                                   Verdict.INSUFFICIENT_DATA):
+            findings.append(finding)
+    findings.sort(key=lambda f: -(f.slowdown or 0))
+    return findings[:top]

@@ -1,0 +1,35 @@
+"""Comparator systems the paper evaluates against.
+
+Each baseline implements the *mechanism* that makes it slower or less
+accurate than MopEye, so evaluation outcomes are produced, not assumed:
+
+* :mod:`~repro.baselines.tcpdump` -- the on-wire reference observer;
+* :mod:`~repro.baselines.mobiperf` -- active HTTP-ping measurement with
+  the timing-placement and clock-granularity weaknesses of §4.1.1;
+* :mod:`~repro.baselines.configs` -- Haystack, ToyVpn and PrivacyGuard
+  as MopEye configurations (polling reads, cache mapping, per-packet
+  content inspection, per-socket protect), plus the Table 1 write-scheme
+  variants.
+"""
+
+from repro.baselines.tcpdump import TcpdumpCapture
+from repro.baselines.mobiperf import MobiPerf
+from repro.baselines.configs import (
+    direct_write_config,
+    haystack_config,
+    mopeye_default_config,
+    old_put_config,
+    privacyguard_config,
+    toyvpn_config,
+)
+
+__all__ = [
+    "MobiPerf",
+    "TcpdumpCapture",
+    "direct_write_config",
+    "haystack_config",
+    "mopeye_default_config",
+    "old_put_config",
+    "privacyguard_config",
+    "toyvpn_config",
+]

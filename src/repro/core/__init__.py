@@ -1,0 +1,44 @@
+"""MopEye: opportunistic per-app RTT measurement (the paper's core).
+
+:class:`~repro.core.service.MopEyeService` wires the three threads of
+Figure 4 -- TunReader, TunWriter, MainWorker -- plus the temporary
+socket-connect threads, over the phone substrate.  Every design choice
+the paper evaluates is a :class:`~repro.core.config.MopEyeConfig` knob,
+so the ablation benches toggle exactly one mechanism at a time.
+"""
+
+from repro.core.config import MopEyeConfig
+from repro.core.records import (
+    FlowRecord,
+    MeasurementKind,
+    MeasurementRecord,
+    MeasurementStore,
+)
+from repro.core.persist import load_csv, load_jsonl, save_csv, save_jsonl
+from repro.core.uploader import MeasurementUploader
+from repro.core.mapping import (
+    CacheMapper,
+    EagerMapper,
+    LazyMapper,
+    MappingStats,
+)
+from repro.core.service import MopEyeService, RelayStats
+
+__all__ = [
+    "CacheMapper",
+    "EagerMapper",
+    "FlowRecord",
+    "LazyMapper",
+    "MappingStats",
+    "MeasurementKind",
+    "MeasurementUploader",
+    "MeasurementRecord",
+    "MeasurementStore",
+    "MopEyeConfig",
+    "MopEyeService",
+    "RelayStats",
+    "load_csv",
+    "load_jsonl",
+    "save_csv",
+    "save_jsonl",
+]

@@ -1,0 +1,122 @@
+"""MainWorker: the single packet-processing thread (sections 2.3, 3.2).
+
+One thread monitors both the socket selector and the tunnel read queue:
+TunReader issues ``Selector.wakeup()`` whenever it enqueues a packet, so
+a pending ``select()`` returns and the worker interleaves checking
+socket events with draining tunnel packets.
+"""
+
+from __future__ import annotations
+
+from repro.netstack.ip import IPPacket, PacketError, PROTO_TCP, PROTO_UDP
+from repro.netstack.tcp_segment import TCPSegment
+from repro.netstack.tcp_state import TCPStateError
+from repro.netstack.udp_datagram import UDPDatagram
+
+
+class MainWorker:
+    def __init__(self, service):
+        self.service = service
+        self.device = service.device
+        self.sim = service.sim
+        self.running = False
+        self.loops = 0
+        self.tunnel_packets = 0
+        self.socket_events = 0
+
+    def run(self):
+        """Generator: the MainWorker thread body."""
+        self.running = True
+        service = self.service
+        selector = service.selector
+        read_queue = service.tun_reader.read_queue
+        while self.running:
+            keys = yield selector.select_process()
+            if not self.running:
+                return
+            self.loops += 1
+            cost = self.device.costs.selector_select.sample()
+            yield self.device.busy(cost, "mopeye.worker")
+            # Interleave the two event sources (section 3.2): handle a
+            # batch of socket events, then drain the tunnel queue.
+            for key in keys:
+                self.socket_events += 1
+                client = key.attachment
+                if client is None:
+                    continue
+                # Interleave write and read events (section 2.3): the
+                # write event flushes the tunnel data buffered for the
+                # socket; the read event drains server data.
+                if key.channel.write_requested:
+                    yield from client.handle_socket_writable()
+                if key.channel.readable:
+                    yield from client.handle_socket_readable()
+            # 'selector' connect-mode ablation: notice completed
+            # connects from the worker loop (the inaccurate way).
+            if service.config.connect_mode == "selector":
+                yield from self._poll_pending_connects()
+            while True:
+                packet = read_queue.try_get()
+                if packet is None:
+                    break
+                yield from self._handle_tunnel_packet(packet)
+
+    def _poll_pending_connects(self):
+        for client in list(self.service.clients.values()):
+            if client.rtt_ms is None and not client.registered \
+                    and client.channel.is_connected \
+                    and client.connect_started_at is not None:
+                # The timestamp is taken *here*, in the worker loop --
+                # inflated by however long the worker spent on other
+                # events since the SYN/ACK actually arrived (the
+                # inaccuracy MopEye's blocking-thread design avoids).
+                quantize = self.device.costs.quantize_milli
+                client.rtt_ms = (quantize(self.sim.now)
+                                 - quantize(client.connect_started_at))
+                yield from client._finish_measurement()
+
+    def _handle_tunnel_packet(self, packet: IPPacket):
+        """Generator: parse and dispatch one captured IP packet."""
+        service = self.service
+        self.tunnel_packets += 1
+        cost = self.device.costs.packet_parse.sample()
+        yield self.device.busy(cost, "mopeye.worker")
+        if packet.protocol == PROTO_TCP:
+            try:
+                segment = TCPSegment.decode(packet.payload)
+            except PacketError:
+                service.stats.parse_errors += 1
+                return
+            yield from self._handle_tcp(packet, segment)
+        elif packet.protocol == PROTO_UDP:
+            try:
+                datagram = UDPDatagram.decode(packet.payload)
+            except PacketError:
+                service.stats.parse_errors += 1
+                return
+            service.spawn_udp_relay(packet, datagram)
+        # Other protocols are dropped (MopEye relays TCP and UDP).
+
+    def _handle_tcp(self, packet: IPPacket, segment: TCPSegment):
+        service = self.service
+        four_tuple = (packet.src_str, segment.src_port,
+                      packet.dst_str, segment.dst_port)
+        if segment.is_syn:
+            if four_tuple in service.clients:
+                return  # SYN retransmission; connect is in progress
+            service.stats.syn_packets += 1
+            client = service.new_client(four_tuple, segment)
+            service.spawn_connect_thread(client)
+            return
+        client = service.clients.get(four_tuple)
+        if client is None:
+            service.stats.orphan_packets += 1
+            return
+        try:
+            yield from client.handle_tunnel_segment(segment)
+        except TCPStateError:
+            service.stats.state_errors += 1
+
+    def stop(self) -> None:
+        self.running = False
+        self.service.selector.wakeup()

@@ -1,0 +1,191 @@
+"""Packet-to-app mapping (section 3.3).
+
+MopEye attributes each SYN to an app by matching the connection's
+four-tuple against ``/proc/net/tcp6|tcp`` rows, which carry the owning
+UID.  Parsing those files costs 5-15+ ms (Figure 5(a)), so the *lazy*
+mapper (a) defers the work to the temporary socket-connect threads, off
+the relay's critical path, and (b) lets a single parsing thread serve
+all concurrent threads: everyone else naps in 50 ms slices and re-checks
+the shared snapshot.
+
+The eager mapper is the pre-optimisation behaviour (one parse per SYN,
+in the data path); the cache mapper is the Haystack-style alternative
+whose endpoint cache can *misattribute* connections when two apps talk
+to the same server endpoint -- the reason MopEye rejects it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.phone.procfs import build_uid_map, parse_proc_net
+
+FourTuple = Tuple[str, int, str, int]
+
+
+class MappingStats:
+    """Per-mapper accounting for Figure 5."""
+
+    def __init__(self) -> None:
+        self.threads = 0            # mapping requests served
+        self.parses = 0             # /proc/net parses actually performed
+        self.served_by_peer = 0     # threads that found a peer's snapshot
+        self.wait_naps = 0          # 50 ms naps taken while waiting
+        self.unmapped = 0           # four-tuples never resolved
+        self.overheads_ms: List[float] = []  # CPU cost per request
+
+    @property
+    def mitigation_rate(self) -> float:
+        """Share of requests that avoided a parse (67.8 % in the paper)."""
+        if self.threads == 0:
+            return 0.0
+        return 1.0 - (self.parses / self.threads)
+
+
+class _BaseMapper:
+    def __init__(self, device, config):
+        self.device = device
+        self.sim = device.sim
+        self.config = config
+        self.stats = MappingStats()
+        self._package_cache: Dict[int, Optional[str]] = {}
+
+    def _parse_proc(self) -> Dict[FourTuple, int]:
+        """Read and parse /proc/net/tcp6 + tcp.  The caller charges the
+        parse cost; this does the actual work against real proc text."""
+        entries = parse_proc_net(self.device.procfs.read("tcp6"))
+        entries += parse_proc_net(self.device.procfs.read("tcp"))
+        return build_uid_map(entries)
+
+    def _package_for(self, uid: Optional[int]):
+        """Generator: UID -> package name with a local cache."""
+        if uid is None:
+            return None
+        if uid not in self._package_cache:
+            cost = self.device.costs.uid_lookup.sample()
+            yield self.device.busy(cost, "mopeye.mapping")
+            self._package_cache[uid] = self.device.packages.name_for_uid(uid)
+        return self._package_cache[uid]
+
+    def map_connection(self, four_tuple: FourTuple):
+        raise NotImplementedError
+
+
+class EagerMapper(_BaseMapper):
+    """One proc parse per SYN, inline (the Figure 5(a) baseline)."""
+
+    def map_connection(self, four_tuple: FourTuple):
+        self.stats.threads += 1
+        cost = self.device.costs.proc_parse.sample()
+        yield self.device.busy(cost, "mopeye.mapping")
+        self.stats.parses += 1
+        self.stats.overheads_ms.append(cost)
+        uid = self._parse_proc().get(four_tuple)
+        if uid is None:
+            self.stats.unmapped += 1
+        package = yield from self._package_for(uid)
+        return uid, package
+
+
+class LazyMapper(_BaseMapper):
+    """The section 3.3 design: deferred, single-parser mapping."""
+
+    def __init__(self, device, config):
+        super().__init__(device, config)
+        self._parsing = False
+        self._snapshot: Dict[FourTuple, int] = {}
+        self._snapshot_version = 0
+
+    def map_connection(self, four_tuple: FourTuple):
+        self.stats.threads += 1
+        spent = 0.0
+        parsed_here = False
+        seen_version = -1
+        while True:
+            uid = self._snapshot.get(four_tuple)
+            if uid is not None:
+                if not parsed_here:
+                    self.stats.served_by_peer += 1
+                break
+            if parsed_here and seen_version == self._snapshot_version:
+                # We parsed and the tuple still is not there: give up.
+                uid = None
+                break
+            if not self._parsing:
+                self._parsing = True
+                cost = self.device.costs.proc_parse.sample()
+                try:
+                    yield self.device.busy(cost, "mopeye.mapping")
+                    snapshot = self._parse_proc()
+                finally:
+                    self._parsing = False
+                self._snapshot = snapshot
+                self._snapshot_version += 1
+                seen_version = self._snapshot_version
+                self.stats.parses += 1
+                spent += cost
+                parsed_here = True
+                continue
+            # Someone else is parsing: nap and re-check their result.
+            self.stats.wait_naps += 1
+            yield self.sim.timeout(self.config.lazy_wait_slice_ms)
+        if uid is None:
+            self.stats.unmapped += 1
+        self.stats.overheads_ms.append(spent)
+        package = yield from self._package_for(uid)
+        return uid, package
+
+
+class CacheMapper(_BaseMapper):
+    """Endpoint-keyed cache (Haystack-style).  Fast, but attributes a
+    connection to whichever app *first* used the endpoint -- wrong when
+    e.g. the Facebook app and Chrome hit the same server IP:port."""
+
+    def __init__(self, device, config):
+        super().__init__(device, config)
+        self._endpoint_cache: Dict[Tuple[str, int], int] = {}
+        self.hits = 0
+
+    def map_connection(self, four_tuple: FourTuple):
+        self.stats.threads += 1
+        endpoint = (four_tuple[2], four_tuple[3])
+        cached = self._endpoint_cache.get(endpoint)
+        if cached is not None:
+            self.hits += 1
+            self.stats.overheads_ms.append(0.0)
+            package = yield from self._package_for(cached)
+            return cached, package
+        cost = self.device.costs.proc_parse.sample()
+        yield self.device.busy(cost, "mopeye.mapping")
+        self.stats.parses += 1
+        self.stats.overheads_ms.append(cost)
+        uid = self._parse_proc().get(four_tuple)
+        if uid is None:
+            self.stats.unmapped += 1
+        else:
+            self._endpoint_cache[endpoint] = uid
+        package = yield from self._package_for(uid)
+        return uid, package
+
+
+class NullMapper(_BaseMapper):
+    """Mapping disabled (mapping_mode='off')."""
+
+    def map_connection(self, four_tuple: FourTuple):
+        self.stats.threads += 1
+        self.stats.overheads_ms.append(0.0)
+        return None, None
+        yield  # pragma: no cover - makes this a generator
+
+
+def make_mapper(device, config):
+    mode = config.mapping_mode
+    if mode == "lazy":
+        return LazyMapper(device, config)
+    if mode == "eager":
+        return EagerMapper(device, config)
+    if mode == "cache":
+        return CacheMapper(device, config)
+    if mode == "off":
+        return NullMapper(device, config)
+    raise ValueError("unknown mapping mode %r" % mode)

@@ -1,0 +1,99 @@
+"""Dataset persistence: export/import measurement stores.
+
+The crowdsourced dataset outlives any single process, so the store
+round-trips through JSON-lines (schema-preserving) and CSV (for
+spreadsheet/pandas consumers).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Optional
+
+from repro.core.records import MeasurementRecord, MeasurementStore
+
+_FIELDS = ["kind", "rtt_ms", "timestamp_ms", "app_package", "app_uid",
+           "dst_ip", "dst_port", "domain", "network_type", "operator",
+           "country", "device_id", "location"]
+
+
+def _record_to_dict(record: MeasurementRecord) -> dict:
+    out = {field: getattr(record, field) for field in _FIELDS}
+    if record.location is not None:
+        out["location"] = [record.location[0], record.location[1]]
+    return out
+
+
+def _record_from_dict(data: dict) -> MeasurementRecord:
+    location = data.get("location")
+    if location is not None:
+        location = (float(location[0]), float(location[1]))
+    return MeasurementRecord(
+        kind=data["kind"],
+        rtt_ms=float(data["rtt_ms"]),
+        timestamp_ms=float(data["timestamp_ms"]),
+        app_package=data.get("app_package") or None,
+        app_uid=(int(data["app_uid"])
+                 if data.get("app_uid") not in (None, "") else None),
+        dst_ip=data.get("dst_ip", ""),
+        dst_port=int(data.get("dst_port") or 0),
+        domain=data.get("domain") or None,
+        network_type=data.get("network_type", "WIFI"),
+        operator=data.get("operator", "unknown"),
+        country=data.get("country", "unknown"),
+        device_id=data.get("device_id", "local"),
+        location=location)
+
+
+def save_jsonl(store: MeasurementStore, path: str) -> int:
+    """Write one JSON object per line; returns the record count."""
+    count = 0
+    with open(path, "w") as handle:
+        for record in store:
+            handle.write(json.dumps(_record_to_dict(record)) + "\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: str,
+               store: Optional[MeasurementStore] = None
+               ) -> MeasurementStore:
+    store = store or MeasurementStore()
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                store.add(_record_from_dict(json.loads(line)))
+    return store
+
+
+def save_csv(store: MeasurementStore, path: str) -> int:
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_FIELDS[:-1] + ["lat", "lon"])
+        for record in store:
+            row = [getattr(record, field) for field in _FIELDS[:-1]]
+            if record.location is not None:
+                row += [record.location[0], record.location[1]]
+            else:
+                row += ["", ""]
+            writer.writerow(row)
+            count += 1
+    return count
+
+
+def load_csv(path: str,
+             store: Optional[MeasurementStore] = None
+             ) -> MeasurementStore:
+    store = store or MeasurementStore()
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            lat, lon = row.pop("lat", ""), row.pop("lon", "")
+            if lat and lon:
+                row["location"] = [lat, lon]
+            else:
+                row["location"] = None
+            store.add(_record_from_dict(row))
+    return store

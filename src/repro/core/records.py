@@ -1,0 +1,140 @@
+"""Measurement records and the store MopEye uploads from.
+
+A record is one opportunistic RTT sample: a TCP connect measured via
+SYN/SYN-ACK, or a DNS query/response pair.  The store doubles as the
+schema of the crowdsourcing dataset (section 4.2), so the analysis
+pipeline runs identically over live-relay output and synthesised data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+
+class MeasurementKind:
+    TCP = "TCP"
+    DNS = "DNS"
+
+
+@dataclass(frozen=True)
+class MeasurementRecord:
+    kind: str                  # MeasurementKind
+    rtt_ms: float
+    timestamp_ms: float
+    app_package: Optional[str] = None
+    app_uid: Optional[int] = None
+    dst_ip: str = ""
+    dst_port: int = 0
+    domain: Optional[str] = None
+    network_type: str = "WIFI"
+    operator: str = "unknown"
+    country: str = "unknown"
+    device_id: str = "local"
+    location: Optional[tuple] = None  # (lat, lon)
+
+    def __post_init__(self):
+        if self.rtt_ms < 0:
+            raise ValueError("negative RTT %r" % self.rtt_ms)
+        if self.kind not in (MeasurementKind.TCP, MeasurementKind.DNS):
+            raise ValueError("unknown measurement kind %r" % self.kind)
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """Per-connection traffic summary -- the paper's "more metrics
+    beyond RTT" future work: upload/download volume and flow duration
+    per app, collected from the relay's own byte counters."""
+
+    app_package: Optional[str]
+    dst_ip: str
+    dst_port: int
+    domain: Optional[str]
+    bytes_up: int
+    bytes_down: int
+    opened_at_ms: float
+    duration_ms: float
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_up + self.bytes_down
+
+    def throughput_mbps(self) -> float:
+        if self.duration_ms <= 0:
+            return 0.0
+        return (self.total_bytes * 8) / (self.duration_ms * 1000.0)
+
+
+class MeasurementStore:
+    """An appendable collection of records with the query helpers the
+    analysis layer uses."""
+
+    def __init__(self) -> None:
+        self._records: List[MeasurementRecord] = []
+
+    def add(self, record: MeasurementRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: Iterable[MeasurementRecord]) -> None:
+        self._records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[MeasurementRecord]:
+        return iter(self._records)
+
+    # -- filtering ----------------------------------------------------------
+    def filter(self, predicate: Callable[[MeasurementRecord], bool]
+               ) -> "MeasurementStore":
+        out = MeasurementStore()
+        out._records = [r for r in self._records if predicate(r)]
+        return out
+
+    def tcp(self) -> "MeasurementStore":
+        return self.filter(lambda r: r.kind == MeasurementKind.TCP)
+
+    def dns(self) -> "MeasurementStore":
+        return self.filter(lambda r: r.kind == MeasurementKind.DNS)
+
+    def for_app(self, package: str) -> "MeasurementStore":
+        return self.filter(lambda r: r.app_package == package)
+
+    def for_network_type(self, *types: str) -> "MeasurementStore":
+        wanted = set(types)
+        return self.filter(lambda r: r.network_type in wanted)
+
+    def for_operator(self, operator: str) -> "MeasurementStore":
+        return self.filter(lambda r: r.operator == operator)
+
+    def for_domain_suffix(self, suffix: str) -> "MeasurementStore":
+        suffix = suffix.lstrip("*").lstrip(".")
+        return self.filter(
+            lambda r: r.domain is not None
+            and (r.domain == suffix or r.domain.endswith("." + suffix)))
+
+    # -- aggregates -----------------------------------------------------------
+    def rtts(self) -> List[float]:
+        return [r.rtt_ms for r in self._records]
+
+    def group_by(self, key: Callable[[MeasurementRecord], object]
+                 ) -> Dict[object, "MeasurementStore"]:
+        groups: Dict[object, MeasurementStore] = {}
+        for record in self._records:
+            groups.setdefault(key(record), MeasurementStore()).add(record)
+        return groups
+
+    def by_app(self) -> Dict[Optional[str], "MeasurementStore"]:
+        return self.group_by(lambda r: r.app_package)
+
+    def by_operator(self) -> Dict[str, "MeasurementStore"]:
+        return self.group_by(lambda r: r.operator)
+
+    def by_domain(self) -> Dict[Optional[str], "MeasurementStore"]:
+        return self.group_by(lambda r: r.domain)
+
+    def by_device(self) -> Dict[str, "MeasurementStore"]:
+        return self.group_by(lambda r: r.device_id)
+
+    def unique(self, key: Callable[[MeasurementRecord], object]) -> set:
+        return {key(r) for r in self._records}

@@ -1,0 +1,86 @@
+"""UDP relay and DNS measurement (section 2.4).
+
+Every UDP packet from the tunnel is relayed; only DNS (port 53) is
+measured.  The whole DNS processing -- parsing, socket initialisation,
+send, blocking receive -- runs in a temporary thread so it never blocks
+MainWorker, and the RTT is the time between the ``send()`` and
+``receive()`` socket calls, timestamped immediately around them.
+
+The relay also learns domain -> address bindings from the answers it
+forwards, which is how TCP measurements get their ``domain`` label.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import MeasurementKind, MeasurementRecord
+from repro.netstack.dns import DNSMessage, QTYPE_A
+from repro.netstack.ip import IPPacket, PROTO_UDP
+from repro.netstack.udp_datagram import UDPDatagram
+from repro.sim.kernel import AnyOf
+
+_UDP_REPLY_TIMEOUT_MS = 5000.0
+
+
+class UdpRelay:
+    def __init__(self, service):
+        self.service = service
+        self.device = service.device
+        self.sim = service.sim
+        self.relayed = 0
+        self.dns_measured = 0
+        self.timeouts = 0
+
+    def relay_thread(self, packet: IPPacket, datagram: UDPDatagram):
+        """Generator: the temporary per-query relay thread."""
+        service = self.service
+        costs = self.device.costs
+        is_dns = datagram.dst_port == 53 and service.config.measure_dns
+        if is_dns:
+            yield self.device.busy(costs.dns_parse.sample(), "mopeye.dns")
+        yield self.device.busy(costs.dns_socket_init.sample(),
+                               "mopeye.dns")
+        socket = self.device.create_udp_socket(service.uid)
+        if service.per_socket_protect:
+            yield service.vpn.protect(socket)
+        start = costs.quantize_nano(self.sim.now)
+        socket.sendto(datagram.payload, packet.dst_str, datagram.dst_port)
+        reply = socket.recvfrom()
+        timer = self.sim.timeout(_UDP_REPLY_TIMEOUT_MS)
+        yield AnyOf(self.sim, [reply, timer])
+        if not reply.triggered:
+            socket.close()
+            self.timeouts += 1
+            return
+        end = costs.quantize_nano(self.sim.now)
+        payload, (src_ip, src_port) = reply.value
+        socket.close()
+        self.relayed += 1
+        domain = None
+        if is_dns:
+            domain = self._learn_bindings(payload)
+            self.dns_measured += 1
+            service.record_dns(end - start, packet.dst_str, domain)
+        # Forward the reply into the tunnel (server -> app direction).
+        response = UDPDatagram(datagram.dst_port, datagram.src_port,
+                               payload)
+        out = IPPacket(packet.dst_str, packet.src_str, PROTO_UDP,
+                       response.encode(packet.dst_str, packet.src_str))
+        yield from service.emit_packet(out)
+
+    def _learn_bindings(self, payload: bytes):
+        """Record domain -> IP bindings from a DNS answer so later TCP
+        measurements can be labelled with the server domain."""
+        try:
+            message = DNSMessage.decode(payload)
+        except Exception:
+            return None
+        domain = (message.questions[0].name
+                  if message.questions else None)
+        for answer in message.answers:
+            if answer.rtype == QTYPE_A:
+                try:
+                    self.service.domain_of_ip[answer.address] = \
+                        answer.name if not domain else domain
+                except Exception:
+                    continue
+        return domain

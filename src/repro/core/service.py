@@ -1,0 +1,225 @@
+"""MopEyeService: lifecycle and wiring of the Figure 4 architecture.
+
+``start()`` installs the app, establishes the VPN (one-time user
+consent), applies the section 3.5.2 exemption, and launches the three
+core threads.  ``stop()`` tears them down -- including the section 3.1
+dummy-packet trick needed to release a blocked TunReader.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.config import MopEyeConfig
+from repro.core.main_worker import MainWorker
+from repro.core.mapping import make_mapper
+from repro.core.records import (
+    FlowRecord,
+    MeasurementKind,
+    MeasurementRecord,
+    MeasurementStore,
+)
+from repro.core.relay_tcp import FourTuple, TcpClient
+from repro.core.relay_udp import UdpRelay
+from repro.core.tun_reader import TunReader
+from repro.core.tun_writer import TunWriter
+from repro.netstack.ip import IPPacket, PROTO_UDP
+from repro.netstack.tcp_segment import TCPSegment
+from repro.netstack.udp_datagram import UDPDatagram
+from repro.phone.nio import Selector
+from repro.phone.vpn import VpnService
+
+
+class RelayStats:
+    """Counters exposed for the evaluation harness."""
+
+    def __init__(self) -> None:
+        self.syn_packets = 0
+        self.pure_acks_discarded = 0
+        self.orphan_packets = 0
+        self.parse_errors = 0
+        self.state_errors = 0
+        self.connect_failures = 0
+        self.packets_to_tunnel = 0
+
+
+class MopEyeService:
+    """The measurement app.  One instance per device."""
+
+    def __init__(self, device, config: Optional[MopEyeConfig] = None,
+                 store: Optional[MeasurementStore] = None,
+                 dummy_server_ip: Optional[str] = None):
+        self.device = device
+        self.sim = device.sim
+        self.config = (config or MopEyeConfig()).validate()
+        self.store = store or MeasurementStore()
+        self.stats = RelayStats()
+        self.vpn = VpnService(device, self.config.package)
+        self.uid = self.vpn.owner_uid
+        self.selector = Selector(device)
+        self.tun_reader = TunReader(self)
+        self.tun_writer = TunWriter(self)
+        self.main_worker = MainWorker(self)
+        self.udp_relay = UdpRelay(self)
+        self.mapper = make_mapper(device, self.config)
+        self.clients: Dict[FourTuple, TcpClient] = {}
+        self.flows: List[FlowRecord] = []
+        self.domain_of_ip: Dict[str, str] = {}
+        self.tun = None
+        self.per_socket_protect = False
+        self.dummy_server_ip = dummy_server_ip
+        self.running = False
+        self._threads: List[object] = []
+        self.started_at: Optional[float] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Establish the VPN and launch TunReader/TunWriter/MainWorker."""
+        if self.running:
+            raise RuntimeError("MopEye already running")
+        builder = self.vpn.new_builder()
+        self.tun = builder.set_mtu(1500).add_address(
+            self.device.tun_address).establish()
+        mode = self.config.protect_mode
+        if mode == "auto":
+            mode = ("disallow"
+                    if self.device.sdk >= VpnService.ADD_DISALLOWED_MIN_SDK
+                    else "protect")
+        if mode == "disallow":
+            # One-time call at initialisation (section 3.5.2).
+            self.vpn.add_disallowed_application(self.config.package)
+            self.per_socket_protect = False
+        else:
+            self.per_socket_protect = True
+        if self.config.tun_read_mode == "blocking":
+            # Switch the tun fd to blocking at initialisation (§3.1).
+            self.tun_reader.configure_blocking_mode()
+        self.running = True
+        self.started_at = self.sim.now
+        self.device.cpu.started_at = self.sim.now
+        self._threads = [
+            self.sim.process(self.tun_reader.run(), name="TunReader"),
+            self.sim.process(self.main_worker.run(), name="MainWorker"),
+        ]
+        if self.config.write_scheme == "queueWrite":
+            self._threads.append(
+                self.sim.process(self.tun_writer.run(), name="TunWriter"))
+
+    def stop(self):
+        """Generator: orderly shutdown (run as a process)."""
+        if not self.running:
+            return
+        self.running = False
+        self.tun_reader.stop()
+        self.main_worker.stop()
+        yield from self.tun_writer.stop()
+        if self.config.tun_read_mode == "blocking":
+            # Release the blocked read() with a dummy packet (§3.1).
+            if not self.per_socket_protect:
+                # Android 5.0+: MopEye's own packets bypass the tunnel,
+                # so trigger another app's request via DownloadManager.
+                if self.dummy_server_ip is not None:
+                    from repro.phone.download_manager import DownloadManager
+                    DownloadManager(self.device).enqueue(
+                        self.dummy_server_ip)
+            else:
+                # Pre-5.0: MopEye can send the dummy packet itself.
+                socket = self.device.create_udp_socket(self.uid)
+                socket.sendto(b"dummy", "203.0.113.1", 9)
+                socket.close()
+        # Give threads a moment to observe the flags.
+        yield self.sim.timeout(1.0)
+        self.vpn.stop()
+
+    # -- client management ------------------------------------------------------
+    def new_client(self, four_tuple: FourTuple,
+                   syn: TCPSegment) -> TcpClient:
+        client = TcpClient(self, four_tuple, syn)
+        self.clients[four_tuple] = client
+        return client
+
+    def remove_client(self, client: TcpClient) -> None:
+        self.clients.pop(client.four_tuple, None)
+
+    def spawn_connect_thread(self, client: TcpClient) -> None:
+        self.sim.process(client.socket_connect_thread(),
+                         name="socket-connect")
+
+    def spawn_udp_relay(self, packet: IPPacket,
+                        datagram: UDPDatagram) -> None:
+        self.sim.process(self.udp_relay.relay_thread(packet, datagram),
+                         name="udp-relay")
+
+    # -- tunnel output --------------------------------------------------------------
+    def emit_tunnel_segment(self, client: TcpClient,
+                            segment: TCPSegment):
+        """Generator: encode a state-machine segment into an IP packet
+        toward the app and dispatch it under the write scheme."""
+        local_ip = client.machine.local_ip
+        remote_ip = client.machine.remote_ip
+        cost = self.device.costs.packet_build.sample()
+        yield self.device.busy(cost, "mopeye.worker")
+        packet = IPPacket(remote_ip, local_ip, 6,
+                          segment.encode(remote_ip, local_ip))
+        yield from self.emit_packet(packet)
+
+    def emit_packet(self, packet: IPPacket):
+        """Generator: dispatch one finished packet to the tunnel."""
+        self.stats.packets_to_tunnel += 1
+        yield from self.tun_writer.emit(packet)
+
+    # -- measurement records -----------------------------------------------------------
+    def record_tcp(self, client: TcpClient) -> None:
+        link = self.device.link
+        self.store.add(MeasurementRecord(
+            kind=MeasurementKind.TCP,
+            rtt_ms=client.rtt_ms,
+            timestamp_ms=self.sim.now,
+            app_package=client.app_package,
+            app_uid=client.app_uid,
+            dst_ip=client.four_tuple[2],
+            dst_port=client.four_tuple[3],
+            domain=self.domain_of_ip.get(client.four_tuple[2]),
+            network_type=link.network_type,
+            operator=link.operator,
+            device_id=self.device.model))
+
+    def record_flow(self, client: TcpClient) -> None:
+        """Beyond-RTT metrics: per-connection traffic summary."""
+        self.flows.append(FlowRecord(
+            app_package=client.app_package,
+            dst_ip=client.four_tuple[2],
+            dst_port=client.four_tuple[3],
+            domain=self.domain_of_ip.get(client.four_tuple[2]),
+            bytes_up=client.bytes_up,
+            bytes_down=client.bytes_down,
+            opened_at_ms=client.opened_at,
+            duration_ms=self.sim.now - client.opened_at))
+
+    def record_dns(self, rtt_ms: float, server_ip: str,
+                   domain: Optional[str]) -> None:
+        link = self.device.link
+        self.store.add(MeasurementRecord(
+            kind=MeasurementKind.DNS,
+            rtt_ms=rtt_ms,
+            timestamp_ms=self.sim.now,
+            dst_ip=server_ip,
+            dst_port=53,
+            domain=domain,
+            network_type=link.network_type,
+            operator=link.operator,
+            device_id=self.device.model))
+
+    # -- resource accounting (Table 4) ----------------------------------------------------
+    def cpu_utilisation(self) -> float:
+        elapsed = self.sim.now - (self.started_at or 0.0)
+        busy = (self.device.cpu.total("mopeye")
+                + self.device.cpu.total("vpn")
+                + self.device.cpu.total("selector")
+                + self.device.cpu.total("inspection"))
+        return busy / elapsed if elapsed > 0 else 0.0
+
+    def memory_bytes(self) -> int:
+        return (self.config.base_memory_bytes
+                + len(self.clients)
+                * self.config.per_connection_buffer_bytes)

@@ -1,0 +1,143 @@
+"""TunWriter: dispatching packets to the VPN tunnel (section 3.5.1).
+
+Two write schemes:
+
+* **queueWrite** (the design): producers enqueue, a dedicated TunWriter
+  thread performs the actual tun writes, so a slow write never stalls
+  MainWorker.  The enqueue itself uses either the classic *oldPut*
+  (park in ``wait()`` whenever the queue is empty -- producers then pay
+  the notify + wakeup cost) or the paper's *newPut* sleep-counter scheme
+  (the consumer spins through a counter's worth of checks before
+  parking, so producers almost never pay the notify path).
+
+* **directWrite**: every producer writes the shared tun fd itself,
+  paying fd contention and scheduler interference -- Table 1's worst
+  column.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netstack.ip import IPPacket
+from repro.sim.queues import QueueClosed, WaitNotifyQueue
+
+
+class TunWriter:
+    """The dedicated tunnel-writing thread plus the producer API."""
+
+    def __init__(self, service):
+        self.service = service
+        self.device = service.device
+        self.sim = service.sim
+        self.config = service.config
+        costs = self.device.costs
+        self.queue = WaitNotifyQueue(
+            self.sim,
+            append_cost=costs.enqueue,
+            notify_cost=costs.monitor_notify,
+            wakeup_delay=costs.monitor_wakeup_delay,
+            name="tun-write-queue")
+        self.running = False
+        # Table 1 instrumentation.
+        self.put_costs_ms: List[float] = []
+        self.write_costs_ms: List[float] = []
+        self.direct_write_costs_ms: List[float] = []
+        self.packets_written = 0
+
+    # -- producer side ---------------------------------------------------
+    def emit(self, packet: IPPacket):
+        """Generator: hand one packet to the tunnel under the configured
+        scheme; the producer pays exactly the cost the scheme implies."""
+        if self.config.write_scheme == "directWrite":
+            yield from self._direct_write(packet)
+        else:
+            yield self.queue.put(packet)
+            self.put_costs_ms.append(self.queue.last_put_cost)
+
+    def _direct_write(self, packet: IPPacket):
+        tun = self.service.tun
+        start = self.sim.now
+        yield tun.write_lock.acquire()
+        try:
+            # Contended-fd cost model: multiple writer threads share the
+            # one tun fd (section 3.5.1's directWrite problem).
+            cost = self.device.costs.tun_write_contended.sample()
+            yield self.device.busy(cost, "mopeye.tunwrite")
+            tun.write(packet)
+            self.packets_written += 1
+        finally:
+            tun.write_lock.release()
+        self.direct_write_costs_ms.append(self.sim.now - start)
+
+    # -- consumer thread ---------------------------------------------------------
+    def run(self):
+        """Generator: the TunWriter thread body (queueWrite only)."""
+        self.running = True
+        if self.config.put_scheme == "oldPut":
+            yield from self._run_old_put()
+        else:
+            yield from self._run_new_put()
+
+    def _write_one(self, packet: IPPacket):
+        cost = self.device.costs.tun_write_syscall.sample()
+        yield self.device.busy(cost, "mopeye.tunwriter")
+        self.service.tun.write(packet)
+        self.packets_written += 1
+        self.write_costs_ms.append(cost)
+
+    def _run_old_put(self):
+        """Classic consumer: park in wait() the moment the queue runs
+        dry.  Producers then pay notify costs on nearly every put."""
+        while self.running:
+            packet = self.queue.try_get()
+            if packet is None:
+                try:
+                    yield self.queue.wait()
+                except QueueClosed:
+                    return
+                continue
+            if packet is _STOP:
+                return
+            yield from self._write_one(packet)
+
+    def _run_new_put(self):
+        """Section 3.5.1's sleep-counter consumer: keep checking for a
+        threshold's worth of rounds before parking, so the fast path
+        never touches the monitor."""
+        counter = 0
+        threshold = self.config.put_counter_threshold
+        while self.running:
+            packet = self.queue.try_get()
+            if packet is not None:
+                if packet is _STOP:
+                    return
+                counter //= 2
+                yield from self._write_one(packet)
+                continue
+            counter += 1
+            if counter >= threshold:
+                try:
+                    yield self.queue.wait()
+                except QueueClosed:
+                    return
+                counter = 0
+            else:
+                # One more spin round: a cheap check, then yield.
+                self.device.cpu.charge("mopeye.tunwriter",
+                                       0.0005)
+                yield self.sim.timeout(self.config.spin_check_interval_ms)
+
+    def stop(self):
+        """Generator: unblock and terminate the writer thread."""
+        self.running = False
+        if self.config.write_scheme == "queueWrite":
+            yield self.queue.put(_STOP)
+
+
+class _Stop:
+    def __repr__(self):
+        return "<TunWriter STOP sentinel>"
+
+
+_STOP = _Stop()

@@ -1,0 +1,98 @@
+"""MeasurementUploader: ships collected records to the backend.
+
+The deployed MopEye uploaded crowdsourced measurements periodically;
+uploading itself must not distort the measurements, so the uploader
+
+* batches records and uploads only every ``interval_ms``;
+* by default uploads only while the device is on WiFi (no cellular
+  data cost for volunteers, and no radio-promotion interference);
+* uses MopEye's own UID, whose traffic bypasses the tunnel via the
+  section 3.5.2 exemption -- uploads never appear as app measurements.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.core.persist import _record_to_dict
+from repro.network.link import NetworkType
+from repro.phone.ktcp import ConnectionRefused, ConnectTimeout
+from repro.sim.kernel import Event
+
+
+class MeasurementUploader:
+    def __init__(self, service, collector_ip: str,
+                 collector_port: int = 443,
+                 interval_ms: float = 60_000.0,
+                 min_batch: int = 10,
+                 wifi_only: bool = True):
+        self.service = service
+        self.device = service.device
+        self.sim = service.sim
+        self.collector_ip = collector_ip
+        self.collector_port = collector_port
+        self.interval_ms = interval_ms
+        self.min_batch = min_batch
+        self.wifi_only = wifi_only
+        self.uploaded = 0          # records acknowledged
+        self.batches = 0
+        self.failures = 0
+        self.deferred_cellular = 0
+        self._cursor = 0           # store index of first un-uploaded
+        self.running = False
+        self._thread: Optional[Event] = None
+
+    def start(self) -> None:
+        if self.running:
+            raise RuntimeError("uploader already running")
+        self.running = True
+        self._thread = self.sim.process(self._run(), name="uploader")
+
+    def stop(self) -> None:
+        self.running = False
+
+    # -- internals -----------------------------------------------------------
+    def _pending(self) -> list:
+        records = list(self.service.store)
+        return records[self._cursor:]
+
+    def _run(self):
+        while self.running:
+            yield self.sim.timeout(self.interval_ms)
+            if not self.running:
+                return
+            pending = self._pending()
+            if len(pending) < self.min_batch:
+                continue
+            if self.wifi_only and \
+                    self.device.link.network_type != NetworkType.WIFI:
+                self.deferred_cellular += 1
+                continue
+            yield from self._upload(pending)
+
+    def _upload(self, records):
+        payload = "\n".join(
+            json.dumps(_record_to_dict(record))
+            for record in records).encode() + b"\n"
+        socket = self.device.create_tcp_socket(self.service.uid)
+        try:
+            yield socket.connect(self.collector_ip,
+                                 self.collector_port)
+        except (ConnectionRefused, ConnectTimeout):
+            self.failures += 1
+            return
+        socket.send(b"PUSH %d\n" % len(payload))
+        socket.send(payload)
+        response = yield socket.recv()
+        socket.close()
+        if response.startswith(b"ACK"):
+            try:
+                acked = int(response.split()[1])
+            except (IndexError, ValueError):
+                acked = len(records)
+            self._cursor += len(records)
+            self.uploaded += acked
+            self.batches += 1
+        else:
+            self.failures += 1

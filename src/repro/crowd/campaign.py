@@ -1,0 +1,217 @@
+"""The synthetic crowdsourcing campaign driver.
+
+Generates a :class:`~repro.core.records.MeasurementStore` with the
+paper dataset's structure: per-device heavy-tailed activity, WiFi vs
+cellular context switching, per-ISP DNS behaviour, per-app/per-domain
+path latencies, and a 68/32 TCP/DNS split (3,576,931 TCP + 1,675,827
+DNS = 5,252,758 records at full scale).
+
+``scale`` linearly scales every device's measurement count so the whole
+pipeline stays fast; population structure (devices, apps, countries) is
+never scaled.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.records import (
+    MeasurementKind,
+    MeasurementRecord,
+    MeasurementStore,
+)
+from repro.crowd.appcatalog import AppCatalog, DomainProfile, build_catalog
+from repro.crowd.isps import IspProfile
+from repro.crowd.population import CrowdDevice, Population
+from repro.network.link import NetworkType
+from repro.sim.distributions import Distribution, Exponential, LogNormal
+
+_TCP_FRACTION = 3576931 / 5252758  # from section 4.2.1
+_DURATION_MS = 232 * 24 * 3600 * 1000.0  # 16 May 2016 .. 3 Jan 2017
+
+
+@dataclass
+class CampaignConfig:
+    scale: float = 0.1
+    seed: int = 7
+    n_longtail_apps: int = 6250
+    apps_per_device: Tuple[int, int] = (12, 40)
+    # Occasional long-RTT events (congestion, weak signal): the source
+    # of Figure 9(a)'s ~10 % of samples above 400 ms.
+    tail_prob: float = 0.17
+    tail_mean_ms: float = 340.0
+    legacy_3g_split: float = 0.8   # of non-LTE cellular, 3G vs 2G
+    measurement_noise_ms: float = 0.2  # MopEye's own accuracy (Table 2)
+
+
+class Campaign:
+    def __init__(self, population: Optional[Population] = None,
+                 catalog: Optional[AppCatalog] = None,
+                 config: Optional[CampaignConfig] = None):
+        self.config = config or CampaignConfig()
+        self.rng = random.Random(self.config.seed)
+        self.population = population or Population(
+            seed=self.config.seed + 1)
+        self.catalog = catalog or build_catalog(
+            n_longtail=self.config.n_longtail_apps,
+            seed=self.config.seed + 2)
+        self._dns_dist_cache: Dict[Tuple[str, str], Distribution] = {}
+        self._access_dist_cache: Dict[Tuple[str, str], Distribution] = {}
+        self._path_dist_cache: Dict[str, Distribution] = {}
+        self._domain_ip_cache: Dict[str, str] = {}
+        self._tail = Exponential(self.config.tail_mean_ms).bind(self.rng)
+
+    # -- cached distributions ------------------------------------------------
+    def _dns_dist(self, profile: IspProfile,
+                  tech: str) -> Distribution:
+        key = (profile.name, tech)
+        dist = self._dns_dist_cache.get(key)
+        if dist is None:
+            if tech in (NetworkType.WIFI, NetworkType.LTE):
+                dist = profile.lte_dns_distribution(self.rng)
+            elif tech == NetworkType.UMTS:
+                if profile.lte_share < 1.0:
+                    # ISPs with known legacy networks (Cricket, U.S.
+                    # Cellular) use their own 3G profile.
+                    dist = profile.legacy_dns_distribution(self.rng)
+                else:
+                    dist = LogNormal(105.0, 0.55,
+                                     shift=profile.dns_floor_ms
+                                     ).bind(self.rng)
+            else:  # GPRS / 2G
+                dist = LogNormal(755.0, 0.45,
+                                 shift=profile.dns_floor_ms
+                                 ).bind(self.rng)
+            self._dns_dist_cache[key] = dist
+        return dist
+
+    # Hostings with direct operator peering: traffic to these escapes
+    # a congested LTE core (the 19 fast domains of Case 2's Jio
+    # analysis are in-country CDN deployments).
+    _PEERED_HOSTINGS = frozenset(["google", "facebook-cdn",
+                                  "netflix-cdn"])
+
+    def _access_dist(self, profile: IspProfile, tech: str,
+                     peered: bool = False) -> Distribution:
+        key = (profile.name, tech, peered)
+        dist = self._access_dist_cache.get(key)
+        if dist is None:
+            if tech in (NetworkType.WIFI, NetworkType.LTE):
+                if peered and profile.core_penalty_ms > 0:
+                    # Peered CDN traffic bypasses the core bottleneck.
+                    dist = LogNormal(profile.access_median_ms,
+                                     profile.access_sigma
+                                     ).bind(self.rng)
+                else:
+                    dist = profile.access_distribution(self.rng)
+            elif tech == NetworkType.UMTS:
+                dist = LogNormal(95.0, 0.5).bind(self.rng)
+            else:
+                dist = LogNormal(700.0, 0.45).bind(self.rng)
+            self._access_dist_cache[key] = dist
+        return dist
+
+    def _path_dist(self, domain: DomainProfile) -> Distribution:
+        dist = self._path_dist_cache.get(domain.domain)
+        if dist is None:
+            dist = LogNormal(domain.path_median_ms,
+                             domain.path_sigma).bind(self.rng)
+            self._path_dist_cache[domain.domain] = dist
+        return dist
+
+    def _ip_for_domain(self, domain: str) -> str:
+        ip = self._domain_ip_cache.get(domain)
+        if ip is None:
+            h = hash(domain) & 0xFFFFFFFF
+            ip = "%d.%d.%d.%d" % (1 + (h >> 24) % 223, (h >> 16) & 0xFF,
+                                  (h >> 8) & 0xFF, h & 0xFF)
+            self._domain_ip_cache[domain] = ip
+        return ip
+
+    # -- context sampling ---------------------------------------------------------
+    def _sample_context(self, device: CrowdDevice
+                        ) -> Tuple[IspProfile, str]:
+        """Pick (profile, technology) for one measurement."""
+        rng = self.rng
+        if rng.random() < device.wifi_share:
+            return device.wifi, NetworkType.WIFI
+        isp = device.cellular_isp
+        lte_share = device.lte_share_of_cellular * isp.lte_share
+        if rng.random() < lte_share:
+            return isp, NetworkType.LTE
+        if isp.lte_share < 1.0:
+            # Mixed-technology ISPs' legacy networks are 3G-class.
+            return isp, NetworkType.UMTS
+        if rng.random() < self.config.legacy_3g_split:
+            return isp, NetworkType.UMTS
+        return isp, NetworkType.GPRS
+
+    # -- record generation ------------------------------------------------------------
+    def _install_apps(self, device: CrowdDevice) -> None:
+        lo, hi = self.config.apps_per_device
+        count = self.rng.randint(lo, hi)
+        seen = {}
+        for app in self.catalog.sample_apps(self.rng, count):
+            seen[app.package] = app
+        device.installed = list(seen.values())
+
+    def _tcp_record(self, device: CrowdDevice, profile: IspProfile,
+                    tech: str, timestamp: float) -> MeasurementRecord:
+        rng = self.rng
+        # App choice follows the global popularity law (applying the
+        # weights again within per-device installed sets would square
+        # them and starve the long tail that Figure 6(b) depends on).
+        app = self.catalog.sample_app(rng)
+        domain = app.sample_domain(rng)
+        peered = domain.hosting in self._PEERED_HOSTINGS
+        rtt = (self._access_dist(profile, tech, peered).sample()
+               + self._path_dist(domain).sample())
+        if rng.random() < self.config.tail_prob:
+            rtt += self._tail.sample()
+        rtt += rng.uniform(0, self.config.measurement_noise_ms)
+        return MeasurementRecord(
+            kind=MeasurementKind.TCP, rtt_ms=rtt,
+            timestamp_ms=timestamp, app_package=app.package,
+            dst_ip=self._ip_for_domain(domain.domain),
+            dst_port=443 if rng.random() < 0.7 else 80,
+            domain=domain.domain, network_type=tech,
+            operator=profile.name, country=device.country,
+            device_id=device.device_id,
+            location=rng.choice(device.locations))
+
+    def _dns_record(self, device: CrowdDevice, profile: IspProfile,
+                    tech: str, timestamp: float) -> MeasurementRecord:
+        rng = self.rng
+        rtt = self._dns_dist(profile, tech).sample()
+        rtt += rng.uniform(0, self.config.measurement_noise_ms)
+        resolver_ip = ("192.168.1.1" if tech == NetworkType.WIFI
+                       else self._ip_for_domain("dns." + profile.name))
+        return MeasurementRecord(
+            kind=MeasurementKind.DNS, rtt_ms=rtt,
+            timestamp_ms=timestamp, dst_ip=resolver_ip, dst_port=53,
+            domain=None, network_type=tech, operator=profile.name,
+            country=device.country, device_id=device.device_id,
+            location=rng.choice(device.locations))
+
+    # -- driver ------------------------------------------------------------------------
+    def run(self, store: Optional[MeasurementStore] = None
+            ) -> MeasurementStore:
+        store = store or MeasurementStore()
+        rng = self.rng
+        for device in self.population.devices:
+            if not device.installed:
+                self._install_apps(device)
+            count = max(1, round(device.activity * self.config.scale))
+            for _ in range(count):
+                timestamp = rng.uniform(0, _DURATION_MS)
+                profile, tech = self._sample_context(device)
+                if rng.random() < _TCP_FRACTION:
+                    store.add(self._tcp_record(device, profile, tech,
+                                               timestamp))
+                else:
+                    store.add(self._dns_record(device, profile, tech,
+                                               timestamp))
+        return store

@@ -1,0 +1,69 @@
+"""User-space TCP/IP wire formats and state machine.
+
+MopEye cannot use raw sockets (no root) and cannot see the kernel TCB
+for its external sockets, so it terminates every app connection against
+its *own* TCP implementation (section 2.3).  This package is that
+implementation: bytes-level IPv4/TCP/UDP/DNS codecs with real Internet
+checksums, plus the RFC 793 state machine used for the internal (tunnel)
+side of each spliced connection.
+"""
+
+from repro.netstack.checksum import internet_checksum
+from repro.netstack.ip import (
+    IPPacket,
+    PacketError,
+    PROTO_TCP,
+    PROTO_UDP,
+    ip_to_int,
+    ip_to_str,
+)
+from repro.netstack.tcp_segment import (
+    ACK,
+    FIN,
+    PSH,
+    RST,
+    SYN,
+    URG,
+    TCPSegment,
+)
+from repro.netstack.udp_datagram import UDPDatagram
+from repro.netstack.dns import (
+    DNSError,
+    DNSMessage,
+    DNSQuestion,
+    DNSResourceRecord,
+    QTYPE_A,
+    QTYPE_AAAA,
+    RCODE_NOERROR,
+    RCODE_NXDOMAIN,
+)
+from repro.netstack.tcp_state import TCPState, TCPStateMachine, TCPStateError
+
+__all__ = [
+    "ACK",
+    "DNSError",
+    "DNSMessage",
+    "DNSQuestion",
+    "DNSResourceRecord",
+    "FIN",
+    "IPPacket",
+    "PSH",
+    "PacketError",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "QTYPE_A",
+    "QTYPE_AAAA",
+    "RCODE_NOERROR",
+    "RCODE_NXDOMAIN",
+    "RST",
+    "SYN",
+    "TCPSegment",
+    "TCPState",
+    "TCPStateError",
+    "TCPStateMachine",
+    "UDPDatagram",
+    "URG",
+    "internet_checksum",
+    "ip_to_int",
+    "ip_to_str",
+]

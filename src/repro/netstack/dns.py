@@ -1,0 +1,224 @@
+"""DNS message encode/decode (RFC 1035 subset).
+
+MopEye measures DNS RTT between the UDP ``send()`` of a query and the
+``receive()`` of its reply (section 2.4), and relays the messages
+verbatim.  The codec supports what mobile stub resolvers actually emit:
+A/AAAA questions, A/CNAME answers, and name-compression pointers on
+decode.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from repro.netstack.ip import ip_to_int, ip_to_str
+
+QTYPE_A = 1
+QTYPE_CNAME = 5
+QTYPE_AAAA = 28
+QCLASS_IN = 1
+
+RCODE_NOERROR = 0
+RCODE_SERVFAIL = 2
+RCODE_NXDOMAIN = 3
+
+_FLAG_QR = 0x8000
+_FLAG_RD = 0x0100
+_FLAG_RA = 0x0080
+
+_HEADER = struct.Struct("!HHHHHH")
+MAX_LABEL_LEN = 63
+MAX_NAME_LEN = 255
+
+
+class DNSError(ValueError):
+    """Raised for malformed DNS wire data or invalid names."""
+
+
+def encode_name(name: str) -> bytes:
+    """Encode a domain name as length-prefixed labels."""
+    name = name.rstrip(".")
+    if not name:
+        return b"\x00"
+    if len(name) > MAX_NAME_LEN:
+        raise DNSError("name too long: %r" % name)
+    out = bytearray()
+    for label in name.split("."):
+        if not label:
+            raise DNSError("empty label in %r" % name)
+        encoded = label.encode("ascii")
+        if len(encoded) > MAX_LABEL_LEN:
+            raise DNSError("label too long: %r" % label)
+        out.append(len(encoded))
+        out.extend(encoded)
+    out.append(0)
+    return bytes(out)
+
+
+def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
+    """Decode a (possibly compressed) name; returns (name, next offset)."""
+    labels: List[str] = []
+    jumps = 0
+    next_offset: Optional[int] = None
+    while True:
+        if offset >= len(data):
+            raise DNSError("truncated name")
+        length = data[offset]
+        if length & 0xC0 == 0xC0:  # compression pointer
+            if offset + 1 >= len(data):
+                raise DNSError("truncated compression pointer")
+            pointer = ((length & 0x3F) << 8) | data[offset + 1]
+            if next_offset is None:
+                next_offset = offset + 2
+            offset = pointer
+            jumps += 1
+            if jumps > 64:
+                raise DNSError("compression pointer loop")
+            continue
+        if length & 0xC0:
+            raise DNSError("reserved label type 0x%02x" % length)
+        offset += 1
+        if length == 0:
+            break
+        if offset + length > len(data):
+            raise DNSError("truncated label")
+        labels.append(data[offset:offset + length].decode("ascii"))
+        offset += length
+    name = ".".join(labels)
+    return name, (next_offset if next_offset is not None else offset)
+
+
+class DNSQuestion:
+    def __init__(self, name: str, qtype: int = QTYPE_A,
+                 qclass: int = QCLASS_IN):
+        self.name = name.rstrip(".").lower()
+        self.qtype = qtype
+        self.qclass = qclass
+
+    def encode(self) -> bytes:
+        return encode_name(self.name) + struct.pack("!HH", self.qtype,
+                                                    self.qclass)
+
+    def __repr__(self) -> str:
+        return "<DNSQuestion %s type=%d>" % (self.name, self.qtype)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, DNSQuestion)
+                and (self.name, self.qtype, self.qclass)
+                == (other.name, other.qtype, other.qclass))
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.qtype, self.qclass))
+
+
+class DNSResourceRecord:
+    def __init__(self, name: str, rtype: int, ttl: int, rdata: bytes):
+        self.name = name.rstrip(".").lower()
+        self.rtype = rtype
+        self.ttl = ttl
+        self.rdata = rdata
+
+    @classmethod
+    def a_record(cls, name: str, address: str,
+                 ttl: int = 300) -> "DNSResourceRecord":
+        return cls(name, QTYPE_A, ttl,
+                   struct.pack("!I", ip_to_int(address)))
+
+    @classmethod
+    def cname_record(cls, name: str, target: str,
+                     ttl: int = 300) -> "DNSResourceRecord":
+        return cls(name, QTYPE_CNAME, ttl, encode_name(target))
+
+    @property
+    def address(self) -> str:
+        if self.rtype != QTYPE_A or len(self.rdata) != 4:
+            raise DNSError("not an A record")
+        return ip_to_str(struct.unpack("!I", self.rdata)[0])
+
+    def encode(self) -> bytes:
+        return (encode_name(self.name)
+                + struct.pack("!HHIH", self.rtype, QCLASS_IN, self.ttl,
+                              len(self.rdata))
+                + self.rdata)
+
+    def __repr__(self) -> str:
+        return "<DNSRR %s type=%d %dB>" % (self.name, self.rtype,
+                                           len(self.rdata))
+
+
+class DNSMessage:
+    """A query or response with questions and answer records."""
+
+    def __init__(self, txid: int, is_response: bool = False,
+                 rcode: int = RCODE_NOERROR,
+                 questions: Optional[List[DNSQuestion]] = None,
+                 answers: Optional[List[DNSResourceRecord]] = None,
+                 recursion_desired: bool = True):
+        self.txid = txid & 0xFFFF
+        self.is_response = is_response
+        self.rcode = rcode
+        self.questions = questions or []
+        self.answers = answers or []
+        self.recursion_desired = recursion_desired
+
+    @classmethod
+    def query(cls, txid: int, name: str,
+              qtype: int = QTYPE_A) -> "DNSMessage":
+        return cls(txid, questions=[DNSQuestion(name, qtype)])
+
+    def response(self, answers: List[DNSResourceRecord],
+                 rcode: int = RCODE_NOERROR) -> "DNSMessage":
+        """Build the response message for this query."""
+        return DNSMessage(self.txid, is_response=True, rcode=rcode,
+                          questions=list(self.questions), answers=answers)
+
+    def encode(self) -> bytes:
+        flags = 0
+        if self.is_response:
+            flags |= _FLAG_QR | _FLAG_RA
+        if self.recursion_desired:
+            flags |= _FLAG_RD
+        flags |= self.rcode & 0x0F
+        header = _HEADER.pack(self.txid, flags, len(self.questions),
+                              len(self.answers), 0, 0)
+        body = b"".join(q.encode() for q in self.questions)
+        body += b"".join(a.encode() for a in self.answers)
+        return header + body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DNSMessage":
+        if len(data) < _HEADER.size:
+            raise DNSError("truncated DNS header (%d bytes)" % len(data))
+        txid, flags, qdcount, ancount, _ns, _ar = _HEADER.unpack(
+            data[:_HEADER.size])
+        offset = _HEADER.size
+        questions = []
+        for _ in range(qdcount):
+            name, offset = decode_name(data, offset)
+            if offset + 4 > len(data):
+                raise DNSError("truncated question")
+            qtype, qclass = struct.unpack("!HH", data[offset:offset + 4])
+            offset += 4
+            questions.append(DNSQuestion(name, qtype, qclass))
+        answers = []
+        for _ in range(ancount):
+            name, offset = decode_name(data, offset)
+            if offset + 10 > len(data):
+                raise DNSError("truncated resource record")
+            rtype, _rclass, ttl, rdlength = struct.unpack(
+                "!HHIH", data[offset:offset + 10])
+            offset += 10
+            if offset + rdlength > len(data):
+                raise DNSError("truncated rdata")
+            answers.append(DNSResourceRecord(
+                name, rtype, ttl, data[offset:offset + rdlength]))
+            offset += rdlength
+        return cls(txid, is_response=bool(flags & _FLAG_QR),
+                   rcode=flags & 0x0F, questions=questions, answers=answers,
+                   recursion_desired=bool(flags & _FLAG_RD))
+
+    def __repr__(self) -> str:
+        kind = "response" if self.is_response else "query"
+        return "<DNSMessage %s txid=%d q=%d a=%d>" % (
+            kind, self.txid, len(self.questions), len(self.answers))

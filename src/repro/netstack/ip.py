@@ -1,0 +1,137 @@
+"""IPv4 packet encode/decode.
+
+The TUN device is "essentially a virtual point-to-point IP link"
+(section 2.2), so everything MopEye reads from the tunnel is a raw IPv4
+packet.  This module builds and parses those packets at the byte level,
+including header checksums, so the relay code is exercised against real
+wire formats rather than convenience objects.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Union
+
+from repro.netstack.checksum import internet_checksum, verify_checksum
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_HEADER = struct.Struct("!BBHHHBBH4s4s")
+IP_HEADER_LEN = 20
+
+
+class PacketError(ValueError):
+    """Raised when bytes do not parse as the expected protocol."""
+
+
+def ip_to_int(address: Union[str, int]) -> int:
+    """Dotted-quad (or already-int) address to a 32-bit integer."""
+    if isinstance(address, int):
+        if not 0 <= address <= 0xFFFFFFFF:
+            raise PacketError("address out of range: %r" % address)
+        return address
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise PacketError("bad IPv4 address %r" % address)
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError:
+            raise PacketError("bad IPv4 address %r" % address) from None
+        if not 0 <= octet <= 255:
+            raise PacketError("bad IPv4 address %r" % address)
+        value = (value << 8) | octet
+    return value
+
+
+def ip_to_str(address: Union[str, int]) -> str:
+    """32-bit integer (or already-str) address to dotted quad."""
+    if isinstance(address, str):
+        ip_to_int(address)  # validate
+        return address
+    return "%d.%d.%d.%d" % (
+        (address >> 24) & 0xFF,
+        (address >> 16) & 0xFF,
+        (address >> 8) & 0xFF,
+        address & 0xFF,
+    )
+
+
+class IPPacket:
+    """A parsed or to-be-encoded IPv4 packet (no options support)."""
+
+    def __init__(self, src: Union[str, int], dst: Union[str, int],
+                 protocol: int, payload: bytes, ttl: int = 64,
+                 identification: int = 0):
+        self.src = ip_to_int(src)
+        self.dst = ip_to_int(dst)
+        self.protocol = protocol
+        self.payload = payload
+        self.ttl = ttl
+        self.identification = identification & 0xFFFF
+
+    # -- convenience -----------------------------------------------------
+    @property
+    def src_str(self) -> str:
+        return ip_to_str(self.src)
+
+    @property
+    def dst_str(self) -> str:
+        return ip_to_str(self.dst)
+
+    @property
+    def total_length(self) -> int:
+        return IP_HEADER_LEN + len(self.payload)
+
+    # -- wire format -----------------------------------------------------
+    def encode(self) -> bytes:
+        version_ihl = (4 << 4) | 5
+        header_wo_checksum = _HEADER.pack(
+            version_ihl, 0, self.total_length, self.identification,
+            0, self.ttl, self.protocol, 0,
+            struct.pack("!I", self.src), struct.pack("!I", self.dst))
+        checksum = internet_checksum(header_wo_checksum)
+        header = _HEADER.pack(
+            version_ihl, 0, self.total_length, self.identification,
+            0, self.ttl, self.protocol, checksum,
+            struct.pack("!I", self.src), struct.pack("!I", self.dst))
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, verify: bool = True) -> "IPPacket":
+        if len(data) < IP_HEADER_LEN:
+            raise PacketError("truncated IP header (%d bytes)" % len(data))
+        (version_ihl, _tos, total_length, identification, _frag, ttl,
+         protocol, _checksum, src_raw, dst_raw) = _HEADER.unpack(
+            data[:IP_HEADER_LEN])
+        version = version_ihl >> 4
+        if version != 4:
+            raise PacketError("not IPv4 (version=%d)" % version)
+        ihl = (version_ihl & 0x0F) * 4
+        if ihl < IP_HEADER_LEN:
+            raise PacketError("bad IHL %d" % ihl)
+        if total_length > len(data):
+            raise PacketError(
+                "truncated packet: header says %d, have %d"
+                % (total_length, len(data)))
+        if verify and not verify_checksum(data[:ihl]):
+            raise PacketError("IP header checksum mismatch")
+        payload = data[ihl:total_length]
+        src = struct.unpack("!I", src_raw)[0]
+        dst = struct.unpack("!I", dst_raw)[0]
+        packet = cls(src, dst, protocol, payload, ttl=ttl,
+                     identification=identification)
+        return packet
+
+    def __repr__(self) -> str:
+        proto = {PROTO_TCP: "TCP", PROTO_UDP: "UDP"}.get(
+            self.protocol, str(self.protocol))
+        return "<IPPacket %s -> %s %s %dB>" % (
+            self.src_str, self.dst_str, proto, len(self.payload))
+
+
+def pseudo_header(src: int, dst: int, protocol: int, length: int) -> bytes:
+    """TCP/UDP checksum pseudo-header (RFC 793 / RFC 768)."""
+    return struct.pack("!IIBBH", src, dst, 0, protocol, length)

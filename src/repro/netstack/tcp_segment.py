@@ -1,0 +1,148 @@
+"""TCP segment encode/decode with MSS option support.
+
+MopEye's user-space stack sets MSS to 1460 in its SYN/ACK and advertises
+a 65,535-byte receive window (section 3.4); those fields are first-class
+here so the tuning experiments can toggle them.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Union
+
+from repro.netstack.checksum import internet_checksum, verify_checksum
+from repro.netstack.ip import PacketError, ip_to_int, pseudo_header, PROTO_TCP
+
+FIN = 0x01
+SYN = 0x02
+RST = 0x04
+PSH = 0x08
+ACK = 0x10
+URG = 0x20
+
+_FLAG_NAMES = [(SYN, "SYN"), (ACK, "ACK"), (FIN, "FIN"), (RST, "RST"),
+               (PSH, "PSH"), (URG, "URG")]
+
+_HEADER = struct.Struct("!HHIIBBHHH")
+TCP_HEADER_LEN = 20
+OPT_END = 0
+OPT_NOP = 1
+OPT_MSS = 2
+
+
+class TCPSegment:
+    """A TCP segment; ``mss`` is carried as a header option when set."""
+
+    def __init__(self, src_port: int, dst_port: int, seq: int, ack: int,
+                 flags: int, window: int = 65535, payload: bytes = b"",
+                 mss: Optional[int] = None):
+        for port in (src_port, dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise PacketError("bad port %r" % port)
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq & 0xFFFFFFFF
+        self.ack = ack & 0xFFFFFFFF
+        self.flags = flags
+        self.window = window & 0xFFFF
+        self.payload = payload
+        self.mss = mss
+
+    # -- flag helpers ------------------------------------------------------
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & SYN) and not (self.flags & ACK)
+
+    @property
+    def is_syn_ack(self) -> bool:
+        return bool(self.flags & SYN) and bool(self.flags & ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.flags & FIN)
+
+    @property
+    def is_rst(self) -> bool:
+        return bool(self.flags & RST)
+
+    @property
+    def is_pure_ack(self) -> bool:
+        """ACK with no payload and no SYN/FIN/RST -- MopEye discards
+        these instead of relaying them (section 2.3)."""
+        return (self.flags & ACK) and not self.payload and not (
+            self.flags & (SYN | FIN | RST))
+
+    @property
+    def flag_names(self) -> str:
+        names = [name for bit, name in _FLAG_NAMES if self.flags & bit]
+        return "|".join(names) or "none"
+
+    def _options(self) -> bytes:
+        if self.mss is None:
+            return b""
+        # MSS option (kind=2, len=4) padded to a 4-byte boundary.
+        return struct.pack("!BBH", OPT_MSS, 4, self.mss)
+
+    # -- wire format -------------------------------------------------------
+    def encode(self, src_ip: Union[str, int], dst_ip: Union[str, int]) -> bytes:
+        options = self._options()
+        data_offset = (TCP_HEADER_LEN + len(options)) // 4
+        header_wo = _HEADER.pack(
+            self.src_port, self.dst_port, self.seq, self.ack,
+            data_offset << 4, self.flags, self.window, 0, 0)
+        body = header_wo + options + self.payload
+        pseudo = pseudo_header(ip_to_int(src_ip), ip_to_int(dst_ip),
+                               PROTO_TCP, len(body))
+        checksum = internet_checksum(pseudo + body)
+        header = _HEADER.pack(
+            self.src_port, self.dst_port, self.seq, self.ack,
+            data_offset << 4, self.flags, self.window, checksum, 0)
+        return header + options + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, src_ip: Union[str, int] = 0,
+               dst_ip: Union[str, int] = 0,
+               verify: bool = False) -> "TCPSegment":
+        if len(data) < TCP_HEADER_LEN:
+            raise PacketError("truncated TCP header (%d bytes)" % len(data))
+        (src_port, dst_port, seq, ack, offset_byte, flags, window,
+         _checksum, _urgent) = _HEADER.unpack(data[:TCP_HEADER_LEN])
+        data_offset = (offset_byte >> 4) * 4
+        if data_offset < TCP_HEADER_LEN or data_offset > len(data):
+            raise PacketError("bad TCP data offset %d" % data_offset)
+        if verify:
+            pseudo = pseudo_header(ip_to_int(src_ip), ip_to_int(dst_ip),
+                                   PROTO_TCP, len(data))
+            if not verify_checksum(pseudo + data):
+                raise PacketError("TCP checksum mismatch")
+        mss = cls._parse_mss(data[TCP_HEADER_LEN:data_offset])
+        payload = data[data_offset:]
+        return cls(src_port, dst_port, seq, ack, flags, window=window,
+                   payload=payload, mss=mss)
+
+    @staticmethod
+    def _parse_mss(options: bytes) -> Optional[int]:
+        i = 0
+        while i < len(options):
+            kind = options[i]
+            if kind == OPT_END:
+                break
+            if kind == OPT_NOP:
+                i += 1
+                continue
+            if i + 1 >= len(options):
+                raise PacketError("truncated TCP option")
+            length = options[i + 1]
+            if length < 2 or i + length > len(options):
+                raise PacketError("bad TCP option length %d" % length)
+            if kind == OPT_MSS:
+                if length != 4:
+                    raise PacketError("bad MSS option length %d" % length)
+                return struct.unpack("!H", options[i + 2:i + 4])[0]
+            i += length
+        return None
+
+    def __repr__(self) -> str:
+        return "<TCPSegment %d->%d %s seq=%d ack=%d %dB>" % (
+            self.src_port, self.dst_port, self.flag_names, self.seq,
+            self.ack, len(self.payload))

@@ -1,0 +1,231 @@
+"""RFC 793 TCP state machine for the internal (tunnel) connections.
+
+MopEye terminates each app's TCP connection itself: the app's kernel
+stack talks to *this* state machine through the TUN device, while the
+data is relayed over a regular socket to the real server (section 2.3).
+The machine therefore plays the passive-open (server) role, with the
+MopEye-specific simplifications of section 3.4:
+
+* no congestion or flow control -- the VPN tunnel cannot lose or
+  reorder packets, so data is emitted without waiting for ACKs;
+* pure ACKs from the app are discarded, not relayed;
+* MSS is announced as 1460 and the receive window as 65,535 bytes.
+
+The machine is a pure object: feed it segments, collect the segments it
+wants transmitted.  All timing lives in the relay layer so the same
+machine is reusable by baselines with different timing behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netstack.tcp_segment import (
+    ACK,
+    FIN,
+    PSH,
+    RST,
+    SYN,
+    TCPSegment,
+)
+
+_MOD = 1 << 32
+
+
+def seq_add(seq: int, delta: int) -> int:
+    return (seq + delta) % _MOD
+
+
+def seq_lt(a: int, b: int) -> bool:
+    """True when sequence number ``a`` is before ``b`` (RFC 793 3.3)."""
+    return ((a - b) % _MOD) > (_MOD >> 1)
+
+
+class TCPState:
+    CLOSED = "CLOSED"
+    LISTEN = "LISTEN"
+    SYN_RECEIVED = "SYN_RECEIVED"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    LAST_ACK = "LAST_ACK"
+    CLOSING = "CLOSING"
+    TIME_WAIT = "TIME_WAIT"
+
+
+class TCPStateError(Exception):
+    """Raised when a segment is illegal in the current state."""
+
+
+class TCPStateMachine:
+    """Passive-open TCP endpoint for one spliced connection.
+
+    The four-tuple is from the *app's* point of view: ``local`` is the
+    app's source address, ``remote`` the server the app thinks it is
+    talking to (MopEye spoofs the server's address on the tunnel).
+    """
+
+    def __init__(self, local_ip: str, local_port: int, remote_ip: str,
+                 remote_port: int, isn: int = 1000, mss: int = 1460,
+                 window: int = 65535):
+        self.local_ip = local_ip
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.state = TCPState.LISTEN
+        self.mss = mss
+        self.window = window
+        # Our side (MopEye acting as the server).
+        self.snd_iss = isn % _MOD
+        self.snd_nxt = self.snd_iss
+        # App side.
+        self.rcv_irs: Optional[int] = None
+        self.rcv_nxt: Optional[int] = None
+        self.peer_mss: Optional[int] = None
+        self.fin_sent = False
+        self.fin_received = False
+
+    # -- helpers -----------------------------------------------------------
+    def _segment(self, flags: int, payload: bytes = b"",
+                 mss: Optional[int] = None) -> TCPSegment:
+        """A segment from MopEye (spoofed server) toward the app."""
+        return TCPSegment(
+            src_port=self.remote_port, dst_port=self.local_port,
+            seq=self.snd_nxt, ack=self.rcv_nxt or 0,
+            flags=flags, window=self.window, payload=payload, mss=mss)
+
+    # -- handshake -----------------------------------------------------------
+    def on_syn(self, segment: TCPSegment) -> None:
+        """Record the app's SYN.  The SYN/ACK is *not* produced here:
+        MopEye completes the internal handshake only after the external
+        connect() succeeds (section 2.3)."""
+        if self.state != TCPState.LISTEN:
+            raise TCPStateError("SYN in state %s" % self.state)
+        if not segment.is_syn:
+            raise TCPStateError("expected a pure SYN, got %s"
+                                % segment.flag_names)
+        self.rcv_irs = segment.seq
+        self.rcv_nxt = seq_add(segment.seq, 1)
+        self.peer_mss = segment.mss
+        self.state = TCPState.SYN_RECEIVED
+
+    def make_syn_ack(self) -> TCPSegment:
+        if self.state != TCPState.SYN_RECEIVED:
+            raise TCPStateError("SYN/ACK in state %s" % self.state)
+        segment = self._segment(SYN | ACK, mss=self.mss)
+        self.snd_nxt = seq_add(self.snd_nxt, 1)
+        return segment
+
+    def make_rst(self) -> TCPSegment:
+        """Refuse the connection (external connect failed)."""
+        segment = self._segment(RST | ACK)
+        self.state = TCPState.CLOSED
+        return segment
+
+    def on_handshake_ack(self, segment: TCPSegment) -> None:
+        if self.state != TCPState.SYN_RECEIVED:
+            raise TCPStateError("handshake ACK in state %s" % self.state)
+        if segment.ack != self.snd_nxt:
+            raise TCPStateError(
+                "bad handshake ACK %d, expected %d"
+                % (segment.ack, self.snd_nxt))
+        self.state = TCPState.ESTABLISHED
+
+    # -- data ---------------------------------------------------------------
+    def on_data(self, segment: TCPSegment) -> bytes:
+        """Accept in-order payload from the app; returns the bytes to be
+        written to the external socket.  Out-of-order data cannot occur
+        on the point-to-point tunnel, so it is an error."""
+        if self.state not in (TCPState.ESTABLISHED, TCPState.FIN_WAIT_1,
+                              TCPState.FIN_WAIT_2, TCPState.SYN_RECEIVED):
+            raise TCPStateError("data in state %s" % self.state)
+        if self.state == TCPState.SYN_RECEIVED:
+            # Data riding on the handshake ACK.
+            self.state = TCPState.ESTABLISHED
+        if segment.seq != self.rcv_nxt:
+            raise TCPStateError(
+                "out-of-order tunnel segment: seq=%d expected=%d"
+                % (segment.seq, self.rcv_nxt))
+        self.rcv_nxt = seq_add(self.rcv_nxt, len(segment.payload))
+        return segment.payload
+
+    def make_ack(self) -> TCPSegment:
+        return self._segment(ACK)
+
+    def deliver(self, data: bytes) -> List[TCPSegment]:
+        """Chunk server data into MSS-sized segments toward the app,
+        advancing snd_nxt immediately (no ACK clocking, section 3.4)."""
+        if self.state not in (TCPState.ESTABLISHED, TCPState.CLOSE_WAIT):
+            raise TCPStateError("deliver in state %s" % self.state)
+        segments = []
+        for start in range(0, len(data), self.mss):
+            chunk = data[start:start + self.mss]
+            flags = ACK | (PSH if start + self.mss >= len(data) else 0)
+            segment = self._segment(flags, payload=chunk)
+            self.snd_nxt = seq_add(self.snd_nxt, len(chunk))
+            segments.append(segment)
+        return segments
+
+    # -- teardown -------------------------------------------------------------
+    def on_fin(self, segment: TCPSegment) -> TCPSegment:
+        """App closed its write side; ACK it (section 2.3: 'updates the
+        TCP state to half closed and generates an ACK packet')."""
+        if self.state == TCPState.ESTABLISHED:
+            self.state = TCPState.CLOSE_WAIT
+        elif self.state == TCPState.FIN_WAIT_1:
+            self.state = TCPState.CLOSING
+        elif self.state == TCPState.FIN_WAIT_2:
+            self.state = TCPState.TIME_WAIT
+        else:
+            raise TCPStateError("FIN in state %s" % self.state)
+        self.fin_received = True
+        payload_len = len(segment.payload)
+        self.rcv_nxt = seq_add(self.rcv_nxt, payload_len + 1)
+        return self.make_ack()
+
+    def make_fin(self) -> TCPSegment:
+        """Server closed; send FIN toward the app."""
+        if self.state == TCPState.ESTABLISHED:
+            self.state = TCPState.FIN_WAIT_1
+        elif self.state == TCPState.CLOSE_WAIT:
+            self.state = TCPState.LAST_ACK
+        else:
+            raise TCPStateError("cannot send FIN in state %s" % self.state)
+        self.fin_sent = True
+        segment = self._segment(FIN | ACK)
+        self.snd_nxt = seq_add(self.snd_nxt, 1)
+        return segment
+
+    def on_fin_ack(self, segment: TCPSegment) -> None:
+        """App acknowledged our FIN."""
+        if segment.ack != self.snd_nxt:
+            return  # ACK for older data; ignore
+        if self.state == TCPState.FIN_WAIT_1:
+            self.state = TCPState.FIN_WAIT_2
+        elif self.state == TCPState.CLOSING:
+            self.state = TCPState.TIME_WAIT
+        elif self.state == TCPState.LAST_ACK:
+            self.state = TCPState.CLOSED
+
+    def on_rst(self, _segment: Optional[TCPSegment] = None) -> None:
+        self.state = TCPState.CLOSED
+
+    # -- views ------------------------------------------------------------------
+    @property
+    def is_established(self) -> bool:
+        return self.state == TCPState.ESTABLISHED
+
+    @property
+    def is_closed(self) -> bool:
+        return self.state in (TCPState.CLOSED, TCPState.TIME_WAIT)
+
+    @property
+    def four_tuple(self) -> tuple:
+        return (self.local_ip, self.local_port,
+                self.remote_ip, self.remote_port)
+
+    def __repr__(self) -> str:
+        return "<TCPStateMachine %s:%d<->%s:%d %s>" % (
+            self.local_ip, self.local_port, self.remote_ip,
+            self.remote_port, self.state)

@@ -1,0 +1,59 @@
+"""UDP datagram encode/decode (RFC 768)."""
+
+from __future__ import annotations
+
+import struct
+from typing import Union
+
+from repro.netstack.checksum import internet_checksum, verify_checksum
+from repro.netstack.ip import PacketError, ip_to_int, pseudo_header, PROTO_UDP
+
+_HEADER = struct.Struct("!HHHH")
+UDP_HEADER_LEN = 8
+
+
+class UDPDatagram:
+    def __init__(self, src_port: int, dst_port: int, payload: bytes = b""):
+        for port in (src_port, dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise PacketError("bad port %r" % port)
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.payload = payload
+
+    @property
+    def length(self) -> int:
+        return UDP_HEADER_LEN + len(self.payload)
+
+    def encode(self, src_ip: Union[str, int], dst_ip: Union[str, int]) -> bytes:
+        header_wo = _HEADER.pack(self.src_port, self.dst_port,
+                                 self.length, 0)
+        pseudo = pseudo_header(ip_to_int(src_ip), ip_to_int(dst_ip),
+                               PROTO_UDP, self.length)
+        checksum = internet_checksum(pseudo + header_wo + self.payload)
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: zero is "no checksum"
+        header = _HEADER.pack(self.src_port, self.dst_port,
+                              self.length, checksum)
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, src_ip: Union[str, int] = 0,
+               dst_ip: Union[str, int] = 0,
+               verify: bool = False) -> "UDPDatagram":
+        if len(data) < UDP_HEADER_LEN:
+            raise PacketError("truncated UDP header (%d bytes)" % len(data))
+        src_port, dst_port, length, checksum = _HEADER.unpack(
+            data[:UDP_HEADER_LEN])
+        if length < UDP_HEADER_LEN or length > len(data):
+            raise PacketError("bad UDP length %d" % length)
+        if verify and checksum != 0:
+            pseudo = pseudo_header(ip_to_int(src_ip), ip_to_int(dst_ip),
+                                   PROTO_UDP, length)
+            if not verify_checksum(pseudo + data[:length]):
+                raise PacketError("UDP checksum mismatch")
+        return cls(src_port, dst_port, data[UDP_HEADER_LEN:length])
+
+    def __repr__(self) -> str:
+        return "<UDPDatagram %d->%d %dB>" % (
+            self.src_port, self.dst_port, len(self.payload))

@@ -1,0 +1,47 @@
+"""Simulated access networks, internet fabric, and remote servers.
+
+This package is the ground truth the measurements are judged against:
+the RTT a packet actually experiences on the access link + path is what
+tcpdump would have reported, and every measurement tool's error is its
+deviation from these link-level timings.
+"""
+
+from repro.network.link import AccessLink, LinkDirection, NetworkType
+from repro.network.internet import Internet
+from repro.network.servers import (
+    AppServer,
+    DnsServer,
+    DnsZone,
+    UdpEchoServer,
+)
+from repro.network.latency_models import (
+    cellular_2g_profile,
+    cellular_3g_profile,
+    lte_profile,
+    wifi_profile,
+)
+from repro.network.rrc import (
+    RrcAwareLink,
+    RrcMachine,
+    RrcProfile,
+    RrcState,
+)
+
+__all__ = [
+    "AccessLink",
+    "AppServer",
+    "DnsServer",
+    "DnsZone",
+    "Internet",
+    "LinkDirection",
+    "NetworkType",
+    "RrcAwareLink",
+    "RrcMachine",
+    "RrcProfile",
+    "RrcState",
+    "UdpEchoServer",
+    "cellular_2g_profile",
+    "cellular_3g_profile",
+    "lte_profile",
+    "wifi_profile",
+]

@@ -1,0 +1,75 @@
+"""The crowdsourcing collection server.
+
+The deployed MopEye uploaded measurement batches to a collection
+backend; this is that backend for the simulated world.  It speaks a
+tiny length-prefixed protocol over TCP:
+
+    PUSH <nbytes>\\n   followed by <nbytes> of JSON-lines records
+    ->  ACK <count>\\n
+
+and accumulates everything into a :class:`MeasurementStore`, so an
+end-to-end test can assert that what a device measured is exactly what
+the backend received.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.core.persist import _record_from_dict
+from repro.core.records import MeasurementStore
+from repro.network.servers import AppServer, _ServerConnection
+
+
+class CollectorServer(AppServer):
+    """An AppServer that ingests measurement uploads."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received = MeasurementStore()
+        self.batches = 0
+        self.malformed = 0
+
+    def _on_request_bytes(self, key, conn: _ServerConnection,
+                          data: bytes) -> None:
+        buffer = conn.request
+        buffer.extend(data)
+        while True:
+            if conn.upload_expected is None:
+                newline = buffer.find(b"\n")
+                if newline < 0:
+                    return
+                header = bytes(buffer[:newline])
+                del buffer[:newline + 1]
+                if not header.startswith(b"PUSH "):
+                    self.malformed += 1
+                    continue
+                try:
+                    conn.upload_expected = int(header.split()[1])
+                except (IndexError, ValueError):
+                    self.malformed += 1
+                    conn.upload_expected = None
+                continue
+            if len(buffer) < conn.upload_expected:
+                return
+            payload = bytes(buffer[:conn.upload_expected])
+            del buffer[:conn.upload_expected]
+            conn.upload_expected = None
+            count = self._ingest(payload)
+            self.batches += 1
+            self._send_data(key, conn, b"ACK %d\n" % count)
+
+    def _ingest(self, payload: bytes) -> int:
+        count = 0
+        for line in payload.decode("utf-8",
+                                   errors="replace").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                self.received.add(_record_from_dict(json.loads(line)))
+                count += 1
+            except (ValueError, KeyError):
+                self.malformed += 1
+        return count

@@ -1,0 +1,86 @@
+"""Routing fabric between devices and servers.
+
+The Internet object owns the address space: devices attach with their
+access link, servers register the IPs they serve.  A packet travels
+uplink -> per-server path delay -> server, and replies travel the
+reverse.  The sum of those components is the wire-level RTT that
+tcpdump-style observers record as ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.netstack.ip import IPPacket
+from repro.sim.kernel import Simulator
+
+
+class Internet:
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._devices: Dict[str, object] = {}
+        self._servers: Dict[str, object] = {}
+        self._server_last_arrival: Dict[int, float] = {}
+        # Wire observers see (direction, packet, timestamp); tcpdump is one.
+        self._taps: List[Callable[[str, IPPacket, float], None]] = []
+
+    # -- topology -----------------------------------------------------------
+    def attach_device(self, device) -> None:
+        self._devices[device.ip] = device
+
+    def add_server(self, server) -> None:
+        for ip in server.ips:
+            if ip in self._servers:
+                raise ValueError("IP %s already registered" % ip)
+            self._servers[ip] = server
+        server.internet = self
+
+    def server_for(self, ip: str):
+        return self._servers.get(ip)
+
+    def add_tap(self, tap: Callable[[str, IPPacket, float], None]) -> None:
+        """Register a wire observer (e.g. the tcpdump baseline)."""
+        self._taps.append(tap)
+
+    def _notify_taps(self, direction: str, packet: IPPacket) -> None:
+        for tap in self._taps:
+            tap(direction, packet, self.sim.now)
+
+    # -- forwarding -----------------------------------------------------------
+    def send_from_device(self, device, packet: IPPacket) -> None:
+        """Uplink: device -> (link) -> path -> server."""
+        self._notify_taps("up", packet)
+        server = self._servers.get(packet.dst_str)
+        if server is None:
+            # Unroutable destination: silently dropped, like the real
+            # network.  TCP timeouts upstream handle it.
+            return
+
+        def after_uplink(pkt: IPPacket) -> None:
+            # Path segments are FIFO too: clamp per-server arrivals.
+            arrival = self.sim.now + server.path_oneway_ms()
+            key = id(server)
+            arrival = max(arrival, self._server_last_arrival.get(key, 0.0))
+            self._server_last_arrival[key] = arrival
+            arrive = self.sim.timeout(arrival - self.sim.now)
+            arrive.callbacks.append(lambda _evt: server.receive(pkt))
+
+        device.link.up.send(packet, packet.total_length, after_uplink)
+
+    def send_to_device(self, packet: IPPacket,
+                       from_server=None) -> None:
+        """Downlink: server -> path -> (link) -> device."""
+        device = self._devices.get(packet.dst_str)
+        if device is None:
+            return
+        extra = from_server.path_oneway_ms() if from_server else 0.0
+
+        def after_path(_evt) -> None:
+            def deliver(pkt: IPPacket) -> None:
+                self._notify_taps("down", pkt)
+                device.deliver_from_network(pkt)
+
+            device.link.down.send(packet, packet.total_length, deliver)
+
+        arrive = self.sim.timeout(extra)
+        arrive.callbacks.append(after_path)

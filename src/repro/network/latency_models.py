@@ -1,0 +1,85 @@
+"""Canonical access-technology latency profiles.
+
+One-way latency distributions per technology, calibrated so that the
+*RTT* medians line up with the paper's dataset-wide observations
+(section 4.2: WiFi median RTT 58 ms, LTE 76 ms; DNS medians WiFi 33 ms,
+4G 56 ms, 3G 105 ms, 2G 755 ms).  A profile describes only the access
+side; per-destination path latency is added by the server placement.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.network.link import AccessLink, NetworkType
+from repro.sim.distributions import Distribution, LogNormal
+from repro.sim.kernel import Simulator
+
+
+def _oneway(median_rtt_ms: float, sigma: float,
+            rng: random.Random) -> Distribution:
+    """One-way latency distribution whose doubled median matches the
+    target RTT median."""
+    return LogNormal(median=median_rtt_ms / 2.0, sigma=sigma).bind(rng)
+
+
+def wifi_profile(sim: Simulator, rng: Optional[random.Random] = None,
+                 operator: str = "wifi", median_rtt_ms: float = 14.0,
+                 bandwidth_mbps: float = 25.0) -> AccessLink:
+    """Home/office WiFi: low first-hop latency, ~25 Mbps (the paper's
+    dedicated test WiFi, section 4.1.2)."""
+    rng = rng or random.Random(0)
+    return AccessLink(
+        sim,
+        up_latency=_oneway(median_rtt_ms, 0.45, rng),
+        down_latency=_oneway(median_rtt_ms, 0.45, rng),
+        up_bandwidth_mbps=bandwidth_mbps,
+        down_bandwidth_mbps=bandwidth_mbps,
+        network_type=NetworkType.WIFI, operator=operator, rng=rng)
+
+
+def lte_profile(sim: Simulator, rng: Optional[random.Random] = None,
+                operator: str = "lte", median_rtt_ms: float = 36.0,
+                bandwidth_mbps: float = 40.0) -> AccessLink:
+    """4G LTE: ~30-40 ms first-hop RTT."""
+    rng = rng or random.Random(0)
+    return AccessLink(
+        sim,
+        up_latency=_oneway(median_rtt_ms, 0.40, rng),
+        down_latency=_oneway(median_rtt_ms, 0.40, rng),
+        up_bandwidth_mbps=bandwidth_mbps,
+        down_bandwidth_mbps=bandwidth_mbps,
+        network_type=NetworkType.LTE, operator=operator, rng=rng)
+
+
+def cellular_3g_profile(sim: Simulator,
+                        rng: Optional[random.Random] = None,
+                        operator: str = "3g",
+                        median_rtt_ms: float = 90.0,
+                        bandwidth_mbps: float = 5.0) -> AccessLink:
+    """3G UMTS/HSPA(+): ~100 ms first-hop RTT, wider spread."""
+    rng = rng or random.Random(0)
+    return AccessLink(
+        sim,
+        up_latency=_oneway(median_rtt_ms, 0.55, rng),
+        down_latency=_oneway(median_rtt_ms, 0.55, rng),
+        up_bandwidth_mbps=bandwidth_mbps,
+        down_bandwidth_mbps=bandwidth_mbps,
+        network_type=NetworkType.UMTS, operator=operator, rng=rng)
+
+
+def cellular_2g_profile(sim: Simulator,
+                        rng: Optional[random.Random] = None,
+                        operator: str = "2g",
+                        median_rtt_ms: float = 740.0,
+                        bandwidth_mbps: float = 0.2) -> AccessLink:
+    """2G GPRS/EDGE: three-quarter-second RTTs (Figure 10(b))."""
+    rng = rng or random.Random(0)
+    return AccessLink(
+        sim,
+        up_latency=_oneway(median_rtt_ms, 0.50, rng),
+        down_latency=_oneway(median_rtt_ms, 0.50, rng),
+        up_bandwidth_mbps=bandwidth_mbps,
+        down_bandwidth_mbps=bandwidth_mbps,
+        network_type=NetworkType.GPRS, operator=operator, rng=rng)

@@ -1,0 +1,116 @@
+"""Access-link model: propagation latency, serialisation, loss.
+
+A link has two independent directions.  Each direction serialises
+packets at its configured bandwidth (a transmission takes
+``bytes * 8 / bandwidth`` milliseconds and the channel is busy for that
+long), adds a sampled one-way propagation delay, and drops packets with
+a configurable probability.  Queueing ahead of the serialiser is what
+produces the throughput ceilings of Table 3.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.sim.kernel import Simulator
+from repro.sim.distributions import Constant, Distribution
+
+
+class NetworkType:
+    """Network technology tags used across the dataset (Figure 10)."""
+
+    WIFI = "WIFI"
+    LTE = "LTE"          # 4G
+    UMTS = "UMTS"        # 3G (UMTS/HSPA(+))
+    GPRS = "GPRS"        # 2G (GPRS/EDGE)
+
+    CELLULAR = (LTE, UMTS, GPRS)
+    ALL = (WIFI, LTE, UMTS, GPRS)
+
+
+class LinkDirection:
+    """One direction of an access link (uplink or downlink)."""
+
+    # Packets within one burst see the same path latency (jitter comes
+    # from conditions that change between bursts, not per packet --
+    # otherwise the FIFO ordering constraint would ratchet a long
+    # transfer's latency up to the distribution's running maximum).
+    LATENCY_COHERENCE_MS = 5.0
+
+    def __init__(self, sim: Simulator, latency: Distribution,
+                 bandwidth_mbps: float = 0.0, loss_rate: float = 0.0,
+                 rng: Optional[random.Random] = None, name: str = "dir"):
+        if loss_rate < 0 or loss_rate >= 1:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.latency = latency
+        self.bandwidth_mbps = bandwidth_mbps
+        self.loss_rate = loss_rate
+        self.rng = rng or random.Random(0)
+        self.name = name
+        self._channel_free_at = 0.0
+        self._last_arrival = 0.0
+        self._current_latency: Optional[float] = None
+        self._last_send_at = float("-inf")
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.bytes_sent = 0
+
+    def transmission_ms(self, size_bytes: int) -> float:
+        if self.bandwidth_mbps <= 0:
+            return 0.0
+        return (size_bytes * 8) / (self.bandwidth_mbps * 1000.0)
+
+    def send(self, payload: object, size_bytes: int,
+             deliver: Callable[[object], None]) -> None:
+        """Queue ``payload`` for transmission; ``deliver`` is called at
+        the (virtual) arrival instant unless the packet is lost."""
+        self.packets_sent += 1
+        if self.loss_rate and self.rng.random() < self.loss_rate:
+            self.packets_dropped += 1
+            return
+        start = max(self.sim.now, self._channel_free_at)
+        tx = self.transmission_ms(size_bytes)
+        self._channel_free_at = start + tx
+        self.bytes_sent += size_bytes
+        if self._current_latency is None or \
+                self.sim.now - self._last_send_at \
+                > self.LATENCY_COHERENCE_MS:
+            self._current_latency = self.latency.sample()
+        self._last_send_at = self.sim.now
+        arrival = start + tx + self._current_latency
+        # The path is FIFO: jitter never reorders packets in flight.
+        arrival = max(arrival, self._last_arrival)
+        self._last_arrival = arrival
+        event = self.sim.timeout(arrival - self.sim.now)
+        event.callbacks.append(lambda _evt: deliver(payload))
+
+
+class AccessLink:
+    """A device's attachment to the network: an uplink + a downlink,
+    tagged with technology type and operator for the dataset."""
+
+    def __init__(self, sim: Simulator,
+                 up_latency: Optional[Distribution] = None,
+                 down_latency: Optional[Distribution] = None,
+                 up_bandwidth_mbps: float = 0.0,
+                 down_bandwidth_mbps: float = 0.0,
+                 loss_rate: float = 0.0,
+                 network_type: str = NetworkType.WIFI,
+                 operator: str = "unknown",
+                 rng: Optional[random.Random] = None):
+        rng = rng or random.Random(0)
+        self.sim = sim
+        self.network_type = network_type
+        self.operator = operator
+        self.up = LinkDirection(sim, up_latency or Constant(1.0),
+                                up_bandwidth_mbps, loss_rate, rng, "up")
+        self.down = LinkDirection(sim, down_latency or Constant(1.0),
+                                  down_bandwidth_mbps, loss_rate, rng,
+                                  "down")
+
+    def __repr__(self) -> str:
+        return "<AccessLink %s %s up=%.1fMbps down=%.1fMbps>" % (
+            self.network_type, self.operator,
+            self.up.bandwidth_mbps, self.down.bandwidth_mbps)

@@ -1,0 +1,57 @@
+"""Android-device emulation substrate.
+
+Everything MopEye touches on a real phone is modelled here: the TUN
+virtual network device behind ``VpnService``, the kernel TCP/UDP sockets
+apps use, the ``/proc/net/*`` socket tables, ``PackageManager`` /
+``DownloadManager``, non-blocking ``SocketChannel``/``Selector`` NIO,
+and the apps themselves.  Per-operation costs (syscalls, proc parsing,
+selector registration...) come from a :class:`~repro.phone.costmodel.
+DeviceCostModel` so each experiment's timing assumptions are explicit.
+"""
+
+from repro.phone.costmodel import DeviceCostModel
+from repro.phone.device import AndroidDevice, CpuMeter
+from repro.phone.tun import TunDevice, TunError
+from repro.phone.vpn import VpnBuilder, VpnService, VpnError
+from repro.phone.procfs import parse_proc_net, ProcFs
+from repro.phone.package_manager import PackageManager
+from repro.phone.download_manager import DownloadManager
+from repro.phone.ktcp import (
+    ConnectionRefused,
+    ConnectTimeout,
+    KernelTcpSocket,
+    KernelUdpSocket,
+    SocketClosed,
+)
+from repro.phone.nio import SelectionKey, Selector, SocketChannel
+from repro.phone.apps import App, ConnectProbeApp, SpeedtestApp, WebBrowsingApp
+from repro.phone.battery import BatteryModel, BatteryReport
+
+__all__ = [
+    "AndroidDevice",
+    "App",
+    "BatteryModel",
+    "BatteryReport",
+    "ConnectProbeApp",
+    "ConnectTimeout",
+    "ConnectionRefused",
+    "CpuMeter",
+    "DeviceCostModel",
+    "DownloadManager",
+    "KernelTcpSocket",
+    "KernelUdpSocket",
+    "PackageManager",
+    "ProcFs",
+    "SelectionKey",
+    "Selector",
+    "SocketChannel",
+    "SocketClosed",
+    "SpeedtestApp",
+    "TunDevice",
+    "TunError",
+    "VpnBuilder",
+    "VpnError",
+    "VpnService",
+    "WebBrowsingApp",
+    "parse_proc_net",
+]

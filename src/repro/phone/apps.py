@@ -1,0 +1,191 @@
+"""Simulated apps: the traffic sources MopEye measures.
+
+Each app owns a UID and opens ordinary kernel sockets, so its traffic is
+captured by the VPN exactly like a real app's.  Workloads:
+
+* :class:`WebBrowsingApp` -- bursts of short connections to many
+  domains (the section 3.3 lazy-mapping scenario);
+* :class:`SpeedtestApp` -- bulk DOWNLOAD/UPLOAD transfers plus a
+  connect-latency ping (Tables 2/3 reference tool);
+* :class:`StreamingApp` -- a long chunked video session (Table 4);
+* :class:`ConnectProbeApp` -- the "simple tool that invokes connect()"
+  used for the section 4.1.2 delay-overhead experiment.
+
+All workload methods are generators meant to run as simulation
+processes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.phone.ktcp import ConnectionRefused, ConnectTimeout
+from repro.sim.kernel import Event, Simulator
+
+
+class App:
+    """An installed application with its own UID."""
+
+    def __init__(self, device, package: str, ipv6_share: float = 0.0,
+                 rng: Optional[random.Random] = None):
+        self.device = device
+        self.sim: Simulator = device.sim
+        self.package = package
+        self.uid = device.packages.install(package)
+        self.ipv6_share = ipv6_share
+        self.rng = rng or random.Random(device.rng.randrange(1 << 30))
+        # (dst_ip, dst_port, connect_duration_ms, started_at)
+        self.connect_samples: List[Tuple[str, int, float, float]] = []
+        self.failures = 0
+
+    def _new_socket(self):
+        ipv6 = self.rng.random() < self.ipv6_share
+        return self.device.create_tcp_socket(self.uid, ipv6=ipv6)
+
+    def spawn(self, generator, name: Optional[str] = None) -> Event:
+        return self.sim.process(generator, name=name or self.package)
+
+    # -- building blocks ----------------------------------------------------
+    def timed_connect(self, ip: str, port: int):
+        """Generator: connect and record the app-observed duration.
+        Returns the connected socket (or None on failure)."""
+        socket = self._new_socket()
+        start = self.sim.now
+        try:
+            yield socket.connect(ip, port)
+        except (ConnectionRefused, ConnectTimeout):
+            self.failures += 1
+            return None
+        self.connect_samples.append((ip, port, self.sim.now - start,
+                                     start))
+        return socket
+
+    def request(self, ip: str, port: int, payload: bytes,
+                read_response: bool = True, close: bool = True):
+        """Generator: one request/response exchange.  Returns the
+        response bytes (b"" when none / failed)."""
+        socket = yield from self.timed_connect(ip, port)
+        if socket is None:
+            return b""
+        socket.send(payload)
+        response = b""
+        if read_response:
+            response = yield socket.recv()
+        if close:
+            socket.close()
+        return response
+
+    def resolve_and_request(self, domain: str, port: int, payload: bytes):
+        """Generator: DNS lookup then request (what real apps do)."""
+        address = yield self.device.resolve_process(domain)
+        response = yield from self.request(address, port, payload)
+        return address, response
+
+
+class WebBrowsingApp(App):
+    """Chrome-like bursts: each page load opens several connections to
+    different origins nearly simultaneously."""
+
+    def browse(self, pages: List[List[Tuple[str, int]]],
+               page_think_ms: float = 200.0):
+        """Generator: ``pages`` is a list of pages, each a list of
+        (ip, port) origins fetched concurrently."""
+        for page in pages:
+            fetches = [self.spawn(self.request(ip, port,
+                                               b"GET /page HTTP/1.1\r\n\r\n"),
+                                  name="fetch") for ip, port in page]
+            yield self.sim.all_of(fetches)
+            yield self.sim.timeout(page_think_ms)
+        return len(self.connect_samples)
+
+
+class SpeedtestApp(App):
+    """Ookla-style reference tool: throughput and latency."""
+
+    def ping(self, ip: str, port: int = 80):
+        """Generator: connect-based latency probe; returns ms."""
+        start = self.sim.now
+        socket = yield from self.timed_connect(ip, port)
+        if socket is None:
+            return None
+        duration = self.sim.now - start
+        socket.close()
+        return duration
+
+    def download(self, ip: str, size_bytes: int, port: int = 80):
+        """Generator: bulk download; returns measured Mbps."""
+        socket = yield from self.timed_connect(ip, port)
+        if socket is None:
+            return 0.0
+        socket.send(b"DOWNLOAD %d\n" % size_bytes)
+        start = self.sim.now
+        received = yield from socket.recv_exactly(size_bytes)
+        elapsed_ms = self.sim.now - start
+        socket.close()
+        if elapsed_ms <= 0:
+            return 0.0
+        return (len(received) * 8) / (elapsed_ms * 1000.0)
+
+    def upload(self, ip: str, size_bytes: int, port: int = 80,
+               chunk: int = 16384):
+        """Generator: bulk upload paced by rount-trip acking; returns
+        measured Mbps."""
+        socket = yield from self.timed_connect(ip, port)
+        if socket is None:
+            return 0.0
+        socket.send(b"UPLOAD %d\n" % size_bytes)
+        start = self.sim.now
+        sent = 0
+        while sent < size_bytes:
+            block = min(chunk, size_bytes - sent)
+            socket.send(b"u" * block)
+            sent += block
+            # Writing is throttled by the path: yield so transmissions
+            # serialise on the uplink.
+            yield self.sim.timeout(0.01)
+        confirmation = yield socket.recv()
+        elapsed_ms = self.sim.now - start
+        socket.close()
+        if elapsed_ms <= 0 or not confirmation:
+            return 0.0
+        return (sent * 8) / (elapsed_ms * 1000.0)
+
+
+class StreamingApp(App):
+    """YouTube-like: one long session fetching media chunks."""
+
+    def stream(self, ip: str, duration_ms: float,
+               chunk_bytes: int = 262144, chunk_interval_ms: float = 2000.0,
+               port: int = 443):
+        """Generator: fetch chunks periodically for ``duration_ms``.
+        Returns the number of chunks fetched."""
+        socket = yield from self.timed_connect(ip, port)
+        if socket is None:
+            return 0
+        chunks = 0
+        deadline = self.sim.now + duration_ms
+        while self.sim.now < deadline:
+            socket.send(b"DOWNLOAD %d\n" % chunk_bytes)
+            yield from socket.recv_exactly(chunk_bytes)
+            chunks += 1
+            yield self.sim.timeout(chunk_interval_ms)
+        socket.close()
+        return chunks
+
+
+class ConnectProbeApp(App):
+    """The section 4.1.2 tool: repeated connect() timing."""
+
+    def probe(self, ip: str, port: int, rounds: int,
+              gap_ms: float = 50.0):
+        """Generator: ``rounds`` sequential connects; returns the list
+        of durations in ms."""
+        durations = []
+        for _ in range(rounds):
+            socket = yield from self.timed_connect(ip, port)
+            if socket is not None:
+                durations.append(self.connect_samples[-1][2])
+                socket.close()
+            yield self.sim.timeout(gap_ms)
+        return durations

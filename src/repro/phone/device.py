@@ -1,0 +1,217 @@
+"""The Android device: routing, socket demux, DNS stub, CPU meter.
+
+The device owns the kernel view of the phone: every socket any app
+creates registers here, outgoing packets are routed either through the
+VPN tunnel or straight to the radio (section 3.5.2 semantics), and
+incoming packets are demultiplexed back to their sockets.  The socket
+registry is also the backing store for ``/proc/net/tcp*``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.netstack.dns import DNSMessage, RCODE_NOERROR
+from repro.netstack.ip import IPPacket, PROTO_TCP, PROTO_UDP
+from repro.netstack.tcp_segment import TCPSegment
+from repro.netstack.udp_datagram import UDPDatagram
+from repro.phone.costmodel import DeviceCostModel
+from repro.phone.ktcp import KernelTcpSocket, KernelUdpSocket
+from repro.phone.package_manager import PackageManager
+from repro.phone.procfs import ProcFs
+from repro.sim.kernel import AnyOf, Event, Simulator
+
+SYSTEM_UID = 1000
+DNS_UID = 1051  # netd
+FIRST_APP_UID = 10000
+
+_DNS_TIMEOUT_MS = 5000.0
+_DNS_RETRIES = 2
+
+
+class ResolveError(Exception):
+    """DNS resolution failed (NXDOMAIN, SERVFAIL, or timeout)."""
+
+
+class CpuMeter:
+    """Accumulates busy milliseconds per component for Table 4."""
+
+    def __init__(self) -> None:
+        self.busy_ms: Dict[str, float] = {}
+        self.started_at = 0.0
+
+    def charge(self, component: str, ms: float) -> None:
+        self.busy_ms[component] = self.busy_ms.get(component, 0.0) + ms
+
+    def total(self, prefix: str = "") -> float:
+        return sum(ms for name, ms in self.busy_ms.items()
+                   if name.startswith(prefix))
+
+    def utilisation(self, elapsed_ms: float, prefix: str = "") -> float:
+        """Fraction of wall time spent busy in components matching
+        ``prefix`` (0..1, can exceed 1 with real parallelism)."""
+        if elapsed_ms <= 0:
+            return 0.0
+        return self.total(prefix) / elapsed_ms
+
+
+class AndroidDevice:
+    """One smartphone attached to an :class:`~repro.network.Internet`."""
+
+    def __init__(self, sim: Simulator, internet, link, ip: str = "100.64.0.2",
+                 sdk: int = 23, dns_server_ip: str = "8.8.8.8",
+                 cost_model: Optional[DeviceCostModel] = None,
+                 rng: Optional[random.Random] = None,
+                 model: str = "Nexus 6"):
+        self.sim = sim
+        self.internet = internet
+        self.link = link
+        self.ip = ip
+        self.sdk = sdk
+        self.model = model
+        self.dns_server_ip = dns_server_ip
+        self.rng = rng or random.Random(99)
+        self.costs = cost_model or DeviceCostModel(self.rng)
+        self.cpu = CpuMeter()
+        self.tun_address = "10.8.0.2"
+        self.vpn = None  # set by VpnService.establish()
+        self.packages = PackageManager(self)
+        self.procfs = ProcFs(self)
+        self._sockets: Dict[Tuple[int, int], List[object]] = {}
+        self._next_port = 40000
+        self._next_uid = FIRST_APP_UID
+        internet.attach_device(self)
+
+    # -- identity ---------------------------------------------------------
+    def allocate_uid(self) -> int:
+        uid = self._next_uid
+        self._next_uid += 1
+        return uid
+
+    def allocate_port(self) -> int:
+        port = self._next_port
+        self._next_port += 1
+        if self._next_port > 64999:
+            self._next_port = 40000
+        return port
+
+    # -- CPU model ----------------------------------------------------------
+    def busy(self, ms: float, component: str) -> Event:
+        """Charge ``ms`` of CPU to ``component`` and return the timeout
+        that represents doing that work."""
+        self.cpu.charge(component, ms)
+        return self.sim.timeout(ms)
+
+    # -- socket registry ------------------------------------------------------
+    def register_socket(self, socket) -> None:
+        proto = PROTO_UDP if isinstance(socket, KernelUdpSocket) else PROTO_TCP
+        key = (proto, socket.local_port)
+        self._sockets.setdefault(key, []).append(socket)
+
+    def unregister_socket(self, socket) -> None:
+        proto = PROTO_UDP if isinstance(socket, KernelUdpSocket) else PROTO_TCP
+        key = (proto, socket.local_port)
+        entries = self._sockets.get(key)
+        if entries and socket in entries:
+            entries.remove(socket)
+            if not entries:
+                del self._sockets[key]
+
+    def sockets(self, protocol: Optional[int] = None) -> List[object]:
+        out = []
+        for (proto, _port), entries in self._sockets.items():
+            if protocol is None or proto == protocol:
+                out.extend(entries)
+        return out
+
+    def create_tcp_socket(self, uid: int, protected: bool = False,
+                          ipv6: bool = False) -> KernelTcpSocket:
+        return KernelTcpSocket(self, uid, protected=protected, ipv6=ipv6)
+
+    def create_udp_socket(self, uid: int,
+                          protected: bool = False) -> KernelUdpSocket:
+        return KernelUdpSocket(self, uid, protected=protected)
+
+    # -- routing (section 3.5.2) ------------------------------------------------
+    def source_ip_for(self, socket) -> str:
+        if self.vpn is not None and self.vpn.active \
+                and self.vpn.captures(socket):
+            return self.tun_address
+        return self.ip
+
+    def transmit(self, socket, packet: IPPacket) -> None:
+        if self.vpn is not None and self.vpn.active \
+                and self.vpn.captures(socket):
+            self.vpn.tun.inject_outgoing(packet)
+        else:
+            self.internet.send_from_device(self, packet)
+
+    # -- demux -------------------------------------------------------------------
+    def deliver_from_network(self, packet: IPPacket) -> None:
+        self._demux(packet)
+
+    def deliver_from_tun(self, packet: IPPacket) -> None:
+        """Packets the VPN app writes to the tunnel (server -> app
+        direction, or a looped outgoing packet)."""
+        self._demux(packet)
+
+    def _demux(self, packet: IPPacket) -> None:
+        if packet.protocol == PROTO_TCP:
+            segment = TCPSegment.decode(packet.payload)
+            socket = self._find(PROTO_TCP, segment.dst_port,
+                                packet.src_str, segment.src_port)
+            if socket is not None:
+                socket.handle_segment(segment)
+        elif packet.protocol == PROTO_UDP:
+            datagram = UDPDatagram.decode(packet.payload)
+            socket = self._find(PROTO_UDP, datagram.dst_port,
+                                packet.src_str, datagram.src_port)
+            if socket is not None:
+                socket.handle_datagram(datagram, packet.src_str)
+
+    def _find(self, proto: int, local_port: int, remote_ip: str,
+              remote_port: int):
+        entries = self._sockets.get((proto, local_port), ())
+        for socket in entries:
+            if socket.remote_ip in (None, remote_ip) and \
+                    socket.remote_port in (None, remote_port):
+                return socket
+        return None
+
+    # -- DNS stub resolver (system-wide, section 2.2) ---------------------------
+    def resolve(self, name: str, uid: int = DNS_UID):
+        """Generator: resolve ``name`` via UDP DNS; returns the address.
+
+        Run it as a process: ``address = yield device.resolve_process(name)``.
+        """
+        last_error = "timeout"
+        for _attempt in range(_DNS_RETRIES):
+            socket = self.create_udp_socket(uid)
+            txid = self.rng.randrange(1 << 16)
+            query = DNSMessage.query(txid, name)
+            socket.sendto(query.encode(), self.dns_server_ip, 53)
+            reply = socket.recvfrom()
+            timer = self.sim.timeout(_DNS_TIMEOUT_MS)
+            yield AnyOf(self.sim, [reply, timer])
+            if not reply.triggered:
+                socket.close()
+                continue
+            payload, _addr = reply.value
+            socket.close()
+            response = DNSMessage.decode(payload)
+            if response.txid != txid:
+                last_error = "txid mismatch"
+                continue
+            if response.rcode != RCODE_NOERROR or not response.answers:
+                raise ResolveError("%s: rcode=%d" % (name, response.rcode))
+            return response.answers[0].address
+        raise ResolveError("%s: %s" % (name, last_error))
+
+    def resolve_process(self, name: str, uid: int = DNS_UID) -> Event:
+        return self.sim.process(self.resolve(name, uid),
+                                name="resolve:%s" % name)
+
+    def __repr__(self) -> str:
+        return "<AndroidDevice %s ip=%s sdk=%d>" % (self.model, self.ip,
+                                                    self.sdk)

@@ -1,0 +1,41 @@
+"""``DownloadManager``: the dummy-request trick of section 3.1.
+
+On Android 5.0+ MopEye's own packets no longer traverse the tunnel
+(``addDisallowedApplication``), so the only way to release a blocked
+TUN ``read()`` is to make *another* app send a packet.  MopEye uses
+DownloadManager because its download provider runs under its own UID
+and reliably issues a network request.
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernel import Event
+
+DOWNLOADS_PACKAGE = "com.android.providers.downloads"
+
+
+class DownloadManager:
+    def __init__(self, device):
+        self.device = device
+        self.uid = device.packages.install(DOWNLOADS_PACKAGE)
+        self.requests = 0
+
+    def enqueue(self, server_ip: str, port: int = 80) -> Event:
+        """Issue a small HTTP download from the downloads provider's
+        own UID.  Its SYN traverses the VPN tunnel (the provider is not
+        in the disallowed list), which releases a blocked TunReader.
+        Returns the process event."""
+        self.requests += 1
+        return self.device.sim.process(
+            self._download(server_ip, port), name="dummy-download")
+
+    def _download(self, server_ip: str, port: int):
+        socket = self.device.create_tcp_socket(self.uid)
+        try:
+            yield socket.connect(server_ip, port)
+        except Exception:
+            return None
+        socket.send(b"GET /dummy HTTP/1.1\r\n\r\n")
+        response = yield socket.recv()
+        socket.close()
+        return response

@@ -1,0 +1,131 @@
+"""``/proc/net/tcp|tcp6|udp|udp6`` rendering and parsing.
+
+The four pseudo files are MopEye's only way to attribute a connection to
+an app (section 2.2): each row carries the connection's local/remote
+endpoints and the owning app's UID.  The renderer emits the real Linux
+format -- IPv4 addresses as little-endian hex, ports as big-endian hex,
+IPv6 rows with v4-mapped addresses -- and the parser consumes it, so the
+mapping code is tested against genuine proc text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Tuple
+
+from repro.netstack.ip import PROTO_TCP, PROTO_UDP, ip_to_int, ip_to_str
+
+_TCP_HEADER = ("  sl  local_address rem_address   st tx_queue rx_queue tr "
+               "tm->when retrnsmt   uid  timeout inode")
+_TCP6_HEADER = ("  sl  local_address                         "
+                "remote_address                        st tx_queue rx_queue "
+                "tr tm->when retrnsmt   uid  timeout inode")
+
+
+class ProcNetEntry(NamedTuple):
+    local_ip: str
+    local_port: int
+    remote_ip: str
+    remote_port: int
+    state: int
+    uid: int
+
+
+def _hex_v4(address: str) -> str:
+    """IPv4 address in /proc/net little-endian hex ('0100007F')."""
+    value = ip_to_int(address)
+    swapped = ((value & 0xFF) << 24 | (value & 0xFF00) << 8
+               | (value & 0xFF0000) >> 8 | (value & 0xFF000000) >> 24)
+    return "%08X" % swapped
+
+
+def _unhex_v4(text: str) -> str:
+    value = int(text, 16)
+    swapped = ((value & 0xFF) << 24 | (value & 0xFF00) << 8
+               | (value & 0xFF0000) >> 8 | (value & 0xFF000000) >> 24)
+    return ip_to_str(swapped)
+
+
+def _hex_v6_mapped(address: str) -> str:
+    """A v4-mapped IPv6 address as /proc/net/tcp6 renders it: three
+    32-bit groups then the v4 part, each group little-endian."""
+    return "0000000000000000FFFF0000" + _hex_v4(address)
+
+
+def _parse_address(token: str) -> Tuple[str, int]:
+    addr_hex, port_hex = token.split(":")
+    port = int(port_hex, 16)
+    if len(addr_hex) == 8:
+        return _unhex_v4(addr_hex), port
+    if len(addr_hex) == 32:
+        return _unhex_v4(addr_hex[24:]), port  # v4-mapped tail
+    raise ValueError("unparseable /proc/net address %r" % token)
+
+
+class ProcFs:
+    """Renders the four pseudo files from the device's socket registry."""
+
+    FILES = ("tcp", "tcp6", "udp", "udp6")
+
+    def __init__(self, device):
+        self.device = device
+        self._inode = 10000
+        self.reads = 0
+
+    def read(self, filename: str) -> str:
+        if filename not in self.FILES:
+            raise FileNotFoundError("/proc/net/%s" % filename)
+        self.reads += 1
+        protocol = PROTO_TCP if filename.startswith("tcp") else PROTO_UDP
+        want_v6 = filename.endswith("6")
+        rows = []
+        for socket in self.device.sockets(protocol):
+            if bool(getattr(socket, "ipv6", False)) != want_v6:
+                continue
+            rows.append(self._render_row(len(rows), socket, want_v6))
+        header = _TCP6_HEADER if want_v6 else _TCP_HEADER
+        return "\n".join([header] + rows) + "\n"
+
+    def _render_row(self, sl: int, socket, v6: bool) -> str:
+        local_ip = socket.local_ip or "0.0.0.0"
+        remote_ip = socket.remote_ip or "0.0.0.0"
+        local_port = socket.local_port or 0
+        remote_port = socket.remote_port or 0
+        hexer = _hex_v6_mapped if v6 else _hex_v4
+        self._inode += 1
+        return ("%4d: %s:%04X %s:%04X %02X 00000000:00000000 00:00000000 "
+                "00000000 %5d        0 %d 1 0000000000000000 20 4 30 10 -1"
+                % (sl, hexer(local_ip), local_port, hexer(remote_ip),
+                   remote_port, socket.state, socket.uid, self._inode))
+
+    def entries(self, filename: str) -> List[ProcNetEntry]:
+        """Convenience: read + parse."""
+        return parse_proc_net(self.read(filename))
+
+
+def parse_proc_net(text: str) -> List[ProcNetEntry]:
+    """Parse /proc/net/tcp|tcp6|udp|udp6 text into entries."""
+    entries = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("sl"):
+            continue
+        fields = line.split()
+        if len(fields) < 8:
+            continue
+        try:
+            local_ip, local_port = _parse_address(fields[1])
+            remote_ip, remote_port = _parse_address(fields[2])
+            state = int(fields[3], 16)
+            uid = int(fields[7])
+        except (ValueError, IndexError):
+            continue
+        entries.append(ProcNetEntry(local_ip, local_port, remote_ip,
+                                    remote_port, state, uid))
+    return entries
+
+
+def build_uid_map(entries: List[ProcNetEntry]
+                  ) -> Dict[Tuple[str, int, str, int], int]:
+    """Index entries by four-tuple for O(1) mapping lookups."""
+    return {(e.local_ip, e.local_port, e.remote_ip, e.remote_port): e.uid
+            for e in entries}

@@ -1,0 +1,116 @@
+"""``VpnService`` emulation (establish / protect / addDisallowedApplication).
+
+The routing semantics of section 3.5.2 are the point of this module:
+
+* once the VPN is established, *every* socket's packets are captured
+  into the TUN device -- including the VPN app's own sockets, which is
+  the data-loop hazard;
+* ``protect(socket)`` exempts one socket and costs up to several
+  milliseconds;
+* ``addDisallowedApplication(pkg)`` (Android 5.0+/SDK 21) exempts a
+  whole app once, at initialisation time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.phone.tun import TunDevice
+from repro.sim.kernel import Event
+
+
+class VpnError(Exception):
+    """Illegal VpnService usage (API gates, double establish)."""
+
+
+class VpnService:
+    """One VPN client app's service instance."""
+
+    ADD_DISALLOWED_MIN_SDK = 21  # Android 5.0
+
+    def __init__(self, device, owner_package: str):
+        self.device = device
+        self.owner_package = owner_package
+        self.owner_uid = device.packages.install(owner_package)
+        self.tun: Optional[TunDevice] = None
+        self.disallowed_uids: Set[int] = set()
+        self.protect_calls = 0
+
+    @property
+    def active(self) -> bool:
+        return self.tun is not None and not self.tun.closed
+
+    def new_builder(self) -> "VpnBuilder":
+        return VpnBuilder(self)
+
+    # -- routing policy -----------------------------------------------------
+    def captures(self, socket) -> bool:
+        """Would this socket's traffic be routed into the tunnel?"""
+        if getattr(socket, "protected", False):
+            return False
+        return socket.uid not in self.disallowed_uids
+
+    # -- exemptions -----------------------------------------------------------
+    def protect(self, socket) -> Event:
+        """Exempt one socket from VPN routing.  Returns the event that
+        completes after the call's (potentially multi-ms) cost."""
+        if not self.active:
+            raise VpnError("protect() before establish()")
+        self.protect_calls += 1
+        socket.protected = True
+        cost = self.device.costs.vpn_protect.sample()
+        return self.device.busy(cost, "vpn.protect")
+
+    def add_disallowed_application(self, package: str) -> Event:
+        """Exempt a whole application (SDK >= 21 only)."""
+        if self.device.sdk < self.ADD_DISALLOWED_MIN_SDK:
+            raise VpnError(
+                "addDisallowedApplication requires SDK >= %d (device "
+                "has %d)" % (self.ADD_DISALLOWED_MIN_SDK, self.device.sdk))
+        uid = self.device.packages.uid_for_name(package)
+        if uid is None:
+            uid = self.device.packages.install(package)
+        self.disallowed_uids.add(uid)
+        cost = self.device.costs.vpn_add_disallowed.sample()
+        return self.device.busy(cost, "vpn.init")
+
+    def stop(self) -> None:
+        if self.tun is not None:
+            self.tun.close()
+        self.device.vpn = None
+        self.tun = None
+
+
+class VpnBuilder:
+    """``VpnService.Builder``: configure and establish the TUN."""
+
+    def __init__(self, service: VpnService):
+        self.service = service
+        self.mtu = 1500
+        self.address: Optional[str] = None
+        self._established = False
+
+    def set_mtu(self, mtu: int) -> "VpnBuilder":
+        if mtu < 576:
+            raise VpnError("MTU too small: %d" % mtu)
+        self.mtu = mtu
+        return self
+
+    def add_address(self, address: str) -> "VpnBuilder":
+        self.address = address
+        return self
+
+    def establish(self) -> TunDevice:
+        """User consented; create the TUN and start capturing."""
+        if self._established:
+            raise VpnError("builder already established")
+        device = self.service.device
+        if device.vpn is not None and device.vpn.active:
+            raise VpnError("another VPN is already active")
+        self._established = True
+        if self.address:
+            device.tun_address = self.address
+        tun = TunDevice(device.sim, device, mtu=self.mtu)
+        self.service.tun = tun
+        device.vpn = self.service
+        return tun

@@ -1,0 +1,64 @@
+"""Discrete-event simulation kernel.
+
+Everything in the reproduction runs on virtual time provided by this
+package: Android "threads" are :class:`~repro.sim.kernel.Process`
+coroutines, syscalls are modelled as timed events, and the network is a
+set of scheduled deliveries.  The kernel is deliberately SimPy-like
+(generator-based processes yielding events) but written from scratch so
+that the repository has no dependency beyond the standard library and
+numpy/scipy for statistics.
+"""
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.queues import (
+    BlockingQueue,
+    QueueClosed,
+    Semaphore,
+    Signal,
+    WaitNotifyQueue,
+)
+from repro.sim.distributions import (
+    Constant,
+    Distribution,
+    Empirical,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Normal,
+    Shifted,
+    Uniform,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BlockingQueue",
+    "Constant",
+    "Distribution",
+    "Empirical",
+    "Event",
+    "Exponential",
+    "Interrupt",
+    "LogNormal",
+    "Mixture",
+    "Normal",
+    "Process",
+    "QueueClosed",
+    "Semaphore",
+    "Shifted",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "Uniform",
+    "WaitNotifyQueue",
+]

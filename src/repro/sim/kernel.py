@@ -1,0 +1,338 @@
+"""Generator-based discrete-event simulation kernel.
+
+The kernel provides four primitives:
+
+* :class:`Simulator` -- the event loop with a virtual clock.
+* :class:`Event` -- a one-shot occurrence that processes can wait on.
+* :class:`Timeout` -- an event that fires after a virtual delay.
+* :class:`Process` -- a generator coroutine driven by the events it
+  yields.  Processes model the paper's threads (TunReader, TunWriter,
+  MainWorker, socket-connect threads, app threads, servers).
+
+Determinism: events scheduled for the same instant fire in schedule
+order (a monotonically increasing sequence number breaks ties), so a
+seeded run is fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (double trigger, run-time underflow...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    Mirrors ``Thread.interrupt()`` semantics in the paper: the victim
+    process receives the exception at its current wait point.  A process
+    blocked on a non-interruptible event (e.g. the blocking TUN read of
+    section 3.1) simply never reaches a wait point where the interrupt
+    can be delivered -- the kernel models that by only delivering
+    interrupts at yield points, exactly the behaviour MopEye had to work
+    around with a dummy packet.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+PENDING = object()
+
+
+class Event:
+    """A one-shot event; processes yield it to wait for it to trigger."""
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok = True
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event %r has not been triggered" % self.name)
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event %r has no value yet" % self.name)
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError("event %r already triggered" % self.name)
+        self._value = value
+        self._ok = True
+        self.sim._post(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError("event %r already triggered" % self.name)
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() needs an exception instance")
+        self._value = exc
+        self._ok = False
+        self.sim._post(self)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return "<Event %s %s>" % (self.name or hex(id(self)), state)
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` units of virtual time from now.
+
+    The value is held aside until the scheduler pops the event, so a
+    pending timeout correctly reports ``triggered == False``.
+    """
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None,
+                 name: str = "timeout"):
+        if delay < 0:
+            raise SimulationError("negative delay %r" % delay)
+        super().__init__(sim, name)
+        self._delayed_value = value
+        sim._schedule(self, delay)
+
+
+class AnyOf(Event):
+    """Triggers when the first of ``events`` triggers.
+
+    The value is a dict mapping the triggered events to their values
+    (only those triggered by the time this composite is processed).
+    Used by the Selector emulation to wait on socket readiness *or* a
+    wakeup, matching section 3.2.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, "any_of")
+        self.events = list(events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.triggered:
+                if not self.triggered:
+                    self.succeed(self._collect())
+                break
+            event.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        return {e: e._value for e in self.events if e.triggered and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(Event):
+    """Triggers when every one of ``events`` has triggered."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, "all_of")
+        self.events = list(events)
+        self._remaining = 0
+        for event in self.events:
+            if event.triggered:
+                if not event._ok:
+                    self.fail(event._value)
+                    return
+            else:
+                self._remaining += 1
+                event.callbacks.append(self._check)
+        if self._remaining == 0 and not self.triggered:
+            self.succeed({e: e._value for e in self.events})
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({e: e._value for e in self.events})
+
+
+class Process(Event):
+    """A generator coroutine driven by the events it yields.
+
+    A process is itself an event: it triggers with the generator's
+    return value when the generator finishes, so processes can wait for
+    each other (``yield other_process``) the way the paper's main thread
+    joins its temporary socket-connect threads.
+    """
+
+    def __init__(self, sim: "Simulator",
+                 generator: Generator[Event, Any, Any],
+                 name: str = "process"):
+        super().__init__(sim, name)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                "Process needs a generator, got %r" % (generator,))
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self._interrupts: List[Interrupt] = []
+        # Bootstrap: resume once at the current time.
+        bootstrap = Event(sim, "init:%s" % name)
+        bootstrap._value = None
+        bootstrap._ok = True
+        bootstrap.callbacks = []
+        bootstrap.callbacks.append(self._resume)
+        sim._schedule(bootstrap, 0)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if self.triggered:
+            return
+        self._interrupts.append(Interrupt(cause))
+        target = self._target
+        if target is not None and not target.triggered:
+            # Detach from the event we were waiting on and resume now.
+            try:
+                target.callbacks.remove(self._resume)
+            except (ValueError, AttributeError):
+                pass
+            self._target = None
+            kick = Event(self.sim, "interrupt:%s" % self.name)
+            kick._value = None
+            kick._ok = True
+            kick.callbacks = [self._resume]
+            self.sim._schedule(kick, 0)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._target = None
+        self.sim._active_process = self
+        try:
+            while True:
+                if self._interrupts:
+                    exc = self._interrupts.pop(0)
+                    next_event = self._generator.throw(exc)
+                elif event is not None and not event._ok:
+                    next_event = self._generator.throw(event._value)
+                else:
+                    send_value = None if event is None else event._value
+                    next_event = self._generator.send(send_value)
+                # The generator yielded: decide whether to wait or spin.
+                if not isinstance(next_event, Event):
+                    raise SimulationError(
+                        "process %s yielded non-event %r"
+                        % (self.name, next_event))
+                if next_event.triggered:
+                    event = next_event
+                    continue
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                return
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except Interrupt:
+            # Interrupt escaped the generator: treat as termination.
+            self.succeed(None)
+        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+            if self.callbacks:
+                self.fail(exc)
+            else:
+                raise
+        finally:
+            self.sim._active_process = None
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, seq, event)."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- factory helpers -------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: str = "process") -> Process:
+        return Process(self, generator, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    def _post(self, event: Event) -> None:
+        """Queue an already-triggered event for callback processing."""
+        self._schedule(event, 0)
+
+    # -- running ----------------------------------------------------------
+    def step(self) -> None:
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("time went backwards")
+        self.now = when
+        if event._value is PENDING:
+            # A scheduled trigger (Timeout) firing now.
+            event._value = getattr(event, "_delayed_value", None)
+            event._ok = True
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+
+    def run(self, until: Optional[float] = None,
+            stop_event: Optional[Event] = None) -> Any:
+        """Run until the heap drains, ``until`` is reached, or
+        ``stop_event`` triggers.  Returns the stop event's value."""
+        while self._heap:
+            if stop_event is not None and stop_event.processed:
+                return stop_event.value
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return None
+            self.step()
+        if until is not None and until > self.now:
+            self.now = until
+        if stop_event is not None and stop_event.triggered:
+            return stop_event.value
+        return None

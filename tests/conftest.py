@@ -1,0 +1,102 @@
+"""Shared world-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network import (
+    AppServer,
+    DnsServer,
+    DnsZone,
+    Internet,
+    wifi_profile,
+)
+from repro.phone import AndroidDevice
+from repro.sim import Constant, Simulator
+from repro.sim.distributions import Distribution
+
+
+class World:
+    """A simulator + internet + one device + standard servers."""
+
+    def __init__(self, sdk: int = 23, seed: int = 7,
+                 wifi_rtt_ms: float = 14.0, bandwidth_mbps: float = 25.0,
+                 server_path_oneway=None):
+        self.sim = Simulator()
+        self.internet = Internet(self.sim)
+        self.rng = random.Random(seed)
+        self.link = wifi_profile(self.sim, rng=self.rng,
+                                 median_rtt_ms=wifi_rtt_ms,
+                                 bandwidth_mbps=bandwidth_mbps)
+        self.device = AndroidDevice(self.sim, self.internet, self.link,
+                                    sdk=sdk,
+                                    rng=random.Random(seed + 1))
+        self.zone = DnsZone()
+        self.dns = DnsServer(self.sim, "8.8.8.8", self.zone,
+                             processing_delay=Constant(0.5))
+        self.internet.add_server(self.dns)
+        self._server_path_oneway = server_path_oneway
+
+    def add_server(self, ip: str, name: str = "server",
+                   domains=(), path_oneway=None,
+                   **kwargs) -> AppServer:
+        server = AppServer(self.sim, [ip], name=name,
+                           path_oneway=path_oneway
+                           or self._server_path_oneway,
+                           rng=random.Random(hash(ip) & 0xFFFF),
+                           **kwargs)
+        self.internet.add_server(server)
+        for domain in domains:
+            self.zone.add(domain, ip)
+        return server
+
+    def run(self, until: float = 300000.0) -> None:
+        """Run for ``until`` more virtual milliseconds (relative)."""
+        self.sim.run(until=self.sim.now + until)
+
+    def run_process(self, generator, until: float = 300000.0,
+                    drain: float = 2000.0):
+        """Run a generator as a process to completion; returns value.
+        ``until`` is a relative budget of virtual milliseconds.  After
+        the process finishes, the world runs ``drain`` ms longer so
+        in-flight background work (lazy mapping, teardown ACKs)
+        settles -- bounded even when polling threads keep the event
+        heap non-empty."""
+        process = self.sim.process(generator)
+        deadline = self.sim.now + until
+        self.sim.run(until=deadline, stop_event=process)
+        assert process.triggered, \
+            "process did not finish within %s ms" % until
+        self.sim.run(until=self.sim.now + drain)
+        return process.value
+
+
+CAMPAIGN_SCALE = 0.01
+
+
+@pytest.fixture(scope="session")
+def campaign_store():
+    """One shared synthetic dataset for crowd/analysis tests."""
+    from repro.crowd import Campaign, CampaignConfig
+    campaign = Campaign(config=CampaignConfig(scale=CAMPAIGN_SCALE,
+                                              seed=11))
+    return campaign.run()
+
+
+@pytest.fixture
+def world():
+    w = World()
+    w.add_server("93.184.216.34", name="example",
+                 domains=["www.example.com", "example.com"])
+    return w
+
+
+@pytest.fixture
+def fast_world():
+    """Deterministic ~zero-latency world for protocol-logic tests."""
+    w = World(wifi_rtt_ms=2.0)
+    w.add_server("198.51.100.10", name="fixed", domains=["fixed.test"],
+                 path_oneway=Constant(1.0))
+    return w

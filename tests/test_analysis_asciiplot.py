@@ -1,0 +1,103 @@
+"""Tests for the terminal figure renderers."""
+
+import pytest
+
+from repro.analysis.asciiplot import (
+    render_bars,
+    render_cdf,
+    render_histogram,
+    render_map,
+)
+
+
+class TestRenderCdf:
+    def test_contains_marks_and_legend(self):
+        xs = [10, 50, 100, 200, 380]
+        fractions = [0.1, 0.4, 0.6, 0.85, 1.0]
+        text = render_cdf({"WiFi": (xs, fractions)}, title="Fig")
+        assert text.startswith("Fig")
+        assert "*" in text
+        assert "* WiFi" in text
+        assert "(ms)" in text
+
+    def test_multiple_series_distinct_marks(self):
+        xs = [10, 100, 390]
+        text = render_cdf({"a": (xs, [0.2, 0.6, 1.0]),
+                           "b": (xs, [0.1, 0.5, 0.9])})
+        assert "o b" in text and "* a" in text
+
+    def test_values_beyond_max_x_clipped(self):
+        text = render_cdf({"s": ([10, 9999], [0.5, 1.0])}, max_x=400)
+        # No crash, mark for 10 present.
+        assert "*" in text
+
+    def test_monotone_rows(self):
+        # Every line fits the declared width budget.
+        text = render_cdf({"s": ([1, 399], [0.01, 0.99])}, width=30,
+                          height=8)
+        for line in text.splitlines():
+            assert len(line) <= 30 + 15
+
+
+class TestRenderBars:
+    def test_bars_proportional(self):
+        text = render_bars([("USA", 790), ("UK", 116)])
+        lines = text.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+        assert "790" in lines[0]
+
+    def test_zero_value_has_no_bar(self):
+        text = render_bars([("a", 10), ("b", 0)])
+        assert "| 0" in text.splitlines()[1].replace("#", "")
+
+    def test_empty_items(self):
+        assert render_bars([], title="t") == "t"
+
+
+class TestRenderMap:
+    def test_known_locations_plot_in_right_quadrant(self):
+        # New York (~40N, 74W) should land in the upper-left quadrant.
+        text = render_map([(40.7, -74.0)], width=72, height=24)
+        rows = [line for line in text.splitlines()
+                if line.startswith("|")]
+        marked = [(r, line.index("."))
+                  for r, line in enumerate(rows) if "." in line]
+        assert marked
+        row, col = marked[0]
+        assert row < len(rows) / 2       # northern hemisphere
+        assert col < 72 / 2              # western hemisphere
+
+    def test_density_escalates(self):
+        same = [(10.0, 10.0)] * 5
+        text = render_map(same, width=36, height=12)
+        assert "#" in text
+
+    def test_count_in_footer(self):
+        text = render_map([(0, 0), (1, 1)])
+        assert "2 locations" in text
+
+
+class TestRenderHistogram:
+    def test_counts_sum_preserved(self):
+        values = [1, 2, 3, 4, 5, 50, 90]
+        text = render_histogram(values, bins=3)
+        totals = sum(int(line.rsplit(" ", 1)[1])
+                     for line in text.splitlines())
+        assert totals == len(values)
+
+    def test_empty_values(self):
+        assert render_histogram([], title="t") == "t"
+
+
+class TestWithCampaign:
+    def test_fig9_cdf_renders(self, campaign_store):
+        from repro.analysis import app_rtt_cdfs
+        cdfs = app_rtt_cdfs(campaign_store)
+        text = render_cdf(cdfs, title="Figure 9(a)")
+        assert "All" in text and "WiFi" in text
+
+    def test_fig8_map_renders(self, campaign_store):
+        from repro.analysis import location_scatter
+        locations = location_scatter(campaign_store)
+        text = render_map(locations, title="Figure 8")
+        assert text.count("#") > 5  # dense North America / Europe

@@ -1,0 +1,134 @@
+"""Baseline comparator tests: tcpdump, MobiPerf, config factories."""
+
+import pytest
+
+from repro.baselines import (
+    MobiPerf,
+    TcpdumpCapture,
+    haystack_config,
+    mopeye_default_config,
+    privacyguard_config,
+    toyvpn_config,
+)
+from repro.phone import App
+
+
+class TestTcpdump:
+    def test_pairs_syn_with_synack(self, world):
+        capture = TcpdumpCapture()
+        world.internet.add_tap(capture.tap)
+        app = App(world.device, "com.example.app")
+        world.run_process(app.request("93.184.216.34", 80, b"x\n"))
+        assert len(capture.samples) == 1
+        key, _ts, rtt = capture.samples[0]
+        assert key[2] == "93.184.216.34"
+        assert 0 < rtt < 200
+
+    def test_rtt_matches_app_observed_connect(self, world):
+        capture = TcpdumpCapture()
+        world.internet.add_tap(capture.tap)
+        app = App(world.device, "com.example.app")
+        world.run_process(app.request("93.184.216.34", 80, b"x\n"))
+        wire_rtt = capture.rtts("93.184.216.34")[0]
+        app_rtt = app.connect_samples[0][2]
+        # Direct (non-VPN) path: app connect ~= wire RTT + issue costs.
+        assert abs(app_rtt - wire_rtt) < 1.0
+
+    def test_mean_rtt_filters_by_destination(self, world):
+        world.add_server("203.0.113.77", name="other")
+        capture = TcpdumpCapture()
+        world.internet.add_tap(capture.tap)
+        app = App(world.device, "com.example.app")
+        world.run_process(app.request("93.184.216.34", 80, b"x\n"))
+        world.run_process(app.request("203.0.113.77", 80, b"x\n"))
+        assert capture.mean_rtt("93.184.216.34") is not None
+        assert capture.mean_rtt("203.0.113.77") is not None
+        assert capture.mean_rtt("198.18.99.99") is None
+
+    def test_clear_resets(self, world):
+        capture = TcpdumpCapture()
+        world.internet.add_tap(capture.tap)
+        app = App(world.device, "com.example.app")
+        world.run_process(app.request("93.184.216.34", 80, b"x\n"))
+        capture.clear()
+        assert capture.samples == []
+
+
+class TestMobiPerf:
+    def test_ping_reports_inflated_rtt(self, world):
+        capture = TcpdumpCapture()
+        world.internet.add_tap(capture.tap)
+        mobiperf = MobiPerf(world.device)
+
+        def run():
+            mean = yield from mobiperf.ping_run("93.184.216.34",
+                                                rounds=10)
+            return mean
+
+        reported = world.run_process(run())
+        wire = capture.mean_rtt("93.184.216.34")
+        delta = reported - wire
+        # Table 2: MobiPerf deviates by ~12 ms and up; MopEye stays <1.
+        assert delta > 5.0
+
+    def test_ping_deviation_grows_with_rtt(self, world):
+        from repro.sim.distributions import Constant
+        world.add_server("108.160.166.126", name="dropbox",
+                        path_oneway=Constant(140.0))
+        capture = TcpdumpCapture()
+        world.internet.add_tap(capture.tap)
+        mobiperf = MobiPerf(world.device)
+
+        def run(ip):
+            mean = yield from mobiperf.ping_run(ip, rounds=10)
+            return mean
+
+        near = world.run_process(run("93.184.216.34"))
+        far = world.run_process(run("108.160.166.126"), until=600000)
+        near_delta = near - capture.mean_rtt("93.184.216.34")
+        far_delta = far - capture.mean_rtt("108.160.166.126")
+        assert far_delta > near_delta
+
+    def test_reported_values_are_ms_granular(self, world):
+        mobiperf = MobiPerf(world.device)
+
+        def run():
+            yield from mobiperf.ping_run("93.184.216.34", rounds=3)
+
+        world.run_process(run())
+        for value in mobiperf.samples_ms:
+            assert value == int(value)
+
+
+class TestConfigFactories:
+    def test_mopeye_defaults(self):
+        config = mopeye_default_config()
+        assert config.tun_read_mode == "blocking"
+        assert config.write_scheme == "queueWrite"
+        assert config.put_scheme == "newPut"
+        assert config.mapping_mode == "lazy"
+        assert config.per_packet_inspection_ms == 0.0
+
+    def test_haystack_profile(self):
+        config = haystack_config()
+        assert config.tun_read_mode == "adaptive"
+        assert config.mapping_mode == "cache"
+        assert config.protect_mode == "protect"
+        assert config.per_packet_inspection_ms > 0
+        assert config.base_memory_bytes > 100 * 1024 * 1024
+
+    def test_toyvpn_sleeps_100ms(self):
+        config = toyvpn_config()
+        assert config.tun_read_mode == "sleep"
+        assert config.tun_read_sleep_ms == 100.0
+
+    def test_privacyguard_sleeps_20ms(self):
+        config = privacyguard_config()
+        assert config.tun_read_sleep_ms == 20.0
+
+    def test_invalid_config_rejected(self):
+        from repro.core import MopEyeConfig
+        with pytest.raises(ValueError):
+            MopEyeConfig(tun_read_mode="spin").validate()
+        with pytest.raises(ValueError):
+            MopEyeConfig(mss=0).validate()

@@ -1,0 +1,58 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestDemo:
+    def test_demo_prints_measurements(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "collected" in out
+        assert "TCP" in out and "DNS" in out
+        assert "com.example.app" in out
+
+
+class TestCrowd:
+    def test_crowd_prints_statistics(self, capsys):
+        assert main(["crowd", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "devices" in out
+        assert "app-RTT medians" in out
+        assert "DNS medians" in out
+
+    def test_crowd_export_jsonl(self, tmp_path, capsys):
+        path = str(tmp_path / "out.jsonl")
+        assert main(["crowd", "--scale", "0.002", "--export",
+                     path]) == 0
+        from repro.core import load_jsonl
+        store = load_jsonl(path)
+        assert len(store) > 100
+
+    def test_crowd_export_csv(self, tmp_path, capsys):
+        path = str(tmp_path / "out.csv")
+        assert main(["crowd", "--scale", "0.002", "--export",
+                     path]) == 0
+        from repro.core import load_csv
+        store = load_csv(path)
+        assert len(store) > 100
+
+    def test_crowd_deterministic_seed(self, tmp_path, capsys):
+        a = str(tmp_path / "a.jsonl")
+        b = str(tmp_path / "b.jsonl")
+        main(["crowd", "--scale", "0.002", "--seed", "5",
+              "--export", a])
+        main(["crowd", "--scale", "0.002", "--seed", "5",
+              "--export", b])
+        assert open(a).read() == open(b).read()
+
+
+class TestArgs:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

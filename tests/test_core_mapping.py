@@ -1,0 +1,131 @@
+"""Packet-to-app mapping tests (section 3.3)."""
+
+import pytest
+
+from repro.core import MopEyeConfig, MopEyeService
+from repro.phone import App
+
+
+def make_mopeye(world, **config_kwargs):
+    service = MopEyeService(world.device,
+                            MopEyeConfig(**config_kwargs))
+    service.start()
+    return service
+
+
+class TestLazyMapper:
+    def test_single_connection_maps_correctly(self, world):
+        mopeye = make_mopeye(world, mapping_mode="lazy")
+        app = App(world.device, "com.whatsapp")
+        world.run_process(app.request("93.184.216.34", 443, b"x\n"))
+        records = list(mopeye.store.tcp())
+        assert records[0].app_package == "com.whatsapp"
+        assert mopeye.mapper.stats.parses == 1
+
+    def test_concurrent_burst_single_parser(self, world):
+        """Many simultaneous socket-connect threads: only a fraction
+        parse; the rest are served by a peer's snapshot."""
+        mopeye = make_mopeye(world, mapping_mode="lazy")
+        apps = [App(world.device, "com.app%d" % i) for i in range(12)]
+
+        def burst():
+            fetches = [world.sim.process(a.request("93.184.216.34", 80,
+                                                   b"q\n"))
+                       for a in apps]
+            yield world.sim.all_of(fetches)
+
+        world.run_process(burst())
+        stats = mopeye.mapper.stats
+        assert stats.threads == 12
+        assert stats.parses < 12          # lazy sharing kicked in
+        assert stats.served_by_peer > 0
+        assert stats.mitigation_rate > 0.0
+        # Every record still attributed to the right app.
+        by_app = mopeye.store.tcp().by_app()
+        assert len(by_app) == 12
+        for package, records in by_app.items():
+            assert package.startswith("com.app")
+            assert len(records) == 1
+
+    def test_mapping_does_not_delay_handshake(self, world):
+        """App-observed connect time must not include the proc parse
+        (which costs ~8 ms median)."""
+        mopeye = make_mopeye(world, mapping_mode="lazy")
+        eager_world_overheads = []
+        app = App(world.device, "com.example.app")
+        world.run_process(app.request("93.184.216.34", 80, b"x\n"))
+        app_connect_ms = app.connect_samples[0][2]
+        mopeye_rtt = list(mopeye.store.tcp())[0].rtt_ms
+        # Relay overhead app-side should be a couple ms, far below the
+        # parse cost it would pay if mapping were inline.
+        assert app_connect_ms - mopeye_rtt < 5.0
+
+    def test_overheads_recorded_per_thread(self, world):
+        mopeye = make_mopeye(world, mapping_mode="lazy")
+        app = App(world.device, "com.example.app")
+        for _ in range(3):
+            world.run_process(app.request("93.184.216.34", 80, b"x\n"))
+        assert len(mopeye.mapper.stats.overheads_ms) == 3
+
+
+class TestEagerMapper:
+    def test_every_syn_parses(self, world):
+        mopeye = make_mopeye(world, mapping_mode="eager")
+        app = App(world.device, "com.example.app")
+        for _ in range(4):
+            world.run_process(app.request("93.184.216.34", 80, b"x\n"))
+        stats = mopeye.mapper.stats
+        assert stats.parses == 4
+        assert stats.mitigation_rate == 0.0
+        # Overheads follow the Figure 5(a) cost model: median ~7.8 ms.
+        assert all(cost > 0 for cost in stats.overheads_ms)
+
+    def test_attribution_still_correct(self, world):
+        mopeye = make_mopeye(world, mapping_mode="eager")
+        app = App(world.device, "com.instagram.android")
+        world.run_process(app.request("93.184.216.34", 443, b"x\n"))
+        assert list(mopeye.store.tcp())[0].app_package == \
+            "com.instagram.android"
+
+
+class TestCacheMapper:
+    def test_cache_hit_avoids_parse(self, world):
+        mopeye = make_mopeye(world, mapping_mode="cache")
+        app = App(world.device, "com.example.app")
+        for _ in range(3):
+            world.run_process(app.request("93.184.216.34", 80, b"x\n"))
+        assert mopeye.mapper.stats.parses == 1
+        assert mopeye.mapper.hits == 2
+
+    def test_cache_misattributes_shared_endpoint(self, world):
+        """Section 3.3's correctness argument: Facebook-app traffic and
+        Chrome-to-Facebook traffic share a server endpoint, and the
+        cache pins the endpoint to whichever app connected first."""
+        mopeye = make_mopeye(world, mapping_mode="cache")
+        facebook = App(world.device, "com.facebook.katana")
+        chrome = App(world.device, "com.android.chrome")
+        world.run_process(facebook.request("93.184.216.34", 443, b"x\n"))
+        world.run_process(chrome.request("93.184.216.34", 443, b"x\n"))
+        records = list(mopeye.store.tcp())
+        assert records[0].app_package == "com.facebook.katana"
+        # WRONG attribution: Chrome's connection blamed on Facebook.
+        assert records[1].app_package == "com.facebook.katana"
+
+    def test_lazy_gets_shared_endpoint_right(self, world):
+        mopeye = make_mopeye(world, mapping_mode="lazy")
+        facebook = App(world.device, "com.facebook.katana")
+        chrome = App(world.device, "com.android.chrome")
+        world.run_process(facebook.request("93.184.216.34", 443, b"x\n"))
+        world.run_process(chrome.request("93.184.216.34", 443, b"x\n"))
+        packages = [r.app_package for r in mopeye.store.tcp()]
+        assert packages == ["com.facebook.katana", "com.android.chrome"]
+
+
+class TestNullMapper:
+    def test_off_mode_records_without_attribution(self, world):
+        mopeye = make_mopeye(world, mapping_mode="off")
+        app = App(world.device, "com.example.app")
+        world.run_process(app.request("93.184.216.34", 80, b"x\n"))
+        record = list(mopeye.store.tcp())[0]
+        assert record.app_package is None
+        assert mopeye.mapper.stats.parses == 0

@@ -1,0 +1,146 @@
+"""TunReader (section 3.1) and TunWriter (section 3.5.1) tests."""
+
+import pytest
+
+from repro.core import MopEyeConfig, MopEyeService
+from repro.phone import App
+
+
+def make_mopeye(world, **config_kwargs):
+    service = MopEyeService(world.device, MopEyeConfig(**config_kwargs))
+    service.start()
+    return service
+
+
+def traffic(world, app, n=5):
+    for _ in range(n):
+        world.run_process(app.request("93.184.216.34", 80, b"x\n"))
+
+
+class TestTunReader:
+    def test_blocking_mode_zero_retrieval_delay(self, world):
+        mopeye = make_mopeye(world, tun_read_mode="blocking")
+        app = App(world.device, "com.example.app")
+        traffic(world, app)
+        delays = mopeye.tun.retrieval_delays
+        assert delays, "no packets retrieved"
+        # Zero-delay claim: the reader is parked in read() so packets
+        # are handed over the instant they arrive.
+        assert max(delays) < 0.5
+
+    def test_sleep_mode_adds_retrieval_delay(self, world):
+        mopeye = make_mopeye(world, tun_read_mode="sleep",
+                             tun_read_sleep_ms=100.0,
+                             mapping_mode="off")
+        app = App(world.device, "com.example.app")
+        traffic(world, app, n=4)
+        delays = mopeye.tun.retrieval_delays
+        # With a 100 ms poll the average delay is tens of ms.
+        mean = sum(delays) / len(delays)
+        assert mean > 10.0
+
+    def test_adaptive_mode_beats_fixed_sleep(self, world):
+        fixed = make_mopeye(world, tun_read_mode="sleep",
+                            tun_read_sleep_ms=100.0, mapping_mode="off")
+        app = App(world.device, "com.example.app")
+        traffic(world, app, n=4)
+        fixed_mean = (sum(fixed.tun.retrieval_delays)
+                      / len(fixed.tun.retrieval_delays))
+        world.run_process(fixed.stop())
+
+        adaptive = make_mopeye(world, tun_read_mode="adaptive",
+                               mapping_mode="off")
+        traffic(world, app, n=4)
+        adaptive_mean = (sum(adaptive.tun.retrieval_delays)
+                         / len(adaptive.tun.retrieval_delays))
+        assert adaptive_mean < fixed_mean
+
+    def test_blocking_mode_uses_reflection_below_sdk_21(self):
+        from tests.conftest import World
+        old_world = World(sdk=19)
+        old_world.add_server("93.184.216.34")
+        mopeye = make_mopeye(old_world)  # auto -> per-socket protect
+        assert mopeye.tun.blocking
+        assert mopeye.per_socket_protect
+        app = App(old_world.device, "com.example.app")
+        response = old_world.run_process(
+            app.request("93.184.216.34", 80, b"x\n"))
+        assert response == b"x\n"
+        assert mopeye.vpn.protect_calls >= 1
+
+    def test_blocking_reader_idle_cpu_is_zero(self, world):
+        mopeye = make_mopeye(world, mapping_mode="off")
+        world.run(until=10000)  # 10 idle seconds
+        busy = world.device.cpu.total("mopeye.tunreader")
+        assert busy == 0.0
+
+    def test_polling_reader_burns_idle_cpu(self, world):
+        mopeye = make_mopeye(world, tun_read_mode="sleep",
+                             tun_read_sleep_ms=20.0, mapping_mode="off")
+        world.run(until=10000)
+        busy = world.device.cpu.total("mopeye.tunreader")
+        assert busy > 0.0
+        assert mopeye.tun_reader.empty_polls > 100
+
+
+class TestTunWriter:
+    def test_queue_write_records_put_costs(self, world):
+        mopeye = make_mopeye(world, write_scheme="queueWrite",
+                             put_scheme="newPut")
+        app = App(world.device, "com.example.app")
+        traffic(world, app)
+        assert len(mopeye.tun_writer.put_costs_ms) >= 5
+        assert mopeye.tun_writer.packets_written >= 5
+
+    def test_direct_write_records_costs(self, world):
+        mopeye = make_mopeye(world, write_scheme="directWrite")
+        app = App(world.device, "com.example.app")
+        traffic(world, app)
+        assert len(mopeye.tun_writer.direct_write_costs_ms) >= 5
+        assert mopeye.tun_writer.packets_written >= 5
+
+    def test_new_put_cheaper_than_old_put(self, world):
+        """The Table 1 claim: newPut's producer-side costs have far
+        fewer multi-ms outliers than oldPut's."""
+        old = make_mopeye(world, put_scheme="oldPut", mapping_mode="off")
+        app = App(world.device, "com.example.app")
+        traffic(world, app, n=20)
+        old_costs = list(old.tun_writer.put_costs_ms)
+        world.run_process(old.stop())
+
+        new = make_mopeye(world, put_scheme="newPut", mapping_mode="off")
+        traffic(world, app, n=20)
+        new_costs = list(new.tun_writer.put_costs_ms)
+
+        old_large = sum(1 for c in old_costs if c > 1.0) / len(old_costs)
+        new_large = sum(1 for c in new_costs if c > 1.0) / len(new_costs)
+        assert new_large <= old_large
+
+    def test_relay_still_correct_under_every_scheme(self, world):
+        app = App(world.device, "com.example.app")
+        for kwargs in (dict(write_scheme="directWrite"),
+                       dict(write_scheme="queueWrite",
+                            put_scheme="oldPut"),
+                       dict(write_scheme="queueWrite",
+                            put_scheme="newPut")):
+            mopeye = make_mopeye(world, mapping_mode="off", **kwargs)
+            response = world.run_process(
+                app.request("93.184.216.34", 80, b"scheme\n"))
+            assert response == b"scheme\n"
+            world.run_process(mopeye.stop())
+
+
+class TestSelectorIntegration:
+    def test_wakeup_count_tracks_tunnel_packets(self, world):
+        mopeye = make_mopeye(world, mapping_mode="off")
+        app = App(world.device, "com.example.app")
+        traffic(world, app, n=3)
+        assert mopeye.selector.wakeups >= 3
+        assert mopeye.main_worker.loops >= 3
+
+    def test_register_runs_in_connect_thread(self, world):
+        mopeye = make_mopeye(world, mapping_mode="off")
+        app = App(world.device, "com.example.app")
+        traffic(world, app, n=2)
+        # register() cost charged to the selector.register component.
+        assert world.device.cpu.total("selector.register") > 0

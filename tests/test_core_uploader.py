@@ -1,0 +1,135 @@
+"""End-to-end tests: device measurements reach the collection backend."""
+
+import pytest
+
+from repro.core import MopEyeService
+from repro.core.uploader import MeasurementUploader
+from repro.network.collector import CollectorServer
+from repro.phone import App
+
+
+@pytest.fixture
+def upload_world(world):
+    collector = CollectorServer(world.sim, ["198.51.100.200"],
+                                name="collector")
+    world.internet.add_server(collector)
+    mopeye = MopEyeService(world.device)
+    mopeye.start()
+    world.collector = collector
+    world.mopeye = mopeye
+    return world
+
+
+def generate_measurements(world, n=12):
+    app = App(world.device, "com.example.app")
+    for i in range(n):
+        world.run_process(app.request("93.184.216.34", 80,
+                                      b"m%d\n" % i))
+
+
+class TestUploader:
+    def test_batch_reaches_collector_intact(self, upload_world):
+        w = upload_world
+        uploader = MeasurementUploader(w.mopeye, "198.51.100.200",
+                                       interval_ms=5000.0,
+                                       min_batch=5)
+        uploader.start()
+        generate_measurements(w, n=12)
+        w.run(until=30000)
+        assert uploader.batches >= 1
+        assert uploader.uploaded == len(w.collector.received)
+        # Byte-exact round trip: every collected record is one the
+        # device actually measured.
+        sent = {round(r.rtt_ms, 9) for r in w.mopeye.store}
+        got = {round(r.rtt_ms, 9) for r in w.collector.received}
+        assert got <= sent
+        assert got
+        record = next(iter(w.collector.received.tcp()))
+        assert record.app_package == "com.example.app"
+
+    def test_small_backlog_waits_for_min_batch(self, upload_world):
+        w = upload_world
+        uploader = MeasurementUploader(w.mopeye, "198.51.100.200",
+                                       interval_ms=2000.0,
+                                       min_batch=50)
+        uploader.start()
+        generate_measurements(w, n=4)
+        w.run(until=20000)
+        assert uploader.batches == 0
+        assert len(w.collector.received) == 0
+
+    def test_upload_traffic_not_measured(self, upload_world):
+        """The uploader's own connections bypass the tunnel: they must
+        never show up as measurements (zero self-interference)."""
+        w = upload_world
+        uploader = MeasurementUploader(w.mopeye, "198.51.100.200",
+                                       interval_ms=3000.0,
+                                       min_batch=2)
+        uploader.start()
+        generate_measurements(w, n=6)
+        w.run(until=30000)
+        assert uploader.batches >= 1
+        collector_records = [r for r in w.mopeye.store.tcp()
+                             if r.dst_ip == "198.51.100.200"]
+        assert collector_records == []
+
+    def test_failure_keeps_cursor(self, upload_world):
+        w = upload_world
+        uploader = MeasurementUploader(w.mopeye, "203.0.113.99",
+                                       interval_ms=2000.0, min_batch=2)
+        uploader.start()
+        generate_measurements(w, n=6)
+        w.run(until=30000)
+        assert uploader.failures >= 1
+        assert uploader.uploaded == 0
+        # Records stay pending for a later retry.
+        assert len(uploader._pending()) >= 6
+
+    def test_stop_halts_thread(self, upload_world):
+        w = upload_world
+        uploader = MeasurementUploader(w.mopeye, "198.51.100.200",
+                                       interval_ms=1000.0)
+        uploader.start()
+        uploader.stop()
+        w.run(until=5000)
+        assert uploader._thread.triggered
+
+    def test_double_start_rejected(self, upload_world):
+        uploader = MeasurementUploader(upload_world.mopeye,
+                                       "198.51.100.200")
+        uploader.start()
+        with pytest.raises(RuntimeError):
+            uploader.start()
+
+
+class TestCollectorProtocol:
+    def test_malformed_header_counted(self, upload_world):
+        w = upload_world
+        socket = w.device.create_tcp_socket(w.mopeye.uid,
+                                            protected=True)
+
+        def run():
+            yield socket.connect("198.51.100.200", 443)
+            socket.send(b"NONSENSE HEADER\n")
+            yield w.sim.timeout(2000)
+            socket.close()
+
+        w.run_process(run())
+        assert w.collector.malformed >= 1
+
+    def test_malformed_json_line_skipped(self, upload_world):
+        w = upload_world
+        socket = w.device.create_tcp_socket(w.mopeye.uid,
+                                            protected=True)
+        payload = b'{"not a record": true}\n'
+
+        def run():
+            yield socket.connect("198.51.100.200", 443)
+            socket.send(b"PUSH %d\n" % len(payload))
+            socket.send(payload)
+            response = yield socket.recv()
+            socket.close()
+            return response
+
+        assert w.run_process(run()) == b"ACK 0\n"
+        assert w.collector.malformed >= 1

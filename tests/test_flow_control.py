@@ -1,0 +1,106 @@
+"""Flow-control tests: the peer's receive window gates transmission."""
+
+import pytest
+
+from repro.core import MopEyeConfig, MopEyeService
+from repro.phone import App
+
+
+class TestKernelSocketWindow:
+    def test_inflight_capped_by_peer_window(self, world):
+        socket = world.device.create_tcp_socket(10001)
+
+        def main():
+            yield socket.connect("93.184.216.34", 80)
+            # The server advertises 65,535; a 200 KB send must queue.
+            socket.send(b"u" * 200000)
+            return socket._inflight(), len(socket._send_buffer)
+
+        inflight, queued = world.run_process(main())
+        assert inflight <= 65535
+        assert queued > 0
+
+    def test_buffer_drains_as_acks_arrive(self, world):
+        socket = world.device.create_tcp_socket(10001)
+
+        def main():
+            yield socket.connect("93.184.216.34", 80)
+            socket.send(b"UPLOAD 200000\n")
+            socket.send(b"u" * 200000)
+            confirmation = yield socket.recv()
+            return confirmation, len(socket._send_buffer)
+
+        confirmation, remaining = world.run_process(main())
+        assert confirmation == b"OK"
+        assert remaining == 0
+
+    def test_close_with_queued_data_defers_fin(self, world):
+        socket = world.device.create_tcp_socket(10001)
+
+        def main():
+            yield socket.connect("93.184.216.34", 80)
+            socket.send(b"UPLOAD 150000\n")
+            socket.send(b"u" * 150000)
+            socket.close()              # FIN must wait for the drain
+            deferred = socket._fin_pending
+            confirmation = yield socket.recv()
+            yield world.sim.timeout(2000)
+            return deferred, confirmation
+
+        deferred, confirmation = world.run_process(main())
+        assert deferred                # close() deferred the FIN
+        assert confirmation == b"OK"   # all data still arrived
+
+    def test_small_window_still_correct_through_relay(self, world):
+        """A tiny MopEye receive window slows apps down but never
+        corrupts data (the section 3.4 rationale for 65,535)."""
+        mopeye = MopEyeService(world.device,
+                               MopEyeConfig(window=4096,
+                                            mapping_mode="off"))
+        mopeye.start()
+        app = App(world.device, "com.windowed")
+        size = 80000
+
+        def main():
+            socket = yield from app.timed_connect("93.184.216.34", 80)
+            socket.send(b"UPLOAD %d\n" % size)
+            socket.send(b"u" * size)
+            confirmation = yield socket.recv()
+            socket.close()
+            return confirmation
+
+        assert world.run_process(main(), until=2e6) == b"OK"
+
+    def test_window_throughput_tradeoff(self):
+        """Upload completion time grows as the advertised window
+        shrinks below the bandwidth-delay product.  On a fast link the
+        stop-and-wait cycle of a tiny window dominates."""
+        from tests.conftest import World
+        # Fast, short path: the BDP stays under 64 KB so the full
+        # window never binds, while a 1 KB window forces stop-and-wait.
+        world = World(bandwidth_mbps=200.0, wifi_rtt_ms=2.0)
+        world.add_server("93.184.216.34", name="fat-pipe")
+        durations = {}
+        size = 120000
+        for window in (65535, 1024):
+            mopeye = MopEyeService(world.device,
+                                   MopEyeConfig(window=window,
+                                                mapping_mode="off"))
+            mopeye.start()
+            app = App(world.device, "com.win%d" % window)
+
+            def main():
+                socket = yield from app.timed_connect(
+                    "93.184.216.34", 80)
+                start = world.sim.now
+                socket.send(b"UPLOAD %d\n" % size)
+                socket.send(b"u" * size)
+                yield socket.recv()
+                elapsed = world.sim.now - start
+                socket.close()
+                return elapsed
+
+            durations[window] = world.run_process(main(), until=2e6)
+            world.run_process(mopeye.stop())
+
+        assert durations[1024] > 1.5 * durations[65535]

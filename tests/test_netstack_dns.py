@@ -1,0 +1,152 @@
+"""Tests for the DNS message codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netstack import (
+    DNSError,
+    DNSMessage,
+    DNSQuestion,
+    DNSResourceRecord,
+    QTYPE_A,
+    QTYPE_AAAA,
+    RCODE_NOERROR,
+    RCODE_NXDOMAIN,
+)
+from repro.netstack.dns import QTYPE_CNAME, decode_name, encode_name
+
+
+class TestNameCodec:
+    def test_simple_roundtrip(self):
+        raw = encode_name("graph.facebook.com")
+        name, offset = decode_name(raw, 0)
+        assert name == "graph.facebook.com"
+        assert offset == len(raw)
+
+    def test_root_name(self):
+        assert encode_name("") == b"\x00"
+        assert encode_name(".") == b"\x00"
+
+    def test_trailing_dot_stripped(self):
+        assert encode_name("example.com.") == encode_name("example.com")
+
+    def test_label_too_long_rejected(self):
+        with pytest.raises(DNSError):
+            encode_name("a" * 64 + ".com")
+
+    def test_name_too_long_rejected(self):
+        with pytest.raises(DNSError):
+            encode_name(".".join(["abcdefgh"] * 40))
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(DNSError):
+            encode_name("foo..bar")
+
+    def test_compression_pointer(self):
+        # "www.example.com" at offset 0, then a pointer to "example.com"
+        # at offset 4 (skipping the "www" label).
+        base = encode_name("www.example.com")
+        pointed = base + b"\xC0\x04"
+        name, next_offset = decode_name(pointed, len(base))
+        assert name == "example.com"
+        assert next_offset == len(base) + 2
+
+    def test_pointer_loop_detected(self):
+        data = b"\xC0\x00"
+        with pytest.raises(DNSError):
+            decode_name(data, 0)
+
+    def test_truncated_name(self):
+        with pytest.raises(DNSError):
+            decode_name(b"\x05abc", 0)
+
+
+class TestDNSMessage:
+    def test_query_roundtrip(self):
+        query = DNSMessage.query(0x1234, "api.whatsapp.net")
+        back = DNSMessage.decode(query.encode())
+        assert back.txid == 0x1234
+        assert not back.is_response
+        assert back.recursion_desired
+        assert back.questions == [DNSQuestion("api.whatsapp.net", QTYPE_A)]
+
+    def test_response_roundtrip_with_a_record(self):
+        query = DNSMessage.query(7, "mmg.whatsapp.net")
+        response = query.response(
+            [DNSResourceRecord.a_record("mmg.whatsapp.net", "31.13.79.251",
+                                        ttl=120)])
+        back = DNSMessage.decode(response.encode())
+        assert back.is_response
+        assert back.txid == 7
+        assert back.rcode == RCODE_NOERROR
+        assert len(back.answers) == 1
+        assert back.answers[0].address == "31.13.79.251"
+        assert back.answers[0].ttl == 120
+
+    def test_nxdomain_response(self):
+        query = DNSMessage.query(9, "no.such.domain")
+        response = query.response([], rcode=RCODE_NXDOMAIN)
+        back = DNSMessage.decode(response.encode())
+        assert back.rcode == RCODE_NXDOMAIN
+        assert back.answers == []
+
+    def test_cname_record_roundtrip(self):
+        rr = DNSResourceRecord.cname_record("www.example.com",
+                                            "example.cdn.net")
+        message = DNSMessage(1, is_response=True, answers=[rr])
+        back = DNSMessage.decode(message.encode())
+        assert back.answers[0].rtype == QTYPE_CNAME
+
+    def test_aaaa_question(self):
+        query = DNSMessage.query(2, "example.com", qtype=QTYPE_AAAA)
+        back = DNSMessage.decode(query.encode())
+        assert back.questions[0].qtype == QTYPE_AAAA
+
+    def test_address_property_rejects_non_a(self):
+        rr = DNSResourceRecord.cname_record("a.com", "b.com")
+        with pytest.raises(DNSError):
+            _ = rr.address
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(DNSError):
+            DNSMessage.decode(b"\x00\x01\x02")
+
+    def test_truncated_question_rejected(self):
+        query = DNSMessage.query(1, "example.com").encode()
+        with pytest.raises(DNSError):
+            DNSMessage.decode(query[:-2])
+
+    def test_txid_wraps_to_16_bits(self):
+        assert DNSMessage.query(0x1_FFFF, "a.com").txid == 0xFFFF
+
+    def test_question_equality_case_insensitive(self):
+        assert DNSQuestion("Example.COM") == DNSQuestion("example.com")
+        assert hash(DNSQuestion("Example.COM")) == hash(
+            DNSQuestion("example.com"))
+
+
+_label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+                 min_size=1, max_size=15).filter(
+                     lambda s: not s.startswith("-") and not s.endswith("-"))
+_domain = st.lists(_label, min_size=1, max_size=4).map(".".join)
+
+
+@given(_domain, st.integers(0, 0xFFFF))
+@settings(max_examples=60)
+def test_query_roundtrip_property(name, txid):
+    back = DNSMessage.decode(DNSMessage.query(txid, name).encode())
+    assert back.txid == txid
+    assert back.questions[0].name == name
+
+
+@given(_domain, st.integers(0, 0xFFFFFFFF))
+@settings(max_examples=60)
+def test_a_record_roundtrip_property(name, address_int):
+    from repro.netstack import ip_to_str
+    address = ip_to_str(address_int)
+    rr = DNSResourceRecord.a_record(name, address)
+    message = DNSMessage(1, is_response=True,
+                         questions=[DNSQuestion(name)], answers=[rr])
+    back = DNSMessage.decode(message.encode())
+    assert back.answers[0].address == address

@@ -1,0 +1,256 @@
+"""Tests for the RFC 793 user-space TCP state machine."""
+
+import pytest
+
+from repro.netstack import (
+    ACK,
+    SYN,
+    TCPSegment,
+    TCPState,
+    TCPStateError,
+    TCPStateMachine,
+)
+from repro.netstack.tcp_state import seq_add, seq_lt
+
+
+def make_machine(**kwargs):
+    defaults = dict(local_ip="10.0.0.2", local_port=43210,
+                    remote_ip="31.13.79.251", remote_port=443, isn=5000)
+    defaults.update(kwargs)
+    return TCPStateMachine(**defaults)
+
+
+def app_syn(seq=100, mss=1400):
+    return TCPSegment(43210, 443, seq=seq, ack=0, flags=SYN, mss=mss)
+
+
+def do_handshake(machine, seq=100):
+    machine.on_syn(app_syn(seq=seq))
+    syn_ack = machine.make_syn_ack()
+    ack = TCPSegment(43210, 443, seq=seq + 1,
+                     ack=seq_add(syn_ack.seq, 1), flags=ACK)
+    machine.on_handshake_ack(ack)
+    return syn_ack
+
+
+class TestSequenceArithmetic:
+    def test_seq_add_wraps(self):
+        assert seq_add(0xFFFFFFFF, 2) == 1
+
+    def test_seq_lt_simple(self):
+        assert seq_lt(5, 10)
+        assert not seq_lt(10, 5)
+
+    def test_seq_lt_across_wrap(self):
+        assert seq_lt(0xFFFFFFF0, 5)
+        assert not seq_lt(5, 0xFFFFFFF0)
+
+
+class TestHandshake:
+    def test_starts_in_listen(self):
+        assert make_machine().state == TCPState.LISTEN
+
+    def test_syn_moves_to_syn_received(self):
+        machine = make_machine()
+        machine.on_syn(app_syn())
+        assert machine.state == TCPState.SYN_RECEIVED
+        assert machine.rcv_nxt == 101
+        assert machine.peer_mss == 1400
+
+    def test_syn_ack_carries_mss_1460(self):
+        machine = make_machine()
+        machine.on_syn(app_syn())
+        syn_ack = machine.make_syn_ack()
+        assert syn_ack.is_syn_ack
+        assert syn_ack.mss == 1460
+        assert syn_ack.window == 65535
+        assert syn_ack.ack == 101
+
+    def test_syn_ack_consumes_sequence_number(self):
+        machine = make_machine()
+        machine.on_syn(app_syn())
+        syn_ack = machine.make_syn_ack()
+        assert machine.snd_nxt == seq_add(syn_ack.seq, 1)
+
+    def test_full_handshake_establishes(self):
+        machine = make_machine()
+        do_handshake(machine)
+        assert machine.is_established
+
+    def test_syn_in_established_rejected(self):
+        machine = make_machine()
+        do_handshake(machine)
+        with pytest.raises(TCPStateError):
+            machine.on_syn(app_syn())
+
+    def test_syn_ack_before_syn_rejected(self):
+        with pytest.raises(TCPStateError):
+            make_machine().make_syn_ack()
+
+    def test_non_syn_to_listen_rejected(self):
+        machine = make_machine()
+        with pytest.raises(TCPStateError):
+            machine.on_syn(TCPSegment(1, 2, 0, 0, SYN | ACK))
+
+    def test_bad_handshake_ack_rejected(self):
+        machine = make_machine()
+        machine.on_syn(app_syn())
+        machine.make_syn_ack()
+        bad = TCPSegment(43210, 443, seq=101, ack=12345, flags=ACK)
+        with pytest.raises(TCPStateError):
+            machine.on_handshake_ack(bad)
+
+    def test_rst_refuses_connection(self):
+        machine = make_machine()
+        machine.on_syn(app_syn())
+        rst = machine.make_rst()
+        assert rst.is_rst
+        assert machine.state == TCPState.CLOSED
+
+
+class TestData:
+    def test_in_order_data_accepted(self):
+        machine = make_machine()
+        do_handshake(machine)
+        data = TCPSegment(43210, 443, seq=101, ack=machine.snd_nxt,
+                          flags=ACK, payload=b"GET /")
+        assert machine.on_data(data) == b"GET /"
+        assert machine.rcv_nxt == 106
+
+    def test_out_of_order_data_rejected(self):
+        machine = make_machine()
+        do_handshake(machine)
+        wrong = TCPSegment(43210, 443, seq=999, ack=machine.snd_nxt,
+                           flags=ACK, payload=b"x")
+        with pytest.raises(TCPStateError):
+            machine.on_data(wrong)
+
+    def test_data_on_handshake_ack_establishes(self):
+        machine = make_machine()
+        machine.on_syn(app_syn())
+        machine.make_syn_ack()
+        # App sends data together with its handshake ACK.
+        data = TCPSegment(43210, 443, seq=101, ack=machine.snd_nxt,
+                          flags=ACK, payload=b"hello")
+        assert machine.on_data(data) == b"hello"
+        assert machine.is_established
+
+    def test_deliver_chunks_by_mss(self):
+        machine = make_machine()
+        do_handshake(machine)
+        segments = machine.deliver(b"x" * 3500)
+        assert [len(s.payload) for s in segments] == [1460, 1460, 580]
+        # Sequence numbers advance without waiting for ACKs (section 3.4).
+        assert segments[1].seq == seq_add(segments[0].seq, 1460)
+        assert segments[2].seq == seq_add(segments[1].seq, 1460)
+
+    def test_deliver_sets_psh_on_last_segment(self):
+        machine = make_machine()
+        do_handshake(machine)
+        segments = machine.deliver(b"x" * 2000)
+        from repro.netstack import PSH
+        assert not segments[0].flags & PSH
+        assert segments[1].flags & PSH
+
+    def test_deliver_before_established_rejected(self):
+        machine = make_machine()
+        with pytest.raises(TCPStateError):
+            machine.deliver(b"x")
+
+    def test_ack_from_machine_reflects_rcv_nxt(self):
+        machine = make_machine()
+        do_handshake(machine)
+        machine.on_data(TCPSegment(43210, 443, seq=101,
+                                   ack=machine.snd_nxt, flags=ACK,
+                                   payload=b"abc"))
+        ack = machine.make_ack()
+        assert ack.ack == 104
+        assert ack.is_pure_ack
+
+
+class TestTeardown:
+    def test_app_fin_half_closes(self):
+        machine = make_machine()
+        do_handshake(machine)
+        fin = TCPSegment(43210, 443, seq=101, ack=machine.snd_nxt,
+                         flags=ACK | 0x01)
+        ack = machine.on_fin(fin)
+        assert machine.state == TCPState.CLOSE_WAIT
+        assert ack.ack == 102  # FIN consumes one sequence number
+
+    def test_server_close_after_app_fin_goes_last_ack_then_closed(self):
+        machine = make_machine()
+        do_handshake(machine)
+        machine.on_fin(TCPSegment(43210, 443, seq=101,
+                                  ack=machine.snd_nxt, flags=ACK | 0x01))
+        fin = machine.make_fin()
+        assert machine.state == TCPState.LAST_ACK
+        final_ack = TCPSegment(43210, 443, seq=102,
+                               ack=seq_add(fin.seq, 1), flags=ACK)
+        machine.on_fin_ack(final_ack)
+        assert machine.state == TCPState.CLOSED
+
+    def test_server_initiated_close(self):
+        machine = make_machine()
+        do_handshake(machine)
+        fin = machine.make_fin()
+        assert machine.state == TCPState.FIN_WAIT_1
+        machine.on_fin_ack(TCPSegment(43210, 443, seq=101,
+                                      ack=seq_add(fin.seq, 1), flags=ACK))
+        assert machine.state == TCPState.FIN_WAIT_2
+        machine.on_fin(TCPSegment(43210, 443, seq=101,
+                                  ack=machine.snd_nxt, flags=ACK | 0x01))
+        assert machine.state == TCPState.TIME_WAIT
+        assert machine.is_closed
+
+    def test_simultaneous_close(self):
+        machine = make_machine()
+        do_handshake(machine)
+        our_fin = machine.make_fin()
+        assert machine.state == TCPState.FIN_WAIT_1
+        machine.on_fin(TCPSegment(43210, 443, seq=101,
+                                  ack=machine.snd_nxt, flags=ACK | 0x01))
+        assert machine.state == TCPState.CLOSING
+        machine.on_fin_ack(TCPSegment(43210, 443, seq=102,
+                                      ack=seq_add(our_fin.seq, 1),
+                                      flags=ACK))
+        assert machine.state == TCPState.TIME_WAIT
+
+    def test_rst_closes_immediately(self):
+        machine = make_machine()
+        do_handshake(machine)
+        machine.on_rst()
+        assert machine.state == TCPState.CLOSED
+
+    def test_fin_in_listen_rejected(self):
+        machine = make_machine()
+        with pytest.raises(TCPStateError):
+            machine.on_fin(TCPSegment(43210, 443, seq=0, ack=0,
+                                      flags=ACK | 0x01))
+
+    def test_stale_fin_ack_ignored(self):
+        machine = make_machine()
+        do_handshake(machine)
+        machine.make_fin()
+        stale = TCPSegment(43210, 443, seq=101, ack=3, flags=ACK)
+        machine.on_fin_ack(stale)
+        assert machine.state == TCPState.FIN_WAIT_1
+
+    def test_deliver_in_close_wait_allowed(self):
+        # Server can still push data after the app half-closes.
+        machine = make_machine()
+        do_handshake(machine)
+        machine.on_fin(TCPSegment(43210, 443, seq=101,
+                                  ack=machine.snd_nxt, flags=ACK | 0x01))
+        segments = machine.deliver(b"tail")
+        assert segments and segments[0].payload == b"tail"
+
+
+class TestViews:
+    def test_four_tuple(self):
+        machine = make_machine()
+        assert machine.four_tuple == ("10.0.0.2", 43210,
+                                      "31.13.79.251", 443)
+
+    def test_repr_contains_state(self):
+        assert "LISTEN" in repr(make_machine())

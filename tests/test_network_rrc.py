@@ -1,0 +1,134 @@
+"""Tests for the RRC radio-state model."""
+
+import random
+
+import pytest
+
+from repro.network import Internet, lte_profile
+from repro.network.rrc import (
+    RrcAwareLink,
+    RrcMachine,
+    RrcProfile,
+    RrcState,
+)
+from repro.phone import AndroidDevice, App
+from repro.sim import Constant, Simulator
+
+
+def machine(sim, profile=None):
+    profile = profile or RrcProfile(
+        name="test",
+        idle_to_high_ms=Constant(300.0),
+        low_to_high_ms=Constant(50.0),
+        high_tail_ms=1000.0,
+        low_tail_ms=2000.0)
+    return RrcMachine(sim, profile)
+
+
+class TestRrcMachine:
+    def test_first_send_pays_full_promotion(self):
+        sim = Simulator()
+        m = machine(sim)
+        assert m.send_delay_ms() == 300.0
+        assert m.promotions_full == 1
+        assert m.state == RrcState.HIGH
+
+    def test_back_to_back_sends_free(self):
+        sim = Simulator()
+        m = machine(sim)
+        first = m.send_delay_ms()
+        # While the promotion is still in flight, packets queue behind
+        # it; just after it completes they are free.
+        sim.now = first + 1.0
+        assert m.send_delay_ms() == 0.0
+
+    def test_demotes_to_low_after_high_tail(self):
+        sim = Simulator()
+        m = machine(sim)
+        m.send_delay_ms()
+        sim.now = 300.0 + 1500.0  # past high tail, inside low tail
+        assert m.send_delay_ms() == 50.0
+        assert m.promotions_partial == 1
+
+    def test_demotes_to_idle_after_both_tails(self):
+        sim = Simulator()
+        m = machine(sim)
+        m.send_delay_ms()
+        sim.now = 300.0 + 1000.0 + 2000.0 + 1.0
+        assert m.send_delay_ms() == 300.0
+        assert m.promotions_full == 2
+
+    def test_current_state_applies_timers(self):
+        sim = Simulator()
+        m = machine(sim)
+        m.send_delay_ms()
+        assert m.current_state == RrcState.HIGH
+        sim.now = 300 + 1500
+        assert m.current_state == RrcState.LOW
+        sim.now = 300 + 1000 + 2000 + 1
+        assert m.current_state == RrcState.IDLE
+
+    def test_lte_faster_than_umts_promotion(self):
+        sim = Simulator()
+        lte = RrcMachine(sim, RrcProfile.lte(random.Random(1)))
+        umts = RrcMachine(sim, RrcProfile.umts(random.Random(1)))
+        assert lte.send_delay_ms() < umts.send_delay_ms()
+
+
+class TestRrcAwareLink:
+    def make_world(self):
+        sim = Simulator()
+        internet = Internet(sim)
+        base = lte_profile(sim, rng=random.Random(2))
+        profile = RrcProfile(
+            name="test",
+            idle_to_high_ms=Constant(250.0),
+            low_to_high_ms=Constant(30.0),
+            high_tail_ms=800.0, low_tail_ms=1200.0)
+        link = RrcAwareLink(base, profile)
+        device = AndroidDevice(sim, internet, link, sdk=23,
+                               rng=random.Random(3))
+        from repro.network import AppServer
+        internet.add_server(AppServer(sim, ["93.184.216.34"],
+                                      name="srv"))
+        return sim, device, link
+
+    def test_cold_radio_inflates_first_connect(self):
+        sim, device, link = self.make_world()
+        app = App(device, "com.rrc.app")
+
+        def run():
+            # Cold connect pays the promotion.
+            yield from app.request("93.184.216.34", 80, b"a\n")
+            # Warm connect right after does not.
+            yield from app.request("93.184.216.34", 80, b"b\n")
+
+        process = sim.process(run())
+        sim.run(until=120000)
+        assert process.triggered
+        cold = app.connect_samples[0][2]
+        warm = app.connect_samples[1][2]
+        assert cold > warm + 200.0
+        assert link.machine.promotions_full == 1
+
+    def test_idle_gap_causes_repromotion(self):
+        sim, device, link = self.make_world()
+        app = App(device, "com.rrc.app")
+
+        def run():
+            yield from app.request("93.184.216.34", 80, b"a\n")
+            yield sim.timeout(5000.0)  # radio demotes fully
+            yield from app.request("93.184.216.34", 80, b"b\n")
+
+        process = sim.process(run())
+        sim.run(until=240000)
+        assert process.triggered
+        assert link.machine.promotions_full == 2
+        second = app.connect_samples[1][2]
+        assert second > 200.0
+
+    def test_downlink_unaffected(self):
+        sim, device, link = self.make_world()
+        # The wrapper exposes the base link's downlink untouched.
+        assert link.down is link.link.down
+        assert link.network_type == "LTE"

@@ -1,0 +1,89 @@
+"""Tests for the battery energy model."""
+
+import pytest
+
+from repro.phone.battery import (
+    BATTERY_MWH,
+    BatteryModel,
+    BatteryReport,
+)
+
+
+class TestBatteryReport:
+    def test_total_is_sum(self):
+        report = BatteryReport(cpu_mwh=1.0, radio_bytes_mwh=2.0,
+                               radio_tail_mwh=3.0)
+        assert report.total_mwh == 6.0
+
+    def test_battery_pct(self):
+        report = BatteryReport(BATTERY_MWH / 100, 0.0, 0.0)
+        assert report.battery_pct == pytest.approx(1.0)
+
+    def test_scaled_to_hours(self):
+        report = BatteryReport(BATTERY_MWH / 100, 0.0, 0.0)
+        # A 30-minute run scaled to one hour doubles.
+        assert report.scaled_to_hours(1_800_000.0) == \
+            pytest.approx(2.0)
+
+    def test_zero_run_scales_to_zero(self):
+        report = BatteryReport(1.0, 1.0, 1.0)
+        assert report.scaled_to_hours(0.0) == 0.0
+
+
+class TestBatteryModel:
+    def test_cpu_energy_counted_by_prefix(self, world):
+        world.device.cpu.charge("mopeye.worker", 3_600_000.0)  # 1 h
+        world.device.cpu.charge("other.app", 3_600_000.0)
+        model = BatteryModel(world.device)
+        report = model.report(3_600_000.0, cpu_prefixes=("mopeye",),
+                              bytes_transferred=0, burst_count=0)
+        # One busy core-hour at 900 mW = 900 mWh.
+        assert report.cpu_mwh == pytest.approx(900.0)
+        assert report.radio_bytes_mwh == 0.0
+
+    def test_radio_energy_scales_with_bytes(self, world):
+        model = BatteryModel(world.device)
+        small = model.report(1000.0, bytes_transferred=1_000_000,
+                             burst_count=0)
+        large = model.report(1000.0, bytes_transferred=10_000_000,
+                             burst_count=0)
+        assert large.radio_bytes_mwh == \
+            pytest.approx(10 * small.radio_bytes_mwh)
+
+    def test_tail_bounded_by_elapsed(self, world):
+        model = BatteryModel(world.device)
+        report = model.report(1000.0, bytes_transferred=0,
+                              burst_count=1_000_000)
+        capped = model.report(1000.0, bytes_transferred=0,
+                              burst_count=2_000_000)
+        assert report.radio_tail_mwh == capped.radio_tail_mwh
+
+    def test_defaults_use_link_counters(self, world):
+        from repro.phone import App
+        app = App(world.device, "com.energy")
+        world.run_process(app.request("93.184.216.34", 80,
+                                      b"DOWNLOAD 50000\n"))
+        model = BatteryModel(world.device)
+        report = model.report(world.sim.now)
+        assert report.radio_bytes_mwh > 0
+        assert report.total_mwh > 0
+
+    def test_streaming_with_mopeye_costs_more_than_idle(self, world):
+        from repro.core import MopEyeService
+        from repro.phone.apps import StreamingApp
+        mopeye = MopEyeService(world.device)
+        mopeye.start()
+        model = BatteryModel(world.device)
+        idle = model.report(60_000.0, cpu_prefixes=("mopeye",),
+                            bytes_transferred=0, burst_count=0)
+        app = StreamingApp(world.device, "com.video")
+
+        def run():
+            yield from app.stream("93.184.216.34", 30_000.0,
+                                  chunk_bytes=50_000,
+                                  chunk_interval_ms=2_000.0)
+
+        world.run_process(run(), until=240000)
+        active = model.report(world.sim.now,
+                              cpu_prefixes=("mopeye",))
+        assert active.total_mwh > idle.total_mwh

@@ -1,0 +1,199 @@
+"""Kernel TCP/UDP socket tests (direct path, no VPN)."""
+
+import pytest
+
+from repro.netstack.dns import DNSMessage
+from repro.phone.ktcp import (
+    ConnectTimeout,
+    SocketClosed,
+    TCP_CLOSE,
+    TCP_CLOSE_WAIT,
+    TCP_ESTABLISHED,
+    TCP_SYN_SENT,
+)
+
+
+class TestConnect:
+    def test_connect_establishes(self, world):
+        socket = world.device.create_tcp_socket(10001)
+
+        def main():
+            yield socket.connect("93.184.216.34", 80)
+            return socket.state
+
+        state = world.run_process(main())
+        assert state == TCP_ESTABLISHED
+        assert socket.connected_at is not None
+
+    def test_connect_duration_close_to_link_rtt(self, world):
+        socket = world.device.create_tcp_socket(10001)
+        times = {}
+
+        def main():
+            times["start"] = world.sim.now
+            yield socket.connect("93.184.216.34", 80)
+            times["end"] = world.sim.now
+
+        world.run_process(main())
+        duration = times["end"] - times["start"]
+        # WiFi one-way is lognormal(median 7 ms); RTT plus the server's
+        # accept delay should land well inside 1..200 ms.
+        assert 1.0 < duration < 200.0
+
+    def test_connect_to_unrouted_ip_times_out(self, world):
+        socket = world.device.create_tcp_socket(10001)
+        outcome = {}
+
+        def main():
+            try:
+                yield socket.connect("203.0.113.99", 80)
+            except ConnectTimeout:
+                outcome["timeout"] = True
+
+        world.run_process(main(), until=5e6)
+        assert outcome.get("timeout")
+        assert socket.state == TCP_CLOSE
+
+    def test_socket_appears_in_registry_while_syn_sent(self, world):
+        socket = world.device.create_tcp_socket(10001)
+        socket.connect("93.184.216.34", 80)
+        assert socket.state == TCP_SYN_SENT
+        assert socket in world.device.sockets()
+
+    def test_double_connect_rejected(self, world):
+        socket = world.device.create_tcp_socket(10001)
+        socket.connect("93.184.216.34", 80)
+        with pytest.raises(SocketClosed):
+            socket.connect("93.184.216.34", 81)
+
+
+class TestDataTransfer:
+    def test_echo_roundtrip(self, world):
+        socket = world.device.create_tcp_socket(10001)
+
+        def main():
+            yield socket.connect("93.184.216.34", 80)
+            socket.send(b"hello echo\n")
+            response = yield socket.recv()
+            return response
+
+        assert world.run_process(main()) == b"hello echo\n"
+
+    def test_large_download_chunked_and_complete(self, world):
+        socket = world.device.create_tcp_socket(10001)
+        size = 100000
+
+        def main():
+            yield socket.connect("93.184.216.34", 80)
+            socket.send(b"DOWNLOAD %d\n" % size)
+            data = yield from socket.recv_exactly(size)
+            return data
+
+        data = world.run_process(main())
+        assert len(data) == size
+        assert socket.bytes_received == size
+
+    def test_send_before_connect_rejected(self, world):
+        socket = world.device.create_tcp_socket(10001)
+        with pytest.raises(SocketClosed):
+            socket.send(b"x")
+
+    def test_recv_after_server_close_returns_eof(self, world):
+        socket = world.device.create_tcp_socket(10001)
+
+        def main():
+            yield socket.connect("93.184.216.34", 80)
+            socket.send(b"GET / HTTP/1.1\r\n\r\n")
+            yield socket.recv()          # response page
+            socket.close()               # we FIN; server FINs back
+            eof = yield socket.recv()
+            return eof
+
+        assert world.run_process(main()) == b""
+
+
+class TestClose:
+    def test_full_close_sequence_reaches_closed(self, world):
+        socket = world.device.create_tcp_socket(10001)
+
+        def main():
+            yield socket.connect("93.184.216.34", 80)
+            socket.send(b"ping\n")
+            yield socket.recv()
+            socket.close()
+            yield world.sim.timeout(2000)
+            return socket.state
+
+        state = world.run_process(main())
+        # Server FINs back after our FIN -> we end in TIME_WAIT/CLOSE.
+        from repro.phone.ktcp import TCP_TIME_WAIT
+        assert state in (TCP_TIME_WAIT, TCP_CLOSE)
+
+    def test_abort_sends_rst_and_closes(self, world):
+        socket = world.device.create_tcp_socket(10001)
+
+        def main():
+            yield socket.connect("93.184.216.34", 80)
+            socket.abort()
+            return socket.state
+
+        assert world.run_process(main()) == TCP_CLOSE
+        assert socket not in world.device.sockets()
+
+
+class TestUdp:
+    def test_dns_query_roundtrip(self, world):
+        socket = world.device.create_udp_socket(10001)
+
+        def main():
+            query = DNSMessage.query(42, "www.example.com")
+            socket.sendto(query.encode(), "8.8.8.8", 53)
+            payload, addr = yield socket.recvfrom()
+            return DNSMessage.decode(payload), addr
+
+        response, addr = world.run_process(main())
+        assert addr == ("8.8.8.8", 53)
+        assert response.txid == 42
+        assert response.answers[0].address == "93.184.216.34"
+
+    def test_nxdomain_for_unknown_name(self, world):
+        from repro.netstack.dns import RCODE_NXDOMAIN
+        socket = world.device.create_udp_socket(10001)
+
+        def main():
+            query = DNSMessage.query(1, "nope.invalid")
+            socket.sendto(query.encode(), "8.8.8.8", 53)
+            payload, _addr = yield socket.recvfrom()
+            return DNSMessage.decode(payload)
+
+        assert world.run_process(main()).rcode == RCODE_NXDOMAIN
+
+    def test_closed_socket_rejects_io(self, world):
+        socket = world.device.create_udp_socket(10001)
+        socket.close()
+        with pytest.raises(SocketClosed):
+            socket.sendto(b"x", "8.8.8.8", 53)
+        with pytest.raises(SocketClosed):
+            socket.recvfrom()
+
+
+class TestResolver:
+    def test_device_resolver(self, world):
+        def main():
+            address = yield world.device.resolve_process("example.com")
+            return address
+
+        assert world.run_process(main()) == "93.184.216.34"
+
+    def test_resolver_raises_on_nxdomain(self, world):
+        from repro.phone.device import ResolveError
+        outcome = {}
+
+        def main():
+            try:
+                yield world.device.resolve_process("missing.invalid")
+            except ResolveError:
+                outcome["raised"] = True
+
+        world.run_process(main())
+        assert outcome.get("raised")

@@ -1,0 +1,115 @@
+"""/proc/net rendering and parsing tests."""
+
+import pytest
+
+from repro.phone.procfs import (
+    ProcNetEntry,
+    _hex_v4,
+    _hex_v6_mapped,
+    _parse_address,
+    build_uid_map,
+    parse_proc_net,
+)
+
+
+class TestHexFormat:
+    def test_v4_little_endian(self):
+        assert _hex_v4("127.0.0.1") == "0100007F"
+        assert _hex_v4("10.8.0.2") == "0200080A"
+
+    def test_v6_mapped_layout(self):
+        rendered = _hex_v6_mapped("127.0.0.1")
+        assert len(rendered) == 32
+        assert rendered.endswith("0100007F")
+        assert "FFFF0000" in rendered
+
+    def test_parse_address_roundtrip_v4(self):
+        ip, port = _parse_address(_hex_v4("192.168.1.77") + ":01BB")
+        assert ip == "192.168.1.77"
+        assert port == 443
+
+    def test_parse_address_roundtrip_v6_mapped(self):
+        ip, port = _parse_address(_hex_v6_mapped("10.8.0.2") + ":0050")
+        assert ip == "10.8.0.2"
+        assert port == 80
+
+    def test_parse_address_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            _parse_address("ZZZ:0050")
+
+
+class TestRendering:
+    def test_connected_socket_appears_in_tcp(self, world):
+        socket = world.device.create_tcp_socket(10077)
+
+        def main():
+            yield socket.connect("93.184.216.34", 80)
+
+        world.run_process(main())
+        entries = parse_proc_net(world.device.procfs.read("tcp"))
+        assert any(e.uid == 10077 and e.remote_ip == "93.184.216.34"
+                   and e.remote_port == 80 for e in entries)
+
+    def test_ipv6_socket_appears_in_tcp6_only(self, world):
+        socket = world.device.create_tcp_socket(10078, ipv6=True)
+
+        def main():
+            yield socket.connect("93.184.216.34", 80)
+
+        world.run_process(main())
+        tcp6 = parse_proc_net(world.device.procfs.read("tcp6"))
+        tcp = parse_proc_net(world.device.procfs.read("tcp"))
+        assert any(e.uid == 10078 for e in tcp6)
+        assert not any(e.uid == 10078 for e in tcp)
+
+    def test_syn_sent_state_rendered(self, world):
+        from repro.phone.ktcp import TCP_SYN_SENT
+        socket = world.device.create_tcp_socket(10079)
+        socket.connect("203.0.113.50", 80)  # never answers
+        entries = parse_proc_net(world.device.procfs.read("tcp"))
+        entry = next(e for e in entries if e.uid == 10079)
+        assert entry.state == TCP_SYN_SENT
+
+    def test_udp_socket_appears_in_udp(self, world):
+        socket = world.device.create_udp_socket(10080)
+        socket.sendto(b"x", "8.8.8.8", 53)
+        entries = parse_proc_net(world.device.procfs.read("udp"))
+        assert any(e.uid == 10080 for e in entries)
+
+    def test_unknown_file_rejected(self, world):
+        with pytest.raises(FileNotFoundError):
+            world.device.procfs.read("raw")
+
+    def test_header_line_is_skipped_by_parser(self, world):
+        text = world.device.procfs.read("tcp")
+        assert parse_proc_net(text) == []  # only the header present
+
+
+class TestUidMap:
+    def test_build_uid_map_keys_by_four_tuple(self):
+        entries = [
+            ProcNetEntry("10.8.0.2", 40000, "1.2.3.4", 443, 1, 10001),
+            ProcNetEntry("10.8.0.2", 40001, "1.2.3.4", 443, 1, 10002),
+        ]
+        uid_map = build_uid_map(entries)
+        assert uid_map[("10.8.0.2", 40000, "1.2.3.4", 443)] == 10001
+        assert uid_map[("10.8.0.2", 40001, "1.2.3.4", 443)] == 10002
+
+    def test_same_endpoint_different_apps_distinct(self):
+        """The reason cache-based mapping is wrong (section 3.3): the
+        four-tuple disambiguates apps sharing a server endpoint."""
+        entries = [
+            ProcNetEntry("10.8.0.2", 40000, "31.13.79.251", 443, 1, 10001),
+            ProcNetEntry("10.8.0.2", 40001, "31.13.79.251", 443, 1, 10002),
+        ]
+        uid_map = build_uid_map(entries)
+        assert len(set(uid_map.values())) == 2
+
+    def test_parser_ignores_malformed_lines(self):
+        text = ("  sl  local_address rem_address   st ...\n"
+                "garbage line\n"
+                "   0: 0200080A:9C40 0100007F:0050 01 0:0 00:0 0 10001 "
+                "0 123 1 0 20 4 30 10 -1\n")
+        entries = parse_proc_net(text)
+        assert len(entries) == 1
+        assert entries[0].uid == 10001

@@ -1,0 +1,122 @@
+"""Tests for workload trace record/replay."""
+
+import pytest
+
+from repro.core import MopEyeService
+from repro.phone.trace import TraceEvent, TraceReplayer, WorkloadTrace
+
+
+class TestTraceModel:
+    def test_events_sorted_by_time(self):
+        trace = WorkloadTrace([
+            TraceEvent(500.0, "com.b", "request", "1.2.3.4"),
+            TraceEvent(100.0, "com.a", "request", "1.2.3.4"),
+        ])
+        assert [e.at_ms for e in trace.events] == [100.0, 500.0]
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent(0.0, "com.a", "teleport", "1.2.3.4")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent(-1.0, "com.a", "request", "1.2.3.4")
+
+    def test_json_roundtrip(self, tmp_path):
+        trace = WorkloadTrace([
+            TraceEvent(100.0, "com.a", "download", "1.2.3.4",
+                       port=443, size=5000),
+            TraceEvent(200.0, "com.b", "resolve", "example.com"),
+        ])
+        path = str(tmp_path / "trace.json")
+        trace.save(path)
+        loaded = WorkloadTrace.load(path)
+        assert loaded.events == trace.events
+        assert loaded.duration_ms == 200.0
+        assert loaded.apps() == ["com.a", "com.b"]
+
+    def test_generate_is_deterministic_and_bounded(self):
+        endpoints = [("com.a", "1.2.3.4", 80),
+                     ("com.b", "5.6.7.8", 443)]
+        a = WorkloadTrace.generate(endpoints, 60_000.0, seed=5)
+        b = WorkloadTrace.generate(endpoints, 60_000.0, seed=5)
+        assert a.events == b.events
+        assert len(a) > 5
+        assert all(e.at_ms < 60_000.0 for e in a.events)
+        assert all(e.action in ("request", "download", "upload")
+                   for e in a.events)
+
+
+class TestReplay:
+    def test_replay_completes_all_events(self, world):
+        trace = WorkloadTrace([
+            TraceEvent(10.0, "com.a", "request", "93.184.216.34"),
+            TraceEvent(60.0, "com.b", "download", "93.184.216.34",
+                       size=20000),
+            TraceEvent(120.0, "com.a", "upload", "93.184.216.34",
+                       size=8000),
+            TraceEvent(150.0, "com.a", "resolve", "www.example.com"),
+        ])
+        replayer = TraceReplayer(world.device)
+        event = replayer.replay(trace)
+        world.run(until=120000)
+        assert event.triggered
+        assert replayer.completed == 4
+        assert replayer.failed == 0
+
+    def test_replay_timing_respected(self, world):
+        trace = WorkloadTrace([
+            TraceEvent(1000.0, "com.a", "request", "93.184.216.34"),
+        ])
+        replayer = TraceReplayer(world.device)
+        replayer.replay(trace)
+        world.run(until=120000)
+        app = replayer.app_for("com.a")
+        assert app.connect_samples[0][3] >= 1000.0  # started_at
+
+    def test_replay_through_mopeye_measures_everything(self, world):
+        mopeye = MopEyeService(world.device)
+        mopeye.start()
+        endpoints = [("com.a", "93.184.216.34", 80),
+                     ("com.b", "93.184.216.34", 443)]
+        trace = WorkloadTrace.generate(endpoints, 20_000.0,
+                                       events_per_minute=40, seed=9)
+        replayer = TraceReplayer(world.device)
+        event = replayer.replay(trace)
+        world.run(until=600000)
+        assert event.triggered
+        assert replayer.completed == len(trace)
+        # Every replayed connection was measured.
+        assert len(mopeye.store.tcp()) == len(trace)
+
+    def test_identical_traces_compare_configurations(self):
+        """The point of traces: the same workload replayed against two
+        MopEye configs yields the same transfer outcomes."""
+        from tests.conftest import World
+        endpoints = [("com.a", "93.184.216.34", 80)]
+        trace = WorkloadTrace.generate(endpoints, 10_000.0, seed=4)
+        results = {}
+        for mode in ("blocking", "sleep"):
+            world = World(seed=44)
+            world.add_server("93.184.216.34", name="srv")
+            from repro.core import MopEyeConfig
+            config = MopEyeConfig(tun_read_mode=mode,
+                                  mapping_mode="off",
+                                  tun_read_sleep_ms=50.0)
+            MopEyeService(world.device, config).start()
+            replayer = TraceReplayer(world.device)
+            replayer.replay(trace)
+            world.run(until=600000)
+            results[mode] = replayer.completed
+        assert results["blocking"] == results["sleep"] == len(trace)
+
+    def test_failed_events_counted(self, world):
+        trace = WorkloadTrace([
+            TraceEvent(0.0, "com.a", "download", "203.0.113.66",
+                       size=1000),
+        ])
+        replayer = TraceReplayer(world.device)
+        replayer.replay(trace)
+        world.run(until=2e6)
+        assert replayer.failed == 1
+        assert replayer.completed == 0

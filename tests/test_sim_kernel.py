@@ -1,0 +1,312 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield sim.timeout(5.0)
+        seen.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_timeouts_fire_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def proc(delay, tag):
+        yield sim.timeout(delay)
+        order.append(tag)
+
+    sim.process(proc(3.0, "c"))
+    sim.process(proc(1.0, "a"))
+    sim.process(proc(2.0, "b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in "abcde":
+        sim.process(proc(tag))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_event_succeed_delivers_value():
+    sim = Simulator()
+    gate = sim.event("gate")
+    got = []
+
+    def waiter():
+        value = yield gate
+        got.append(value)
+
+    def opener():
+        yield sim.timeout(2.0)
+        gate.succeed("open")
+
+    sim.process(waiter())
+    sim.process(opener())
+    sim.run()
+    assert got == ["open"]
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    gate = sim.event("gate")
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer():
+        yield sim.timeout(1.0)
+        gate.fail(RuntimeError("boom"))
+
+    sim.process(waiter())
+    sim.process(failer())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_double_trigger_rejected():
+    sim = Simulator()
+    gate = sim.event()
+    gate.succeed(1)
+    with pytest.raises(SimulationError):
+        gate.succeed(2)
+    with pytest.raises(SimulationError):
+        gate.fail(RuntimeError())
+
+
+def test_process_return_value_visible_to_joiner():
+    sim = Simulator()
+    results = []
+
+    def child():
+        yield sim.timeout(4.0)
+        return 42
+
+    def parent():
+        value = yield sim.process(child())
+        results.append((sim.now, value))
+
+    sim.process(parent())
+    sim.run()
+    assert results == [(4.0, 42)]
+
+
+def test_process_exception_propagates_to_joiner():
+    sim = Simulator()
+    caught = []
+
+    def child():
+        yield sim.timeout(1.0)
+        raise ValueError("child died")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(parent())
+    sim.run()
+    assert caught == ["child died"]
+
+
+def test_interrupt_delivered_at_wait_point():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            log.append("woke normally")
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+
+    victim = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(3.0)
+        victim.interrupt("stop it")
+
+    sim.process(interrupter())
+    sim.run()
+    assert log == [("interrupted", 3.0, "stop it")]
+
+
+def test_interrupt_on_finished_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick())
+    sim.run()
+    proc.interrupt()  # must not raise
+    assert proc.triggered
+
+
+def test_any_of_triggers_on_first():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        a = sim.timeout(5.0, "slow")
+        b = sim.timeout(2.0, "fast")
+        result = yield AnyOf(sim, [a, b])
+        seen.append((sim.now, sorted(result.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert seen[0][0] == 2.0
+    assert "fast" in seen[0][1]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        a = sim.timeout(5.0, "a")
+        b = sim.timeout(2.0, "b")
+        result = yield AllOf(sim, [a, b])
+        seen.append((sim.now, sorted(result.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [(5.0, ["a", "b"])]
+
+
+def test_any_of_with_already_triggered_event():
+    sim = Simulator()
+    done = sim.event()
+    done.succeed("pre")
+    seen = []
+
+    def proc():
+        result = yield AnyOf(sim, [done, sim.timeout(10.0)])
+        seen.append((sim.now, list(result.values())))
+
+    sim.process(proc())
+    sim.run(until=1.0)
+    assert seen == [(0.0, ["pre"])]
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100.0)
+
+    sim.process(proc())
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_with_stop_event():
+    sim = Simulator()
+    stop = sim.event("stop")
+
+    def stopper():
+        yield sim.timeout(7.0)
+        stop.succeed("halted")
+
+    def noisy():
+        while True:
+            yield sim.timeout(1.0)
+
+    sim.process(stopper())
+    sim.process(noisy())
+    result = sim.run(until=1000.0, stop_event=stop)
+    assert result == "halted"
+    assert sim.now <= 8.0
+
+
+def test_yielding_non_event_is_error():
+    sim = Simulator()
+    failures = []
+
+    def bad():
+        yield 42
+
+    def parent():
+        try:
+            yield sim.process(bad())
+        except SimulationError as exc:
+            failures.append(str(exc))
+
+    sim.process(parent())
+    sim.run()
+    assert failures and "non-event" in failures[0]
+
+
+def test_nested_processes_three_deep():
+    sim = Simulator()
+
+    def leaf():
+        yield sim.timeout(1.0)
+        return "leaf"
+
+    def mid():
+        value = yield sim.process(leaf())
+        yield sim.timeout(1.0)
+        return value + "+mid"
+
+    def root():
+        value = yield sim.process(mid())
+        return value + "+root"
+
+    proc = sim.process(root())
+    sim.run()
+    assert proc.value == "leaf+mid+root"
+
+
+def test_process_is_alive_flag():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5.0)
+
+    p = sim.process(proc())
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive

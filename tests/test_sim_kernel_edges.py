@@ -1,0 +1,225 @@
+"""Edge-case tests for the simulation kernel beyond the basics."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestAllOfFailures:
+    def test_allof_fails_fast_on_component_failure(self):
+        sim = Simulator()
+        good = sim.timeout(10.0)
+        bad = sim.event("bad")
+        caught = []
+
+        def proc():
+            try:
+                yield AllOf(sim, [good, bad])
+            except RuntimeError as exc:
+                caught.append((sim.now, str(exc)))
+
+        def failer():
+            yield sim.timeout(2.0)
+            bad.fail(RuntimeError("dead"))
+
+        sim.process(proc())
+        sim.process(failer())
+        sim.run()
+        assert caught == [(2.0, "dead")]
+
+    def test_allof_with_pre_failed_event(self):
+        sim = Simulator()
+        bad = sim.event()
+        bad.fail(RuntimeError("early"))
+        caught = []
+
+        def proc():
+            try:
+                yield AllOf(sim, [bad, sim.timeout(5.0)])
+            except RuntimeError:
+                caught.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert caught == [0.0]
+
+    def test_anyof_fails_on_failed_component(self):
+        sim = Simulator()
+        bad = sim.event()
+        caught = []
+
+        def proc():
+            try:
+                yield AnyOf(sim, [sim.timeout(100.0), bad])
+            except ValueError:
+                caught.append(sim.now)
+
+        def failer():
+            yield sim.timeout(1.0)
+            bad.fail(ValueError("x"))
+
+        sim.process(proc())
+        sim.process(failer())
+        sim.run(until=200)
+        assert caught == [1.0]
+
+    def test_empty_anyof_triggers_immediately(self):
+        sim = Simulator()
+        composite = AnyOf(sim, [])
+        assert composite.triggered
+        assert composite.value == {}
+
+
+class TestInterruptEdges:
+    def test_interrupt_while_waiting_on_event(self):
+        sim = Simulator()
+        gate = sim.event("never")
+        log = []
+
+        def waiter():
+            try:
+                yield gate
+            except Interrupt as intr:
+                log.append(intr.cause)
+
+        victim = sim.process(waiter())
+
+        def killer():
+            yield sim.timeout(3.0)
+            victim.interrupt("stop")
+
+        sim.process(killer())
+        sim.run(until=100)
+        assert log == ["stop"]
+        # The abandoned gate keeps no stale callback.
+        assert gate.callbacks == []
+
+    def test_double_interrupt_delivers_both(self):
+        sim = Simulator()
+        log = []
+
+        def stubborn():
+            for _ in range(2):
+                try:
+                    yield sim.timeout(50.0)
+                except Interrupt as intr:
+                    log.append(intr.cause)
+
+        victim = sim.process(stubborn())
+
+        def killer():
+            yield sim.timeout(1.0)
+            victim.interrupt("one")
+            victim.interrupt("two")
+
+        sim.process(killer())
+        sim.run(until=200)
+        assert log == ["one", "two"]
+
+    def test_interrupt_escaping_generator_ends_process(self):
+        sim = Simulator()
+
+        def fragile():
+            yield sim.timeout(100.0)  # Interrupt not caught
+
+        victim = sim.process(fragile())
+
+        def killer():
+            yield sim.timeout(1.0)
+            victim.interrupt()
+
+        sim.process(killer())
+        sim.run(until=200)
+        assert victim.triggered
+        assert victim.value is None
+
+
+class TestRunSemantics:
+    def test_step_processes_one_event(self):
+        sim = Simulator()
+        hits = []
+        for delay in (1.0, 2.0):
+            t = sim.timeout(delay)
+            t.callbacks.append(lambda _e, d=delay: hits.append(d))
+        sim.step()
+        assert hits == [1.0]
+        sim.step()
+        assert hits == [1.0, 2.0]
+
+    def test_stop_event_halts_mid_heap(self):
+        sim = Simulator()
+        stop = sim.event()
+        ticks = []
+
+        def ticker():
+            while True:
+                yield sim.timeout(1.0)
+                ticks.append(sim.now)
+                if sim.now >= 3.0:
+                    stop.succeed("done")
+                    return
+
+        sim.process(ticker())
+        result = sim.run(until=1000, stop_event=stop)
+        assert result == "done"
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_until_before_first_event(self):
+        sim = Simulator()
+        sim.timeout(100.0)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_clock_monotone_across_runs(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        sim.timeout(1.0)
+        sim.run(until=20.0)
+        assert sim.now == 20.0
+
+    def test_event_value_access_before_trigger_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+        with pytest.raises(SimulationError):
+            _ = event.ok
+
+
+class TestProcessValueSemantics:
+    def test_process_without_return_yields_none(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value is None
+
+    def test_two_waiters_both_resumed(self):
+        sim = Simulator()
+        gate = sim.event()
+        woken = []
+
+        def waiter(tag):
+            value = yield gate
+            woken.append((tag, value))
+
+        sim.process(waiter("a"))
+        sim.process(waiter("b"))
+
+        def opener():
+            yield sim.timeout(1.0)
+            gate.succeed(7)
+
+        sim.process(opener())
+        sim.run()
+        assert sorted(woken) == [("a", 7), ("b", 7)]

@@ -1,0 +1,323 @@
+"""Unit tests for simulation queues and synchronisation primitives."""
+
+import pytest
+
+from repro.sim import (
+    BlockingQueue,
+    Constant,
+    QueueClosed,
+    Semaphore,
+    Signal,
+    Simulator,
+    Uniform,
+    WaitNotifyQueue,
+)
+
+
+class TestSignal:
+    def test_set_then_wait_returns_immediately(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        sig.set()
+        seen = []
+
+        def proc():
+            yield sig.wait()
+            seen.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert seen == [0.0]
+
+    def test_wait_then_set_wakes_waiter(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        seen = []
+
+        def waiter():
+            yield sig.wait()
+            seen.append(sim.now)
+
+        def setter():
+            yield sim.timeout(3.0)
+            sig.set()
+
+        sim.process(waiter())
+        sim.process(setter())
+        sim.run()
+        assert seen == [3.0]
+
+    def test_latch_is_consumed_once(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        sig.set()
+        assert sig.latched
+        seen = []
+
+        def proc():
+            yield sig.wait()
+            seen.append("first")
+            # Second wait must block until next set().
+            yield sig.wait()
+            seen.append("second")
+
+        def setter():
+            yield sim.timeout(5.0)
+            sig.set()
+
+        sim.process(proc())
+        sim.process(setter())
+        sim.run()
+        assert seen == ["first", "second"]
+
+    def test_set_wakes_all_waiters(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        woken = []
+
+        def waiter(tag):
+            yield sig.wait()
+            woken.append(tag)
+
+        sim.process(waiter("a"))
+        sim.process(waiter("b"))
+
+        def setter():
+            yield sim.timeout(1.0)
+            sig.set()
+
+        sim.process(setter())
+        sim.run()
+        assert sorted(woken) == ["a", "b"]
+
+    def test_clear_drops_latch(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        sig.set()
+        sig.clear()
+        assert not sig.latched
+
+
+class TestBlockingQueue:
+    def test_fifo_order(self):
+        sim = Simulator()
+        q = BlockingQueue(sim)
+        q.put(1)
+        q.put(2)
+        got = []
+
+        def proc():
+            got.append((yield q.get()))
+            got.append((yield q.get()))
+
+        sim.process(proc())
+        sim.run()
+        assert got == [1, 2]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        q = BlockingQueue(sim)
+        got = []
+
+        def consumer():
+            item = yield q.get()
+            got.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(4.0)
+            q.put("pkt")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(4.0, "pkt")]
+
+    def test_try_get_nonblocking(self):
+        sim = Simulator()
+        q = BlockingQueue(sim)
+        assert q.try_get() is None
+        q.put("x")
+        assert q.try_get() == "x"
+        assert q.try_get() is None
+
+    def test_close_fails_pending_getters(self):
+        sim = Simulator()
+        q = BlockingQueue(sim)
+        outcome = []
+
+        def consumer():
+            try:
+                yield q.get()
+            except QueueClosed:
+                outcome.append("closed")
+
+        def closer():
+            yield sim.timeout(1.0)
+            q.close()
+
+        sim.process(consumer())
+        sim.process(closer())
+        sim.run()
+        assert outcome == ["closed"]
+
+    def test_len_tracks_items(self):
+        sim = Simulator()
+        q = BlockingQueue(sim)
+        q.put(1)
+        q.put(2)
+        assert len(q) == 2
+
+
+class TestWaitNotifyQueue:
+    def test_put_cost_without_waiter_is_append_only(self):
+        sim = Simulator()
+        q = WaitNotifyQueue(sim, append_cost=Constant(0.002),
+                            notify_cost=Constant(1.0))
+        done = []
+
+        def producer():
+            start = sim.now
+            yield q.put("pkt")
+            done.append(sim.now - start)
+
+        sim.process(producer())
+        sim.run()
+        assert done == [pytest.approx(0.002)]
+        assert q.last_put_cost == pytest.approx(0.002)
+
+    def test_put_cost_with_waiter_includes_notify(self):
+        sim = Simulator()
+        q = WaitNotifyQueue(sim, append_cost=Constant(0.002),
+                            notify_cost=Constant(1.5),
+                            wakeup_delay=Constant(0.5))
+        costs = []
+        consumed = []
+
+        def consumer():
+            yield q.wait()
+            consumed.append(sim.now)
+            item = q.try_get()
+            assert item == "pkt"
+
+        def producer():
+            yield sim.timeout(1.0)
+            start = sim.now
+            yield q.put("pkt")
+            costs.append(sim.now - start)
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert costs == [pytest.approx(1.502)]
+        # Consumer resumes after the wakeup delay, not instantly.
+        assert consumed == [pytest.approx(1.5)]
+
+    def test_wait_returns_immediately_when_items_present(self):
+        sim = Simulator()
+        q = WaitNotifyQueue(sim)
+        times = []
+
+        def producer():
+            yield q.put("early")
+
+        def consumer():
+            yield sim.timeout(2.0)
+            yield q.wait()
+            times.append(sim.now)
+            assert q.try_get() == "early"
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert times == [2.0]
+
+    def test_double_wait_rejected(self):
+        from repro.sim import SimulationError
+        sim = Simulator()
+        q = WaitNotifyQueue(sim)
+        q.wait()
+        with pytest.raises(SimulationError):
+            q.wait()
+
+    def test_close_fails_parked_consumer(self):
+        sim = Simulator()
+        q = WaitNotifyQueue(sim)
+        outcome = []
+
+        def consumer():
+            try:
+                yield q.wait()
+            except QueueClosed:
+                outcome.append("closed")
+
+        def closer():
+            yield sim.timeout(1.0)
+            q.close()
+
+        sim.process(consumer())
+        sim.process(closer())
+        sim.run()
+        assert outcome == ["closed"]
+
+    def test_random_costs_stay_in_bounds(self):
+        sim = Simulator()
+        q = WaitNotifyQueue(sim, append_cost=Uniform(0.001, 0.01))
+        costs = []
+
+        def producer():
+            for _ in range(50):
+                yield q.put("x")
+                costs.append(q.last_put_cost)
+
+        sim.process(producer())
+        sim.run()
+        assert len(costs) == 50
+        assert all(0.001 <= c <= 0.01 for c in costs)
+
+
+class TestSemaphore:
+    def test_acquire_release_cycle(self):
+        sim = Simulator()
+        sem = Semaphore(sim, value=1)
+        order = []
+
+        def worker(tag, hold):
+            yield sem.acquire()
+            order.append(("in", tag, sim.now))
+            yield sim.timeout(hold)
+            order.append(("out", tag, sim.now))
+            sem.release()
+
+        sim.process(worker("a", 5.0))
+        sim.process(worker("b", 1.0))
+        sim.run()
+        assert order == [
+            ("in", "a", 0.0),
+            ("out", "a", 5.0),
+            ("in", "b", 5.0),
+            ("out", "b", 6.0),
+        ]
+
+    def test_counting_semaphore_allows_n(self):
+        sim = Simulator()
+        sem = Semaphore(sim, value=2)
+        entered = []
+
+        def worker(tag):
+            yield sem.acquire()
+            entered.append((tag, sim.now))
+            yield sim.timeout(1.0)
+            sem.release()
+
+        for tag in "abc":
+            sim.process(worker(tag))
+        sim.run()
+        times = dict(entered)
+        assert times["a"] == 0.0 and times["b"] == 0.0
+        assert times["c"] == 1.0
+
+    def test_negative_value_rejected(self):
+        from repro.sim import SimulationError
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Semaphore(sim, value=-1)

@@ -1,0 +1,172 @@
+"""Stateful property testing of the user-space TCP machinery.
+
+A hypothesis rule-based machine drives a TCPStateMachine (the passive
+MopEye endpoint) with randomised but *legal* peer behaviour and checks
+the RFC 793 invariants after every step: sequence numbers only advance,
+states follow the transition diagram, delivered bytes are conserved.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.netstack import ACK, FIN, SYN, TCPSegment
+from repro.netstack.tcp_state import (
+    TCPState,
+    TCPStateMachine,
+    seq_add,
+)
+
+_VALID_STATES = {
+    TCPState.LISTEN, TCPState.SYN_RECEIVED, TCPState.ESTABLISHED,
+    TCPState.FIN_WAIT_1, TCPState.FIN_WAIT_2, TCPState.CLOSE_WAIT,
+    TCPState.LAST_ACK, TCPState.CLOSING, TCPState.TIME_WAIT,
+    TCPState.CLOSED,
+}
+
+
+class TcpMachineModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.machine = None
+        self.app_seq = None          # app-side next sequence number
+        self.bytes_to_server = 0     # payload accepted by the machine
+        self.bytes_from_server = 0   # payload delivered toward app
+        self.app_fin_sent = False
+        self.our_fin_seen = False
+        self.rcv_history = []
+
+    # -- lifecycle -----------------------------------------------------------
+    @initialize(isn=st.integers(0, 2**32 - 1),
+                app_isn=st.integers(0, 2**32 - 1))
+    def start(self, isn, app_isn):
+        self.machine = TCPStateMachine("10.8.0.2", 40000,
+                                       "93.184.216.34", 443, isn=isn)
+        self.app_isn = app_isn
+
+    def _app_segment(self, flags, payload=b""):
+        return TCPSegment(40000, 443, seq=self.app_seq,
+                          ack=self.machine.snd_nxt, flags=flags,
+                          payload=payload)
+
+    # -- rules ------------------------------------------------------------------
+    @precondition(lambda self: self.machine
+                  and self.machine.state == TCPState.LISTEN)
+    @rule()
+    def handshake(self):
+        syn = TCPSegment(40000, 443, seq=self.app_isn, ack=0,
+                         flags=SYN, mss=1460)
+        self.machine.on_syn(syn)
+        syn_ack = self.machine.make_syn_ack()
+        assert syn_ack.is_syn_ack
+        assert syn_ack.ack == seq_add(self.app_isn, 1)
+        self.app_seq = seq_add(self.app_isn, 1)
+        self.machine.on_handshake_ack(self._app_segment(ACK))
+        assert self.machine.is_established
+
+    @precondition(lambda self: self.machine
+                  and self.machine.state == TCPState.ESTABLISHED
+                  and not self.app_fin_sent)
+    @rule(payload=st.binary(min_size=1, max_size=3000))
+    def app_sends_data(self, payload):
+        data = self.machine.on_data(self._app_segment(ACK,
+                                                      payload=payload))
+        assert data == payload
+        self.app_seq = seq_add(self.app_seq, len(payload))
+        self.bytes_to_server += len(payload)
+        # The machine's cumulative ACK tracks exactly what it consumed.
+        assert self.machine.rcv_nxt == self.app_seq
+
+    @precondition(lambda self: self.machine and self.machine.state in
+                  (TCPState.ESTABLISHED, TCPState.CLOSE_WAIT))
+    @rule(size=st.integers(min_value=1, max_value=5000))
+    def server_sends_data(self, size):
+        before = self.machine.snd_nxt
+        segments = self.machine.deliver(b"s" * size)
+        total = sum(len(seg.payload) for seg in segments)
+        assert total == size
+        assert all(len(seg.payload) <= self.machine.mss
+                   for seg in segments)
+        assert self.machine.snd_nxt == seq_add(before, size)
+        self.bytes_from_server += size
+
+    @precondition(lambda self: self.machine
+                  and self.machine.state == TCPState.ESTABLISHED
+                  and not self.app_fin_sent)
+    @rule()
+    def app_closes(self):
+        ack = self.machine.on_fin(self._app_segment(ACK | FIN))
+        self.app_seq = seq_add(self.app_seq, 1)
+        assert ack.ack == self.app_seq
+        assert self.machine.state == TCPState.CLOSE_WAIT
+        self.app_fin_sent = True
+
+    @precondition(lambda self: self.machine and self.machine.state in
+                  (TCPState.ESTABLISHED, TCPState.CLOSE_WAIT)
+                  and not self.machine.fin_sent)
+    @rule()
+    def server_closes(self):
+        before_state = self.machine.state
+        fin = self.machine.make_fin()
+        assert fin.is_fin
+        if before_state == TCPState.ESTABLISHED:
+            assert self.machine.state == TCPState.FIN_WAIT_1
+        else:
+            assert self.machine.state == TCPState.LAST_ACK
+        # App acknowledges our FIN.
+        self.machine.on_fin_ack(self._app_segment(ACK))
+        assert self.machine.state in (TCPState.FIN_WAIT_2,
+                                      TCPState.CLOSED)
+
+    @precondition(lambda self: self.machine
+                  and self.machine.state not in (TCPState.CLOSED,
+                                                 TCPState.LISTEN))
+    @rule()
+    def app_resets(self):
+        self.machine.on_rst(None)
+        assert self.machine.state == TCPState.CLOSED
+
+    @precondition(lambda self: self.machine
+                  and self.machine.state in (TCPState.CLOSED,
+                                             TCPState.TIME_WAIT,
+                                             TCPState.FIN_WAIT_2,
+                                             TCPState.CLOSING))
+    @rule(isn=st.integers(0, 2**32 - 1),
+          app_isn=st.integers(0, 2**32 - 1))
+    def new_connection(self, isn, app_isn):
+        """Terminal (or quiescent half-closed) state: splice a fresh
+        connection, as the relay does for the app's next socket."""
+        self.machine = TCPStateMachine("10.8.0.2", 40000,
+                                       "93.184.216.34", 443, isn=isn)
+        self.app_isn = app_isn
+        self.app_seq = None
+        self.app_fin_sent = False
+        self.rcv_history = []
+
+    # -- invariants --------------------------------------------------------------
+    @invariant()
+    def state_is_legal(self):
+        if self.machine is not None:
+            assert self.machine.state in _VALID_STATES
+
+    @invariant()
+    def ack_never_regresses(self):
+        if self.machine is not None and \
+                self.machine.rcv_nxt is not None:
+            self.rcv_history.append(self.machine.rcv_nxt)
+            if len(self.rcv_history) >= 2:
+                a, b = self.rcv_history[-2], self.rcv_history[-1]
+                # Monotone in sequence space.
+                assert ((b - a) % (1 << 32)) < (1 << 31)
+
+
+TestTcpStateMachineStateful = TcpMachineModel.TestCase
+TestTcpStateMachineStateful.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None)
