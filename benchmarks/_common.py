@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import os
 import random
+import zlib
 from typing import Optional
 
 from repro.network import (
@@ -58,7 +59,8 @@ class BenchWorld:
                    path_oneway=None, **kwargs) -> AppServer:
         server = AppServer(self.sim, [ip], name=name,
                            path_oneway=path_oneway,
-                           rng=random.Random(hash(ip) & 0xFFFF),
+                           rng=random.Random(
+                               zlib.crc32(ip.encode()) & 0xFFFF),
                            **kwargs)
         self.internet.add_server(server)
         for domain in domains:

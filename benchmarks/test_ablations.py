@@ -9,6 +9,8 @@ paper attributes to it:
 * §3.4  MSS tuning of the user-space stack.
 """
 
+import zlib
+
 import pytest
 
 from repro.analysis import format_table
@@ -42,7 +44,7 @@ def test_ablation_tun_read_modes(benchmark):
                           {"tun_read_sleep_ms": 20.0}),
                          ("sleep-100ms (ToyVpn)",
                           {"tun_read_sleep_ms": 100.0})):
-        world = make_world(seed=hash(mode) & 0xFF)
+        world = make_world(seed=zlib.crc32(mode.encode()) & 0xFF)
         base_mode = mode.split("-")[0] if "sleep" in mode else mode
         config = MopEyeConfig(tun_read_mode=base_mode,
                               mapping_mode="off", **kwargs)

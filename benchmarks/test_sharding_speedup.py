@@ -1,0 +1,69 @@
+"""Sharded dataset generation: determinism + wall-clock scaling.
+
+Generates the synthetic crowdsourcing dataset (default scale 0.5,
+~2.9 M records) once with a single worker and once with a pool, then
+asserts the two datasets are byte-identical (SHA-256 over the shard
+bytes) and reports the speedup.  Digest equality is asserted
+unconditionally -- it is the whole point of the deterministic sharding
+design; the >1.5x speedup assertion only applies on multi-core hosts,
+since a 1-CPU container serializes the pool anyway.
+
+Scale/worker knobs for quick local runs:
+
+    MOPEYE_SHARD_BENCH_SCALE=0.1 MOPEYE_SHARD_BENCH_WORKERS=2 \
+        PYTHONPATH=src python -m pytest benchmarks/test_sharding_speedup.py
+"""
+
+import os
+import time
+
+from repro.crowd import CampaignConfig, ShardedCampaign
+
+SCALE = float(os.environ.get("MOPEYE_SHARD_BENCH_SCALE", "0.5"))
+WORKERS = int(os.environ.get("MOPEYE_SHARD_BENCH_WORKERS", "4"))
+SEED = 7
+
+
+def _generate(workers, shard_dir):
+    runner = ShardedCampaign(config=CampaignConfig(scale=SCALE,
+                                                   seed=SEED),
+                             workers=workers, shard_dir=str(shard_dir))
+    start = time.perf_counter()
+    result = runner.run()
+    return result, time.perf_counter() - start
+
+
+def test_sharding_speedup_and_determinism(tmp_path, benchmark):
+    from benchmarks._common import save_result
+    from repro.analysis import format_table
+
+    serial, serial_s = _generate(1, tmp_path / "w1")
+
+    box = {}
+
+    def parallel_run():
+        box["result"], box["elapsed"] = _generate(
+            WORKERS, tmp_path / ("w%d" % WORKERS))
+
+    benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    parallel, parallel_s = box["result"], box["elapsed"]
+
+    speedup = serial_s / parallel_s
+    cpus = os.cpu_count() or 1
+    text = format_table(
+        ["Workers", "Wall (s)", "Records", "Digest (first 12)"],
+        [[1, "%.1f" % serial_s, serial.total_records,
+          serial.digest()[:12]],
+         [WORKERS, "%.1f" % parallel_s, parallel.total_records,
+          parallel.digest()[:12]]],
+        title="Sharded generation, scale=%g on %d CPU(s): "
+              "speedup %.2fx." % (SCALE, cpus, speedup))
+    save_result("sharding_speedup", text)
+
+    # The determinism contract holds regardless of hardware.
+    assert serial.total_records == parallel.total_records
+    assert serial.digest() == parallel.digest()
+    if cpus >= 2 and WORKERS >= 2:
+        assert speedup > 1.5, \
+            "expected >1.5x at %d workers on %d CPUs, got %.2fx" % (
+                WORKERS, cpus, speedup)

@@ -65,6 +65,12 @@ def cmd_demo(_args) -> int:
 
 
 def cmd_crowd(args) -> int:
+    if args.workers < 1:
+        print("error: --workers must be >= 1 (got %d)" % args.workers,
+              file=sys.stderr)
+        return 2
+    if args.workers > 1 or args.shard_dir:
+        return _crowd_sharded(args)
     from repro.analysis.coverage import dataset_statistics
     from repro.analysis.dnsperf import dns_medians
     from repro.analysis.perapp import raw_rtt_medians
@@ -85,6 +91,42 @@ def cmd_crowd(args) -> int:
         saver = save_csv if args.export.endswith(".csv") else save_jsonl
         count = saver(store, args.export)
         print("exported %d records to %s" % (count, args.export))
+    return 0
+
+
+def _crowd_sharded(args) -> int:
+    """Sharded generation + streaming analysis: the full-scale
+    (``--scale 1.0``) path.  Never materializes the dataset in RAM."""
+    import time
+
+    from repro.analysis.coverage import dataset_statistics_stream
+    from repro.analysis.dnsperf import dns_medians_stream
+    from repro.analysis.perapp import raw_rtt_medians_stream
+    from repro.crowd import CampaignConfig, ShardedCampaign
+
+    config = CampaignConfig(scale=args.scale, seed=args.seed)
+    runner = ShardedCampaign(config=config, workers=args.workers,
+                             shard_dir=args.shard_dir)
+    started = time.time()
+    merge_to = args.export if args.export else None
+    result = runner.run(merge_to=merge_to)
+    elapsed = time.time() - started
+    print("generated %d records in %d shards with %d worker(s) "
+          "in %.1fs" % (result.total_records, len(result.shards),
+                        args.workers, elapsed))
+    print("shard dir:      %s" % result.shard_dir)
+    print("dataset sha256: %s" % result.digest())
+    for key, value in dataset_statistics_stream(
+            result.iter_records()).items():
+        print("%-12s %d" % (key, value))
+    print("app-RTT medians:", {k: round(v, 1)
+                               for k, v in raw_rtt_medians_stream(
+                                   result.iter_records()).items()})
+    print("DNS medians:    ", {k: round(v, 1)
+                               for k, v in dns_medians_stream(
+                                   result.iter_records()).items()})
+    if result.merged_path:
+        print("merged dataset: %s" % result.merged_path)
     return 0
 
 
@@ -112,7 +154,14 @@ def main(argv=None) -> int:
     crowd.add_argument("--scale", type=float, default=0.02)
     crowd.add_argument("--seed", type=int, default=2016)
     crowd.add_argument("--export", type=str, default=None,
-                       help="write the dataset to a .jsonl or .csv")
+                       help="write the dataset to a .jsonl or .csv "
+                            "(sharded runs merge shards into it)")
+    crowd.add_argument("--workers", type=int, default=1,
+                       help="worker processes; >1 switches to the "
+                            "sharded generator + streaming analyses")
+    crowd.add_argument("--shard-dir", type=str, default=None,
+                       help="directory for JSONL shards (implies the "
+                            "sharded path even with --workers 1)")
     sub.add_parser("accuracy", help="Table 2 shoot-out")
     args = parser.parse_args(argv)
     return {"demo": cmd_demo, "crowd": cmd_crowd,

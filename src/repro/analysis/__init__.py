@@ -6,24 +6,40 @@ returns plain data structures (dicts/lists) that the benchmark harness
 renders in the paper's table/figure formats.
 """
 
-from repro.analysis.stats import cdf, fraction_below, median, percentile
+from repro.analysis.stats import (
+    P2Quantile,
+    ReservoirSample,
+    StreamingCDF,
+    StreamingGroups,
+    cdf,
+    fraction_below,
+    median,
+    percentile,
+)
 from repro.analysis.coverage import (
     bucket_counts,
     country_distribution,
+    dataset_statistics_stream,
     location_scatter,
     measurements_per_app,
     measurements_per_user,
+    measurements_per_user_stream,
 )
 from repro.analysis.perapp import (
     app_rtt_cdfs,
+    app_rtt_cdfs_stream,
     per_app_median_cdf,
+    per_app_median_cdf_stream,
+    raw_rtt_medians_stream,
     representative_app_table,
 )
 from repro.analysis.dnsperf import (
     dns_cdfs_by_network,
     dns_cdfs_by_technology,
+    dns_medians_stream,
     isp_dns_cdfs,
     isp_dns_table,
+    isp_dns_table_stream,
 )
 from repro.analysis.casestudies import jio_analysis, whatsapp_analysis
 from repro.analysis.diagnosis import (
@@ -55,8 +71,19 @@ from repro.analysis.validation import (
 
 __all__ = [
     "Finding",
+    "P2Quantile",
+    "ReservoirSample",
+    "StreamingCDF",
+    "StreamingGroups",
     "Verdict",
     "app_rtt_cdfs",
+    "app_rtt_cdfs_stream",
+    "dataset_statistics_stream",
+    "dns_medians_stream",
+    "isp_dns_table_stream",
+    "measurements_per_user_stream",
+    "per_app_median_cdf_stream",
+    "raw_rtt_medians_stream",
     "diagnose_all",
     "diagnose_app",
     "diagnose_operator",

@@ -1,11 +1,20 @@
-"""Dataset coverage analyses: Figures 6, 7 and 8."""
+"""Dataset coverage analyses: Figures 6, 7 and 8.
+
+``dataset_statistics_stream`` / ``measurements_per_user_stream`` accept
+record iterators so the §4.2.1 summary runs straight off JSONL shards;
+memory is bounded by the number of distinct entities (devices, apps,
+IPs), never the record count."""
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.core.records import MeasurementStore
+from repro.core.records import (
+    MeasurementKind,
+    MeasurementRecord,
+    MeasurementStore,
+)
 
 # Figure 6's buckets (full-scale measurement counts).
 BUCKETS: List[Tuple[str, float, float]] = [
@@ -67,6 +76,53 @@ def location_scatter(store: MeasurementStore
         if record.location is not None:
             seen.add(record.location)
     return sorted(seen)
+
+
+def measurements_per_user_stream(records: Iterable[MeasurementRecord],
+                                 scale: float = 1.0) -> Dict[str, int]:
+    """Streaming Figure 6(a) over a record iterator."""
+    counts: Counter = Counter()
+    for record in records:
+        counts[record.device_id] += 1
+    return bucket_counts(counts, scale)
+
+
+def dataset_statistics_stream(records: Iterable[MeasurementRecord]
+                              ) -> Dict[str, int]:
+    """Streaming §4.2.1 summary numbers: one pass, counters + entity
+    sets only."""
+    total = tcp = dns = 0
+    devices: set = set()
+    apps: set = set()
+    countries: set = set()
+    dst_ips: set = set()
+    domains: set = set()
+    dns_servers: set = set()
+    for record in records:
+        total += 1
+        devices.add(record.device_id)
+        countries.add(record.country)
+        if record.kind == MeasurementKind.TCP:
+            tcp += 1
+            dst_ips.add(record.dst_ip)
+            if record.app_package is not None:
+                apps.add(record.app_package)
+            if record.domain is not None:
+                domains.add(record.domain)
+        else:
+            dns += 1
+            dns_servers.add(record.dst_ip)
+    return {
+        "total": total,
+        "tcp": tcp,
+        "dns": dns,
+        "devices": len(devices),
+        "apps": len(apps),
+        "countries": len(countries),
+        "dst_ips": len(dst_ips),
+        "domains": len(domains),
+        "dns_servers": len(dns_servers),
+    }
 
 
 def dataset_statistics(store: MeasurementStore) -> Dict[str, int]:

@@ -1,11 +1,25 @@
-"""DNS performance analyses: Figure 10, Table 6, Figure 11."""
+"""DNS performance analyses: Figure 10, Table 6, Figure 11.
+
+The ``*_stream`` variants consume record iterators (shards) instead of
+a materialized store -- same numbers, O(sketch) memory."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.analysis.stats import cdf, fraction_below, median
-from repro.core.records import MeasurementStore
+from repro.analysis.stats import (
+    P2Quantile,
+    StreamingCDF,
+    StreamingGroups,
+    cdf,
+    fraction_below,
+    median,
+)
+from repro.core.records import (
+    MeasurementKind,
+    MeasurementRecord,
+    MeasurementStore,
+)
 from repro.network.link import NetworkType
 
 
@@ -54,6 +68,59 @@ def dns_medians(store: MeasurementStore) -> Dict[str, float]:
         if rtts:
             out[label] = median(rtts)
     return out
+
+
+def dns_medians_stream(records: Iterable[MeasurementRecord]
+                       ) -> Dict[str, float]:
+    """Streaming Figure 10 medians (All/WiFi/Cellular + 4G/3G/2G) in
+    one pass; histogram sketches sized to cover the 2G tail (755 ms
+    paper median) with sub-ms bins."""
+    labels = {NetworkType.LTE: "4G", NetworkType.UMTS: "3G",
+              NetworkType.GPRS: "2G"}
+    sketches = {label: StreamingCDF(max_x=8000.0, n_bins=32000)
+                for label in ("All", "WiFi", "Cellular",
+                              "4G", "3G", "2G")}
+    for record in records:
+        if record.kind != MeasurementKind.DNS:
+            continue
+        rtt = record.rtt_ms
+        sketches["All"].add(rtt)
+        if record.network_type == NetworkType.WIFI:
+            sketches["WiFi"].add(rtt)
+            continue
+        tech = labels.get(record.network_type)
+        if tech is not None:
+            sketches["Cellular"].add(rtt)
+            sketches[tech].add(rtt)
+    return {label: sketch.quantile(0.5)
+            for label, sketch in sketches.items() if sketch.count}
+
+
+def isp_dns_table_stream(records: Iterable[MeasurementRecord],
+                         top: int = 15) -> List[Dict[str, object]]:
+    """Streaming Table 6: per-operator medians + counts, one pass.
+    Named cellular operators number ~15, so a histogram sketch per
+    operator is cheap and immune to the mixed-technology bimodality
+    (Cricket, U.S. Cellular) that biases P²."""
+    groups = StreamingGroups(
+        lambda: StreamingCDF(max_x=8000.0, n_bins=32000))
+    countries: Dict[str, str] = {}
+    for record in records:
+        if record.kind != MeasurementKind.DNS:
+            continue
+        operator = record.operator
+        if operator.startswith("wifi") or operator.startswith("lte-"):
+            continue
+        groups.add(operator, record.rtt_ms)
+        countries.setdefault(operator, record.country)
+    rows = [{
+        "isp": operator,
+        "country": countries[operator],
+        "count": groups.counts[operator],
+        "median_ms": sketch.quantile(0.5),
+    } for operator, sketch in groups.items()]
+    rows.sort(key=lambda row: -row["count"])
+    return rows[:top]
 
 
 def isp_dns_table(store: MeasurementStore,

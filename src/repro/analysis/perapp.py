@@ -1,12 +1,27 @@
-"""Per-app performance analyses: Figure 9 and Table 5."""
+"""Per-app performance analyses: Figure 9 and Table 5.
+
+Every figure has two entry points: the exact one over a materialized
+:class:`MeasurementStore`, and a ``*_stream`` variant that consumes a
+record iterator (e.g. :func:`repro.core.persist.iter_jsonl_shards`) so
+the full-scale sharded dataset is analysed in O(sketch) memory."""
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.analysis.stats import cdf, median
-from repro.core.records import MeasurementStore
+from repro.analysis.stats import (
+    P2Quantile,
+    StreamingCDF,
+    StreamingGroups,
+    cdf,
+    median,
+)
+from repro.core.records import (
+    MeasurementKind,
+    MeasurementRecord,
+    MeasurementStore,
+)
 from repro.network.link import NetworkType
 
 
@@ -81,6 +96,68 @@ def representative_app_table(store: MeasurementStore,
             "median_ms": median(rtts) if rtts else None,
         })
     return rows
+
+
+def raw_rtt_medians_stream(records: Iterable[MeasurementRecord]
+                           ) -> Dict[str, float]:
+    """Streaming Figure 9(a) medians: one fixed-size histogram sketch
+    per class, one pass over the record stream, O(1) memory.  The
+    cellular mix is strongly multimodal (per-ISP access medians plus
+    Jio's core penalty), so the bin-width-bounded histogram quantile is
+    used rather than P²."""
+    sketches = {label: StreamingCDF(max_x=8000.0, n_bins=32000)
+                for label in ("All", "WiFi", "Cellular", "LTE")}
+    cellular = set(NetworkType.CELLULAR)
+    for record in records:
+        if record.kind != MeasurementKind.TCP:
+            continue
+        rtt = record.rtt_ms
+        sketches["All"].add(rtt)
+        if record.network_type == NetworkType.WIFI:
+            sketches["WiFi"].add(rtt)
+        elif record.network_type in cellular:
+            sketches["Cellular"].add(rtt)
+            if record.network_type == NetworkType.LTE:
+                sketches["LTE"].add(rtt)
+    return {label: sketch.quantile(0.5)
+            for label, sketch in sketches.items() if sketch.count}
+
+
+def app_rtt_cdfs_stream(records: Iterable[MeasurementRecord],
+                        max_x: float = 400.0
+                        ) -> Dict[str, Tuple[List[float],
+                                             List[float]]]:
+    """Streaming Figure 9(a) CDFs over a record iterator."""
+    hists = {label: StreamingCDF(max_x)
+             for label in ("All", "WiFi", "Cellular")}
+    cellular = set(NetworkType.CELLULAR)
+    for record in records:
+        if record.kind != MeasurementKind.TCP:
+            continue
+        hists["All"].add(record.rtt_ms)
+        if record.network_type == NetworkType.WIFI:
+            hists["WiFi"].add(record.rtt_ms)
+        elif record.network_type in cellular:
+            hists["Cellular"].add(record.rtt_ms)
+    return {label: hist.cdf() for label, hist in hists.items()}
+
+
+def per_app_median_cdf_stream(records: Iterable[MeasurementRecord],
+                              min_count: int = 1000,
+                              scale: float = 1.0,
+                              max_x: float = 400.0
+                              ) -> Tuple[List[float], List[float], int]:
+    """Streaming Figure 9(b): per-app P² medians in one pass; only the
+    per-app sketches (5 floats each) stay resident."""
+    groups = StreamingGroups(lambda: P2Quantile(0.5))
+    for record in records:
+        if (record.kind == MeasurementKind.TCP
+                and record.app_package is not None):
+            groups.add(record.app_package, record.rtt_ms)
+    medians = [sketch.value() for app, sketch in groups.items()
+               if groups.counts[app] / scale > min_count]
+    xs, fractions = cdf(medians, max_x)
+    return xs, fractions, len(medians)
 
 
 def representative_packages_table_spec() -> List[Tuple[str, str, str]]:

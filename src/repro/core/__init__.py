@@ -14,7 +14,18 @@ from repro.core.records import (
     MeasurementRecord,
     MeasurementStore,
 )
-from repro.core.persist import load_csv, load_jsonl, save_csv, save_jsonl
+from repro.core.persist import (
+    dataset_digest,
+    iter_jsonl,
+    iter_jsonl_shards,
+    list_shards,
+    load_csv,
+    load_jsonl,
+    merge_shards,
+    save_csv,
+    save_jsonl,
+    save_jsonl_shards,
+)
 from repro.core.uploader import MeasurementUploader
 from repro.core.mapping import (
     CacheMapper,
@@ -37,8 +48,14 @@ __all__ = [
     "MopEyeConfig",
     "MopEyeService",
     "RelayStats",
+    "dataset_digest",
+    "iter_jsonl",
+    "iter_jsonl_shards",
+    "list_shards",
     "load_csv",
     "load_jsonl",
+    "merge_shards",
     "save_csv",
     "save_jsonl",
+    "save_jsonl_shards",
 ]

@@ -2,27 +2,73 @@
 
 The crowdsourced dataset outlives any single process, so the store
 round-trips through JSON-lines (schema-preserving) and CSV (for
-spreadsheet/pandas consumers).
+spreadsheet/pandas consumers).  The JSON-lines path also works in a
+streaming regime for the sharded full-scale campaign: writers accept
+any record iterable, :func:`iter_jsonl` / :func:`iter_jsonl_shards`
+yield records lazily, and :func:`save_jsonl_shards` splits a stream
+across numbered shard files so no step ever materializes the 5.25 M
+record dataset in memory.
 """
 
 from __future__ import annotations
 
 import csv
+import glob
+import hashlib
 import json
-from typing import Optional
+import os
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
-from repro.core.records import MeasurementRecord, MeasurementStore
+from repro.core.records import (
+    MeasurementKind,
+    MeasurementRecord,
+    MeasurementStore,
+)
 
 _FIELDS = ["kind", "rtt_ms", "timestamp_ms", "app_package", "app_uid",
            "dst_ip", "dst_port", "domain", "network_type", "operator",
            "country", "device_id", "location"]
 
+SHARD_PATTERN = "shard-%05d.jsonl"
+
+
+def _normalize_kind(kind) -> str:
+    """Collapse whatever ``kind`` the caller stored (a plain string, an
+    ``Enum`` member, bytes from a wire protocol) onto the canonical
+    :class:`MeasurementKind` string, so a round-trip through disk always
+    compares equal to the original record."""
+    kind = getattr(kind, "value", kind)
+    if isinstance(kind, bytes):
+        kind = kind.decode("utf-8", "replace")
+    kind = str(kind).strip().upper()
+    if kind not in (MeasurementKind.TCP, MeasurementKind.DNS):
+        raise ValueError("unknown measurement kind %r" % kind)
+    return kind
+
 
 def _record_to_dict(record: MeasurementRecord) -> dict:
-    out = {field: getattr(record, field) for field in _FIELDS}
-    if record.location is not None:
-        out["location"] = [record.location[0], record.location[1]]
-    return out
+    # Spelled out (not a getattr loop): this is the sharded campaign's
+    # serialization hot path, run 5.25 M times at full scale.
+    kind = record.kind
+    if kind != MeasurementKind.TCP and kind != MeasurementKind.DNS:
+        kind = _normalize_kind(kind)
+    location = record.location
+    return {
+        "kind": kind,
+        "rtt_ms": record.rtt_ms,
+        "timestamp_ms": record.timestamp_ms,
+        "app_package": record.app_package,
+        "app_uid": record.app_uid,
+        "dst_ip": record.dst_ip,
+        "dst_port": record.dst_port,
+        "domain": record.domain,
+        "network_type": record.network_type,
+        "operator": record.operator,
+        "country": record.country,
+        "device_id": record.device_id,
+        "location": (None if location is None
+                     else [location[0], location[1]]),
+    }
 
 
 def _record_from_dict(data: dict) -> MeasurementRecord:
@@ -30,7 +76,7 @@ def _record_from_dict(data: dict) -> MeasurementRecord:
     if location is not None:
         location = (float(location[0]), float(location[1]))
     return MeasurementRecord(
-        kind=data["kind"],
+        kind=_normalize_kind(data["kind"]),
         rtt_ms=float(data["rtt_ms"]),
         timestamp_ms=float(data["timestamp_ms"]),
         app_package=data.get("app_package") or None,
@@ -46,35 +92,137 @@ def _record_from_dict(data: dict) -> MeasurementRecord:
         location=location)
 
 
-def save_jsonl(store: MeasurementStore, path: str) -> int:
-    """Write one JSON object per line; returns the record count."""
+def record_to_line(record: MeasurementRecord) -> str:
+    """The canonical one-line JSON serialization (no trailing newline).
+    Canonical means byte-stable: the same record always serializes to
+    the same bytes, which is what shard digests compare."""
+    return json.dumps(_record_to_dict(record))
+
+
+def save_jsonl(records: Union[MeasurementStore,
+                              Iterable[MeasurementRecord]],
+               path: str) -> int:
+    """Write one JSON object per line; returns the record count.
+    Accepts a store or any record iterable (streaming-friendly)."""
     count = 0
     with open(path, "w") as handle:
-        for record in store:
-            handle.write(json.dumps(_record_to_dict(record)) + "\n")
+        for record in records:
+            handle.write(record_to_line(record) + "\n")
             count += 1
     return count
+
+
+def iter_jsonl(path: str) -> Iterator[MeasurementRecord]:
+    """Stream records from a JSON-lines file without loading it."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield _record_from_dict(json.loads(line))
 
 
 def load_jsonl(path: str,
                store: Optional[MeasurementStore] = None
                ) -> MeasurementStore:
     store = store or MeasurementStore()
-    with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                store.add(_record_from_dict(json.loads(line)))
+    for record in iter_jsonl(path):
+        store.add(record)
     return store
 
 
-def save_csv(store: MeasurementStore, path: str) -> int:
+# -- sharded JSON-lines ------------------------------------------------------
+
+def shard_path(directory: str, index: int) -> str:
+    return os.path.join(directory, SHARD_PATTERN % index)
+
+
+def list_shards(directory: str) -> List[str]:
+    """Shard files under ``directory`` in shard-index order."""
+    return sorted(glob.glob(os.path.join(directory, "shard-*.jsonl")))
+
+
+def save_jsonl_shards(records: Iterable[MeasurementRecord],
+                      directory: str,
+                      shard_size: int = 500_000) -> List[str]:
+    """Split a record stream across numbered shard files of at most
+    ``shard_size`` records each; returns the shard paths in order."""
+    if shard_size <= 0:
+        raise ValueError("shard_size must be positive")
+    os.makedirs(directory, exist_ok=True)
+    paths: List[str] = []
+    handle = None
+    in_shard = 0
+    try:
+        for record in records:
+            if handle is None or in_shard >= shard_size:
+                if handle is not None:
+                    handle.close()
+                paths.append(shard_path(directory, len(paths)))
+                handle = open(paths[-1], "w")
+                in_shard = 0
+            handle.write(record_to_line(record) + "\n")
+            in_shard += 1
+    finally:
+        if handle is not None:
+            handle.close()
+    if not paths:
+        # An empty dataset still yields one (empty) shard so readers
+        # have something to open.
+        paths.append(shard_path(directory, 0))
+        open(paths[0], "w").close()
+    return paths
+
+
+def iter_jsonl_shards(shards: Union[str, Sequence[str]]
+                      ) -> Iterator[MeasurementRecord]:
+    """Stream records from shard files in order.  ``shards`` is either
+    a directory (all ``shard-*.jsonl`` inside, sorted) or an explicit
+    path sequence."""
+    paths = list_shards(shards) if isinstance(shards, str) else shards
+    for path in paths:
+        yield from iter_jsonl(path)
+
+
+def dataset_digest(shards: Union[str, Sequence[str]]) -> str:
+    """SHA-256 over the concatenated shard bytes, in shard order.  Two
+    runs produced the same dataset iff their digests match -- the
+    property the determinism suite asserts across worker counts and
+    ``PYTHONHASHSEED`` values."""
+    paths = list_shards(shards) if isinstance(shards, str) else shards
+    digest = hashlib.sha256()
+    for path in paths:
+        with open(path, "rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+    return digest.hexdigest()
+
+
+def merge_shards(shards: Union[str, Sequence[str]],
+                 out_path: str) -> int:
+    """Concatenate shard files (in shard order) into one JSON-lines
+    dataset; returns the merged record count.  Byte concatenation keeps
+    the merge deterministic and independent of worker scheduling."""
+    paths = list_shards(shards) if isinstance(shards, str) else shards
+    count = 0
+    with open(out_path, "wb") as out:
+        for path in paths:
+            with open(path, "rb") as handle:
+                for chunk in iter(lambda: handle.read(1 << 20), b""):
+                    count += chunk.count(b"\n")
+                    out.write(chunk)
+    return count
+
+
+def save_csv(store: Union[MeasurementStore,
+                          Iterable[MeasurementRecord]],
+             path: str) -> int:
     count = 0
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(_FIELDS[:-1] + ["lat", "lon"])
         for record in store:
             row = [getattr(record, field) for field in _FIELDS[:-1]]
+            row[0] = _normalize_kind(record.kind)
             if record.location is not None:
                 row += [record.location[0], record.location[1]]
             else:

@@ -84,6 +84,12 @@ class MeasurementStore:
     def __iter__(self) -> Iterator[MeasurementRecord]:
         return iter(self._records)
 
+    def since(self, index: int) -> List[MeasurementRecord]:
+        """Records appended at or after ``index`` -- an O(tail) view
+        for incremental consumers (the uploader's cursor), instead of
+        copying the whole store every poll."""
+        return self._records[index:]
+
     # -- filtering ----------------------------------------------------------
     def filter(self, predicate: Callable[[MeasurementRecord], bool]
                ) -> "MeasurementStore":

@@ -44,6 +44,7 @@ class TunWriter:
         self.write_costs_ms: List[float] = []
         self.direct_write_costs_ms: List[float] = []
         self.packets_written = 0
+        self.packets_dropped = 0  # enqueued after stop(), never written
 
     # -- producer side ---------------------------------------------------
     def emit(self, packet: IPPacket):
@@ -72,12 +73,29 @@ class TunWriter:
 
     # -- consumer thread ---------------------------------------------------------
     def run(self):
-        """Generator: the TunWriter thread body (queueWrite only)."""
+        """Generator: the TunWriter thread body (queueWrite only).
+
+        Shutdown contract: every packet enqueued before the ``_STOP``
+        sentinel is still written (FIFO order guarantees they drain
+        first); anything that races in after the sentinel is counted in
+        ``packets_dropped``."""
         self.running = True
-        if self.config.put_scheme == "oldPut":
-            yield from self._run_old_put()
-        else:
-            yield from self._run_new_put()
+        try:
+            if self.config.put_scheme == "oldPut":
+                yield from self._run_old_put()
+            else:
+                yield from self._run_new_put()
+        finally:
+            self.running = False
+            self._count_leftover_drops()
+
+    def _count_leftover_drops(self):
+        while True:
+            packet = self.queue.try_get()
+            if packet is None:
+                return
+            if packet is not _STOP:
+                self.packets_dropped += 1
 
     def _write_one(self, packet: IPPacket):
         cost = self.device.costs.tun_write_syscall.sample()
@@ -88,8 +106,11 @@ class TunWriter:
 
     def _run_old_put(self):
         """Classic consumer: park in wait() the moment the queue runs
-        dry.  Producers then pay notify costs on nearly every put."""
-        while self.running:
+        dry.  Producers then pay notify costs on nearly every put.
+
+        Loops until the _STOP sentinel (not a ``running`` flag): an
+        eager flag check would abandon packets enqueued before stop()."""
+        while True:
             packet = self.queue.try_get()
             if packet is None:
                 try:
@@ -107,7 +128,7 @@ class TunWriter:
         never touches the monitor."""
         counter = 0
         threshold = self.config.put_counter_threshold
-        while self.running:
+        while True:
             packet = self.queue.try_get()
             if packet is not None:
                 if packet is _STOP:
@@ -129,10 +150,14 @@ class TunWriter:
                 yield self.sim.timeout(self.config.spin_check_interval_ms)
 
     def stop(self):
-        """Generator: unblock and terminate the writer thread."""
-        self.running = False
+        """Generator: terminate the writer thread.  In queueWrite mode
+        the sentinel rides the FIFO behind any queued packets, so the
+        consumer drains them before exiting (and flips ``running``
+        itself); directWrite has no consumer thread to wind down."""
         if self.config.write_scheme == "queueWrite":
             yield self.queue.put(_STOP)
+        else:
+            self.running = False
 
 
 class _Stop:

@@ -38,6 +38,7 @@ class MeasurementUploader:
         self.uploaded = 0          # records acknowledged
         self.batches = 0
         self.failures = 0
+        self.short_acks = 0        # batches the collector part-ACKed
         self.deferred_cellular = 0
         self._cursor = 0           # store index of first un-uploaded
         self.running = False
@@ -54,8 +55,7 @@ class MeasurementUploader:
 
     # -- internals -----------------------------------------------------------
     def _pending(self) -> list:
-        records = list(self.service.store)
-        return records[self._cursor:]
+        return self.service.store.since(self._cursor)
 
     def _run(self):
         while self.running:
@@ -91,8 +91,14 @@ class MeasurementUploader:
                 acked = int(response.split()[1])
             except (IndexError, ValueError):
                 acked = len(records)
-            self._cursor += len(records)
+            # Advance only past what the collector acknowledged: a
+            # short ACK leaves the unacked tail pending, so the next
+            # interval retries it instead of silently dropping it.
+            acked = max(0, min(acked, len(records)))
+            self._cursor += acked
             self.uploaded += acked
             self.batches += 1
+            if acked < len(records):
+                self.short_acks += 1
         else:
             self.failures += 1

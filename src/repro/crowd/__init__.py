@@ -29,8 +29,20 @@ from repro.crowd.population import (
     CrowdDevice,
     Population,
 )
-from repro.crowd.campaign import Campaign, CampaignConfig
+from repro.crowd.campaign import (
+    Campaign,
+    CampaignConfig,
+    device_stream_rng,
+    stable_ip_for_domain,
+)
 from repro.crowd.fleet import FleetRunner, FleetSpec, default_fleet
+from repro.crowd.sharding import (
+    ShardedCampaign,
+    ShardedRunResult,
+    ShardResult,
+    ShardSpec,
+    plan_shards,
+)
 
 __all__ = [
     "AppCatalog",
@@ -46,8 +58,15 @@ __all__ = [
     "default_fleet",
     "IspProfile",
     "Population",
+    "ShardSpec",
+    "ShardResult",
+    "ShardedCampaign",
+    "ShardedRunResult",
     "WIFI_PROFILE_BY_COUNTRY",
     "build_catalog",
+    "device_stream_rng",
     "isp_by_name",
     "isps_for_country",
+    "plan_shards",
+    "stable_ip_for_domain",
 ]

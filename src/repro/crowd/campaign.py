@@ -9,14 +9,24 @@ DNS = 5,252,758 records at full scale).
 ``scale`` linearly scales every device's measurement count so the whole
 pipeline stays fast; population structure (devices, apps, countries) is
 never scaled.
+
+Determinism contract: every device's record stream is a pure function
+of ``(config.seed, device_id)``.  Each device gets its own
+:class:`random.Random` seeded from a string key (string seeding hashes
+through SHA-512, so it is stable across processes and immune to
+``PYTHONHASHSEED``), and destination IPs are derived from a CRC-32 of
+the domain rather than Python's randomized ``hash()``.  Any partition
+of the device list therefore yields byte-identical records no matter
+how many workers generate it -- the property
+:class:`~repro.crowd.sharding.ShardedCampaign` builds on.
 """
 
 from __future__ import annotations
 
-import math
 import random
+import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.core.records import (
     MeasurementKind,
@@ -33,6 +43,21 @@ _TCP_FRACTION = 3576931 / 5252758  # from section 4.2.1
 _DURATION_MS = 232 * 24 * 3600 * 1000.0  # 16 May 2016 .. 3 Jan 2017
 
 
+def stable_ip_for_domain(domain: str) -> str:
+    """Deterministic pseudo-IP for a domain, stable across processes
+    (CRC-32, not ``hash()``, which ``PYTHONHASHSEED`` randomizes)."""
+    h = zlib.crc32(domain.encode("utf-8")) & 0xFFFFFFFF
+    return "%d.%d.%d.%d" % (1 + (h >> 24) % 223, (h >> 16) & 0xFF,
+                            (h >> 8) & 0xFF, h & 0xFF)
+
+
+def device_stream_rng(seed: int, device_id: str,
+                      purpose: str = "records") -> random.Random:
+    """The RNG stream for one device.  Seeded from a string so CPython
+    routes it through SHA-512 seeding -- identical in every process."""
+    return random.Random("campaign:%d:%s:%s" % (seed, purpose, device_id))
+
+
 @dataclass
 class CampaignConfig:
     scale: float = 0.1
@@ -47,26 +72,27 @@ class CampaignConfig:
     measurement_noise_ms: float = 0.2  # MopEye's own accuracy (Table 2)
 
 
-class Campaign:
-    def __init__(self, population: Optional[Population] = None,
-                 catalog: Optional[AppCatalog] = None,
-                 config: Optional[CampaignConfig] = None):
-        self.config = config or CampaignConfig()
-        self.rng = random.Random(self.config.seed)
-        self.population = population or Population(
-            seed=self.config.seed + 1)
-        self.catalog = catalog or build_catalog(
-            n_longtail=self.config.n_longtail_apps,
-            seed=self.config.seed + 2)
+class _DeviceSampler:
+    """All randomness for one device: an independent RNG plus
+    distribution instances bound to it.  Keeping the caches per device
+    (instead of per campaign) is what makes a device's stream
+    independent of which other devices ran before it."""
+
+    def __init__(self, campaign: "Campaign", device: CrowdDevice,
+                 rng: random.Random):
+        self.campaign = campaign
+        self.config = campaign.config
+        self.catalog = campaign.catalog
+        self.device = device
+        self.rng = rng
         self._dns_dist_cache: Dict[Tuple[str, str], Distribution] = {}
-        self._access_dist_cache: Dict[Tuple[str, str], Distribution] = {}
+        self._access_dist_cache: Dict[Tuple[str, str, bool],
+                                      Distribution] = {}
         self._path_dist_cache: Dict[str, Distribution] = {}
-        self._domain_ip_cache: Dict[str, str] = {}
-        self._tail = Exponential(self.config.tail_mean_ms).bind(self.rng)
+        self._tail = Exponential(self.config.tail_mean_ms).bind(rng)
 
     # -- cached distributions ------------------------------------------------
-    def _dns_dist(self, profile: IspProfile,
-                  tech: str) -> Distribution:
+    def _dns_dist(self, profile: IspProfile, tech: str) -> Distribution:
         key = (profile.name, tech)
         dist = self._dns_dist_cache.get(key)
         if dist is None:
@@ -122,20 +148,11 @@ class Campaign:
             self._path_dist_cache[domain.domain] = dist
         return dist
 
-    def _ip_for_domain(self, domain: str) -> str:
-        ip = self._domain_ip_cache.get(domain)
-        if ip is None:
-            h = hash(domain) & 0xFFFFFFFF
-            ip = "%d.%d.%d.%d" % (1 + (h >> 24) % 223, (h >> 16) & 0xFF,
-                                  (h >> 8) & 0xFF, h & 0xFF)
-            self._domain_ip_cache[domain] = ip
-        return ip
-
     # -- context sampling ---------------------------------------------------------
-    def _sample_context(self, device: CrowdDevice
-                        ) -> Tuple[IspProfile, str]:
+    def _sample_context(self) -> Tuple[IspProfile, str]:
         """Pick (profile, technology) for one measurement."""
         rng = self.rng
+        device = self.device
         if rng.random() < device.wifi_share:
             return device.wifi, NetworkType.WIFI
         isp = device.cellular_isp
@@ -150,17 +167,10 @@ class Campaign:
         return isp, NetworkType.GPRS
 
     # -- record generation ------------------------------------------------------------
-    def _install_apps(self, device: CrowdDevice) -> None:
-        lo, hi = self.config.apps_per_device
-        count = self.rng.randint(lo, hi)
-        seen = {}
-        for app in self.catalog.sample_apps(self.rng, count):
-            seen[app.package] = app
-        device.installed = list(seen.values())
-
-    def _tcp_record(self, device: CrowdDevice, profile: IspProfile,
-                    tech: str, timestamp: float) -> MeasurementRecord:
+    def _tcp_record(self, profile: IspProfile, tech: str,
+                    timestamp: float) -> MeasurementRecord:
         rng = self.rng
+        device = self.device
         # App choice follows the global popularity law (applying the
         # weights again within per-device installed sets would square
         # them and starve the long tail that Figure 6(b) depends on).
@@ -175,20 +185,22 @@ class Campaign:
         return MeasurementRecord(
             kind=MeasurementKind.TCP, rtt_ms=rtt,
             timestamp_ms=timestamp, app_package=app.package,
-            dst_ip=self._ip_for_domain(domain.domain),
+            dst_ip=self.campaign._ip_for_domain(domain.domain),
             dst_port=443 if rng.random() < 0.7 else 80,
             domain=domain.domain, network_type=tech,
             operator=profile.name, country=device.country,
             device_id=device.device_id,
             location=rng.choice(device.locations))
 
-    def _dns_record(self, device: CrowdDevice, profile: IspProfile,
-                    tech: str, timestamp: float) -> MeasurementRecord:
+    def _dns_record(self, profile: IspProfile, tech: str,
+                    timestamp: float) -> MeasurementRecord:
         rng = self.rng
+        device = self.device
         rtt = self._dns_dist(profile, tech).sample()
         rtt += rng.uniform(0, self.config.measurement_noise_ms)
         resolver_ip = ("192.168.1.1" if tech == NetworkType.WIFI
-                       else self._ip_for_domain("dns." + profile.name))
+                       else self.campaign._ip_for_domain(
+                           "dns." + profile.name))
         return MeasurementRecord(
             kind=MeasurementKind.DNS, rtt_ms=rtt,
             timestamp_ms=timestamp, dst_ip=resolver_ip, dst_port=53,
@@ -196,22 +208,69 @@ class Campaign:
             country=device.country, device_id=device.device_id,
             location=rng.choice(device.locations))
 
+    def records(self) -> Iterator[MeasurementRecord]:
+        rng = self.rng
+        count = max(1, round(self.device.activity * self.config.scale))
+        for _ in range(count):
+            timestamp = rng.uniform(0, _DURATION_MS)
+            profile, tech = self._sample_context()
+            if rng.random() < _TCP_FRACTION:
+                yield self._tcp_record(profile, tech, timestamp)
+            else:
+                yield self._dns_record(profile, tech, timestamp)
+
+
+class Campaign:
+    def __init__(self, population: Optional[Population] = None,
+                 catalog: Optional[AppCatalog] = None,
+                 config: Optional[CampaignConfig] = None):
+        self.config = config or CampaignConfig()
+        self.population = population or Population(
+            seed=self.config.seed + 1)
+        self.catalog = catalog or build_catalog(
+            n_longtail=self.config.n_longtail_apps,
+            seed=self.config.seed + 2)
+        self._domain_ip_cache: Dict[str, str] = {}
+
+    def _ip_for_domain(self, domain: str) -> str:
+        ip = self._domain_ip_cache.get(domain)
+        if ip is None:
+            ip = stable_ip_for_domain(domain)
+            self._domain_ip_cache[domain] = ip
+        return ip
+
+    # -- record generation ------------------------------------------------------------
+    def _install_apps(self, device: CrowdDevice) -> None:
+        # A dedicated stream so installs never perturb the record
+        # stream (device_records stays idempotent).
+        rng = device_stream_rng(self.config.seed, device.device_id,
+                                purpose="install")
+        lo, hi = self.config.apps_per_device
+        count = rng.randint(lo, hi)
+        seen = {}
+        for app in self.catalog.sample_apps(rng, count):
+            seen[app.package] = app
+        device.installed = list(seen.values())
+
+    def device_records(self, device: CrowdDevice
+                       ) -> Iterator[MeasurementRecord]:
+        """One device's record stream -- a pure function of
+        ``(config.seed, device.device_id)``, independent of every other
+        device and of which process runs it."""
+        if not device.installed:
+            self._install_apps(device)
+        rng = device_stream_rng(self.config.seed, device.device_id)
+        return _DeviceSampler(self, device, rng).records()
+
+    def iter_records(self) -> Iterator[MeasurementRecord]:
+        """Stream the whole dataset in device order without a store."""
+        for device in self.population.devices:
+            yield from self.device_records(device)
+
     # -- driver ------------------------------------------------------------------------
     def run(self, store: Optional[MeasurementStore] = None
             ) -> MeasurementStore:
         store = store or MeasurementStore()
-        rng = self.rng
-        for device in self.population.devices:
-            if not device.installed:
-                self._install_apps(device)
-            count = max(1, round(device.activity * self.config.scale))
-            for _ in range(count):
-                timestamp = rng.uniform(0, _DURATION_MS)
-                profile, tech = self._sample_context(device)
-                if rng.random() < _TCP_FRACTION:
-                    store.add(self._tcp_record(device, profile, tech,
-                                               timestamp))
-                else:
-                    store.add(self._dns_record(device, profile, tech,
-                                               timestamp))
+        for record in self.iter_records():
+            store.add(record)
         return store

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -125,8 +126,9 @@ class Population:
         box = _COUNTRY_BOXES.get(country)
         if box is None:
             # Tail countries: a deterministic pseudo-box anywhere
-            # populated (-40..60 lat).
-            h = hash(country) & 0xFFFF
+            # populated (-40..60 lat).  CRC-32, not hash():
+            # PYTHONHASHSEED randomizes the latter across processes.
+            h = zlib.crc32(country.encode("utf-8")) & 0xFFFF
             lat = -40 + (h % 100)
             lon = -180 + ((h >> 4) % 360)
             box = (lat, min(lat + 4, 60), lon, min(lon + 6, 180))

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+import zlib
 
 import pytest
 
@@ -45,7 +46,8 @@ class World:
         server = AppServer(self.sim, [ip], name=name,
                            path_oneway=path_oneway
                            or self._server_path_oneway,
-                           rng=random.Random(hash(ip) & 0xFFFF),
+                           rng=random.Random(
+                               zlib.crc32(ip.encode()) & 0xFFFF),
                            **kwargs)
         self.internet.add_server(server)
         for domain in domains:

@@ -1,0 +1,177 @@
+"""Streaming analysis agrees with the exact (materialized) pipeline."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.coverage import (
+    dataset_statistics,
+    dataset_statistics_stream,
+    measurements_per_user,
+    measurements_per_user_stream,
+)
+from repro.analysis.dnsperf import (
+    dns_medians,
+    dns_medians_stream,
+    isp_dns_table,
+    isp_dns_table_stream,
+)
+from repro.analysis.perapp import (
+    app_rtt_cdfs,
+    app_rtt_cdfs_stream,
+    per_app_median_cdf,
+    per_app_median_cdf_stream,
+    raw_rtt_medians,
+    raw_rtt_medians_stream,
+)
+from repro.analysis.stats import (
+    P2Quantile,
+    ReservoirSample,
+    StreamingCDF,
+    StreamingGroups,
+    cdf,
+    fraction_below,
+)
+from tests.conftest import CAMPAIGN_SCALE
+
+
+class TestP2Quantile:
+    def test_median_within_1pct_on_campaign_rtts(self, campaign_store):
+        rtts = campaign_store.rtts()
+        sketch = P2Quantile(0.5).update_many(rtts)
+        exact = float(np.percentile(rtts, 50))
+        assert abs(sketch.value() - exact) / exact < 0.01
+
+    @pytest.mark.parametrize("q", [0.1, 0.25, 0.75, 0.9])
+    def test_other_quantiles_close(self, q):
+        rng = random.Random(17)
+        data = [rng.lognormvariate(4.0, 0.6) for _ in range(50_000)]
+        sketch = P2Quantile(q).update_many(data)
+        exact = float(np.percentile(data, q * 100))
+        assert abs(sketch.value() - exact) / exact < 0.02
+
+    def test_small_samples_exact(self):
+        sketch = P2Quantile(0.5).update_many([5.0, 1.0, 3.0])
+        assert sketch.value() == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.5).value()
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+
+class TestStreamingCDF:
+    def test_matches_exact_cdf_at_probes(self, campaign_store):
+        rtts = campaign_store.tcp().rtts()
+        hist = StreamingCDF(max_x=400.0)
+        for rtt in rtts:
+            hist.add(rtt)
+        for probe in (50.0, 100.0, 200.0, 399.0):
+            assert abs(hist.fraction_below(probe)
+                       - fraction_below(rtts, probe)) < 0.005
+        xs, fractions = hist.cdf()
+        exact_xs, exact_fractions = cdf(rtts, 400.0)
+        assert abs(fractions[-1] - exact_fractions[-1]) < 0.005
+        assert xs[-1] <= 400.0
+
+    def test_overflow_counted_not_plotted(self):
+        hist = StreamingCDF(max_x=100.0, n_bins=10)
+        for value in (10.0, 50.0, 150.0, 900.0):
+            hist.add(value)
+        xs, fractions = hist.cdf()
+        assert max(xs) <= 100.0
+        assert fractions[-1] == pytest.approx(0.5)
+        assert hist.overflow == 2
+
+
+class TestReservoirSample:
+    def test_bounded_and_deterministic(self):
+        a = ReservoirSample(100, seed=4)
+        b = ReservoirSample(100, seed=4)
+        for value in range(10_000):
+            a.add(float(value))
+            b.add(float(value))
+        assert len(a.values) == 100
+        assert a.count == 10_000
+        assert a.values == b.values
+
+    def test_uniformity_rough(self):
+        sample = ReservoirSample(2000, seed=1)
+        for value in range(100_000):
+            sample.add(float(value))
+        mean = sum(sample.values) / len(sample.values)
+        assert abs(mean - 50_000) < 5_000
+
+
+class TestStreamingGroups:
+    def test_groups_by_key(self):
+        groups = StreamingGroups(lambda: P2Quantile(0.5))
+        for i in range(100):
+            groups.add("even" if i % 2 == 0 else "odd", float(i))
+        assert len(groups) == 2
+        assert groups.counts["even"] == 50
+        assert abs(groups.sketches["even"].value() - 49.0) < 4.0
+
+
+class TestStreamingAnalyses:
+    """Streaming figure entry points vs the exact store pipeline."""
+
+    def test_raw_rtt_medians_stream(self, campaign_store):
+        exact = raw_rtt_medians(campaign_store)
+        streamed = raw_rtt_medians_stream(iter(campaign_store))
+        assert set(streamed) == set(exact)
+        for label, value in exact.items():
+            assert abs(streamed[label] - value) / value < 0.01
+
+    def test_dns_medians_stream(self, campaign_store):
+        exact = dns_medians(campaign_store)
+        streamed = dns_medians_stream(iter(campaign_store))
+        for label, value in exact.items():
+            assert abs(streamed[label] - value) / value < 0.01
+
+    def test_app_rtt_cdfs_stream(self, campaign_store):
+        exact = app_rtt_cdfs(campaign_store)
+        streamed = app_rtt_cdfs_stream(iter(campaign_store))
+        assert set(streamed) == set(exact)
+        for label in exact:
+            _, exact_fracs = exact[label]
+            _, stream_fracs = streamed[label]
+            assert abs(stream_fracs[-1] - exact_fracs[-1]) < 0.01
+
+    def test_per_app_median_cdf_stream(self, campaign_store):
+        _, _, exact_n = per_app_median_cdf(
+            campaign_store, min_count=1000, scale=CAMPAIGN_SCALE)
+        xs, fractions, streamed_n = per_app_median_cdf_stream(
+            iter(campaign_store), min_count=1000,
+            scale=CAMPAIGN_SCALE)
+        assert streamed_n == exact_n
+        assert len(xs) == len(fractions)
+
+    def test_dataset_statistics_stream_identical(self, campaign_store):
+        assert dataset_statistics_stream(iter(campaign_store)) == \
+            dataset_statistics(campaign_store)
+
+    def test_measurements_per_user_stream_identical(self,
+                                                    campaign_store):
+        assert measurements_per_user_stream(
+            iter(campaign_store), scale=CAMPAIGN_SCALE) == \
+            measurements_per_user(campaign_store,
+                                  scale=CAMPAIGN_SCALE)
+
+    def test_isp_dns_table_stream(self, campaign_store):
+        exact = isp_dns_table(campaign_store, top=10)
+        streamed = isp_dns_table_stream(iter(campaign_store), top=10)
+        assert [row["isp"] for row in streamed] == \
+            [row["isp"] for row in exact]
+        assert [row["count"] for row in streamed] == \
+            [row["count"] for row in exact]
+        for exact_row, stream_row in zip(exact, streamed):
+            assert abs(stream_row["median_ms"]
+                       - exact_row["median_ms"]) \
+                / exact_row["median_ms"] < 0.02

@@ -64,6 +64,35 @@ class TestJsonl:
         assert len(merged) == 4
 
 
+class TestKindRoundTrip:
+    def test_jsonl_roundtrip_records_compare_equal(self, tmp_path):
+        """Loaded records equal the originals field-for-field -- the
+        frozen dataclass makes this one assert, and it pins the kind
+        normalization (enum-ish inputs, case, bytes) in place."""
+        path = str(tmp_path / "rt.jsonl")
+        store = sample_store()
+        save_jsonl(store, path)
+        assert list(load_jsonl(path)) == list(store)
+
+    def test_kind_normalization_variants(self):
+        import enum
+        from repro.core.persist import _normalize_kind, \
+            _record_from_dict
+
+        class WireKind(enum.Enum):
+            TCP = "tcp"
+
+        assert _normalize_kind("TCP") == MeasurementKind.TCP
+        assert _normalize_kind(" dns ") == MeasurementKind.DNS
+        assert _normalize_kind(b"tcp") == MeasurementKind.TCP
+        assert _normalize_kind(WireKind.TCP) == MeasurementKind.TCP
+        with pytest.raises(ValueError):
+            _normalize_kind("ICMP")
+        record = _record_from_dict({"kind": "dns", "rtt_ms": 1.5,
+                                    "timestamp_ms": 0.0})
+        assert record.kind == MeasurementKind.DNS
+
+
 class TestCsv:
     def test_roundtrip(self, tmp_path):
         path = str(tmp_path / "ds.csv")

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.core import MopEyeConfig, MopEyeService
+from repro.core.tun_writer import _STOP
+from repro.netstack.ip import IPPacket
 from repro.phone import App
 
 
@@ -128,6 +130,45 @@ class TestTunWriter:
                 app.request("93.184.216.34", 80, b"scheme\n"))
             assert response == b"scheme\n"
             world.run_process(mopeye.stop())
+
+
+def synthetic_packet(i):
+    # Protocol 99: the device demux drops it without side effects, so
+    # these tests observe the writer's counters in isolation.
+    return IPPacket("93.184.216.34", "10.0.0.2", 99, b"p%d" % i)
+
+
+class TestTunWriterShutdown:
+    @pytest.mark.parametrize("put_scheme", ["oldPut", "newPut"])
+    def test_stop_drains_queued_packets(self, world, put_scheme):
+        """The shutdown contract: everything enqueued before stop() is
+        still written -- stop() used to flip ``running`` eagerly and
+        abandon whatever sat in the queue."""
+        mopeye = make_mopeye(world, write_scheme="queueWrite",
+                             put_scheme=put_scheme, mapping_mode="off")
+        writer = mopeye.tun_writer
+        world.run(until=100)
+        before = writer.packets_written
+        for i in range(6):
+            writer.queue.put(synthetic_packet(i))
+        world.run_process(writer.stop())
+        world.run(until=5000)
+        assert writer.packets_written == before + 6
+        assert writer.packets_dropped == 0
+        assert not writer.running
+
+    def test_packets_behind_sentinel_counted_as_dropped(self, world):
+        mopeye = make_mopeye(world, write_scheme="queueWrite",
+                             put_scheme="oldPut", mapping_mode="off")
+        writer = mopeye.tun_writer
+        world.run(until=100)
+        writer.queue.put(synthetic_packet(0))
+        writer.queue.put(_STOP)
+        writer.queue.put(synthetic_packet(1))  # races in after stop
+        world.run(until=5000)
+        assert writer.packets_written == 1
+        assert writer.packets_dropped == 1
+        assert not writer.running
 
 
 class TestSelectorIntegration:

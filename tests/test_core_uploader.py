@@ -102,6 +102,42 @@ class TestUploader:
             uploader.start()
 
 
+class StingyCollector(CollectorServer):
+    """Commits (and ACKs) at most ``ack_limit`` records per batch --
+    a backend shedding load mid-batch."""
+
+    ack_limit = 4
+
+    def _ingest(self, payload: bytes) -> int:
+        lines = payload.splitlines(keepends=True)
+        return super()._ingest(b"".join(lines[:self.ack_limit]))
+
+
+class TestPartialAck:
+    def test_short_ack_retries_tail(self, world):
+        """A short ACK must advance the cursor only past the acked
+        prefix; the tail is retried next interval, so every record
+        still reaches the backend exactly once."""
+        collector = StingyCollector(world.sim, ["198.51.100.201"],
+                                    name="stingy")
+        world.internet.add_server(collector)
+        mopeye = MopEyeService(world.device)
+        mopeye.start()
+        world.mopeye = mopeye
+        generate_measurements(world, n=12)
+        uploader = MeasurementUploader(mopeye, "198.51.100.201",
+                                       interval_ms=2000.0, min_batch=4)
+        uploader.start()
+        world.run(until=30000)
+        assert uploader.short_acks >= 2
+        assert uploader.uploaded == len(mopeye.store)
+        assert uploader._pending() == []
+        # Exactly once: no record was dropped, none duplicated.
+        sent = sorted(round(r.rtt_ms, 9) for r in mopeye.store)
+        got = sorted(round(r.rtt_ms, 9) for r in collector.received)
+        assert got == sent
+
+
 class TestCollectorProtocol:
     def test_malformed_header_counted(self, upload_world):
         w = upload_world
