@@ -2,12 +2,22 @@
 
 Commands:
 
-* ``demo``     -- the quickstart world: relay a few app requests and
-                  print MopEye's measurements.
-* ``crowd``    -- synthesise the crowdsourcing dataset and print the
-                  headline analyses (``--scale`` to size it,
-                  ``--export PATH.jsonl|.csv`` to persist it).
-* ``accuracy`` -- Table 2 live: MopEye vs MobiPerf vs tcpdump.
+* ``demo``      -- the quickstart world: relay a few app requests and
+                   print MopEye's measurements (``--trace FILE`` to
+                   also write a span trace and print the per-stage
+                   sim-time budget, ``--metrics FILE`` to save the
+                   metric snapshot).
+* ``metrics``   -- run the demo workload silently and print the
+                   deterministic metric snapshot as canonical JSON.
+* ``obsreport`` -- re-render the time-budget table from a saved trace.
+* ``crowd``     -- synthesise the crowdsourcing dataset and print the
+                   headline analyses (``--scale`` to size it,
+                   ``--export PATH.jsonl|.csv`` to persist it,
+                   ``--metrics`` to append the campaign counters).
+* ``accuracy``  -- Table 2 live: MopEye vs MobiPerf vs tcpdump.
+
+See docs/OBSERVABILITY.md for the metric/span catalog and how to read
+the budget table.
 """
 
 from __future__ import annotations
@@ -39,12 +49,20 @@ def _build_demo_world():
     return sim, device
 
 
-def cmd_demo(_args) -> int:
+def _run_demo_workload(trace: bool = False):
+    """Build the demo world, relay 5 requests, return (service, obs).
+
+    Shared by ``demo`` and ``metrics`` so both observe the exact same
+    seeded run -- which is what makes the ``metrics`` snapshot a
+    byte-stable regression anchor.
+    """
     from repro.core import MopEyeService
+    from repro.obs import Observability
     from repro.phone import App
 
     sim, device = _build_demo_world()
-    mopeye = MopEyeService(device)
+    obs = Observability(sim=sim, trace=trace)
+    mopeye = MopEyeService(device, obs=obs)
     mopeye.start()
     app = App(device, "com.example.app")
 
@@ -56,11 +74,45 @@ def cmd_demo(_args) -> int:
 
     sim.process(workload())
     sim.run(until=60_000)
+    return mopeye, obs
+
+
+def cmd_demo(args) -> int:
+    mopeye, obs = _run_demo_workload(trace=bool(args.trace))
     print("collected %d measurements:" % len(mopeye.store))
     for record in mopeye.store:
         print("  %-4s %7.2f ms  %-22s %s" % (
             record.kind, record.rtt_ms, record.app_package or "-",
             record.domain or record.dst_ip))
+    if args.trace:
+        from repro.analysis.obsreport import render_time_budget
+        count = obs.tracer.dump(args.trace)
+        print("\nwrote %d spans to %s" % (count, args.trace))
+        print(render_time_budget(
+            [span.to_dict() for span in obs.tracer.spans]))
+    if args.metrics:
+        with open(args.metrics, "w") as handle:
+            handle.write(obs.to_json() + "\n")
+        print("wrote metric snapshot to %s" % args.metrics)
+    return 0
+
+
+def cmd_metrics(_args) -> int:
+    """The deterministic snapshot: same seed -> byte-identical stdout,
+    whatever PYTHONHASHSEED (CI smoke-checks this)."""
+    _mopeye, obs = _run_demo_workload()
+    print(obs.to_json())
+    return 0
+
+
+def cmd_obsreport(args) -> int:
+    from repro.analysis.obsreport import load_trace, render_time_budget
+    try:
+        spans = load_trace(args.trace)
+    except OSError as exc:
+        print("error: cannot read trace: %s" % exc, file=sys.stderr)
+        return 2
+    print(render_time_budget(spans))
     return 0
 
 
@@ -76,9 +128,12 @@ def cmd_crowd(args) -> int:
     from repro.analysis.perapp import raw_rtt_medians
     from repro.crowd import Campaign, CampaignConfig
 
+    from repro.obs import get_default
+
     campaign = Campaign(config=CampaignConfig(scale=args.scale,
                                               seed=args.seed))
     store = campaign.run()
+    get_default().inc("crowd.records_generated", len(store))
     for key, value in dataset_statistics(store).items():
         print("%-12s %d" % (key, value))
     print("app-RTT medians:", {k: round(v, 1)
@@ -91,7 +146,17 @@ def cmd_crowd(args) -> int:
         saver = save_csv if args.export.endswith(".csv") else save_jsonl
         count = saver(store, args.export)
         print("exported %d records to %s" % (count, args.export))
+    if args.metrics:
+        _print_crowd_metrics()
     return 0
+
+
+def _print_crowd_metrics() -> None:
+    """Deterministic slice of the process-wide registry (the crowd
+    counters; wall-clock throughput metrics are volatile, excluded)."""
+    from repro.obs import get_default
+    print("campaign metrics:")
+    print(get_default().to_json())
 
 
 def _crowd_sharded(args) -> int:
@@ -111,6 +176,9 @@ def _crowd_sharded(args) -> int:
     merge_to = args.export if args.export else None
     result = runner.run(merge_to=merge_to)
     elapsed = time.time() - started
+    if elapsed > 0:
+        runner.obs.set_gauge("crowd.records_per_sec",
+                             result.total_records / elapsed)
     print("generated %d records in %d shards with %d worker(s) "
           "in %.1fs" % (result.total_records, len(result.shards),
                         args.workers, elapsed))
@@ -127,6 +195,8 @@ def _crowd_sharded(args) -> int:
                                    result.iter_records()).items()})
     if result.merged_path:
         print("merged dataset: %s" % result.merged_path)
+    if args.metrics:
+        _print_crowd_metrics()
     return 0
 
 
@@ -148,7 +218,19 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro",
                                      description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("demo", help="relay demo on a simulated phone")
+    demo = sub.add_parser("demo", help="relay demo on a simulated phone")
+    demo.add_argument("--trace", type=str, default=None, metavar="FILE",
+                      help="write a JSONL span trace and print the "
+                           "per-stage sim-time budget")
+    demo.add_argument("--metrics", type=str, default=None,
+                      metavar="FILE",
+                      help="write the metric snapshot (canonical JSON)")
+    sub.add_parser("metrics", help="print the demo run's deterministic "
+                                   "metric snapshot")
+    obsreport = sub.add_parser("obsreport",
+                               help="render the time-budget table from "
+                                    "a saved trace")
+    obsreport.add_argument("trace", help="JSONL trace from demo --trace")
     crowd = sub.add_parser("crowd", help="synthesise + analyse the "
                                          "crowdsourcing dataset")
     crowd.add_argument("--scale", type=float, default=0.02)
@@ -162,9 +244,12 @@ def main(argv=None) -> int:
     crowd.add_argument("--shard-dir", type=str, default=None,
                        help="directory for JSONL shards (implies the "
                             "sharded path even with --workers 1)")
+    crowd.add_argument("--metrics", action="store_true",
+                       help="print the campaign's registry snapshot")
     sub.add_parser("accuracy", help="Table 2 shoot-out")
     args = parser.parse_args(argv)
-    return {"demo": cmd_demo, "crowd": cmd_crowd,
+    return {"demo": cmd_demo, "metrics": cmd_metrics,
+            "obsreport": cmd_obsreport, "crowd": cmd_crowd,
             "accuracy": cmd_accuracy}[args.command](args)
 
 

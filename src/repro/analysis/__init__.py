@@ -55,6 +55,12 @@ from repro.analysis.asciiplot import (
     render_histogram,
     render_map,
 )
+from repro.analysis.obsreport import (
+    load_trace,
+    render_metrics,
+    render_time_budget,
+    time_budget,
+)
 from repro.analysis.report import format_table
 from repro.analysis.timeseries import (
     coverage_gaps,
@@ -109,12 +115,16 @@ __all__ = [
     "isp_dns_cdfs",
     "isp_dns_table",
     "jio_analysis",
+    "load_trace",
     "location_scatter",
     "measurements_per_app",
     "measurements_per_user",
     "median",
     "per_app_median_cdf",
     "percentile",
+    "render_metrics",
+    "render_time_budget",
     "representative_app_table",
+    "time_budget",
     "whatsapp_analysis",
 ]

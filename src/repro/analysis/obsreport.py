@@ -1,0 +1,110 @@
+"""Render observability artifacts: trace time budgets and metric tables.
+
+Consumes the JSONL traces written by :class:`repro.obs.tracer.Tracer`
+and the snapshots of :class:`repro.obs.registry.MetricsRegistry`, and
+renders the operator views documented in docs/OBSERVABILITY.md:
+
+* :func:`time_budget` / :func:`render_time_budget` -- the per-stage
+  sim-time budget: for every span name, how much simulated time the
+  stage consumed in total and in *self* time (own duration minus the
+  duration of child spans), so nested stages are not double-counted.
+  This is the table that replays the paper's section 4 internal-latency
+  arguments from a single ``repro demo --trace`` run.
+* :func:`render_metrics` -- a metric snapshot as an aligned table.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import percentile
+
+
+def load_trace(path: str) -> List[dict]:
+    """Read a JSONL trace file into span dicts (end order preserved)."""
+    spans = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def time_budget(spans: Iterable[dict]) -> List[dict]:
+    """Aggregate spans into a per-stage budget, sorted by self time.
+
+    Each row: ``name``, ``count``, ``total_ms`` (sum of durations),
+    ``self_ms`` (durations minus direct children -- where the time
+    actually went), ``mean_ms``, ``p95_ms``, ``max_ms``, ``share``
+    (fraction of the trace's total self time).
+    """
+    spans = list(spans)
+    child_time: Dict[Optional[int], float] = defaultdict(float)
+    for span in spans:
+        child_time[span["parent_id"]] += span["dur_ms"]
+    groups: Dict[str, List[dict]] = defaultdict(list)
+    for span in spans:
+        groups[span["name"]].append(span)
+    rows = []
+    for name, members in groups.items():
+        durations = [span["dur_ms"] for span in members]
+        self_ms = sum(span["dur_ms"] - child_time.get(span["span_id"], 0.0)
+                      for span in members)
+        rows.append({
+            "name": name,
+            "count": len(members),
+            "total_ms": sum(durations),
+            "self_ms": self_ms,
+            "mean_ms": sum(durations) / len(members),
+            "p95_ms": percentile(durations, 95),
+            "max_ms": max(durations),
+        })
+    grand_self = sum(row["self_ms"] for row in rows)
+    for row in rows:
+        row["share"] = (row["self_ms"] / grand_self) if grand_self else 0.0
+    rows.sort(key=lambda row: (-row["self_ms"], row["name"]))
+    return rows
+
+
+def render_time_budget(spans: Iterable[dict],
+                       title: str = "Per-stage sim-time budget") -> str:
+    """The operator-facing budget table (see docs/OBSERVABILITY.md for
+    how to read it)."""
+    rows = time_budget(spans)
+    if not rows:
+        return "%s\n(no spans: was tracing enabled?)" % title
+    return format_table(
+        ["stage", "count", "total ms", "self ms", "self %", "mean ms",
+         "p95 ms", "max ms"],
+        [[row["name"], row["count"], row["total_ms"], row["self_ms"],
+          "%.1f" % (row["share"] * 100), row["mean_ms"], row["p95_ms"],
+          row["max_ms"]] for row in rows],
+        title=title)
+
+
+def render_metrics(snapshot: dict,
+                   title: str = "Metric snapshot") -> str:
+    """A registry snapshot as an aligned table; histograms summarise
+    to count/mean/p50/p95."""
+    rows = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        if entry["type"] == "histogram":
+            count = entry["count"]
+            mean = (entry["sum"] / count) if count else 0.0
+            value = "n=%d mean=%.3f" % (count, mean)
+        elif entry["type"] == "counter":
+            value = "%d" % entry["value"]
+        else:
+            value = "%.3f" % entry["value"]
+        rows.append([name, entry["type"], entry["unit"], value])
+    return format_table(["metric", "type", "unit", "value"], rows,
+                        title=title)
+
+
+__all__ = ["load_trace", "time_budget", "render_time_budget",
+           "render_metrics"]

@@ -19,31 +19,49 @@ class MainWorker:
         self.service = service
         self.device = service.device
         self.sim = service.sim
+        self.obs = service.obs
         self.running = False
-        self.loops = 0
-        self.tunnel_packets = 0
-        self.socket_events = 0
+
+    # Registry-backed views of the loop counters.
+    @property
+    def loops(self) -> int:
+        return int(self.obs.value("main_worker.loops"))
+
+    @property
+    def tunnel_packets(self) -> int:
+        return int(self.obs.value("main_worker.tunnel_packets"))
+
+    @property
+    def socket_events(self) -> int:
+        return int(self.obs.value("main_worker.socket_events"))
 
     def run(self):
         """Generator: the MainWorker thread body."""
         self.running = True
         service = self.service
+        obs = self.obs
         selector = service.selector
         read_queue = service.tun_reader.read_queue
         while self.running:
+            select_span = obs.start_span("main_worker.select")
             keys = yield selector.select_process()
+            obs.end_span(select_span, keys=len(keys))
             if not self.running:
                 return
-            self.loops += 1
+            loop_span = obs.start_span("main_worker.loop")
+            obs.inc("main_worker.loops")
             cost = self.device.costs.selector_select.sample()
             yield self.device.busy(cost, "mopeye.worker")
             # Interleave the two event sources (section 3.2): handle a
             # batch of socket events, then drain the tunnel queue.
+            events_handled = 0
             for key in keys:
-                self.socket_events += 1
+                events_handled += 1
+                obs.inc("main_worker.socket_events")
                 client = key.attachment
                 if client is None:
                     continue
+                event_span = obs.start_span("main_worker.socket_event")
                 # Interleave write and read events (section 2.3): the
                 # write event flushes the tunnel data buffered for the
                 # socket; the read event drains server data.
@@ -51,15 +69,22 @@ class MainWorker:
                     yield from client.handle_socket_writable()
                 if key.channel.readable:
                     yield from client.handle_socket_readable()
+                obs.end_span(event_span)
+            obs.observe("main_worker.events_per_loop", events_handled)
             # 'selector' connect-mode ablation: notice completed
             # connects from the worker loop (the inaccurate way).
             if service.config.connect_mode == "selector":
                 yield from self._poll_pending_connects()
+            obs.observe("main_worker.queue_depth", len(read_queue))
+            drained = 0
             while True:
                 packet = read_queue.try_get()
                 if packet is None:
                     break
+                drained += 1
                 yield from self._handle_tunnel_packet(packet)
+            obs.end_span(loop_span, events=events_handled,
+                         tunnel_packets=drained)
 
     def _poll_pending_connects(self):
         for client in list(self.service.clients.values()):
@@ -73,29 +98,36 @@ class MainWorker:
                 quantize = self.device.costs.quantize_milli
                 client.rtt_ms = (quantize(self.sim.now)
                                  - quantize(client.connect_started_at))
+                self.obs.observe("tcp.connect_rtt_ms", client.rtt_ms)
                 yield from client._finish_measurement()
 
     def _handle_tunnel_packet(self, packet: IPPacket):
         """Generator: parse and dispatch one captured IP packet."""
         service = self.service
-        self.tunnel_packets += 1
+        obs = self.obs
+        obs.inc("main_worker.tunnel_packets")
+        span = obs.start_span("main_worker.tunnel_packet",
+                              protocol=packet.protocol)
         cost = self.device.costs.packet_parse.sample()
         yield self.device.busy(cost, "mopeye.worker")
         if packet.protocol == PROTO_TCP:
             try:
                 segment = TCPSegment.decode(packet.payload)
             except PacketError:
-                service.stats.parse_errors += 1
+                obs.inc("relay.parse_errors")
+                obs.end_span(span, outcome="parse_error")
                 return
             yield from self._handle_tcp(packet, segment)
         elif packet.protocol == PROTO_UDP:
             try:
                 datagram = UDPDatagram.decode(packet.payload)
             except PacketError:
-                service.stats.parse_errors += 1
+                obs.inc("relay.parse_errors")
+                obs.end_span(span, outcome="parse_error")
                 return
             service.spawn_udp_relay(packet, datagram)
         # Other protocols are dropped (MopEye relays TCP and UDP).
+        obs.end_span(span)
 
     def _handle_tcp(self, packet: IPPacket, segment: TCPSegment):
         service = self.service
@@ -104,18 +136,18 @@ class MainWorker:
         if segment.is_syn:
             if four_tuple in service.clients:
                 return  # SYN retransmission; connect is in progress
-            service.stats.syn_packets += 1
+            self.obs.inc("relay.syn_packets")
             client = service.new_client(four_tuple, segment)
             service.spawn_connect_thread(client)
             return
         client = service.clients.get(four_tuple)
         if client is None:
-            service.stats.orphan_packets += 1
+            self.obs.inc("relay.orphan_packets")
             return
         try:
             yield from client.handle_tunnel_segment(segment)
         except TCPStateError:
-            service.stats.state_errors += 1
+            self.obs.inc("relay.state_errors")
 
     def stop(self) -> None:
         self.running = False

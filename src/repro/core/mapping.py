@@ -18,21 +18,34 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import Observability
 from repro.phone.procfs import build_uid_map, parse_proc_net
 
 FourTuple = Tuple[str, int, str, int]
 
 
 class MappingStats:
-    """Per-mapper accounting for Figure 5."""
+    """Per-mapper accounting for Figure 5: a view over the registry's
+    ``mapping.*`` counters plus the raw per-request overhead samples
+    (the benches CDF those directly)."""
 
-    def __init__(self) -> None:
-        self.threads = 0            # mapping requests served
-        self.parses = 0             # /proc/net parses actually performed
-        self.served_by_peer = 0     # threads that found a peer's snapshot
-        self.wait_naps = 0          # 50 ms naps taken while waiting
-        self.unmapped = 0           # four-tuples never resolved
-        self.overheads_ms: List[float] = []  # CPU cost per request
+    _FIELDS = {
+        "threads": "mapping.requests",        # mapping requests served
+        "parses": "mapping.parses",           # /proc/net parses performed
+        "served_by_peer": "mapping.served_by_peer",
+        "wait_naps": "mapping.wait_naps",     # 50 ms naps while waiting
+        "unmapped": "mapping.unmapped",       # never resolved
+    }
+
+    def __init__(self, obs: Optional[Observability] = None):
+        self._obs = obs or Observability()
+        self.overheads_ms: List[float] = []   # CPU cost per request
+
+    def __getattr__(self, name: str) -> int:
+        metric = MappingStats._FIELDS.get(name)
+        if metric is None:
+            raise AttributeError(name)
+        return int(self._obs.value(metric))
 
     @property
     def mitigation_rate(self) -> float:
@@ -43,12 +56,17 @@ class MappingStats:
 
 
 class _BaseMapper:
-    def __init__(self, device, config):
+    def __init__(self, device, config, obs: Optional[Observability] = None):
         self.device = device
         self.sim = device.sim
         self.config = config
-        self.stats = MappingStats()
+        self.obs = obs or Observability(sim=device.sim)
+        self.stats = MappingStats(self.obs)
         self._package_cache: Dict[int, Optional[str]] = {}
+
+    def _record_overhead(self, cost_ms: float) -> None:
+        self.stats.overheads_ms.append(cost_ms)
+        self.obs.observe("mapping.overhead_ms", cost_ms)
 
     def _parse_proc(self) -> Dict[FourTuple, int]:
         """Read and parse /proc/net/tcp6 + tcp.  The caller charges the
@@ -75,29 +93,32 @@ class EagerMapper(_BaseMapper):
     """One proc parse per SYN, inline (the Figure 5(a) baseline)."""
 
     def map_connection(self, four_tuple: FourTuple):
-        self.stats.threads += 1
+        self.obs.inc("mapping.requests")
+        span = self.obs.start_span("mapping.map", mode="eager")
         cost = self.device.costs.proc_parse.sample()
         yield self.device.busy(cost, "mopeye.mapping")
-        self.stats.parses += 1
-        self.stats.overheads_ms.append(cost)
+        self.obs.inc("mapping.parses")
+        self._record_overhead(cost)
         uid = self._parse_proc().get(four_tuple)
         if uid is None:
-            self.stats.unmapped += 1
+            self.obs.inc("mapping.unmapped")
         package = yield from self._package_for(uid)
+        self.obs.end_span(span, uid=uid)
         return uid, package
 
 
 class LazyMapper(_BaseMapper):
     """The section 3.3 design: deferred, single-parser mapping."""
 
-    def __init__(self, device, config):
-        super().__init__(device, config)
+    def __init__(self, device, config, obs=None):
+        super().__init__(device, config, obs)
         self._parsing = False
         self._snapshot: Dict[FourTuple, int] = {}
         self._snapshot_version = 0
 
     def map_connection(self, four_tuple: FourTuple):
-        self.stats.threads += 1
+        self.obs.inc("mapping.requests")
+        span = self.obs.start_span("mapping.map", mode="lazy")
         spent = 0.0
         parsed_here = False
         seen_version = -1
@@ -105,7 +126,7 @@ class LazyMapper(_BaseMapper):
             uid = self._snapshot.get(four_tuple)
             if uid is not None:
                 if not parsed_here:
-                    self.stats.served_by_peer += 1
+                    self.obs.inc("mapping.served_by_peer")
                 break
             if parsed_here and seen_version == self._snapshot_version:
                 # We parsed and the tuple still is not there: give up.
@@ -122,17 +143,18 @@ class LazyMapper(_BaseMapper):
                 self._snapshot = snapshot
                 self._snapshot_version += 1
                 seen_version = self._snapshot_version
-                self.stats.parses += 1
+                self.obs.inc("mapping.parses")
                 spent += cost
                 parsed_here = True
                 continue
             # Someone else is parsing: nap and re-check their result.
-            self.stats.wait_naps += 1
+            self.obs.inc("mapping.wait_naps")
             yield self.sim.timeout(self.config.lazy_wait_slice_ms)
         if uid is None:
-            self.stats.unmapped += 1
-        self.stats.overheads_ms.append(spent)
+            self.obs.inc("mapping.unmapped")
+        self._record_overhead(spent)
         package = yield from self._package_for(uid)
+        self.obs.end_span(span, uid=uid, parsed=parsed_here)
         return uid, package
 
 
@@ -141,30 +163,33 @@ class CacheMapper(_BaseMapper):
     connection to whichever app *first* used the endpoint -- wrong when
     e.g. the Facebook app and Chrome hit the same server IP:port."""
 
-    def __init__(self, device, config):
-        super().__init__(device, config)
+    def __init__(self, device, config, obs=None):
+        super().__init__(device, config, obs)
         self._endpoint_cache: Dict[Tuple[str, int], int] = {}
         self.hits = 0
 
     def map_connection(self, four_tuple: FourTuple):
-        self.stats.threads += 1
+        self.obs.inc("mapping.requests")
+        span = self.obs.start_span("mapping.map", mode="cache")
         endpoint = (four_tuple[2], four_tuple[3])
         cached = self._endpoint_cache.get(endpoint)
         if cached is not None:
             self.hits += 1
-            self.stats.overheads_ms.append(0.0)
+            self._record_overhead(0.0)
             package = yield from self._package_for(cached)
+            self.obs.end_span(span, uid=cached)
             return cached, package
         cost = self.device.costs.proc_parse.sample()
         yield self.device.busy(cost, "mopeye.mapping")
-        self.stats.parses += 1
-        self.stats.overheads_ms.append(cost)
+        self.obs.inc("mapping.parses")
+        self._record_overhead(cost)
         uid = self._parse_proc().get(four_tuple)
         if uid is None:
-            self.stats.unmapped += 1
+            self.obs.inc("mapping.unmapped")
         else:
             self._endpoint_cache[endpoint] = uid
         package = yield from self._package_for(uid)
+        self.obs.end_span(span, uid=uid)
         return uid, package
 
 
@@ -172,20 +197,20 @@ class NullMapper(_BaseMapper):
     """Mapping disabled (mapping_mode='off')."""
 
     def map_connection(self, four_tuple: FourTuple):
-        self.stats.threads += 1
-        self.stats.overheads_ms.append(0.0)
+        self.obs.inc("mapping.requests")
+        self._record_overhead(0.0)
         return None, None
         yield  # pragma: no cover - makes this a generator
 
 
-def make_mapper(device, config):
+def make_mapper(device, config, obs: Optional[Observability] = None):
     mode = config.mapping_mode
     if mode == "lazy":
-        return LazyMapper(device, config)
+        return LazyMapper(device, config, obs)
     if mode == "eager":
-        return EagerMapper(device, config)
+        return EagerMapper(device, config, obs)
     if mode == "cache":
-        return CacheMapper(device, config)
+        return CacheMapper(device, config, obs)
     if mode == "off":
-        return NullMapper(device, config)
+        return NullMapper(device, config, obs)
     raise ValueError("unknown mapping mode %r" % mode)

@@ -74,20 +74,27 @@ class TcpClient:
         # which is the sub-millisecond deviation Table 2 reports.
         start = costs.quantize_nano(self.sim.now)
         self.connect_started_at = self.sim.now
+        # The span brackets exactly what the timestamps bracket, so a
+        # trace replays the Table 2 accuracy argument span by span.
+        span = service.obs.start_span("tcp.connect", dst_ip=dst_ip,
+                                      dst_port=dst_port)
         try:
             yield self.device.busy(costs.connect_issue.sample(),
                                    "mopeye.connect")
             yield self.channel.connect(dst_ip, dst_port)
-        except (ConnectionRefused, ConnectTimeout):
+        except (ConnectionRefused, ConnectTimeout) as exc:
+            service.obs.end_span(span, outcome=type(exc).__name__)
             # External connect failed: refuse the app with RST.
             yield from service.emit_tunnel_segment(self,
                                                    self.machine.make_rst())
             service.remove_client(self)
-            service.stats.connect_failures += 1
+            service.obs.inc("relay.connect_failures")
             return
         if service.config.connect_mode == "blocking_thread":
             end = costs.quantize_nano(self.sim.now)
             self.rtt_ms = end - start
+            service.obs.end_span(span, rtt_ms=self.rtt_ms)
+            service.obs.observe("tcp.connect_rtt_ms", self.rtt_ms)
             # Lazy mapping happens only after the connect, so it never
             # delays the app-side handshake (section 3.3).
             yield from self._finish_measurement()
@@ -95,6 +102,7 @@ class TcpClient:
             # 'selector' ablation: the main worker will observe the
             # completed connect on a later loop and timestamp it there
             # (less accurately).  Nothing more to do here.
+            service.obs.end_span(span, outcome="selector_mode")
             service.selector.wakeup()
             return
 
@@ -150,7 +158,7 @@ class TcpClient:
             machine.on_fin_ack(segment)
             if machine.state == TCPState.CLOSED or machine.is_closed:
                 self._cleanup()
-        service.stats.pure_acks_discarded += 1
+        service.obs.inc("relay.pure_acks_discarded")
 
     # -- socket-side events (section 2.3) ----------------------------------------
     def handle_socket_writable(self):

@@ -26,14 +26,30 @@ class UdpRelay:
         self.service = service
         self.device = service.device
         self.sim = service.sim
-        self.relayed = 0
-        self.dns_measured = 0
-        self.timeouts = 0
+        self.obs = service.obs
+
+    # Registry-backed views.
+    @property
+    def relayed(self) -> int:
+        return int(self.obs.value("udp_relay.replies"))
+
+    @property
+    def dns_measured(self) -> int:
+        return int(self.obs.value("udp_relay.dns_measured"))
+
+    @property
+    def timeouts(self) -> int:
+        return int(self.obs.value("udp_relay.timeouts"))
 
     def relay_thread(self, packet: IPPacket, datagram: UDPDatagram):
         """Generator: the temporary per-query relay thread."""
         service = self.service
         costs = self.device.costs
+        # Count the captured datagram itself: the TCP path counts every
+        # packet it touches, the UDP path historically counted none.
+        self.obs.inc("udp_relay.datagrams")
+        span = self.obs.start_span("udp_relay.relay",
+                                   dst_port=datagram.dst_port)
         is_dns = datagram.dst_port == 53 and service.config.measure_dns
         if is_dns:
             yield self.device.busy(costs.dns_parse.sample(), "mopeye.dns")
@@ -49,16 +65,17 @@ class UdpRelay:
         yield AnyOf(self.sim, [reply, timer])
         if not reply.triggered:
             socket.close()
-            self.timeouts += 1
+            self.obs.inc("udp_relay.timeouts")
+            self.obs.end_span(span, outcome="timeout")
             return
         end = costs.quantize_nano(self.sim.now)
         payload, (src_ip, src_port) = reply.value
         socket.close()
-        self.relayed += 1
+        self.obs.inc("udp_relay.replies")
         domain = None
         if is_dns:
             domain = self._learn_bindings(payload)
-            self.dns_measured += 1
+            self.obs.inc("udp_relay.dns_measured")
             service.record_dns(end - start, packet.dst_str, domain)
         # Forward the reply into the tunnel (server -> app direction).
         response = UDPDatagram(datagram.dst_port, datagram.src_port,
@@ -66,6 +83,7 @@ class UdpRelay:
         out = IPPacket(packet.dst_str, packet.src_str, PROTO_UDP,
                        response.encode(packet.dst_str, packet.src_str))
         yield from service.emit_packet(out)
+        self.obs.end_span(span, rtt_ms=(end - start) if is_dns else None)
 
     def _learn_bindings(self, payload: bytes):
         """Record domain -> IP bindings from a DNS answer so later TCP

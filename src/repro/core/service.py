@@ -26,21 +26,41 @@ from repro.core.tun_writer import TunWriter
 from repro.netstack.ip import IPPacket, PROTO_UDP
 from repro.netstack.tcp_segment import TCPSegment
 from repro.netstack.udp_datagram import UDPDatagram
+from repro.obs import Observability
 from repro.phone.nio import Selector
 from repro.phone.vpn import VpnService
 
 
 class RelayStats:
-    """Counters exposed for the evaluation harness."""
+    """Read-only view of the relay-wide counters, kept for the
+    evaluation harness's ``service.stats.x`` surface.  The counters
+    themselves live in the service's metrics registry -- there is
+    exactly one stats mechanism (see docs/OBSERVABILITY.md)."""
 
-    def __init__(self) -> None:
-        self.syn_packets = 0
-        self.pure_acks_discarded = 0
-        self.orphan_packets = 0
-        self.parse_errors = 0
-        self.state_errors = 0
-        self.connect_failures = 0
-        self.packets_to_tunnel = 0
+    _FIELDS = {
+        "syn_packets": "relay.syn_packets",
+        "pure_acks_discarded": "relay.pure_acks_discarded",
+        "orphan_packets": "relay.orphan_packets",
+        "parse_errors": "relay.parse_errors",
+        "state_errors": "relay.state_errors",
+        "connect_failures": "relay.connect_failures",
+        "packets_to_tunnel": "relay.packets_to_tunnel",
+        "udp_datagrams": "udp_relay.datagrams",
+    }
+
+    def __init__(self, obs: Optional[Observability] = None):
+        self._obs = obs or Observability()
+
+    def __getattr__(self, name: str) -> int:
+        metric = RelayStats._FIELDS.get(name)
+        if metric is None:
+            raise AttributeError(name)
+        return int(self._obs.value(metric))
+
+    def __repr__(self) -> str:
+        return "<RelayStats %s>" % " ".join(
+            "%s=%d" % (field, getattr(self, field))
+            for field in sorted(self._FIELDS))
 
 
 class MopEyeService:
@@ -48,12 +68,14 @@ class MopEyeService:
 
     def __init__(self, device, config: Optional[MopEyeConfig] = None,
                  store: Optional[MeasurementStore] = None,
-                 dummy_server_ip: Optional[str] = None):
+                 dummy_server_ip: Optional[str] = None,
+                 obs: Optional[Observability] = None):
         self.device = device
         self.sim = device.sim
         self.config = (config or MopEyeConfig()).validate()
         self.store = store or MeasurementStore()
-        self.stats = RelayStats()
+        self.obs = obs or Observability(sim=self.sim)
+        self.stats = RelayStats(self.obs)
         self.vpn = VpnService(device, self.config.package)
         self.uid = self.vpn.owner_uid
         self.selector = Selector(device)
@@ -61,7 +83,7 @@ class MopEyeService:
         self.tun_writer = TunWriter(self)
         self.main_worker = MainWorker(self)
         self.udp_relay = UdpRelay(self)
-        self.mapper = make_mapper(device, self.config)
+        self.mapper = make_mapper(device, self.config, obs=self.obs)
         self.clients: Dict[FourTuple, TcpClient] = {}
         self.flows: List[FlowRecord] = []
         self.domain_of_ip: Dict[str, str] = {}
@@ -164,8 +186,11 @@ class MopEyeService:
         yield from self.emit_packet(packet)
 
     def emit_packet(self, packet: IPPacket):
-        """Generator: dispatch one finished packet to the tunnel."""
-        self.stats.packets_to_tunnel += 1
+        """Generator: dispatch one finished packet to the tunnel.
+        Every producer -- TCP state machine and UDP relay alike --
+        funnels through here, so ``relay.packets_to_tunnel`` counts
+        both (the UDP path used to be missed)."""
+        self.obs.inc("relay.packets_to_tunnel")
         yield from self.tun_writer.emit(packet)
 
     # -- measurement records -----------------------------------------------------------

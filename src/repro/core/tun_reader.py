@@ -26,11 +26,22 @@ class TunReader:
         self.device = service.device
         self.sim = service.sim
         self.config = service.config
+        self.obs = service.obs
         self.read_queue = BlockingQueue(self.sim, name="tun-read-queue")
         self.running = False
-        self.packets_read = 0
-        self.poll_rounds = 0
-        self.empty_polls = 0
+
+    # Registry-backed views of the paper's §3.1 ablation counters.
+    @property
+    def packets_read(self) -> int:
+        return int(self.obs.value("tun_reader.packets_read"))
+
+    @property
+    def poll_rounds(self) -> int:
+        return int(self.obs.value("tun_reader.poll_rounds"))
+
+    @property
+    def empty_polls(self) -> int:
+        return int(self.obs.value("tun_reader.empty_polls"))
 
     def configure_blocking_mode(self) -> str:
         """Switch the tun fd to blocking mode using the best mechanism
@@ -53,7 +64,7 @@ class TunReader:
             yield from self._run_polling()
 
     def _enqueue(self, packet) -> None:
-        self.packets_read += 1
+        self.obs.inc("tun_reader.packets_read")
         cost = self.device.costs.enqueue.sample()
         self.device.cpu.charge("mopeye.tunreader", cost)
         self.read_queue.put(packet)
@@ -65,10 +76,16 @@ class TunReader:
         self.configure_blocking_mode()
         tun = self.service.tun
         while self.running:
+            span = self.obs.start_span("tun_reader.read")
+            started = self.sim.now
             try:
                 packet = yield tun.read()
             except TunError:
+                self.obs.end_span(span, outcome="fd_closed")
                 return  # fd closed
+            self.obs.observe("tun_reader.read_wait_ms",
+                             self.sim.now - started)
+            self.obs.end_span(span, outcome="packet")
             cost = self.device.costs.tun_read_syscall.sample()
             yield self.device.busy(cost, "mopeye.tunreader")
             if not self.running:
@@ -82,7 +99,7 @@ class TunReader:
         interval = (self.config.adaptive_min_sleep_ms if adaptive
                     else self.config.tun_read_sleep_ms)
         while self.running:
-            self.poll_rounds += 1
+            self.obs.inc("tun_reader.poll_rounds")
             cost = self.device.costs.tun_read_syscall.sample()
             yield self.device.busy(cost, "mopeye.tunreader")
             try:
@@ -98,7 +115,7 @@ class TunReader:
                     yield self.sim.timeout(interval)
                 # Otherwise keep draining while packets flow.
                 continue
-            self.empty_polls += 1
+            self.obs.inc("tun_reader.empty_polls")
             if adaptive:
                 interval = min(interval * 2,
                                self.config.adaptive_max_sleep_ms)

@@ -31,6 +31,7 @@ class TunWriter:
         self.device = service.device
         self.sim = service.sim
         self.config = service.config
+        self.obs = service.obs
         costs = self.device.costs
         self.queue = WaitNotifyQueue(
             self.sim,
@@ -39,12 +40,21 @@ class TunWriter:
             wakeup_delay=costs.monitor_wakeup_delay,
             name="tun-write-queue")
         self.running = False
-        # Table 1 instrumentation.
+        # Table 1 instrumentation: the raw per-event samples stay as
+        # lists (the benches histogram them their own way); counts and
+        # sketch summaries live in the registry.
         self.put_costs_ms: List[float] = []
         self.write_costs_ms: List[float] = []
         self.direct_write_costs_ms: List[float] = []
-        self.packets_written = 0
-        self.packets_dropped = 0  # enqueued after stop(), never written
+
+    @property
+    def packets_written(self) -> int:
+        return int(self.obs.value("tun_writer.packets_written"))
+
+    @property
+    def packets_dropped(self) -> int:
+        """Enqueued after stop(), never written."""
+        return int(self.obs.value("tun_writer.packets_dropped"))
 
     # -- producer side ---------------------------------------------------
     def emit(self, packet: IPPacket):
@@ -53,8 +63,11 @@ class TunWriter:
         if self.config.write_scheme == "directWrite":
             yield from self._direct_write(packet)
         else:
+            self.obs.observe("tun_writer.queue_depth", len(self.queue))
             yield self.queue.put(packet)
             self.put_costs_ms.append(self.queue.last_put_cost)
+            self.obs.observe("tun_writer.put_cost_ms",
+                             self.queue.last_put_cost)
 
     def _direct_write(self, packet: IPPacket):
         tun = self.service.tun
@@ -66,10 +79,12 @@ class TunWriter:
             cost = self.device.costs.tun_write_contended.sample()
             yield self.device.busy(cost, "mopeye.tunwrite")
             tun.write(packet)
-            self.packets_written += 1
+            self.obs.inc("tun_writer.packets_written")
         finally:
             tun.write_lock.release()
         self.direct_write_costs_ms.append(self.sim.now - start)
+        self.obs.observe("tun_writer.direct_write_ms",
+                         self.sim.now - start)
 
     # -- consumer thread ---------------------------------------------------------
     def run(self):
@@ -95,14 +110,17 @@ class TunWriter:
             if packet is None:
                 return
             if packet is not _STOP:
-                self.packets_dropped += 1
+                self.obs.inc("tun_writer.packets_dropped")
 
     def _write_one(self, packet: IPPacket):
+        span = self.obs.start_span("tun_writer.write")
         cost = self.device.costs.tun_write_syscall.sample()
         yield self.device.busy(cost, "mopeye.tunwriter")
         self.service.tun.write(packet)
-        self.packets_written += 1
+        self.obs.inc("tun_writer.packets_written")
         self.write_costs_ms.append(cost)
+        self.obs.observe("tun_writer.write_cost_ms", cost)
+        self.obs.end_span(span)
 
     def _run_old_put(self):
         """Classic consumer: park in wait() the moment the queue runs
@@ -113,10 +131,13 @@ class TunWriter:
         while True:
             packet = self.queue.try_get()
             if packet is None:
+                park = self.obs.start_span("tun_writer.park")
                 try:
                     yield self.queue.wait()
                 except QueueClosed:
+                    self.obs.end_span(park, outcome="closed")
                     return
+                self.obs.end_span(park)
                 continue
             if packet is _STOP:
                 return
@@ -138,13 +159,17 @@ class TunWriter:
                 continue
             counter += 1
             if counter >= threshold:
+                park = self.obs.start_span("tun_writer.park")
                 try:
                     yield self.queue.wait()
                 except QueueClosed:
+                    self.obs.end_span(park, outcome="closed")
                     return
+                self.obs.end_span(park)
                 counter = 0
             else:
                 # One more spin round: a cheap check, then yield.
+                self.obs.inc("tun_writer.sleep_count")
                 self.device.cpu.charge("mopeye.tunwriter",
                                        0.0005)
                 yield self.sim.timeout(self.config.spin_check_interval_ms)

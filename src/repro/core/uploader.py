@@ -35,14 +35,33 @@ class MeasurementUploader:
         self.interval_ms = interval_ms
         self.min_batch = min_batch
         self.wifi_only = wifi_only
-        self.uploaded = 0          # records acknowledged
-        self.batches = 0
-        self.failures = 0
-        self.short_acks = 0        # batches the collector part-ACKed
-        self.deferred_cellular = 0
+        self.obs = service.obs
         self._cursor = 0           # store index of first un-uploaded
         self.running = False
         self._thread: Optional[Event] = None
+
+    # Registry-backed views of the upload counters.
+    @property
+    def uploaded(self) -> int:
+        """Records acknowledged by the collector."""
+        return int(self.obs.value("uploader.records_acked"))
+
+    @property
+    def batches(self) -> int:
+        return int(self.obs.value("uploader.batches"))
+
+    @property
+    def failures(self) -> int:
+        return int(self.obs.value("uploader.failures"))
+
+    @property
+    def short_acks(self) -> int:
+        """Batches the collector part-ACKed."""
+        return int(self.obs.value("uploader.short_acks"))
+
+    @property
+    def deferred_cellular(self) -> int:
+        return int(self.obs.value("uploader.deferred_cellular"))
 
     def start(self) -> None:
         if self.running:
@@ -67,25 +86,30 @@ class MeasurementUploader:
                 continue
             if self.wifi_only and \
                     self.device.link.network_type != NetworkType.WIFI:
-                self.deferred_cellular += 1
+                self.obs.inc("uploader.deferred_cellular")
                 continue
             yield from self._upload(pending)
 
     def _upload(self, records):
+        obs = self.obs
         payload = "\n".join(
             json.dumps(_record_to_dict(record))
             for record in records).encode() + b"\n"
         socket = self.device.create_tcp_socket(self.service.uid)
+        span = obs.start_span("uploader.upload", records=len(records))
+        started = self.sim.now
         try:
             yield socket.connect(self.collector_ip,
                                  self.collector_port)
-        except (ConnectionRefused, ConnectTimeout):
-            self.failures += 1
+        except (ConnectionRefused, ConnectTimeout) as exc:
+            obs.inc("uploader.failures")
+            obs.end_span(span, outcome=type(exc).__name__)
             return
         socket.send(b"PUSH %d\n" % len(payload))
         socket.send(payload)
         response = yield socket.recv()
         socket.close()
+        obs.observe("uploader.ack_latency_ms", self.sim.now - started)
         if response.startswith(b"ACK"):
             try:
                 acked = int(response.split()[1])
@@ -96,9 +120,11 @@ class MeasurementUploader:
             # interval retries it instead of silently dropping it.
             acked = max(0, min(acked, len(records)))
             self._cursor += acked
-            self.uploaded += acked
-            self.batches += 1
+            obs.inc("uploader.records_acked", acked)
+            obs.inc("uploader.batches")
             if acked < len(records):
-                self.short_acks += 1
+                obs.inc("uploader.short_acks")
+            obs.end_span(span, acked=acked)
         else:
-            self.failures += 1
+            obs.inc("uploader.failures")
+            obs.end_span(span, outcome="bad_response")

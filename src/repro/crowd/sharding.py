@@ -22,8 +22,11 @@ import hashlib
 import multiprocessing
 import os
 import tempfile
+import time
 from dataclasses import asdict, dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs import Observability, get_default
 
 from repro.core.persist import (
     dataset_digest,
@@ -113,15 +116,17 @@ def plan_shards(population: Population, scale: float,
 
 
 def _generate_shard(task: Tuple[dict, int, int, int, str]
-                    ) -> Tuple[int, int, str]:
+                    ) -> Tuple[int, int, str, float]:
     """Worker entry point: regenerate one device range from the seed
     and stream it to a shard file.  Rebuilds the campaign locally so
     the result never depends on inherited parent state (fork and spawn
-    start methods behave identically)."""
+    start methods behave identically).  The elapsed wall-clock seconds
+    ride back for the parent's (volatile) throughput metrics."""
     config_kwargs, index, device_lo, device_hi, path = task
     campaign = Campaign(config=CampaignConfig(**config_kwargs))
     sha = hashlib.sha256()
     count = 0
+    started = time.time()
     with open(path, "w") as handle:
         for device in campaign.population.devices[device_lo:device_hi]:
             for record in campaign.device_records(device):
@@ -129,7 +134,7 @@ def _generate_shard(task: Tuple[dict, int, int, int, str]
                 handle.write(line)
                 sha.update(line.encode("utf-8"))
                 count += 1
-    return index, count, sha.hexdigest()
+    return index, count, sha.hexdigest(), time.time() - started
 
 
 class ShardedCampaign:
@@ -143,12 +148,14 @@ class ShardedCampaign:
     def __init__(self, config: Optional[CampaignConfig] = None,
                  workers: int = 1,
                  shard_dir: Optional[str] = None,
-                 n_shards: Optional[int] = None):
+                 n_shards: Optional[int] = None,
+                 obs: Optional[Observability] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.config = config or CampaignConfig()
         self.workers = workers
         self.shard_dir = shard_dir
+        self.obs = obs or get_default()
         # More shards than workers -> the pool balances dynamically
         # even though the activity law is heavy-tailed.
         self.n_shards = n_shards or max(1, workers) * 3
@@ -183,12 +190,16 @@ class ShardedCampaign:
             with ctx.Pool(processes=self.workers) as pool:
                 outcomes = pool.map(_generate_shard, tasks)
         result = ShardedRunResult(shard_dir=shard_dir)
-        by_index = {index: (count, sha)
-                    for index, count, sha in outcomes}
+        by_index = {index: (count, sha, elapsed)
+                    for index, count, sha, elapsed in outcomes}
         for spec, task in zip(specs, tasks):
-            count, sha = by_index[spec.index]
+            count, sha, elapsed = by_index[spec.index]
             result.shards.append(ShardResult(
                 spec=spec, path=task[4], records=count, sha256=sha))
+            self.obs.inc("crowd.records_generated", count)
+            self.obs.inc("crowd.shards_completed")
+            self.obs.observe("crowd.shard_records", count)
+            self.obs.observe("crowd.shard_elapsed_s", elapsed)
         if merge_to is not None:
             merge_shards(result.paths, merge_to)
             result.merged_path = merge_to

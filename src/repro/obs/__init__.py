@@ -1,0 +1,122 @@
+"""repro.obs -- the sim-time-aware observability layer.
+
+One facade, :class:`Observability`, bundles the two instruments every
+layer reports through:
+
+* a :class:`~repro.obs.registry.MetricsRegistry` of counters, gauges
+  and fixed-bin histograms whose names are enforced against
+  :mod:`repro.obs.catalog` (and therefore against
+  ``docs/OBSERVABILITY.md``);
+* a :class:`~repro.obs.tracer.Tracer` producing spans keyed on
+  simulation time.
+
+The facade is injectable -- :class:`~repro.core.service.MopEyeService`
+creates its own unless handed one, so concurrent services (fleet runs,
+A/B benches) never share counters -- and a process-wide default exists
+for code with no service in scope (the crowd campaign, the CLI).
+
+Layering: this package imports only the standard library.  The sim
+clock and active-process accessor are *injected* (``Observability(sim)``
+binds them), so ``repro.obs`` sits next to ``repro.sim`` at the bottom
+of the import graph and every layer above may depend on it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.obs.catalog import CATALOG, SPANS, MetricSpec, SpanSpec
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import Span, Tracer
+
+
+class Observability:
+    """Registry + tracer bound to one scope (usually one service)."""
+
+    def __init__(self, sim=None, trace: bool = False):
+        self.sim = sim
+        self.registry = MetricsRegistry()
+        if sim is not None:
+            clock = lambda: sim.now                      # noqa: E731
+            current = lambda: sim._active_process        # noqa: E731
+        else:
+            clock = current = None
+        self.tracer = Tracer(clock=clock, current_process=current,
+                             enabled=trace)
+
+    # -- metric conveniences (the forms instrumentation sites use) --------
+    def inc(self, name: str, n: int = 1) -> None:
+        self.registry.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.registry.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.registry.histogram(name).observe(value)
+
+    def value(self, name: str) -> float:
+        return self.registry.value(name)
+
+    # -- tracer conveniences ----------------------------------------------
+    def start_span(self, name: str, **attrs: Any):
+        if name not in SPANS:
+            raise KeyError(
+                "span %r is not declared in repro.obs.catalog; add it "
+                "there and to docs/OBSERVABILITY.md" % name)
+        return self.tracer.start(name, **attrs)
+
+    def end_span(self, span, **attrs: Any) -> None:
+        self.tracer.end(span, **attrs)
+
+    def span(self, name: str, **attrs: Any):
+        if name not in SPANS:
+            raise KeyError(
+                "span %r is not declared in repro.obs.catalog; add it "
+                "there and to docs/OBSERVABILITY.md" % name)
+        return self.tracer.span(name, **attrs)
+
+    # -- snapshots ---------------------------------------------------------
+    def snapshot(self, include_volatile: bool = False) -> dict:
+        return self.registry.snapshot(include_volatile)
+
+    def to_json(self, include_volatile: bool = False) -> str:
+        return self.registry.to_json(include_volatile)
+
+
+_default: Optional[Observability] = None
+
+
+def get_default() -> Observability:
+    """The process-wide scope, for code with no service in hand."""
+    global _default
+    if _default is None:
+        _default = Observability()
+    return _default
+
+
+def reset_default() -> None:
+    """Drop the process-wide scope (tests use this for isolation)."""
+    global _default
+    _default = None
+
+
+__all__ = [
+    "CATALOG",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSpec",
+    "MetricsRegistry",
+    "Observability",
+    "SPANS",
+    "Span",
+    "SpanSpec",
+    "Tracer",
+    "get_default",
+    "reset_default",
+]

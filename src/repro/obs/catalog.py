@@ -1,0 +1,255 @@
+"""The metric and span catalog: the single source of truth for names.
+
+Every metric the system can emit is declared here, with its type, unit
+and emitting module; :class:`~repro.obs.registry.MetricsRegistry`
+refuses to create an instrument whose name is not in the catalog.  That
+makes drift impossible in both directions: code cannot emit an
+undocumented metric (the registry raises), and the documentation test
+(`tests/test_obs_docs.py`) diffs ``docs/OBSERVABILITY.md`` against this
+catalog, so a stale doc fails CI.
+
+``volatile=True`` marks metrics whose value depends on wall-clock time
+or host speed (e.g. ``crowd.records_per_sec``).  They are excluded from
+deterministic snapshots so the snapshot byte-identity contract (same
+seed => same bytes, regardless of ``PYTHONHASHSEED`` or machine) holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    name: str
+    kind: str                    # counter | gauge | histogram
+    unit: str                    # "packets", "ms", "records", ...
+    module: str                  # emitting module (dotted path)
+    help: str
+    volatile: bool = False       # wall-clock dependent; excluded from
+                                 # deterministic snapshots
+    max_x: float = 1000.0        # histogram domain upper edge
+    n_bins: int = 2000           # histogram bin count
+
+
+@dataclass(frozen=True)
+class SpanSpec:
+    name: str
+    module: str
+    help: str
+
+
+def _m(name: str, kind: str, unit: str, module: str, help: str,
+       volatile: bool = False, max_x: float = 1000.0,
+       n_bins: int = 2000) -> Tuple[str, MetricSpec]:
+    return name, MetricSpec(name=name, kind=kind, unit=unit,
+                            module=module, help=help, volatile=volatile,
+                            max_x=max_x, n_bins=n_bins)
+
+
+CATALOG: Dict[str, MetricSpec] = dict([
+    # -- relay-wide counters (the old RelayStats bag) ----------------------
+    _m("relay.syn_packets", COUNTER, "packets", "repro.core.main_worker",
+       "SYNs captured from the tunnel; each starts a TcpClient."),
+    _m("relay.pure_acks_discarded", COUNTER, "packets",
+       "repro.core.relay_tcp",
+       "Pure ACKs from the app, discarded per section 2.3."),
+    _m("relay.orphan_packets", COUNTER, "packets",
+       "repro.core.main_worker",
+       "Non-SYN tunnel segments with no live TcpClient."),
+    _m("relay.parse_errors", COUNTER, "packets",
+       "repro.core.main_worker",
+       "Tunnel packets whose TCP/UDP payload failed to decode."),
+    _m("relay.state_errors", COUNTER, "packets",
+       "repro.core.main_worker",
+       "Segments rejected by the user-space TCP state machine."),
+    _m("relay.connect_failures", COUNTER, "connections",
+       "repro.core.relay_tcp",
+       "External connect() refused or timed out; app got a RST."),
+    _m("relay.packets_to_tunnel", COUNTER, "packets",
+       "repro.core.service",
+       "Packets written toward the app, TCP and UDP alike (every "
+       "producer funnels through MopEyeService.emit_packet)."),
+    # -- TunReader (section 3.1) -------------------------------------------
+    _m("tun_reader.packets_read", COUNTER, "packets",
+       "repro.core.tun_reader",
+       "Packets retrieved from the tun fd and enqueued for MainWorker."),
+    _m("tun_reader.poll_rounds", COUNTER, "rounds",
+       "repro.core.tun_reader",
+       "Poll iterations (sleep/adaptive ToyVpn-style modes only)."),
+    _m("tun_reader.empty_polls", COUNTER, "rounds",
+       "repro.core.tun_reader",
+       "Poll iterations that found no packet (wasted wakeups)."),
+    _m("tun_reader.read_wait_ms", HISTOGRAM, "ms",
+       "repro.core.tun_reader",
+       "Sim time spent blocked in one tun read() (blocking mode)."),
+    # -- MainWorker (sections 2.3, 3.2) ------------------------------------
+    _m("main_worker.loops", COUNTER, "iterations",
+       "repro.core.main_worker",
+       "Selector-loop iterations completed."),
+    _m("main_worker.socket_events", COUNTER, "events",
+       "repro.core.main_worker",
+       "Socket readiness events handled (read + write)."),
+    _m("main_worker.tunnel_packets", COUNTER, "packets",
+       "repro.core.main_worker",
+       "Tunnel packets drained from the read queue and dispatched."),
+    _m("main_worker.events_per_loop", HISTOGRAM, "events",
+       "repro.core.main_worker",
+       "Socket events handled per selector-loop iteration.",
+       max_x=64.0, n_bins=64),
+    _m("main_worker.queue_depth", HISTOGRAM, "packets",
+       "repro.core.main_worker",
+       "Tunnel read-queue depth observed at each drain.",
+       max_x=256.0, n_bins=256),
+    # -- connect / RTT (sections 2.4, 4.1.1) -------------------------------
+    _m("tcp.connect_rtt_ms", HISTOGRAM, "ms", "repro.core.relay_tcp",
+       "The RTT samples themselves: blocking connect() durations "
+       "bracketed by timestamps (Table 2's accuracy argument)."),
+    # -- packet-to-app mapping (section 3.3, Figure 5) ---------------------
+    _m("mapping.requests", COUNTER, "requests", "repro.core.mapping",
+       "Mapping requests served (one per measured connection)."),
+    _m("mapping.parses", COUNTER, "parses", "repro.core.mapping",
+       "/proc/net/tcp6|tcp parses actually performed."),
+    _m("mapping.served_by_peer", COUNTER, "requests",
+       "repro.core.mapping",
+       "Requests resolved from a concurrent thread's snapshot (the "
+       "lazy mapper's 67.8% mitigation path)."),
+    _m("mapping.wait_naps", COUNTER, "naps", "repro.core.mapping",
+       "50 ms naps taken while another thread was parsing."),
+    _m("mapping.unmapped", COUNTER, "requests", "repro.core.mapping",
+       "Four-tuples never resolved to a UID."),
+    _m("mapping.overhead_ms", HISTOGRAM, "ms", "repro.core.mapping",
+       "CPU cost charged per mapping request (Figure 5(b)).",
+       max_x=100.0, n_bins=1000),
+    # -- TunWriter (section 3.5.1, Table 1) --------------------------------
+    _m("tun_writer.packets_written", COUNTER, "packets",
+       "repro.core.tun_writer",
+       "Packets written to the tun fd (queueWrite consumer or "
+       "directWrite producers)."),
+    _m("tun_writer.packets_dropped", COUNTER, "packets",
+       "repro.core.tun_writer",
+       "Packets enqueued after stop() and never written."),
+    _m("tun_writer.sleep_count", COUNTER, "rounds",
+       "repro.core.tun_writer",
+       "newPut spin rounds: empty checks the consumer made instead of "
+       "parking in wait() (the section 3.5.1 sleep counter)."),
+    _m("tun_writer.queue_depth", HISTOGRAM, "packets",
+       "repro.core.tun_writer",
+       "Write-queue occupancy observed at each producer put.",
+       max_x=256.0, n_bins=256),
+    _m("tun_writer.put_cost_ms", HISTOGRAM, "ms",
+       "repro.core.tun_writer",
+       "Producer-side enqueue cost per put (Table 1's oldPut/newPut "
+       "contrast).", max_x=50.0, n_bins=1000),
+    _m("tun_writer.write_cost_ms", HISTOGRAM, "ms",
+       "repro.core.tun_writer",
+       "Consumer-side tun write() syscall cost.", max_x=50.0,
+       n_bins=1000),
+    _m("tun_writer.direct_write_ms", HISTOGRAM, "ms",
+       "repro.core.tun_writer",
+       "End-to-end producer write cost under directWrite, lock "
+       "contention included (Table 1's worst column).", max_x=50.0,
+       n_bins=1000),
+    # -- UDP relay (section 2.4) -------------------------------------------
+    _m("udp_relay.datagrams", COUNTER, "datagrams",
+       "repro.core.relay_udp",
+       "UDP datagrams captured from the tunnel and relayed outward."),
+    _m("udp_relay.replies", COUNTER, "datagrams",
+       "repro.core.relay_udp",
+       "Server replies forwarded back into the tunnel."),
+    _m("udp_relay.timeouts", COUNTER, "datagrams",
+       "repro.core.relay_udp",
+       "Relayed datagrams that never got a reply within the timeout."),
+    _m("udp_relay.dns_measured", COUNTER, "queries",
+       "repro.core.relay_udp",
+       "Port-53 round trips recorded as DNS measurements."),
+    # -- uploader ----------------------------------------------------------
+    _m("uploader.batches", COUNTER, "batches", "repro.core.uploader",
+       "Upload batches fully or partly acknowledged."),
+    _m("uploader.records_acked", COUNTER, "records",
+       "repro.core.uploader",
+       "Measurement records acknowledged by the collector."),
+    _m("uploader.failures", COUNTER, "batches", "repro.core.uploader",
+       "Upload attempts that failed (connect error or bad response)."),
+    _m("uploader.short_acks", COUNTER, "batches",
+       "repro.core.uploader",
+       "Batches the collector part-ACKed; the tail is retried next "
+       "interval (the retry tail)."),
+    _m("uploader.deferred_cellular", COUNTER, "intervals",
+       "repro.core.uploader",
+       "Upload intervals skipped because the device was on cellular."),
+    _m("uploader.ack_latency_ms", HISTOGRAM, "ms",
+       "repro.core.uploader",
+       "connect() to ACK-received latency per upload batch.",
+       max_x=5000.0, n_bins=1000),
+    # -- sharded crowd campaign --------------------------------------------
+    _m("crowd.records_generated", COUNTER, "records",
+       "repro.crowd.sharding",
+       "Measurement records generated by the campaign."),
+    _m("crowd.shards_completed", COUNTER, "shards",
+       "repro.crowd.sharding",
+       "Shard files fully written and checksummed."),
+    _m("crowd.shard_records", HISTOGRAM, "records",
+       "repro.crowd.sharding",
+       "Records per shard (load-balance quality of plan_shards).",
+       max_x=4_000_000.0, n_bins=4000),
+    _m("crowd.shard_elapsed_s", HISTOGRAM, "s", "repro.crowd.sharding",
+       "Wall-clock seconds per shard generation.", volatile=True,
+       max_x=600.0, n_bins=600),
+    _m("crowd.records_per_sec", GAUGE, "records/s",
+       "repro.crowd.sharding",
+       "Wall-clock generation throughput of the last campaign run.",
+       volatile=True),
+])
+
+
+def _s(name: str, module: str, help: str) -> Tuple[str, SpanSpec]:
+    return name, SpanSpec(name=name, module=module, help=help)
+
+
+SPANS: Dict[str, SpanSpec] = dict([
+    _s("tun_reader.read", "repro.core.tun_reader",
+       "One blocking tun read(): idle wait for the next app packet."),
+    _s("main_worker.select", "repro.core.main_worker",
+       "MainWorker parked in select(), waiting for socket readiness "
+       "or a TunReader wakeup."),
+    _s("main_worker.loop", "repro.core.main_worker",
+       "One selector-loop iteration: socket events then tunnel "
+       "drain.  Parent of socket_event and tunnel_packet spans."),
+    _s("main_worker.socket_event", "repro.core.main_worker",
+       "Handling one socket readiness key (write flush / read drain)."),
+    _s("main_worker.tunnel_packet", "repro.core.main_worker",
+       "Parsing and dispatching one captured tunnel packet."),
+    _s("tcp.connect", "repro.core.relay_tcp",
+       "The blocking external connect(); its duration is the RTT "
+       "sample (rtt_ms attribute on success)."),
+    _s("mapping.map", "repro.core.mapping",
+       "One packet-to-app mapping request (lazy naps included)."),
+    _s("tun_writer.write", "repro.core.tun_writer",
+       "One consumer-side tun write in queueWrite mode."),
+    _s("tun_writer.park", "repro.core.tun_writer",
+       "TunWriter parked in wait() after exhausting its sleep "
+       "counter (idle)."),
+    _s("udp_relay.relay", "repro.core.relay_udp",
+       "One UDP relay round trip, DNS measurement included."),
+    _s("uploader.upload", "repro.core.uploader",
+       "One batch upload: connect, push, wait for ACK."),
+])
+
+
+def spec_for(name: str) -> MetricSpec:
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            "metric %r is not in repro.obs.catalog.CATALOG; add it "
+            "there (and to docs/OBSERVABILITY.md) first" % name)
+
+
+__all__ = ["CATALOG", "SPANS", "MetricSpec", "SpanSpec", "spec_for",
+           "COUNTER", "GAUGE", "HISTOGRAM"]

@@ -1,0 +1,153 @@
+"""Span-based tracing keyed on simulation time.
+
+A span brackets a region of *virtual* time: ``start()`` stamps the sim
+clock, ``end()`` stamps it again, and the difference is where simulated
+time went -- across ``yield`` points, which is the whole point: a
+``tcp.connect`` span covers the blocking connect() including every wait
+inside it, so its duration *is* the RTT sample (Table 2).
+
+Nesting is tracked per simulated thread: the kernel runs one
+:class:`~repro.sim.kernel.Process` at a time, and the tracer keeps an
+open-span stack per process, so spans opened by interleaved processes
+(MainWorker vs. a socket-connect thread) never corrupt each other's
+parentage.  Span ids are assigned in start order and spans are emitted
+in end order -- both deterministic for a seeded run, so a trace file is
+byte-identical across runs and ``PYTHONHASHSEED`` values.
+
+A disabled tracer (the default) costs one attribute check per
+instrumentation point: ``start()`` returns a shared null span and
+``end()`` returns immediately, so the relay hot path can be
+instrumented unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional
+
+
+class Span:
+    """One completed or open region of simulated time."""
+
+    __slots__ = ("span_id", "name", "process", "parent_id", "start_ms",
+                 "end_ms", "attrs")
+
+    def __init__(self, span_id: int, name: str, process: str,
+                 parent_id: Optional[int], start_ms: float,
+                 attrs: Dict[str, Any]):
+        self.span_id = span_id
+        self.name = name
+        self.process = process
+        self.parent_id = parent_id
+        self.start_ms = start_ms
+        self.end_ms: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def duration_ms(self) -> float:
+        if self.end_ms is None:
+            raise ValueError("span %s is still open" % self.name)
+        return self.end_ms - self.start_ms
+
+    def to_dict(self) -> dict:
+        return {"span_id": self.span_id, "parent_id": self.parent_id,
+                "name": self.name, "process": self.process,
+                "start_ms": self.start_ms, "end_ms": self.end_ms,
+                "dur_ms": self.duration_ms, "attrs": self.attrs}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Span %d %s %s>" % (self.span_id, self.name,
+                                    "open" if self.end_ms is None
+                                    else "%.3fms" % self.duration_ms)
+
+
+class _NullSpan:
+    """Returned by a disabled tracer; absorbs attribute writes."""
+
+    __slots__ = ("attrs",)
+
+    def __init__(self) -> None:
+        self.attrs: Dict[str, Any] = {}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans against an injected clock.
+
+    ``clock`` returns the current sim time in ms; ``current_process``
+    returns the running kernel process (or None outside the event
+    loop).  Both are injected so this module imports nothing above the
+    standard library -- binding to a live simulator happens in
+    :class:`repro.obs.Observability`.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 current_process: Optional[Callable[[], object]] = None,
+                 enabled: bool = False):
+        self.enabled = enabled
+        self._clock = clock or (lambda: 0.0)
+        self._current_process = current_process or (lambda: None)
+        self._next_id = 0
+        self._stacks: Dict[Optional[object], List[Span]] = {}
+        self.spans: List[Span] = []     # completed, in end order
+
+    # -- span lifecycle ----------------------------------------------------
+    def start(self, name: str, **attrs: Any):
+        if not self.enabled:
+            return _NULL_SPAN
+        process = self._current_process()
+        stack = self._stacks.setdefault(process, [])
+        parent_id = stack[-1].span_id if stack else None
+        span = Span(self._next_id, name,
+                    getattr(process, "name", None) or "main",
+                    parent_id, self._clock(), attrs)
+        self._next_id += 1
+        stack.append(span)
+        return span
+
+    def end(self, span, **attrs: Any) -> None:
+        if span is _NULL_SPAN or not self.enabled:
+            return
+        span.attrs.update(attrs)
+        span.end_ms = self._clock()
+        stack = self._stacks.get(self._current_process())
+        if stack and span in stack:
+            # Normally the top of the stack; tolerate out-of-order ends.
+            stack.remove(span)
+        self.spans.append(span)
+
+    class _SpanContext:
+        __slots__ = ("tracer", "span")
+
+        def __init__(self, tracer: "Tracer", span):
+            self.tracer = tracer
+            self.span = span
+
+        def __enter__(self):
+            return self.span
+
+        def __exit__(self, exc_type, exc, tb):
+            self.tracer.end(self.span)
+            return False
+
+    def span(self, name: str, **attrs: Any) -> "_SpanContext":
+        """Context manager form, for regions without yields across
+        sibling spans."""
+        return Tracer._SpanContext(self, self.start(name, **attrs))
+
+    # -- output ------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        return "".join(json.dumps(span.to_dict(), sort_keys=True,
+                                  separators=(",", ":")) + "\n"
+                       for span in self.spans)
+
+    def dump(self, path: str) -> int:
+        """Write the trace as JSON lines; returns the span count."""
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+        return len(self.spans)
+
+
+__all__ = ["Span", "Tracer"]

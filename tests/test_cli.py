@@ -1,5 +1,10 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.__main__ import main
@@ -12,6 +17,70 @@ class TestDemo:
         assert "collected" in out
         assert "TCP" in out and "DNS" in out
         assert "com.example.app" in out
+
+    def test_demo_trace_writes_jsonl_and_prints_budget(self, tmp_path,
+                                                       capsys):
+        path = str(tmp_path / "trace.jsonl")
+        assert main(["demo", "--trace", path]) == 0
+        out = capsys.readouterr().out
+        assert "Per-stage sim-time budget" in out
+        assert "tcp.connect" in out
+        spans = [json.loads(line) for line in open(path)]
+        assert spans
+        assert {span["name"] for span in spans} >= {
+            "tun_reader.read", "main_worker.loop", "tcp.connect"}
+
+    def test_demo_metrics_writes_snapshot(self, tmp_path, capsys):
+        path = str(tmp_path / "metrics.json")
+        assert main(["demo", "--metrics", path]) == 0
+        snapshot = json.load(open(path))
+        assert snapshot["relay.syn_packets"]["value"] == 5
+        assert snapshot["tcp.connect_rtt_ms"]["count"] == 5
+
+
+class TestMetrics:
+    def test_metrics_prints_canonical_json(self, capsys):
+        assert main(["metrics"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["relay.syn_packets"]["type"] == "counter"
+        assert snapshot["udp_relay.dns_measured"]["value"] == 5
+
+    def test_metrics_identical_in_process(self, capsys):
+        main(["metrics"])
+        first = capsys.readouterr().out
+        main(["metrics"])
+        assert capsys.readouterr().out == first
+
+    def test_metrics_byte_identical_across_hash_seeds(self):
+        """The acceptance bar: same seed, different PYTHONHASHSEED ->
+        byte-identical snapshots."""
+        outputs = []
+        for hash_seed in ("0", "271828"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [os.path.join(os.path.dirname(__file__), "..", "src")]
+                + env.get("PYTHONPATH", "").split(os.pathsep))
+            result = subprocess.run(
+                [sys.executable, "-m", "repro", "metrics"],
+                capture_output=True, env=env, check=True)
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1]
+
+
+class TestObsReport:
+    def test_obsreport_renders_saved_trace(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        main(["demo", "--trace", path])
+        capsys.readouterr()
+        assert main(["obsreport", path]) == 0
+        out = capsys.readouterr().out
+        assert "Per-stage sim-time budget" in out
+        assert "self ms" in out
+
+    def test_obsreport_missing_file_fails_cleanly(self, tmp_path,
+                                                  capsys):
+        assert main(["obsreport", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
 
 
 class TestCrowd:
@@ -37,6 +106,15 @@ class TestCrowd:
         from repro.core import load_csv
         store = load_csv(path)
         assert len(store) > 100
+
+    def test_crowd_metrics_prints_registry(self, capsys):
+        from repro.obs import reset_default
+        reset_default()
+        assert main(["crowd", "--scale", "0.002", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign metrics:" in out
+        assert '"crowd.records_generated"' in out
+        reset_default()
 
     def test_crowd_deterministic_seed(self, tmp_path, capsys):
         a = str(tmp_path / "a.jsonl")

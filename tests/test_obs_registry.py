@@ -1,0 +1,160 @@
+"""The metrics registry: catalog enforcement, sketch accuracy,
+deterministic snapshots."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.obs import Observability
+from repro.obs.catalog import CATALOG, COUNTER, GAUGE, HISTOGRAM, spec_for
+from repro.obs.registry import MetricsRegistry
+
+
+class TestCatalog:
+    def test_every_spec_is_well_formed(self):
+        for name, spec in CATALOG.items():
+            assert spec.name == name
+            assert spec.kind in (COUNTER, GAUGE, HISTOGRAM)
+            assert spec.unit
+            assert spec.module.startswith("repro.")
+            assert spec.help
+            if spec.kind == HISTOGRAM:
+                assert spec.max_x > 0 and spec.n_bins > 0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            spec_for("relay.not_a_metric")
+        registry = MetricsRegistry()
+        with pytest.raises(KeyError):
+            registry.counter("relay.not_a_metric")
+        with pytest.raises(KeyError):
+            registry.value("relay.not_a_metric")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TypeError):
+            registry.gauge("relay.syn_packets")       # declared counter
+        with pytest.raises(TypeError):
+            registry.counter("tcp.connect_rtt_ms")    # declared histogram
+
+
+class TestCounterGauge:
+    def test_counter_counts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("relay.syn_packets")
+        counter.inc()
+        counter.inc(4)
+        assert registry.value("relay.syn_packets") == 5
+
+    def test_counter_rejects_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("relay.syn_packets").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("crowd.records_per_sec")
+        gauge.set(10.0)
+        gauge.set(3.0)
+        assert registry.value("crowd.records_per_sec") == 3.0
+
+    def test_untouched_metric_reads_zero(self):
+        assert MetricsRegistry().value("relay.syn_packets") == 0
+
+
+class TestHistogram:
+    def test_quantile_error_bounded_by_bin_width(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("tcp.connect_rtt_ms")
+        rng = random.Random(42)
+        samples = [rng.lognormvariate(3.5, 0.8) for _ in range(5000)]
+        samples = [min(s, hist.spec.max_x) for s in samples]
+        for sample in samples:
+            hist.observe(sample)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            exact = float(np.quantile(np.asarray(samples), q))
+            assert abs(hist.quantile(q) - exact) <= hist.bin_width + 1e-9
+
+    def test_overflow_mass_is_counted(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("tcp.connect_rtt_ms")
+        hist.observe(hist.spec.max_x * 2)
+        hist.observe(1.0)
+        assert hist.count == 2 and hist.overflow == 1
+        with pytest.raises(ValueError):
+            hist.quantile(0.9)  # lies in the overflow mass
+        assert hist.fraction_above(hist.spec.max_x) == 0.5
+
+    def test_fraction_above(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("tun_writer.put_cost_ms")
+        for value in (0.2, 0.4, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.fraction_above(1.0) == pytest.approx(0.5)
+
+    def test_value_reports_count(self):
+        registry = MetricsRegistry()
+        registry.histogram("tcp.connect_rtt_ms").observe(12.0)
+        assert registry.value("tcp.connect_rtt_ms") == 1
+
+
+def _touch(registry):
+    """Drive one scripted sequence of updates."""
+    registry.counter("relay.syn_packets").inc(3)
+    registry.gauge("crowd.records_per_sec").set(123.4)
+    hist = registry.histogram("tcp.connect_rtt_ms")
+    for value in (14.25, 92.0, 7.125, 14.25):
+        hist.observe(value)
+
+
+class TestSnapshots:
+    def test_identical_runs_identical_json(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        _touch(a)
+        _touch(b)
+        assert a.to_json(include_volatile=True) == \
+            b.to_json(include_volatile=True)
+
+    def test_insertion_order_does_not_matter(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("relay.syn_packets").inc()
+        a.counter("tun_reader.packets_read").inc()
+        b.counter("tun_reader.packets_read").inc()
+        b.counter("relay.syn_packets").inc()
+        assert a.to_json() == b.to_json()
+
+    def test_volatile_excluded_by_default(self):
+        registry = MetricsRegistry()
+        _touch(registry)
+        registry.histogram("crowd.shard_elapsed_s").observe(1.5)
+        default = registry.snapshot()
+        assert "crowd.records_per_sec" not in default      # volatile
+        assert "crowd.shard_elapsed_s" not in default      # volatile
+        assert "relay.syn_packets" in default
+        everything = registry.snapshot(include_volatile=True)
+        assert "crowd.records_per_sec" in everything
+        assert "crowd.shard_elapsed_s" in everything
+
+    def test_snapshot_contains_only_touched_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("relay.syn_packets").inc()
+        assert list(registry.snapshot()) == ["relay.syn_packets"]
+
+
+class TestObservabilityFacade:
+    def test_conveniences_round_trip(self):
+        obs = Observability()
+        obs.inc("relay.syn_packets", 2)
+        obs.set_gauge("crowd.records_per_sec", 9.0)
+        obs.observe("tcp.connect_rtt_ms", 20.0)
+        assert obs.value("relay.syn_packets") == 2
+        assert obs.value("tcp.connect_rtt_ms") == 1
+
+    def test_unknown_span_name_rejected(self):
+        obs = Observability()
+        with pytest.raises(KeyError):
+            obs.start_span("not.a_span")
+        with pytest.raises(KeyError):
+            with obs.span("not.a_span"):
+                pass

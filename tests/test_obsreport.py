@@ -1,0 +1,67 @@
+"""The time-budget aggregation: self-time accounting and rendering."""
+
+from repro.analysis.obsreport import (
+    render_metrics,
+    render_time_budget,
+    time_budget,
+)
+
+
+def _span(span_id, name, parent_id, start, end):
+    return {"span_id": span_id, "parent_id": parent_id, "name": name,
+            "process": "p", "start_ms": start, "end_ms": end,
+            "dur_ms": end - start, "attrs": {}}
+
+
+class TestTimeBudget:
+    def test_self_time_subtracts_children(self):
+        spans = [
+            _span(1, "child", 0, 2.0, 6.0),     # 4 ms inside parent
+            _span(2, "child", 0, 7.0, 8.0),     # 1 ms inside parent
+            _span(0, "parent", None, 0.0, 10.0),
+        ]
+        rows = {row["name"]: row for row in time_budget(spans)}
+        assert rows["parent"]["total_ms"] == 10.0
+        assert rows["parent"]["self_ms"] == 5.0
+        assert rows["child"]["self_ms"] == 5.0
+        # Self times partition the traced time.
+        assert sum(r["self_ms"] for r in rows.values()) == 10.0
+
+    def test_sorted_by_self_time_desc(self):
+        spans = [
+            _span(0, "small", None, 0.0, 1.0),
+            _span(1, "big", None, 0.0, 9.0),
+        ]
+        assert [row["name"] for row in time_budget(spans)] == \
+            ["big", "small"]
+
+    def test_shares_sum_to_one(self):
+        spans = [
+            _span(0, "a", None, 0.0, 3.0),
+            _span(1, "b", None, 0.0, 7.0),
+        ]
+        rows = time_budget(spans)
+        assert sum(row["share"] for row in rows) == 1.0
+
+    def test_empty_trace_renders_hint(self):
+        out = render_time_budget([])
+        assert "no spans" in out
+
+
+class TestRenderMetrics:
+    def test_renders_counter_gauge_histogram(self):
+        snapshot = {
+            "relay.syn_packets": {"type": "counter", "unit": "packets",
+                                  "value": 3},
+            "crowd.records_per_sec": {"type": "gauge",
+                                      "unit": "records/s",
+                                      "value": 12.5},
+            "tcp.connect_rtt_ms": {"type": "histogram", "unit": "ms",
+                                   "count": 2, "sum": 30.0,
+                                   "overflow": 0, "max_x": 1000.0,
+                                   "bin_width": 0.5, "bins": []},
+        }
+        out = render_metrics(snapshot)
+        assert "relay.syn_packets" in out
+        assert "12.500" in out
+        assert "n=2 mean=15.000" in out

@@ -58,6 +58,25 @@ class TestNonDnsUdpRelay:
         assert w.run_process(run()) == "93.184.216.34"
         assert len(w.mopeye.store.dns()) == 1
 
+    def test_udp_datagrams_counted_in_relay_stats(self, udp_world):
+        """Captured UDP datagrams must show up in the unified stats:
+        historically only the TCP path fed packets_to_tunnel and the
+        tunnel-side UDP captures were counted nowhere."""
+        w = udp_world
+        socket = w.device.create_udp_socket(10070)
+
+        def run():
+            socket.sendto(b"one", "198.51.100.150", 4500)
+            yield socket.recvfrom()
+            socket.sendto(b"two", "198.51.100.150", 4500)
+            yield socket.recvfrom()
+
+        w.run_process(run())
+        assert w.mopeye.stats.udp_datagrams == 2
+        # The relayed replies also count as packets toward the tunnel.
+        assert w.mopeye.stats.packets_to_tunnel >= 2
+        assert w.mopeye.obs.value("udp_relay.datagrams") == 2
+
     def test_multiple_udp_exchanges_isolated(self, udp_world):
         w = udp_world
         a = w.device.create_udp_socket(10071)

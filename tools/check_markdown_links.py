@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Check that local markdown links resolve to real files.
+
+Scans the given markdown files (or the repo's standard doc set when
+run without arguments) for inline links and verifies every relative
+target exists.  External (http/https/mailto) links and pure anchors
+are skipped; `path#anchor` checks only the path part.  Exits non-zero
+listing every broken link, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+# [text](target) -- non-greedy, ignores images' leading ! harmlessly.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+DEFAULT_DOC_SET = ["README.md", "EXPERIMENTS.md", "DESIGN.md",
+                   "ROADMAP.md", "docs"]
+
+
+def iter_markdown_files(paths):
+    for path in paths:
+        if os.path.isdir(path):
+            for entry in sorted(os.listdir(path)):
+                if entry.endswith(".md"):
+                    yield os.path.join(path, entry)
+        elif os.path.exists(path):
+            yield path
+
+
+def check_file(path):
+    """Return a list of (line_number, target) broken links."""
+    broken = []
+    base = os.path.dirname(os.path.abspath(path))
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            for target in _LINK.findall(line):
+                if target.startswith(_EXTERNAL) or \
+                        target.startswith("#"):
+                    continue
+                local = target.split("#", 1)[0]
+                if not local:
+                    continue
+                if not os.path.exists(os.path.join(base, local)):
+                    broken.append((line_number, target))
+    return broken
+
+
+def main(argv=None) -> int:
+    paths = (argv if argv else sys.argv[1:]) or DEFAULT_DOC_SET
+    checked = 0
+    failures = 0
+    for markdown in iter_markdown_files(paths):
+        checked += 1
+        for line_number, target in check_file(markdown):
+            failures += 1
+            print("%s:%d: broken link -> %s"
+                  % (markdown, line_number, target))
+    if not checked:
+        print("error: no markdown files found in %s" % paths,
+              file=sys.stderr)
+        return 2
+    print("checked %d markdown file(s): %s"
+          % (checked, "%d broken link(s)" % failures if failures
+             else "all links resolve"))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
