@@ -1,0 +1,133 @@
+"""Backend ingest: shard-parallel throughput + digest determinism.
+
+Generates the synthetic crowdsourcing dataset once, then ingests the
+shard files into backend rollups with a single worker and with a pool,
+asserting the two rollup digests are byte-identical (the merge is
+commutative over integer histogram state, so worker count must not
+matter) and that the online detector re-derives both section 4.2.2
+case-study verdicts from the live rollups.  The speedup assertion only
+applies on multi-core hosts.
+
+Scale/worker knobs for quick local runs:
+
+    MOPEYE_BACKEND_BENCH_SCALE=0.02 MOPEYE_BACKEND_BENCH_WORKERS=2 \
+        PYTHONPATH=src python -m pytest benchmarks/test_backend_ingest.py
+"""
+
+import json
+import os
+import time
+
+from repro.backend import IngestPipeline, OnlineDetector, \
+    RollupConfig, ingest_shard_files
+from repro.crowd import CampaignConfig, ShardedCampaign
+from repro.obs import Observability
+
+SCALE = float(os.environ.get("MOPEYE_BACKEND_BENCH_SCALE", "0.1"))
+WORKERS = int(os.environ.get("MOPEYE_BACKEND_BENCH_WORKERS", "4"))
+SEED = 2016
+
+
+def _ingest(paths, workers):
+    start = time.perf_counter()
+    rollups = ingest_shard_files(paths, config=RollupConfig(),
+                                 workers=workers)
+    return rollups, time.perf_counter() - start
+
+
+def _sim_overhead_per_batch(path, batch_size=50, batches=20):
+    """Mean sim-time ingest delay (ms) the load model charges an
+    accepted batch, measured through the real pipeline path."""
+    with open(path, "rb") as handle:
+        lines = [line for _, line in zip(range(batch_size * batches),
+                                         handle)]
+    pipeline = IngestPipeline(obs=Observability())
+    delays = []
+    for seq in range(batches):
+        payload = b"".join(lines[seq * batch_size:
+                                 (seq + 1) * batch_size])
+        # Space batches out so neither the rate limiter nor the
+        # backlog interferes with the per-batch cost.
+        outcome = pipeline.handle_batch("bench-device", seq, payload,
+                                        now_ms=seq * 60_000.0)
+        assert outcome.status == "ack"
+        delays.append(outcome.delay_ms)
+    return sum(delays) / len(delays)
+
+
+def test_backend_ingest_speedup_and_determinism(tmp_path, benchmark):
+    from benchmarks._common import save_result
+    from repro.analysis import format_table
+
+    campaign = ShardedCampaign(
+        config=CampaignConfig(scale=SCALE, seed=SEED),
+        workers=WORKERS, shard_dir=str(tmp_path / "shards"))
+    dataset = campaign.run()
+
+    serial, serial_s = _ingest(dataset.paths, 1)
+
+    box = {}
+
+    def parallel_run():
+        box["rollups"], box["elapsed"] = _ingest(dataset.paths, WORKERS)
+
+    benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    parallel, parallel_s = box["rollups"], box["elapsed"]
+
+    detector = OnlineDetector(parallel, scale=SCALE)
+    findings = detector.evaluate()
+    rules = sorted(f.rule for f in findings)
+
+    speedup = serial_s / parallel_s
+    cpus = os.cpu_count() or 1
+    rate = parallel.records / parallel_s if parallel_s else 0.0
+    batch_overhead_ms = _sim_overhead_per_batch(dataset.paths[0])
+    text = format_table(
+        ["Workers", "Wall (s)", "Records", "Groups",
+         "Digest (first 12)"],
+        [[1, "%.1f" % serial_s, serial.records,
+          sum(len(serial.table(t)) for t in serial.TABLES),
+          serial.digest()[:12]],
+         [WORKERS, "%.1f" % parallel_s, parallel.records,
+          sum(len(parallel.table(t)) for t in parallel.TABLES),
+          parallel.digest()[:12]]],
+        title="Backend ingest, scale=%g on %d CPU(s): speedup %.2fx, "
+              "%.0f rec/s, %.2f ms sim-time/batch; findings: %s." % (
+                  SCALE, cpus, speedup, rate, batch_overhead_ms,
+                  ", ".join(rules)))
+    save_result("backend_ingest", text)
+
+    from benchmarks._common import RESULTS_DIR
+    payload = {
+        "benchmark": "backend_ingest",
+        "scale": SCALE,
+        "workers": WORKERS,
+        "cpus": cpus,
+        "records": parallel.records,
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "records_per_s": round(rate, 1),
+        "sim_ms_per_batch": round(batch_overhead_ms, 3),
+        "digest": parallel.digest(),
+        "digest_matches_serial": serial.digest() == parallel.digest(),
+        "findings": [f.to_dict() for f in findings],
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_backend.json"),
+              "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # Determinism holds regardless of hardware.
+    assert serial.records == parallel.records
+    assert serial.digest() == parallel.digest()
+    # The online detector re-derives both paper case studies.
+    assert rules == ["chat_domain_degradation", "isp_rtt_anomaly"]
+    subjects = {f.rule: f.subject for f in findings}
+    assert subjects["chat_domain_degradation"] == "whatsapp.net"
+    assert "Jio" in subjects["isp_rtt_anomaly"]
+    if cpus >= 2 and WORKERS >= 2:
+        assert speedup > 1.5, \
+            "expected >1.5x at %d workers on %d CPUs, got %.2fx" % (
+                WORKERS, cpus, speedup)

@@ -14,6 +14,13 @@ Commands:
                    headline analyses (``--scale`` to size it,
                    ``--export PATH.jsonl|.csv`` to persist it,
                    ``--metrics`` to append the campaign counters).
+* ``serve``     -- generate a campaign, ingest it through the backend
+                   pipeline with shard-parallel workers, run the online
+                   case-study detector, and save the rollup state
+                   (``--state FILE``) for later queries.
+* ``query``     -- read a saved rollup state: ``summary``, ``apps``,
+                   ``networks``, ``windows``, or ``cases`` (the
+                   detector's findings).
 * ``accuracy``  -- Table 2 live: MopEye vs MobiPerf vs tcpdump.
 
 See docs/OBSERVABILITY.md for the metric/span catalog and how to read
@@ -200,6 +207,83 @@ def _crowd_sharded(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """The backend pipeline end to end: sharded generation, parallel
+    rollup ingest (digest-stable across worker counts), online
+    detection, persisted state."""
+    import tempfile
+    import time
+
+    from repro.backend import (
+        OnlineDetector,
+        RollupConfig,
+        ingest_shard_files,
+    )
+    from repro.crowd import CampaignConfig, ShardedCampaign
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1 (got %d)" % args.workers,
+              file=sys.stderr)
+        return 2
+    config = CampaignConfig(scale=args.scale, seed=args.seed)
+    shard_dir = args.shard_dir or tempfile.mkdtemp(
+        prefix="mopeye-backend-")
+    runner = ShardedCampaign(config=config, workers=args.workers,
+                             shard_dir=shard_dir)
+    started = time.time()
+    result = runner.run()
+    print("generated %d records in %d shards with %d worker(s)"
+          % (result.total_records, len(result.shards), args.workers))
+
+    rollup_config = RollupConfig(
+        window_ms=args.window_days * 24 * 3600 * 1000.0)
+    rollups = ingest_shard_files(result.paths, config=rollup_config,
+                                 workers=args.workers)
+    rollups.meta.update({"scale": args.scale, "seed": args.seed})
+    elapsed = time.time() - started
+    print("ingested %d records into %d rollup groups in %.1fs"
+          % (rollups.records, rollups.group_count(), elapsed))
+    print("rollup sha256: %s" % rollups.digest())
+
+    detector = OnlineDetector(rollups, scale=args.scale)
+    detector.evaluate()
+    findings = detector.report()
+    rollups.meta["findings"] = findings
+    print("detector: %d finding(s)" % len(findings))
+    for finding in findings:
+        print("  %-28s %s" % (finding["rule"], finding["subject"]))
+    if args.state:
+        rollups.save(args.state)
+        print("saved rollup state to %s" % args.state)
+    if args.metrics:
+        _print_crowd_metrics()
+    return 0
+
+
+def cmd_query(args) -> int:
+    import json as _json
+
+    from repro.backend import RollupStore
+    from repro.backend import query as backend_query
+
+    try:
+        rollups = RollupStore.load(args.state)
+    except (OSError, ValueError, KeyError) as exc:
+        print("error: cannot read rollup state: %s" % exc,
+              file=sys.stderr)
+        return 2
+    view = {
+        "summary": backend_query.summary,
+        "apps": lambda r: backend_query.apps(r, top=args.top),
+        "networks": lambda r: backend_query.networks(r, top=args.top),
+        "windows": backend_query.windows,
+        "cases": backend_query.cases,
+    }[args.view](rollups)
+    print(_json.dumps(view, indent=1, sort_keys=True,
+                      separators=(",", ": ")))
+    return 0
+
+
 def cmd_accuracy(_args) -> int:
     import runpy
     import os
@@ -246,10 +330,35 @@ def main(argv=None) -> int:
                             "sharded path even with --workers 1)")
     crowd.add_argument("--metrics", action="store_true",
                        help="print the campaign's registry snapshot")
+    serve = sub.add_parser("serve", help="run the backend pipeline "
+                                         "over a generated campaign")
+    serve.add_argument("--scale", type=float, default=0.02)
+    serve.add_argument("--seed", type=int, default=2016)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="processes for generation AND ingest; the "
+                            "rollup digest is identical for any value")
+    serve.add_argument("--shard-dir", type=str, default=None,
+                       help="directory for the dataset shards "
+                            "(default: a fresh temp dir)")
+    serve.add_argument("--window-days", type=float, default=28.0,
+                       help="rollup window length in sim days")
+    serve.add_argument("--state", type=str, default=None,
+                       metavar="FILE",
+                       help="save the rollup state (+ findings) as "
+                            "canonical JSON for `repro query`")
+    serve.add_argument("--metrics", action="store_true",
+                       help="print the backend's registry snapshot")
+    query = sub.add_parser("query", help="query a saved rollup state")
+    query.add_argument("state", help="state file from serve --state")
+    query.add_argument("view", choices=["summary", "apps", "networks",
+                                        "windows", "cases"])
+    query.add_argument("--top", type=int, default=20,
+                       help="row cap for apps/networks views")
     sub.add_parser("accuracy", help="Table 2 shoot-out")
     args = parser.parse_args(argv)
     return {"demo": cmd_demo, "metrics": cmd_metrics,
             "obsreport": cmd_obsreport, "crowd": cmd_crowd,
+            "serve": cmd_serve, "query": cmd_query,
             "accuracy": cmd_accuracy}[args.command](args)
 
 

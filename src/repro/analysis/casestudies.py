@@ -1,15 +1,19 @@
-"""The section 4.2.2 case studies: Whatsapp (Case 1) and Jio (Case 2)."""
+"""The section 4.2.2 case studies: Whatsapp (Case 1) and Jio (Case 2).
+
+The domain taxonomy, latency bands, and verdict thresholds are shared
+with the backend's online detector via :mod:`repro.analysis.rules`;
+this module applies them to an offline :class:`MeasurementStore`.
+"""
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
+from repro.analysis import rules
 from repro.analysis.stats import median
 from repro.core.records import MeasurementStore
 from repro.network.link import NetworkType
-
-_WHATSAPP_CDN_PREFIXES = ("mme.", "mmg.", "pps.")
 
 
 def whatsapp_analysis(store: MeasurementStore,
@@ -22,12 +26,13 @@ def whatsapp_analysis(store: MeasurementStore,
     CDN/SoftLayer split, and the per-network median histogram over the
     most-accessed networks.
     """
-    wa = store.tcp().for_domain_suffix("whatsapp.net")
+    wa = store.tcp().for_domain_suffix(rules.WHATSAPP_SUFFIX)
     if len(wa) == 0:
         raise ValueError("no whatsapp.net measurements in store")
-    cdn = wa.filter(lambda r: r.domain.startswith(_WHATSAPP_CDN_PREFIXES))
+    cdn = wa.filter(
+        lambda r: rules.whatsapp_domain_class(r.domain) == rules.CDN)
     chat = wa.filter(
-        lambda r: not r.domain.startswith(_WHATSAPP_CDN_PREFIXES))
+        lambda r: rules.whatsapp_domain_class(r.domain) == rules.CHAT)
     domains = wa.unique(lambda r: r.domain)
     chat_domains = chat.unique(lambda r: r.domain)
 
@@ -36,7 +41,8 @@ def whatsapp_analysis(store: MeasurementStore,
         domain: median(group.rtts())
         for domain, group in chat.by_domain().items()
     }
-    over_200 = sum(1 for m in chat_domain_medians.values() if m > 200)
+    over_200 = sum(1 for m in chat_domain_medians.values()
+                   if m > rules.CHAT_DEGRADED_MEDIAN_MS)
 
     # Per-network medians over the chat domains (the 20-network table).
     by_network: Dict[Tuple[str, str], List[float]] = {}
@@ -53,26 +59,24 @@ def whatsapp_analysis(store: MeasurementStore,
 
     bands = Counter()
     for row in network_rows[:20]:
-        value = row["median_ms"]
-        if value < 100:
-            bands["<100ms"] += 1
-        elif value < 200:
-            bands["100-200ms"] += 1
-        elif value < 300:
-            bands["200-300ms"] += 1
-        else:
-            bands[">300ms"] += 1
+        bands[rules.network_band(row["median_ms"])] += 1
 
+    chat_median = median(chat.rtts())
+    cdn_median = median(cdn.rtts()) if len(cdn) else None
+    over_200_share = (over_200 / len(chat_domain_medians)
+                      if chat_domain_medians else 0.0)
     return {
         "total_domains": len(domains),
         "chat_domains": len(chat_domains),
-        "chat_median_ms": median(chat.rtts()),
-        "cdn_median_ms": median(cdn.rtts()) if len(cdn) else None,
+        "chat_median_ms": chat_median,
+        "cdn_median_ms": cdn_median,
         "app_median_ms": median(wa.rtts()),
         "chat_domains_over_200ms": over_200,
         "chat_domain_count_with_median": len(chat_domain_medians),
         "network_rows": network_rows[:20],
         "network_bands": dict(bands),
+        "degraded": rules.chat_degradation_verdict(
+            chat_median, cdn_median, over_200_share, bands),
     }
 
 
@@ -95,16 +99,8 @@ def jio_analysis(store: MeasurementStore, jio_name: str = "Jio 4G",
         for domain, group in jio_tcp.by_domain().items()
         if domain is not None and len(group) / scale >= min_domain_count
     }
-    bands = {"<100ms": 0, ">200ms": 0, ">300ms": 0, ">400ms": 0}
-    for med, _count in domain_medians.values():
-        if med < 100:
-            bands["<100ms"] += 1
-        if med > 200:
-            bands[">200ms"] += 1
-        if med > 300:
-            bands[">300ms"] += 1
-        if med > 400:
-            bands[">400ms"] += 1
+    bands = rules.jio_domain_bands(
+        med for med, _count in domain_medians.values())
 
     # Same domains on non-Jio LTE networks.
     non_jio_tcp = lte.tcp().filter(lambda r: r.operator != jio_name)
@@ -126,13 +122,18 @@ def jio_analysis(store: MeasurementStore, jio_name: str = "Jio 4G",
                     for row in faster_on_other) / len(faster_on_other)
                 if faster_on_other else 0.0)
 
+    app_median = median(jio_tcp.rtts())
+    dns_median = median(jio_dns.rtts())
     return {
-        "app_median_ms": median(jio_tcp.rtts()),
-        "dns_median_ms": median(jio_dns.rtts()),
+        "app_median_ms": app_median,
+        "dns_median_ms": dns_median,
         "app_rtt_count": len(jio_tcp),
         "domains_analysed": len(domain_medians),
         "domain_bands": bands,
         "comparable_domains": len(comparable),
         "domains_faster_elsewhere": len(faster_on_other),
         "mean_gap_ms": mean_gap,
+        "anomalous": rules.isp_anomaly_verdict(
+            app_median, dns_median, len(comparable),
+            len(faster_on_other), mean_gap),
     }

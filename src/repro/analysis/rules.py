@@ -1,0 +1,151 @@
+"""Shared case-study rule logic (section 4.2.2).
+
+The offline analyses (:mod:`repro.analysis.casestudies`) and the
+backend's online detector (:mod:`repro.backend.detector`) must agree on
+what *counts* as each case study: how WhatsApp domains split into chat
+vs CDN, which latency bands the paper's tables use, and the thresholds
+that turn summary numbers into a verdict.  That logic lives here, once,
+imported by both sides -- so a threshold tweak cannot desynchronise the
+offline store-based analysis from the streaming backend.
+
+This module imports nothing above the standard library: it is safe to
+use from any layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+# -- Case 1: WhatsApp domain taxonomy ----------------------------------------
+
+#: Media domains on the Facebook CDN; everything else under
+#: whatsapp.net is a SoftLayer-hosted chat domain (the slow majority).
+WHATSAPP_CDN_PREFIXES = ("mme.", "mmg.", "pps.")
+
+WHATSAPP_SUFFIX = "whatsapp.net"
+
+CHAT = "chat"
+CDN = "cdn"
+
+
+def whatsapp_domain_class(domain: str) -> str:
+    """``chat`` (SoftLayer) or ``cdn`` (Facebook CDN media)."""
+    return CDN if domain.startswith(WHATSAPP_CDN_PREFIXES) else CHAT
+
+
+def domain_matches_suffix(domain: Optional[str], suffix: str) -> bool:
+    return domain is not None and (domain == suffix
+                                   or domain.endswith("." + suffix))
+
+
+#: Figure bands for the 20-most-accessed-networks table of Case 1.
+NETWORK_BAND_EDGES = (100.0, 200.0, 300.0)
+NETWORK_BAND_LABELS = ("<100ms", "100-200ms", "200-300ms", ">300ms")
+
+
+def network_band(median_ms: float) -> str:
+    """The Case 1 per-network band a chat-domain median falls in."""
+    for edge, label in zip(NETWORK_BAND_EDGES, NETWORK_BAND_LABELS):
+        if median_ms < edge:
+            return label
+    return NETWORK_BAND_LABELS[-1]
+
+
+def jio_domain_bands(medians_ms: Iterable[float]) -> Dict[str, int]:
+    """Case 2's cumulative per-domain bands (<100 / >200 / >300 /
+    >400 ms)."""
+    bands = {"<100ms": 0, ">200ms": 0, ">300ms": 0, ">400ms": 0}
+    for med in medians_ms:
+        if med < 100:
+            bands["<100ms"] += 1
+        if med > 200:
+            bands[">200ms"] += 1
+        if med > 300:
+            bands[">300ms"] += 1
+        if med > 400:
+            bands[">400ms"] += 1
+    return bands
+
+
+# -- verdict thresholds -------------------------------------------------------
+
+#: Case 1 fires when the chat-domain median exceeds this.
+CHAT_DEGRADED_MEDIAN_MS = 200.0
+#: ... and this share of chat domains has a median above 200 ms.
+CHAT_DEGRADED_DOMAIN_SHARE = 0.75
+
+#: Case 2 fires when an ISP's app median is this many times its DNS
+#: median (slow core, fast local resolver -- Jio's signature) ...
+ISP_ANOMALY_APP_DNS_RATIO = 3.0
+#: ... and the app median is at least this high in absolute terms.
+ISP_ANOMALY_MIN_APP_MEDIAN_MS = 180.0
+#: ... corroborated by this share of comparable domains being faster
+#: on other LTE networks,
+ISP_ANOMALY_FASTER_ELSEWHERE_SHARE = 0.8
+#: ... by at least this mean gap.
+ISP_ANOMALY_MIN_GAP_MS = 80.0
+
+
+def chat_degradation_verdict(chat_median_ms: float,
+                             cdn_median_ms: Optional[float],
+                             over_200_share: float,
+                             network_bands: Mapping[str, int]) -> bool:
+    """Case 1: the vast majority of chat domains perform poorly in most
+    networks while the CDN media domains stay fast."""
+    if chat_median_ms <= CHAT_DEGRADED_MEDIAN_MS:
+        return False
+    if over_200_share <= CHAT_DEGRADED_DOMAIN_SHARE:
+        return False
+    slow = (network_bands.get("200-300ms", 0)
+            + network_bands.get(">300ms", 0))
+    fast = network_bands.get("<100ms", 0)
+    if slow <= fast:
+        return False
+    # The CDN contrast is evidence, not a hard requirement (a store
+    # may contain no media samples).
+    if cdn_median_ms is not None and cdn_median_ms >= chat_median_ms:
+        return False
+    return True
+
+
+def isp_anomaly_verdict(app_median_ms: float, dns_median_ms: float,
+                        comparable_domains: int,
+                        domains_faster_elsewhere: int,
+                        mean_gap_ms: float) -> bool:
+    """Case 2: slow app path, fast local DNS, and the same domains are
+    much faster on other LTE networks."""
+    if dns_median_ms <= 0:
+        return False
+    if app_median_ms <= ISP_ANOMALY_APP_DNS_RATIO * dns_median_ms:
+        return False
+    if app_median_ms < ISP_ANOMALY_MIN_APP_MEDIAN_MS:
+        return False
+    if comparable_domains > 0:
+        share = domains_faster_elsewhere / comparable_domains
+        if share < ISP_ANOMALY_FASTER_ELSEWHERE_SHARE:
+            return False
+        if mean_gap_ms <= ISP_ANOMALY_MIN_GAP_MS:
+            return False
+    return True
+
+
+__all__ = [
+    "CDN",
+    "CHAT",
+    "CHAT_DEGRADED_DOMAIN_SHARE",
+    "CHAT_DEGRADED_MEDIAN_MS",
+    "ISP_ANOMALY_APP_DNS_RATIO",
+    "ISP_ANOMALY_FASTER_ELSEWHERE_SHARE",
+    "ISP_ANOMALY_MIN_APP_MEDIAN_MS",
+    "ISP_ANOMALY_MIN_GAP_MS",
+    "NETWORK_BAND_EDGES",
+    "NETWORK_BAND_LABELS",
+    "WHATSAPP_CDN_PREFIXES",
+    "WHATSAPP_SUFFIX",
+    "chat_degradation_verdict",
+    "domain_matches_suffix",
+    "isp_anomaly_verdict",
+    "jio_domain_bands",
+    "network_band",
+    "whatsapp_domain_class",
+]

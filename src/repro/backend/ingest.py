@@ -1,0 +1,284 @@
+"""Batch ingestion: validation, idempotency, rate limiting, load shed.
+
+The pipeline is transport-agnostic: :class:`IngestPipeline` consumes
+``(device_id, batch_seq, payload-bytes)`` triples and returns a
+:class:`BatchOutcome`; :class:`~repro.backend.server.BackendServer`
+adapts the wire protocol onto it, and the offline shard workers bypass
+the wire entirely via :func:`ingest_shard_files`.
+
+Contracts:
+
+* **Prefix ACKs.** A batch is ingested up to the first malformed line
+  and the ACK counts exactly that prefix -- the uploader advances its
+  cursor by the ACK, so any other semantics silently duplicates or
+  drops records (the bug this replaces).
+* **Idempotency.** Batches are keyed on ``(device_id, batch_seq)``.  A
+  replay (lost ACK, BUSY retry) returns the cached ACK count without
+  touching the rollups, so uploader retries are exactly-once.
+* **Backpressure.** A per-device token bucket and a global backlog
+  model can both shed a batch with BUSY + a retry hint; a shed batch
+  is not ingested and not remembered, so the retry is a fresh attempt.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs import Observability, get_default
+
+from repro.backend.rollups import RollupConfig, RollupStore
+from repro.core.persist import _record_from_dict, iter_jsonl
+from repro.core.records import MeasurementRecord
+
+
+def parse_batch_prefix(payload: bytes
+                       ) -> Tuple[List[MeasurementRecord], bool]:
+    """Parse JSONL payload up to the first malformed line.
+
+    Returns ``(records, truncated)`` where ``records`` is the valid
+    prefix and ``truncated`` says whether a bad line stopped the parse.
+    Records after a bad line are NOT ingested even if parseable: the
+    ACK must be a prefix count for the uploader's cursor arithmetic.
+    """
+    records: List[MeasurementRecord] = []
+    for line in payload.decode("utf-8", "replace").splitlines():
+        if not line.strip():
+            continue
+        try:
+            records.append(_record_from_dict(json.loads(line)))
+        except (ValueError, KeyError, TypeError):
+            return records, True
+    return records, False
+
+
+class TokenBucket:
+    """Per-device batch rate limiter on the sim clock."""
+
+    __slots__ = ("capacity", "refill_per_ms", "tokens", "last_ms")
+
+    def __init__(self, capacity: float, refill_per_ms: float,
+                 now_ms: float) -> None:
+        self.capacity = capacity
+        self.refill_per_ms = refill_per_ms
+        self.tokens = capacity
+        self.last_ms = now_ms
+
+    def allow(self, now_ms: float) -> bool:
+        elapsed = max(0.0, now_ms - self.last_ms)
+        self.last_ms = now_ms
+        self.tokens = min(self.capacity,
+                          self.tokens + elapsed * self.refill_per_ms)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def retry_hint_ms(self) -> float:
+        deficit = 1.0 - self.tokens
+        if self.refill_per_ms <= 0:
+            return 60_000.0
+        return deficit / self.refill_per_ms
+
+
+class IngestLoadModel:
+    """Sim-time cost of ingestion, and when to shed instead.
+
+    Each accepted batch costs ``base_ms + per_record_ms * n`` of
+    backend processing; the backlog drains in sim time.  When the
+    backlog would exceed ``busy_threshold_ms`` the batch is shed with
+    BUSY and a retry hint sized to the excess.
+    """
+
+    def __init__(self, base_ms: float = 2.0,
+                 per_record_ms: float = 0.05,
+                 busy_threshold_ms: float = float("inf")) -> None:
+        self.base_ms = base_ms
+        self.per_record_ms = per_record_ms
+        self.busy_threshold_ms = busy_threshold_ms
+        self.backlog_ms = 0.0
+        self._last_ms = 0.0
+
+    def _drain(self, now_ms: float) -> None:
+        elapsed = max(0.0, now_ms - self._last_ms)
+        self._last_ms = now_ms
+        self.backlog_ms = max(0.0, self.backlog_ms - elapsed)
+
+    def batch_cost_ms(self, n_records: int) -> float:
+        return self.base_ms + self.per_record_ms * n_records
+
+    def admit(self, n_records: int, now_ms: float
+              ) -> Tuple[bool, float]:
+        """Returns ``(admitted, delay_or_retry_ms)``: the ingest delay
+        to charge if admitted, else the BUSY retry hint."""
+        self._drain(now_ms)
+        cost = self.batch_cost_ms(n_records)
+        if self.backlog_ms + cost > self.busy_threshold_ms:
+            return False, self.backlog_ms + cost - self.busy_threshold_ms
+        self.backlog_ms += cost
+        return True, self.backlog_ms
+
+
+@dataclass
+class BatchOutcome:
+    """What the transport should answer for one batch."""
+    status: str                     # "ack" | "busy"
+    acked: int = 0                  # prefix record count (status=ack)
+    retry_ms: float = 0.0           # backoff hint (status=busy)
+    delay_ms: float = 0.0           # sim-time ingest cost to charge
+    duplicate: bool = False
+    truncated: bool = False
+    records: List[MeasurementRecord] = field(default_factory=list)
+
+
+class IngestPipeline:
+    """Validated, idempotent, rate-limited ingestion into rollups."""
+
+    def __init__(self, rollups: Optional[RollupStore] = None,
+                 obs: Optional[Observability] = None,
+                 load: Optional[IngestLoadModel] = None,
+                 rate_capacity: float = 64.0,
+                 rate_refill_per_min: float = 600.0,
+                 dedup_capacity: int = 4096,
+                 on_records: Optional[
+                     Callable[[List[MeasurementRecord]], None]] = None
+                 ) -> None:
+        self.rollups = rollups if rollups is not None else RollupStore()
+        self.obs = obs or get_default()
+        self.load = load or IngestLoadModel()
+        self.rate_capacity = rate_capacity
+        self.rate_refill_per_ms = rate_refill_per_min / 60_000.0
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._dedup: "OrderedDict[Tuple[str, int], int]" = OrderedDict()
+        self._dedup_capacity = dedup_capacity
+        self._on_records = on_records
+
+    # -- wire-facing entry point -------------------------------------
+
+    def handle_batch(self, device_id: str, batch_seq: int,
+                     payload: bytes, now_ms: float) -> BatchOutcome:
+        key = (device_id, batch_seq)
+        cached = self._dedup.get(key)
+        if cached is not None:
+            self._dedup.move_to_end(key)
+            self.obs.inc("backend.duplicate_batches")
+            return BatchOutcome(status="ack", acked=cached,
+                                duplicate=True,
+                                delay_ms=self.load.base_ms)
+
+        bucket = self._buckets.get(device_id)
+        if bucket is None:
+            bucket = self._buckets[device_id] = TokenBucket(
+                self.rate_capacity, self.rate_refill_per_ms, now_ms)
+        if not bucket.allow(now_ms):
+            self.obs.inc("backend.rate_limited")
+            return BatchOutcome(status="busy",
+                                retry_ms=bucket.retry_hint_ms())
+
+        records, truncated = parse_batch_prefix(payload)
+        admitted, delay_or_retry = self.load.admit(len(records), now_ms)
+        if not admitted:
+            self.obs.inc("backend.busy_rejections")
+            # Refund the token: the batch was not served.
+            bucket.tokens = min(bucket.capacity, bucket.tokens + 1.0)
+            return BatchOutcome(status="busy", retry_ms=delay_or_retry)
+
+        self._ingest(records)
+        if truncated:
+            self.obs.inc("backend.malformed_lines")
+        self.obs.inc("backend.batches")
+        self.obs.observe("backend.batch_records", len(records))
+        self.obs.observe("backend.ingest_delay_ms", delay_or_retry)
+        self._remember(key, len(records))
+        if self._on_records is not None and records:
+            self._on_records(records)
+        return BatchOutcome(status="ack", acked=len(records),
+                            delay_ms=delay_or_retry,
+                            truncated=truncated, records=records)
+
+    # -- offline entry point -----------------------------------------
+
+    def ingest_records(self, records: Iterable[MeasurementRecord]
+                       ) -> int:
+        """Direct path for trusted offline sources (shard workers):
+        no dedup, no rate limit, no load shed."""
+        n = self.rollups.add_all(records)
+        self.obs.inc("backend.records_ingested", n)
+        self.obs.set_gauge("backend.rollup_groups",
+                           self.rollups.group_count())
+        return n
+
+    # -- internals ----------------------------------------------------
+
+    def _ingest(self, records: List[MeasurementRecord]) -> None:
+        for record in records:
+            self.rollups.add(record)
+        self.obs.inc("backend.records_ingested", len(records))
+        self.obs.set_gauge("backend.rollup_groups",
+                           self.rollups.group_count())
+
+    def _remember(self, key: Tuple[str, int], acked: int) -> None:
+        self._dedup[key] = acked
+        while len(self._dedup) > self._dedup_capacity:
+            self._dedup.popitem(last=False)
+
+
+# -- shard-parallel offline ingest ------------------------------------------
+
+
+def _ingest_shard_file(task: Tuple[str, dict]
+                       ) -> Tuple[str, RollupStore, int, float]:
+    """Worker entry point: roll up one JSONL shard file.
+
+    Builds the rollup store locally from the file alone, so the result
+    never depends on inherited parent state; merge order is fixed by
+    the parent (shard path order), and merge itself is commutative, so
+    scheduling cannot perturb the digest.
+    """
+    path, config_kwargs = task
+    store = RollupStore(config=RollupConfig(**config_kwargs))
+    started = time.time()
+    count = store.add_all(iter_jsonl(path))
+    return path, store, count, time.time() - started
+
+
+def ingest_shard_files(paths: List[str],
+                       config: Optional[RollupConfig] = None,
+                       workers: int = 1,
+                       obs: Optional[Observability] = None
+                       ) -> RollupStore:
+    """Roll up a sharded dataset with a worker pool and merge
+    deterministically (same digest for any ``workers``)."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    config = config or RollupConfig()
+    obs = obs or get_default()
+    tasks = [(path, config.to_dict()) for path in paths]
+    started = time.time()
+    if workers == 1:
+        outcomes = [_ingest_shard_file(task) for task in tasks]
+    else:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        with ctx.Pool(processes=workers) as pool:
+            outcomes = pool.map(_ingest_shard_file, tasks)
+    merged = RollupStore(config=config)
+    by_path = {path: (store, count) for path, store, count, _ in outcomes}
+    total = 0
+    for path in paths:                       # merge in shard order
+        store, count = by_path[path]
+        merged.merge(store)
+        total += count
+    elapsed = time.time() - started
+    obs.inc("backend.records_ingested", total)
+    obs.set_gauge("backend.rollup_groups", merged.group_count())
+    if elapsed > 0:
+        obs.set_gauge("backend.ingest_records_per_sec",
+                      total / elapsed)
+    merged.meta.update({"workers": workers, "shards": len(paths)})
+    return merged

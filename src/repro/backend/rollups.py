@@ -1,0 +1,299 @@
+"""Windowed, mergeable rollups over measurement records.
+
+The backend cannot keep 6.6M raw records in memory, and the offline
+sketches are not all mergeable (`P2Quantile` explicitly is not).  The
+unit of aggregation here is :class:`MergeHist`, a sparse fixed-bin
+integer histogram: adding a sample increments one bin, merging two
+histograms adds bin counts.  Because the state is integers only and
+merging is elementwise addition, a merge is associative *and*
+commutative -- the rollup digest is byte-identical whether records were
+ingested by one worker or sharded over eight, the same contract as
+``repro.crowd.sharding``.
+
+Bin width is 0.25 ms over [0, 8000) ms, matching the resolution of the
+offline ``StreamingCDF(max_x=8000.0, n_bins=32000)`` used by the
+``*_stream`` analyses, so backend quantiles agree with offline ones to
+within one bin.
+
+A :class:`RollupStore` keys histograms four ways:
+
+* ``network``  -- (window, operator, network_type, kind): the per-ISP
+  RTT/DNS tables, windowed by sim time.
+* ``app``      -- (window, app_package, kind): the per-app tables.
+* ``watch``    -- (suffix, class, domain) and (suffix, class,
+  operator, network_type) for configured watch suffixes
+  (default ``whatsapp.net``): Case 1's chat/CDN split.
+* ``lte_domain`` -- (domain, operator) over LTE app RTTs: Case 2's
+  cross-ISP comparison.
+
+Snapshots serialise with sorted keys and fixed separators; the digest
+is the SHA-256 of those bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.analysis import rules
+from repro.core.records import MeasurementKind, MeasurementRecord
+from repro.network.link import NetworkType
+
+#: Histogram resolution: 0.25 ms bins over [0, 8000) ms, one overflow
+#: bin above -- the same grid as the offline StreamingCDF.
+BIN_WIDTH_MS = 0.25
+MAX_RTT_MS = 8000.0
+N_BINS = int(MAX_RTT_MS / BIN_WIDTH_MS)
+
+#: Default rollup window: 4 sim-weeks (the campaign spans 232 days, so
+#: a full-scale run produces ~9 windows -- Figure 10's weekly series
+#: re-binned coarsely enough to keep cardinality bounded).
+DEFAULT_WINDOW_MS = 28 * 24 * 3600 * 1000.0
+
+_SEP = "|"
+
+
+class MergeHist:
+    """Sparse fixed-bin integer histogram with exact merge semantics.
+
+    State is ``{bin_index: count}`` plus an overflow count; values are
+    clipped into ``[0, MAX_RTT_MS)``.  All state is integral, so merge
+    order can never change the digest.
+    """
+
+    __slots__ = ("bins", "count", "overflow")
+
+    def __init__(self) -> None:
+        self.bins: Dict[int, int] = {}
+        self.count = 0
+        self.overflow = 0
+
+    def add(self, value_ms: float) -> None:
+        if value_ms >= MAX_RTT_MS:
+            self.overflow += 1
+            index = N_BINS - 1
+        else:
+            index = int(value_ms / BIN_WIDTH_MS)
+            if index < 0:
+                index = 0
+        self.bins[index] = self.bins.get(index, 0) + 1
+        self.count += 1
+
+    def merge(self, other: "MergeHist") -> None:
+        for index, n in other.bins.items():
+            self.bins[index] = self.bins.get(index, 0) + n
+        self.count += other.count
+        self.overflow += other.overflow
+
+    def quantile(self, q: float) -> float:
+        """Quantile by linear interpolation inside the landing bin."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index in sorted(self.bins):
+            n = self.bins[index]
+            if seen + n >= target:
+                frac = (target - seen) / n if n else 0.0
+                return (index + frac) * BIN_WIDTH_MS
+            seen += n
+        return MAX_RTT_MS
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "overflow": self.overflow,
+            # JSON objects need string keys; sorted for canonical form.
+            "bins": {str(k): self.bins[k] for k in sorted(self.bins)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MergeHist":
+        hist = cls()
+        hist.count = int(data["count"])
+        hist.overflow = int(data["overflow"])
+        hist.bins = {int(k): int(v)
+                     for k, v in data["bins"].items()}  # type: ignore
+        return hist
+
+
+class RollupConfig:
+    """Shape of the aggregation: window size and watched suffixes."""
+
+    def __init__(self, window_ms: float = DEFAULT_WINDOW_MS,
+                 watch_suffixes: Tuple[str, ...] = (
+                     rules.WHATSAPP_SUFFIX,)) -> None:
+        self.window_ms = float(window_ms)
+        self.watch_suffixes = tuple(watch_suffixes)
+
+    def window_of(self, timestamp_ms: float) -> int:
+        return int(timestamp_ms // self.window_ms)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"window_ms": self.window_ms,
+                "watch_suffixes": list(self.watch_suffixes)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RollupConfig":
+        return cls(window_ms=data["window_ms"],  # type: ignore
+                   watch_suffixes=tuple(data["watch_suffixes"]))
+
+
+Key = Tuple[str, ...]
+
+
+def _encode_key(key: Key) -> str:
+    return _SEP.join(key)
+
+
+def _decode_key(text: str) -> Key:
+    return tuple(text.split(_SEP))
+
+
+class RollupStore:
+    """Live aggregates the backend serves queries from.
+
+    Tables are ``{tuple-key: MergeHist}``; :meth:`add` routes one
+    record into every table it belongs to, :meth:`merge` combines the
+    stores built by parallel ingest workers.
+    """
+
+    TABLES = ("network", "app", "watch_domain", "watch_network",
+              "lte_domain")
+
+    def __init__(self, config: Optional[RollupConfig] = None,
+                 meta: Optional[Dict[str, object]] = None) -> None:
+        self.config = config or RollupConfig()
+        self.meta: Dict[str, object] = dict(meta or {})
+        self.records = 0
+        self.tables: Dict[str, Dict[Key, MergeHist]] = {
+            name: {} for name in self.TABLES}
+
+    # -- ingestion ---------------------------------------------------
+
+    def _hist(self, table: str, key: Key) -> MergeHist:
+        hists = self.tables[table]
+        hist = hists.get(key)
+        if hist is None:
+            hist = hists[key] = MergeHist()
+        return hist
+
+    def add(self, record: MeasurementRecord) -> None:
+        self.records += 1
+        rtt = record.rtt_ms
+        window = str(self.config.window_of(record.timestamp_ms))
+        kind = record.kind
+        operator = record.operator or "unknown"
+        tech = record.network_type or "unknown"
+
+        self._hist("network", (window, operator, tech, kind)).add(rtt)
+        if kind == MeasurementKind.TCP:
+            self._hist("app", (window, record.app_package, kind)).add(rtt)
+            domain = record.domain
+            for suffix in self.config.watch_suffixes:
+                if rules.domain_matches_suffix(domain, suffix):
+                    cls = rules.whatsapp_domain_class(domain)
+                    self._hist("watch_domain",
+                               (suffix, cls, domain)).add(rtt)
+                    self._hist("watch_network",
+                               (suffix, cls, operator, tech)).add(rtt)
+            if domain is not None and tech == NetworkType.LTE:
+                self._hist("lte_domain", (domain, operator)).add(rtt)
+
+    def add_all(self, records: Iterable[MeasurementRecord]) -> int:
+        n = 0
+        for record in records:
+            self.add(record)
+            n += 1
+        return n
+
+    # -- merging -----------------------------------------------------
+
+    def merge(self, other: "RollupStore") -> None:
+        if other.config.to_dict() != self.config.to_dict():
+            raise ValueError("cannot merge rollups with different configs")
+        self.records += other.records
+        for table in self.TABLES:
+            mine = self.tables[table]
+            for key, hist in other.tables[table].items():
+                existing = mine.get(key)
+                if existing is None:
+                    existing = mine[key] = MergeHist()
+                existing.merge(hist)
+
+    # -- queries -----------------------------------------------------
+
+    def table(self, name: str) -> Dict[Key, MergeHist]:
+        return self.tables[name]
+
+    def group_count(self) -> int:
+        return sum(len(t) for t in self.tables.values())
+
+    def windows(self) -> List[int]:
+        seen = set()
+        for table in ("network", "app"):
+            for key in self.tables[table]:
+                seen.add(int(key[0]))
+        return sorted(seen)
+
+    def iter_table(self, name: str) -> Iterator[Tuple[Key, MergeHist]]:
+        table = self.tables[name]
+        for key in sorted(table):
+            yield key, table[key]
+
+    # -- serialisation -----------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Canonical plain-data form: deterministic given the records,
+        whatever the ingest parallelism or PYTHONHASHSEED."""
+        return {
+            "config": self.config.to_dict(),
+            "meta": {k: self.meta[k] for k in sorted(self.meta)},
+            "records": self.records,
+            "tables": {
+                table: {
+                    _encode_key(key): hist.to_dict()
+                    for key, hist in sorted(self.tables[table].items())
+                }
+                for table in self.TABLES
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical snapshot, sans run metadata
+        (meta records worker counts etc., which legitimately differ
+        between runs that must digest identically)."""
+        snapshot = self.snapshot()
+        snapshot.pop("meta")
+        data = json.dumps(snapshot, sort_keys=True,
+                          separators=(",", ":")).encode()
+        return hashlib.sha256(data).hexdigest()
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.snapshot(), fh, sort_keys=True,
+                      separators=(",", ":"))
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "RollupStore":
+        with open(path) as fh:
+            data = json.load(fh)
+        store = cls(config=RollupConfig.from_dict(data["config"]),
+                    meta=data.get("meta", {}))
+        store.records = int(data["records"])
+        for table in cls.TABLES:
+            loaded = data["tables"].get(table, {})
+            store.tables[table] = {
+                _decode_key(text): MergeHist.from_dict(hist)
+                for text, hist in loaded.items()
+            }
+        return store

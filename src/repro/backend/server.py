@@ -1,0 +1,171 @@
+"""The collection server: upload protocol terminated onto the pipeline.
+
+Two header forms are accepted on the same port:
+
+*  v1: ``PUSH <nbytes>\\n`` + payload            (legacy uploaders)
+*  v2: ``PUSH2 <nbytes> <seq> <device_id>\\n`` + payload
+
+and two responses exist:
+
+*  ``ACK <count>\\n``   -- ``count`` is the number of records ingested
+   from the *prefix* of the batch (ingestion stops at the first
+   malformed line, so the uploader's cursor arithmetic is exact);
+*  ``BUSY <retry_ms>\\n`` -- the batch was shed (rate limit or load);
+   nothing was ingested; retry the same batch after the hint.
+
+v1 has no (device, seq) identity, so each connection gets a synthetic
+device id and a running sequence number -- replays cannot be detected,
+which is exactly the legacy behaviour.  v2 uploads are idempotent: a
+replayed (device_id, seq) returns the cached ACK without re-ingesting.
+
+The ACK for an accepted batch is delayed by the pipeline's sim-time
+ingest cost, so busy backends are slow backends, and the uploader's
+``uploader.ack_latency_ms`` histogram sees real queueing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs import Observability
+
+from repro.backend.ingest import IngestLoadModel, IngestPipeline
+from repro.backend.rollups import RollupStore
+from repro.core.records import MeasurementStore
+from repro.network.servers import AppServer, _ServerConnection
+
+
+class BackendServer(AppServer):
+    """An AppServer that terminates the upload protocol onto an
+    :class:`IngestPipeline`."""
+
+    def __init__(self, sim, ips, name: str = "collector",
+                 pipeline: Optional[IngestPipeline] = None,
+                 rollups: Optional[RollupStore] = None,
+                 obs: Optional[Observability] = None,
+                 keep_records: bool = True,
+                 max_batch_records: Optional[int] = None,
+                 load: Optional[IngestLoadModel] = None,
+                 rate_capacity: float = 64.0,
+                 rate_refill_per_min: float = 600.0,
+                 **kwargs):
+        super().__init__(sim, ips, name=name, **kwargs)
+        # Per-instance scope by default: two collectors in one process
+        # must not share counters (same rule as MopEyeService).
+        self.obs = obs or Observability(sim=sim)
+        self.received = MeasurementStore()
+
+        def _keep(records):
+            for record in records:
+                self.received.add(record)
+
+        on_records = _keep if keep_records else None
+        self.pipeline = pipeline or IngestPipeline(
+            rollups=rollups, obs=self.obs, load=load,
+            rate_capacity=rate_capacity,
+            rate_refill_per_min=rate_refill_per_min,
+            on_records=on_records)
+        #: Server-side cap on records ACKed per batch (None = no cap);
+        #: exercises the uploader's short-ACK retry tail.
+        self.max_batch_records = max_batch_records
+        self._conn_seq = 0
+
+    # -- registry views (the legacy attributes) ------------------------
+
+    @property
+    def batches(self) -> int:
+        return int(self.pipeline.obs.value("backend.batches"))
+
+    @property
+    def malformed(self) -> int:
+        obs = self.pipeline.obs
+        return int(obs.value("backend.malformed_headers")
+                   + obs.value("backend.malformed_lines"))
+
+    @property
+    def duplicates(self) -> int:
+        return int(self.pipeline.obs.value("backend.duplicate_batches"))
+
+    @property
+    def busy_rejections(self) -> int:
+        obs = self.pipeline.obs
+        return int(obs.value("backend.busy_rejections")
+                   + obs.value("backend.rate_limited"))
+
+    @property
+    def rollups(self) -> RollupStore:
+        return self.pipeline.rollups
+
+    # -- protocol ------------------------------------------------------
+
+    def _on_request_bytes(self, key, conn: _ServerConnection,
+                          data: bytes) -> None:
+        buffer = conn.request
+        buffer.extend(data)
+        while True:
+            if conn.upload_expected is None:
+                newline = buffer.find(b"\n")
+                if newline < 0:
+                    return
+                header = bytes(buffer[:newline])
+                del buffer[:newline + 1]
+                if not self._parse_header(key, conn, header):
+                    continue
+                continue
+            if len(buffer) < conn.upload_expected:
+                return
+            payload = bytes(buffer[:conn.upload_expected])
+            del buffer[:conn.upload_expected]
+            conn.upload_expected = None
+            self._handle_batch(key, conn, payload)
+
+    def _parse_header(self, key, conn: _ServerConnection,
+                      header: bytes) -> bool:
+        """Sets ``conn.upload_expected`` (+ batch identity) on success;
+        counts and ACK-0s malformed headers."""
+        try:
+            if header.startswith(b"PUSH2 "):
+                _tag, nbytes, seq, device = header.split(b" ", 3)
+                conn.upload_expected = int(nbytes)
+                conn.batch_device = device.decode("utf-8")
+                conn.batch_seq = int(seq)
+                return True
+            if header.startswith(b"PUSH "):
+                conn.upload_expected = int(header.split()[1])
+                # Legacy batches have no identity; synthesise one per
+                # batch so the dedup cache never false-positives.
+                conn.batch_device = "v1:%s:%d" % (key[0], key[1])
+                conn.batch_seq = self._conn_seq
+                self._conn_seq += 1
+                return True
+        except (IndexError, ValueError, UnicodeDecodeError):
+            conn.upload_expected = None
+        self.obs.inc("backend.malformed_headers")
+        self._send_data(key, conn, b"ACK 0\n")
+        return False
+
+    def _handle_batch(self, key, conn: _ServerConnection,
+                      payload: bytes) -> None:
+        if self.max_batch_records is not None:
+            payload = self._clip(payload, self.max_batch_records)
+        outcome = self.pipeline.handle_batch(
+            conn.batch_device, conn.batch_seq, payload,
+            now_ms=self.sim.now)
+        if outcome.status == "busy":
+            self._send_data(key, conn,
+                            b"BUSY %d\n" % max(1, round(outcome.retry_ms)))
+            return
+        reply = b"ACK %d\n" % outcome.acked
+        if outcome.delay_ms > 0:
+            # The ACK waits out the ingest cost in sim time.
+            delay = self.sim.timeout(outcome.delay_ms)
+            delay.callbacks.append(
+                lambda _evt: self._send_data(key, conn, reply))
+        else:
+            self._send_data(key, conn, reply)
+
+    @staticmethod
+    def _clip(payload: bytes, max_records: int) -> bytes:
+        lines = payload.split(b"\n")
+        kept = [line for line in lines if line.strip()][:max_records]
+        return b"\n".join(kept) + (b"\n" if kept else b"")

@@ -8,12 +8,29 @@ uploading itself must not distort the measurements, so the uploader
   data cost for volunteers, and no radio-promotion interference);
 * uses MopEye's own UID, whose traffic bypasses the tunnel via the
   section 3.5.2 exemption -- uploads never appear as app measurements.
+
+Protocol v2 (see docs/BACKEND.md): every batch carries the device id
+and a batch sequence number (``PUSH2 <nbytes> <seq> <device_id>``), so
+the backend can deduplicate replays.  That makes three failure paths
+safe to retry with the *same* payload and sequence number:
+
+* connect failure -- nothing reached the backend;
+* ACK timeout -- the payload or the ACK was lost; the backend may have
+  ingested the batch, and the replay returns the cached ACK;
+* ``BUSY <retry_ms>`` -- the backend shed the batch; the uploader backs
+  off for the hinted time plus deterministic jitter.
+
+Only after an ACK (full or short) is the in-flight batch discarded;
+changed content always travels under a fresh sequence number, keeping
+the (device_id, seq) -> payload mapping stable, which is what the
+dedup cache's idempotency relies on.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Optional
+import random
+from typing import Optional, Tuple
 
 from repro.core.persist import _record_to_dict
 from repro.network.link import NetworkType
@@ -26,7 +43,9 @@ class MeasurementUploader:
                  collector_port: int = 443,
                  interval_ms: float = 60_000.0,
                  min_batch: int = 10,
-                 wifi_only: bool = True):
+                 wifi_only: bool = True,
+                 ack_timeout_ms: float = 10_000.0,
+                 max_batch: Optional[int] = None):
         self.service = service
         self.device = service.device
         self.sim = service.sim
@@ -35,8 +54,19 @@ class MeasurementUploader:
         self.interval_ms = interval_ms
         self.min_batch = min_batch
         self.wifi_only = wifi_only
+        self.ack_timeout_ms = ack_timeout_ms
+        #: Cap on records per batch (None = everything pending).
+        self.max_batch = max_batch
         self.obs = service.obs
+        self.device_id = self.device.model
         self._cursor = 0           # store index of first un-uploaded
+        self._seq = 0              # next batch sequence number
+        # (seq, payload, count) retained verbatim across failed
+        # attempts; cleared on any ACK.
+        self._inflight: Optional[Tuple[int, bytes, int]] = None
+        self._backoff_until = 0.0
+        # Deterministic jitter stream, keyed on the device identity.
+        self._rng = random.Random("uploader|%s" % self.device_id)
         self.running = False
         self._thread: Optional[Event] = None
 
@@ -63,6 +93,18 @@ class MeasurementUploader:
     def deferred_cellular(self) -> int:
         return int(self.obs.value("uploader.deferred_cellular"))
 
+    @property
+    def busy_backoffs(self) -> int:
+        return int(self.obs.value("uploader.busy_backoffs"))
+
+    @property
+    def ack_timeouts(self) -> int:
+        return int(self.obs.value("uploader.ack_timeouts"))
+
+    @property
+    def final_flushes(self) -> int:
+        return int(self.obs.value("uploader.final_flush"))
+
     def start(self) -> None:
         if self.running:
             raise RuntimeError("uploader already running")
@@ -70,7 +112,15 @@ class MeasurementUploader:
         self._thread = self.sim.process(self._run(), name="uploader")
 
     def stop(self) -> None:
+        """Stop the periodic thread and flush what remains.
+
+        Without the flush, records below ``min_batch`` at shutdown
+        would be stranded forever (the volunteer uninstalls, the tail
+        of their data never ships).  The flush ignores ``min_batch``
+        but still honours ``wifi_only``: shutdown does not justify
+        cellular spend."""
         self.running = False
+        self.sim.process(self._final_flush(), name="uploader-flush")
 
     # -- internals -----------------------------------------------------------
     def _pending(self) -> list:
@@ -81,22 +131,58 @@ class MeasurementUploader:
             yield self.sim.timeout(self.interval_ms)
             if not self.running:
                 return
-            pending = self._pending()
-            if len(pending) < self.min_batch:
+            if self.sim.now < self._backoff_until:
+                continue
+            if self._inflight is None and \
+                    len(self._pending()) < self.min_batch:
                 continue
             if self.wifi_only and \
                     self.device.link.network_type != NetworkType.WIFI:
                 self.obs.inc("uploader.deferred_cellular")
                 continue
-            yield from self._upload(pending)
+            yield from self._upload()
 
-    def _upload(self, records):
-        obs = self.obs
+    def _final_flush(self):
+        if self.wifi_only and \
+                self.device.link.network_type != NetworkType.WIFI:
+            self.obs.inc("uploader.deferred_cellular")
+            return
+        while self._inflight is not None or self._pending():
+            before = self._cursor
+            had_inflight = self._inflight is not None
+            self.obs.inc("uploader.final_flush")
+            yield from self._upload()
+            if self._cursor == before and \
+                    (had_inflight or self._inflight is not None):
+                # No progress (backend down or shedding): records stay
+                # in the store; a future start() would retry them.
+                return
+
+    def _next_batch(self) -> Optional[Tuple[int, bytes, int]]:
+        """The batch to send: the in-flight one verbatim, or a fresh
+        payload under a fresh sequence number."""
+        if self._inflight is not None:
+            return self._inflight
+        records = self._pending()
+        if not records:
+            return None
+        if self.max_batch is not None:
+            records = records[:self.max_batch]
         payload = "\n".join(
             json.dumps(_record_to_dict(record))
             for record in records).encode() + b"\n"
+        self._inflight = (self._seq, payload, len(records))
+        self._seq += 1
+        return self._inflight
+
+    def _upload(self):
+        obs = self.obs
+        batch = self._next_batch()
+        if batch is None:
+            return
+        seq, payload, count = batch
         socket = self.device.create_tcp_socket(self.service.uid)
-        span = obs.start_span("uploader.upload", records=len(records))
+        span = obs.start_span("uploader.upload", records=count, seq=seq)
         started = self.sim.now
         try:
             yield socket.connect(self.collector_ip,
@@ -105,26 +191,51 @@ class MeasurementUploader:
             obs.inc("uploader.failures")
             obs.end_span(span, outcome=type(exc).__name__)
             return
-        socket.send(b"PUSH %d\n" % len(payload))
+        socket.send(b"PUSH2 %d %d %s\n" % (
+            len(payload), seq, self.device_id.encode("utf-8")))
         socket.send(payload)
-        response = yield socket.recv()
+        # Nothing in the simulated stacks retransmits data, so a lost
+        # payload or ACK would park this process forever; race the
+        # recv against a deadline and retry idempotently.
+        recv = socket.recv()
+        deadline = self.sim.timeout(self.ack_timeout_ms)
+        fired = yield self.sim.any_of([recv, deadline])
+        if recv not in fired:
+            socket.abort()
+            obs.inc("uploader.ack_timeouts")
+            obs.inc("uploader.failures")
+            obs.end_span(span, outcome="ack_timeout")
+            return
+        response = fired[recv]
         socket.close()
         obs.observe("uploader.ack_latency_ms", self.sim.now - started)
         if response.startswith(b"ACK"):
             try:
                 acked = int(response.split()[1])
             except (IndexError, ValueError):
-                acked = len(records)
+                acked = count
             # Advance only past what the collector acknowledged: a
             # short ACK leaves the unacked tail pending, so the next
             # interval retries it instead of silently dropping it.
-            acked = max(0, min(acked, len(records)))
+            acked = max(0, min(acked, count))
             self._cursor += acked
+            self._inflight = None
             obs.inc("uploader.records_acked", acked)
             obs.inc("uploader.batches")
-            if acked < len(records):
+            if acked < count:
                 obs.inc("uploader.short_acks")
             obs.end_span(span, acked=acked)
+        elif response.startswith(b"BUSY"):
+            try:
+                retry_ms = float(response.split()[1])
+            except (IndexError, ValueError):
+                retry_ms = self.interval_ms
+            # Hinted wait plus up to 50% deterministic jitter, so a
+            # fleet sharing one hint does not stampede back in step.
+            self._backoff_until = self.sim.now + retry_ms * (
+                1.0 + 0.5 * self._rng.random())
+            obs.inc("uploader.busy_backoffs")
+            obs.end_span(span, outcome="busy", retry_ms=retry_ms)
         else:
             obs.inc("uploader.failures")
             obs.end_span(span, outcome="bad_response")

@@ -1,75 +1,28 @@
-"""The crowdsourcing collection server.
+"""The crowdsourcing collection server (compatibility shim).
 
-The deployed MopEye uploaded measurement batches to a collection
-backend; this is that backend for the simulated world.  It speaks a
-tiny length-prefixed protocol over TCP:
+The 75-line accumulator that used to live here grew into the
+:mod:`repro.backend` package: idempotent batch ingestion, windowed
+rollups, backpressure, and online case-study detection.  The name
+``CollectorServer`` is kept for the existing worlds and tests; it *is*
+the backend server.
 
-    PUSH <nbytes>\\n   followed by <nbytes> of JSON-lines records
-    ->  ACK <count>\\n
+Behavioural changes worth knowing about:
 
-and accumulates everything into a :class:`MeasurementStore`, so an
-end-to-end test can assert that what a device measured is exactly what
-the backend received.
+* ACKs are **prefix** counts: ingestion stops at the first malformed
+  line, matching the uploader's cursor arithmetic (the old code ACKed
+  records parsed anywhere in the batch, silently duplicating and
+  dropping around a bad line).
+* ``batches``/``malformed`` are read-only views over catalog-enforced
+  ``backend.*`` metrics (see docs/OBSERVABILITY.md), not ad-hoc ints.
 """
 
 from __future__ import annotations
 
-import json
-from typing import Optional
-
-from repro.core.persist import _record_from_dict
-from repro.core.records import MeasurementStore
-from repro.network.servers import AppServer, _ServerConnection
+from repro.backend.server import BackendServer
 
 
-class CollectorServer(AppServer):
+class CollectorServer(BackendServer):
     """An AppServer that ingests measurement uploads."""
 
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.received = MeasurementStore()
-        self.batches = 0
-        self.malformed = 0
 
-    def _on_request_bytes(self, key, conn: _ServerConnection,
-                          data: bytes) -> None:
-        buffer = conn.request
-        buffer.extend(data)
-        while True:
-            if conn.upload_expected is None:
-                newline = buffer.find(b"\n")
-                if newline < 0:
-                    return
-                header = bytes(buffer[:newline])
-                del buffer[:newline + 1]
-                if not header.startswith(b"PUSH "):
-                    self.malformed += 1
-                    continue
-                try:
-                    conn.upload_expected = int(header.split()[1])
-                except (IndexError, ValueError):
-                    self.malformed += 1
-                    conn.upload_expected = None
-                continue
-            if len(buffer) < conn.upload_expected:
-                return
-            payload = bytes(buffer[:conn.upload_expected])
-            del buffer[:conn.upload_expected]
-            conn.upload_expected = None
-            count = self._ingest(payload)
-            self.batches += 1
-            self._send_data(key, conn, b"ACK %d\n" % count)
-
-    def _ingest(self, payload: bytes) -> int:
-        count = 0
-        for line in payload.decode("utf-8",
-                                   errors="replace").splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                self.received.add(_record_from_dict(json.loads(line)))
-                count += 1
-            except (ValueError, KeyError):
-                self.malformed += 1
-        return count
+__all__ = ["CollectorServer"]

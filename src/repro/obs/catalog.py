@@ -187,6 +187,63 @@ CATALOG: Dict[str, MetricSpec] = dict([
        "repro.core.uploader",
        "connect() to ACK-received latency per upload batch.",
        max_x=5000.0, n_bins=1000),
+    _m("uploader.busy_backoffs", COUNTER, "batches",
+       "repro.core.uploader",
+       "Batches rejected with BUSY; the uploader backed off with "
+       "jitter and will retry the same (device_id, batch_seq)."),
+    _m("uploader.ack_timeouts", COUNTER, "batches",
+       "repro.core.uploader",
+       "Uploads abandoned after the ACK deadline passed (lost payload "
+       "or lost ACK); retried idempotently next interval."),
+    _m("uploader.final_flush", COUNTER, "batches",
+       "repro.core.uploader",
+       "Batches pushed by the shutdown flush in stop(), below "
+       "min_batch included."),
+    # -- collection backend ------------------------------------------------
+    _m("backend.batches", COUNTER, "batches", "repro.backend.ingest",
+       "Upload batches accepted and ingested (duplicates excluded)."),
+    _m("backend.records_ingested", COUNTER, "records",
+       "repro.backend.ingest",
+       "Measurement records ingested into the rollup store."),
+    _m("backend.malformed_headers", COUNTER, "requests",
+       "repro.backend.server",
+       "Requests whose PUSH/PUSH2 header failed to parse (ACK 0)."),
+    _m("backend.malformed_lines", COUNTER, "batches",
+       "repro.backend.ingest",
+       "Batches truncated at a malformed JSON line; the ACK covers "
+       "only the valid prefix."),
+    _m("backend.duplicate_batches", COUNTER, "batches",
+       "repro.backend.ingest",
+       "Batches replayed with a known (device_id, batch_seq); the "
+       "cached ACK was returned without re-ingesting."),
+    _m("backend.busy_rejections", COUNTER, "batches",
+       "repro.backend.ingest",
+       "Batches shed with BUSY because the ingest backlog exceeded "
+       "the load threshold."),
+    _m("backend.rate_limited", COUNTER, "batches",
+       "repro.backend.ingest",
+       "Batches shed with BUSY because the per-device token bucket "
+       "was empty."),
+    _m("backend.batch_records", HISTOGRAM, "records",
+       "repro.backend.ingest",
+       "Records per accepted batch.", max_x=2000.0, n_bins=2000),
+    _m("backend.ingest_delay_ms", HISTOGRAM, "ms",
+       "repro.backend.ingest",
+       "Sim-time processing delay charged per accepted batch (the "
+       "backlog model's per-batch cost).", max_x=2000.0, n_bins=2000),
+    _m("backend.rollup_groups", GAUGE, "groups",
+       "repro.backend.rollups",
+       "Distinct (table, key) histogram groups currently held."),
+    _m("backend.detector_evaluations", COUNTER, "evaluations",
+       "repro.backend.detector",
+       "Detector rule evaluations performed against live rollups."),
+    _m("backend.detector_findings", COUNTER, "findings",
+       "repro.backend.detector",
+       "Case-study findings raised by the online detector."),
+    _m("backend.ingest_records_per_sec", GAUGE, "records/s",
+       "repro.backend.ingest",
+       "Wall-clock ingest throughput of the last offline ingest run.",
+       volatile=True),
     # -- sharded crowd campaign --------------------------------------------
     _m("crowd.records_generated", COUNTER, "records",
        "repro.crowd.sharding",

@@ -1,0 +1,398 @@
+"""Unit tests for the collection backend (repro.backend)."""
+
+import json
+
+import pytest
+
+from repro.backend import (
+    IngestLoadModel,
+    IngestPipeline,
+    MergeHist,
+    OnlineDetector,
+    RollupConfig,
+    RollupStore,
+    TokenBucket,
+    parse_batch_prefix,
+)
+from repro.backend import query as backend_query
+from repro.backend.rollups import BIN_WIDTH_MS, MAX_RTT_MS
+from repro.core.persist import record_to_line
+from repro.core.records import MeasurementRecord
+from repro.obs import Observability
+
+
+def _rec(kind="TCP", rtt=100.0, ts=0.0, domain=None, operator="OpA",
+         tech="WIFI", app="com.app.a", device="dev-1"):
+    return MeasurementRecord(
+        kind=kind, rtt_ms=rtt, timestamp_ms=ts, app_package=app,
+        app_uid=10001, dst_ip="203.0.113.1", dst_port=443,
+        domain=domain, network_type=tech, operator=operator,
+        country="US", device_id=device)
+
+
+def _payload(records):
+    return ("\n".join(record_to_line(r) for r in records)
+            + "\n").encode()
+
+
+class TestMergeHist:
+    def test_median_interpolates_within_bin(self):
+        hist = MergeHist()
+        for value in (10.0, 20.0, 30.0):
+            hist.add(value)
+        assert 19.9 < hist.median() < 20.3
+
+    def test_overflow_clipped_to_last_bin(self):
+        hist = MergeHist()
+        hist.add(MAX_RTT_MS + 500.0)
+        assert hist.overflow == 1
+        assert hist.count == 1
+        assert hist.quantile(1.0) == MAX_RTT_MS
+
+    def test_merge_is_order_invariant(self):
+        parts = []
+        for base in (5.0, 105.0, 205.0):
+            hist = MergeHist()
+            for i in range(50):
+                hist.add(base + i)
+            parts.append(hist)
+        forward, backward = MergeHist(), MergeHist()
+        for hist in parts:
+            forward.merge(hist)
+        for hist in reversed(parts):
+            backward.merge(hist)
+        assert forward.to_dict() == backward.to_dict()
+        assert forward.median() == backward.median()
+
+    def test_dict_round_trip(self):
+        hist = MergeHist()
+        for value in (1.0, 2.5, 9000.0):
+            hist.add(value)
+        clone = MergeHist.from_dict(
+            json.loads(json.dumps(hist.to_dict())))
+        assert clone.to_dict() == hist.to_dict()
+
+
+class TestRollupStore:
+    def _records(self):
+        records = []
+        for i in range(40):
+            records.append(_rec(rtt=200.0 + i, ts=i * 1e6,
+                                domain="c%d.whatsapp.net" % (i % 4)))
+            records.append(_rec(kind="DNS", rtt=30.0 + i, ts=i * 1e6,
+                                app=None))
+            records.append(_rec(rtt=150.0 + i, ts=i * 1e6,
+                                domain="api.example.com", tech="LTE"))
+        return records
+
+    def test_tables_populated(self):
+        store = RollupStore()
+        store.add_all(self._records())
+        assert store.records == 120
+        assert store.table("network")
+        assert store.table("app")
+        assert store.table("watch_domain")
+        assert store.table("watch_network")
+        assert store.table("lte_domain")
+        # whatsapp chat domains land in the watch tables.
+        classes = {key[1] for key in store.table("watch_domain")}
+        assert classes == {"chat"}
+
+    def test_merge_matches_single_store_digest(self):
+        records = self._records()
+        whole = RollupStore()
+        whole.add_all(records)
+        left, right = RollupStore(), RollupStore()
+        left.add_all(records[:50])
+        right.add_all(records[50:])
+        merged = RollupStore()
+        merged.merge(right)          # deliberately out of order
+        merged.merge(left)
+        assert merged.digest() == whole.digest()
+        assert merged.records == whole.records
+
+    def test_merge_rejects_config_mismatch(self):
+        a = RollupStore(config=RollupConfig(window_ms=1000.0))
+        b = RollupStore(config=RollupConfig(window_ms=2000.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = RollupStore()
+        store.add_all(self._records())
+        store.meta["findings"] = [{"rule": "x"}]
+        path = str(tmp_path / "state.json")
+        store.save(path)
+        loaded = RollupStore.load(path)
+        assert loaded.digest() == store.digest()
+        assert loaded.records == store.records
+        assert loaded.meta["findings"] == [{"rule": "x"}]
+
+    def test_meta_excluded_from_digest(self):
+        a, b = RollupStore(), RollupStore()
+        for store in (a, b):
+            store.add_all(self._records())
+        b.meta["workers"] = 8
+        assert a.digest() == b.digest()
+
+    def test_windowing_splits_by_sim_time(self):
+        config = RollupConfig(window_ms=1000.0)
+        store = RollupStore(config=config)
+        store.add(_rec(ts=100.0))
+        store.add(_rec(ts=2500.0))
+        assert store.windows() == [0, 2]
+
+
+class TestParseBatchPrefix:
+    def test_stops_at_first_bad_line(self):
+        good = [_rec(rtt=float(i)) for i in range(4)]
+        lines = [record_to_line(r) for r in good]
+        lines.insert(2, "{broken")
+        payload = ("\n".join(lines) + "\n").encode()
+        records, truncated = parse_batch_prefix(payload)
+        assert truncated
+        assert [r.rtt_ms for r in records] == [0.0, 1.0]
+
+    def test_clean_payload_not_truncated(self):
+        records, truncated = parse_batch_prefix(
+            _payload([_rec(), _rec(rtt=5.0)]))
+        assert not truncated
+        assert len(records) == 2
+
+    def test_blank_lines_ignored(self):
+        payload = b"\n" + _payload([_rec()]) + b"\n\n"
+        records, truncated = parse_batch_prefix(payload)
+        assert not truncated
+        assert len(records) == 1
+
+
+class TestTokenBucket:
+    def test_deny_then_refill(self):
+        bucket = TokenBucket(capacity=2, refill_per_ms=0.001,
+                             now_ms=0.0)
+        assert bucket.allow(0.0)
+        assert bucket.allow(0.0)
+        assert not bucket.allow(0.0)
+        assert bucket.retry_hint_ms() > 0
+        assert bucket.allow(1000.0)      # one token refilled
+
+
+class TestIngestLoadModel:
+    def test_sheds_over_threshold_and_drains(self):
+        load = IngestLoadModel(base_ms=1.0, per_record_ms=1.0,
+                               busy_threshold_ms=15.0)
+        ok, delay = load.admit(10, now_ms=0.0)     # cost 11
+        assert ok and delay == 11.0
+        ok, retry = load.admit(10, now_ms=0.0)     # would be 22 > 15
+        assert not ok and retry > 0
+        ok, _ = load.admit(10, now_ms=50.0)        # backlog drained
+        assert ok
+
+
+class TestIngestPipeline:
+    def _pipeline(self, **kwargs):
+        return IngestPipeline(obs=Observability(), **kwargs)
+
+    def test_prefix_ack_and_malformed_count(self):
+        pipe = self._pipeline()
+        lines = [record_to_line(_rec(rtt=float(i))) for i in range(3)]
+        lines.insert(1, "nope")
+        payload = ("\n".join(lines) + "\n").encode()
+        outcome = pipe.handle_batch("dev", 0, payload, now_ms=0.0)
+        assert outcome.status == "ack"
+        assert outcome.acked == 1
+        assert outcome.truncated
+        assert pipe.obs.value("backend.malformed_lines") == 1
+        assert pipe.rollups.records == 1
+
+    def test_duplicate_returns_cached_ack_without_reingest(self):
+        pipe = self._pipeline()
+        payload = _payload([_rec(), _rec(rtt=7.0)])
+        first = pipe.handle_batch("dev", 3, payload, now_ms=0.0)
+        replay = pipe.handle_batch("dev", 3, payload, now_ms=100.0)
+        assert first.acked == replay.acked == 2
+        assert replay.duplicate
+        assert pipe.rollups.records == 2
+        assert pipe.obs.value("backend.duplicate_batches") == 1
+
+    def test_rate_limit_sheds_with_busy(self):
+        pipe = self._pipeline(rate_capacity=1.0,
+                              rate_refill_per_min=60.0)
+        payload = _payload([_rec()])
+        assert pipe.handle_batch("dev", 0, payload, 0.0).status == "ack"
+        busy = pipe.handle_batch("dev", 1, payload, 0.0)
+        assert busy.status == "busy"
+        assert busy.retry_ms > 0
+        assert pipe.obs.value("backend.rate_limited") == 1
+        # Shed batches are not remembered: the retry is ingested.
+        retry = pipe.handle_batch("dev", 1, payload, 5000.0)
+        assert retry.status == "ack" and not retry.duplicate
+
+    def test_load_shed_refunds_token(self):
+        pipe = self._pipeline(
+            load=IngestLoadModel(base_ms=100.0, per_record_ms=0.0,
+                                 busy_threshold_ms=150.0),
+            rate_capacity=2.0, rate_refill_per_min=0.0)
+        payload = _payload([_rec()])
+        assert pipe.handle_batch("dev", 0, payload, 0.0).status == "ack"
+        assert pipe.handle_batch("dev", 1, payload, 0.0).status == "busy"
+        # The shed attempt refunded its token, so one is still left
+        # once the backlog drains.
+        assert pipe.handle_batch("dev", 1, payload,
+                                 500.0).status == "ack"
+
+
+def _detector_records():
+    """A small world that exhibits both case-study signatures."""
+    records = []
+    # Case 1: ten slow chat domains, one fast CDN domain, across two
+    # networks with plenty of samples.
+    for i in range(10):
+        for j in range(6):
+            records.append(_rec(rtt=260.0 + i, ts=j * 1e5,
+                                domain="c%d.whatsapp.net" % i,
+                                operator="OpA", tech="WIFI"))
+            records.append(_rec(rtt=255.0 + i, ts=j * 1e5,
+                                domain="c%d.whatsapp.net" % i,
+                                operator="OpB", tech="LTE"))
+    for j in range(8):
+        records.append(_rec(rtt=45.0, ts=j * 1e5,
+                            domain="mme.whatsapp.net"))
+    # Case 2: SlowTel LTE serves apps at ~300 ms with 40 ms DNS; the
+    # same domains run at ~90 ms on FastTel LTE (DNS similar).
+    for domain in ("a.example.com", "b.example.com", "c.example.com"):
+        for j in range(6):
+            records.append(_rec(rtt=300.0, ts=j * 1e5, domain=domain,
+                                operator="SlowTel", tech="LTE"))
+            records.append(_rec(rtt=90.0, ts=j * 1e5, domain=domain,
+                                operator="FastTel", tech="LTE"))
+    for j in range(6):
+        records.append(_rec(kind="DNS", rtt=40.0, ts=j * 1e5,
+                            operator="SlowTel", tech="LTE", app=None))
+        records.append(_rec(kind="DNS", rtt=45.0, ts=j * 1e5,
+                            operator="FastTel", tech="LTE", app=None))
+    return records
+
+
+class TestOnlineDetector:
+    def test_detects_both_case_studies(self):
+        rollups = RollupStore()
+        rollups.add_all(_detector_records())
+        detector = OnlineDetector(rollups, scale=0.01,
+                                  obs=Observability())
+        findings = detector.evaluate()
+        by_rule = {f.rule: f for f in findings}
+        assert set(by_rule) == {"chat_domain_degradation",
+                                "isp_rtt_anomaly"}
+        assert by_rule["chat_domain_degradation"].subject == \
+            "whatsapp.net"
+        assert by_rule["isp_rtt_anomaly"].subject == "SlowTel/LTE"
+        # FastTel is healthy: no false positive.
+        subjects = {f.subject for f in findings}
+        assert "FastTel/LTE" not in subjects
+
+    def test_healthy_world_raises_nothing(self):
+        rollups = RollupStore()
+        for i in range(10):
+            for j in range(6):
+                rollups.add(_rec(rtt=40.0 + i, ts=j * 1e5,
+                                 domain="c%d.whatsapp.net" % i))
+        detector = OnlineDetector(rollups, scale=0.01,
+                                  obs=Observability())
+        assert detector.evaluate() == []
+
+    def test_maybe_evaluate_gates_on_record_count(self):
+        rollups = RollupStore()
+        detector = OnlineDetector(rollups, scale=0.01,
+                                  check_interval_records=10,
+                                  obs=Observability())
+        for i in range(9):
+            rollups.add(_rec(rtt=float(i + 1)))
+            assert detector.maybe_evaluate() == []
+        assert detector.obs.value("backend.detector_evaluations") == 0
+        rollups.add(_rec(rtt=10.0))
+        detector.maybe_evaluate()
+        assert detector.obs.value("backend.detector_evaluations") == 1
+
+    def test_first_detection_record_count_is_kept(self):
+        rollups = RollupStore()
+        rollups.add_all(_detector_records())
+        at_detection = rollups.records
+        detector = OnlineDetector(rollups, scale=0.01,
+                                  obs=Observability())
+        detector.evaluate()
+        rollups.add_all(_detector_records())
+        detector.evaluate()          # same findings, later
+        for finding in detector.findings.values():
+            assert finding.detected_at_records == at_detection
+
+
+class TestQuery:
+    @pytest.fixture
+    def rollups(self):
+        store = RollupStore()
+        store.add_all(_detector_records())
+        store.meta["findings"] = [{"rule": "r", "subject": "s"}]
+        return store
+
+    def test_summary_reports_shape_and_digest(self, rollups):
+        view = backend_query.summary(rollups)
+        assert view["records"] == rollups.records
+        assert view["digest"] == rollups.digest()
+        assert view["groups"]["network"] > 0
+
+    def test_apps_ranked_by_volume(self, rollups):
+        rows = backend_query.apps(rollups, top=5)
+        assert rows
+        counts = [row["count"] for row in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_networks_contrast_app_and_dns(self, rollups):
+        rows = backend_query.networks(rollups, top=None)
+        slow = next(r for r in rows if r["network"] == "SlowTel/LTE")
+        assert slow["app_median_ms"] > 250
+        assert slow["dns_median_ms"] < 50
+
+    def test_windows_are_chronological(self, rollups):
+        rows = backend_query.windows(rollups)
+        assert rows
+        ids = [row["window"] for row in rows]
+        assert ids == sorted(ids)
+
+    def test_cases_returns_persisted_findings(self, rollups):
+        assert backend_query.cases(rollups) == [
+            {"rule": "r", "subject": "s"}]
+
+
+class TestServeCli:
+    def test_serve_query_round_trip(self, tmp_path, capsys):
+        from repro.__main__ import main
+        state = str(tmp_path / "state.json")
+        assert main(["serve", "--scale", "0.002", "--seed", "2016",
+                     "--state", state]) == 0
+        out = capsys.readouterr().out
+        assert "rollup sha256:" in out
+        assert main(["query", state, "summary"]) == 0
+        view = json.loads(capsys.readouterr().out)
+        assert view["records"] > 1000
+        assert main(["query", state, "apps", "--top", "3"]) == 0
+        assert len(json.loads(capsys.readouterr().out)) == 3
+
+    def test_serve_digest_stable_across_workers(self, tmp_path,
+                                                capsys):
+        from repro.__main__ import main
+        digests = []
+        for workers in ("1", "2"):
+            main(["serve", "--scale", "0.002", "--workers", workers,
+                  "--shard-dir", str(tmp_path / ("w" + workers))])
+            out = capsys.readouterr().out
+            digests.append([line for line in out.splitlines()
+                            if "sha256" in line][0])
+        assert digests[0] == digests[1]
+
+    def test_query_missing_state_fails_cleanly(self, tmp_path,
+                                               capsys):
+        from repro.__main__ import main
+        assert main(["query", str(tmp_path / "nope.json"),
+                     "summary"]) == 2
+        assert "cannot read rollup state" in capsys.readouterr().err

@@ -94,6 +94,41 @@ class TestUploader:
         w.run(until=5000)
         assert uploader._thread.triggered
 
+    def test_stop_flushes_below_min_batch(self, upload_world):
+        """Records below min_batch at shutdown must not be stranded:
+        stop() pushes the tail regardless of batch size."""
+        w = upload_world
+        uploader = MeasurementUploader(w.mopeye, "198.51.100.200",
+                                       interval_ms=5000.0,
+                                       min_batch=50)
+        uploader.start()
+        generate_measurements(w, n=4)
+        w.run(until=20000)
+        assert uploader.uploaded == 0      # below min_batch: held back
+        uploader.stop()
+        w.run(until=40000)
+        assert uploader.final_flushes >= 1
+        assert uploader.uploaded == len(w.mopeye.store)
+        assert uploader._pending() == []
+        assert len(w.collector.received) == len(w.mopeye.store)
+
+    def test_stop_flush_respects_wifi_only(self, upload_world):
+        """Shutdown does not justify cellular spend: the final flush
+        defers on cellular exactly like a periodic upload."""
+        from repro.network.link import NetworkType
+        w = upload_world
+        uploader = MeasurementUploader(w.mopeye, "198.51.100.200",
+                                       interval_ms=5000.0,
+                                       min_batch=50)
+        uploader.start()
+        generate_measurements(w, n=3)
+        w.device.link.network_type = NetworkType.LTE
+        uploader.stop()
+        w.run(until=20000)
+        assert uploader.final_flushes == 0
+        assert uploader.uploaded == 0
+        assert len(uploader._pending()) >= 3
+
     def test_double_start_rejected(self, upload_world):
         uploader = MeasurementUploader(upload_world.mopeye,
                                        "198.51.100.200")
@@ -102,24 +137,14 @@ class TestUploader:
             uploader.start()
 
 
-class StingyCollector(CollectorServer):
-    """Commits (and ACKs) at most ``ack_limit`` records per batch --
-    a backend shedding load mid-batch."""
-
-    ack_limit = 4
-
-    def _ingest(self, payload: bytes) -> int:
-        lines = payload.splitlines(keepends=True)
-        return super()._ingest(b"".join(lines[:self.ack_limit]))
-
-
 class TestPartialAck:
     def test_short_ack_retries_tail(self, world):
         """A short ACK must advance the cursor only past the acked
         prefix; the tail is retried next interval, so every record
         still reaches the backend exactly once."""
-        collector = StingyCollector(world.sim, ["198.51.100.201"],
-                                    name="stingy")
+        collector = CollectorServer(world.sim, ["198.51.100.201"],
+                                    name="stingy",
+                                    max_batch_records=4)
         world.internet.add_server(collector)
         mopeye = MopEyeService(world.device)
         mopeye.start()
@@ -169,3 +194,82 @@ class TestCollectorProtocol:
 
         assert w.run_process(run()) == b"ACK 0\n"
         assert w.collector.malformed >= 1
+
+    def test_ack_is_prefix_count(self, upload_world):
+        """A malformed line mid-batch stops ingestion: the ACK counts
+        the valid *prefix* only, never records parsed past the bad
+        line -- the uploader's cursor arithmetic depends on it."""
+        from repro.core.persist import record_to_line
+        from repro.core.records import MeasurementRecord
+        w = upload_world
+        lines = [record_to_line(MeasurementRecord(
+            kind="TCP", rtt_ms=10.0 + i, timestamp_ms=1000.0 * i))
+            for i in range(3)]
+        lines.insert(1, "this is not json")   # bad line after record 0
+        payload = ("\n".join(lines) + "\n").encode()
+        socket = w.device.create_tcp_socket(w.mopeye.uid,
+                                            protected=True)
+
+        def run():
+            yield socket.connect("198.51.100.200", 443)
+            socket.send(b"PUSH %d\n" % len(payload))
+            socket.send(payload)
+            response = yield socket.recv()
+            socket.close()
+            return response
+
+        assert w.run_process(run()) == b"ACK 1\n"
+        assert len(w.collector.received) == 1
+        assert next(iter(w.collector.received)).rtt_ms == 10.0
+        assert w.collector.malformed >= 1
+
+    def test_duplicate_batch_returns_cached_ack(self, upload_world):
+        """Replaying a (device_id, batch_seq) -- a lost-ACK retry --
+        returns the original ACK without re-ingesting."""
+        from repro.core.persist import record_to_line
+        from repro.core.records import MeasurementRecord
+        w = upload_world
+        payload = (record_to_line(MeasurementRecord(
+            kind="TCP", rtt_ms=42.0, timestamp_ms=1.0)) + "\n").encode()
+        header = b"PUSH2 %d 7 phone-a\n" % len(payload)
+        responses = []
+
+        def push():
+            socket = w.device.create_tcp_socket(w.mopeye.uid,
+                                                protected=True)
+            yield socket.connect("198.51.100.200", 443)
+            socket.send(header)
+            socket.send(payload)
+            response = yield socket.recv()
+            socket.close()
+            responses.append(response)
+
+        w.run_process(push())
+        w.run_process(push())
+        assert responses == [b"ACK 1\n", b"ACK 1\n"]
+        assert len(w.collector.received) == 1      # ingested once
+        assert w.collector.duplicates == 1
+
+    def test_busy_backpressure_and_backoff(self, world):
+        """A rate-limited backend sheds batches with BUSY; the
+        uploader backs off with jitter and retries the same batch, so
+        everything still arrives exactly once."""
+        collector = CollectorServer(
+            world.sim, ["198.51.100.202"], name="busy",
+            rate_capacity=1.0, rate_refill_per_min=6.0)
+        world.internet.add_server(collector)
+        mopeye = MopEyeService(world.device)
+        mopeye.start()
+        world.mopeye = mopeye
+        generate_measurements(world, n=10)
+        uploader = MeasurementUploader(mopeye, "198.51.100.202",
+                                       interval_ms=2000.0, min_batch=3,
+                                       max_batch=5)
+        uploader.start()
+        world.run(until=120_000)
+        assert uploader.busy_backoffs >= 1
+        assert collector.busy_rejections >= 1
+        assert uploader.uploaded == len(mopeye.store)
+        sent = sorted(round(r.rtt_ms, 9) for r in mopeye.store)
+        got = sorted(round(r.rtt_ms, 9) for r in collector.received)
+        assert got == sent
