@@ -21,6 +21,11 @@ Commands:
 * ``query``     -- read a saved rollup state: ``summary``, ``apps``,
                    ``networks``, ``windows``, or ``cases`` (the
                    detector's findings).
+* ``chaos``     -- run a named fault-injection scenario (see
+                   docs/FAULTS.md): deterministic dataset shards, the
+                   ground-truth ledger, and the closed-loop
+                   verification report (``--list`` to enumerate
+                   scenarios).
 * ``accuracy``  -- Table 2 live: MopEye vs MobiPerf vs tcpdump.
 
 See docs/OBSERVABILITY.md for the metric/span catalog and how to read
@@ -284,6 +289,56 @@ def cmd_query(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """One scenario end to end: inject, measure, verify.  Everything
+    printed (digests, ledger, report) is deterministic in
+    (scenario, seed) -- the CI chaos job diffs two runs of this."""
+    from repro.faults import (
+        SCENARIOS,
+        ChaosRunner,
+        get_scenario,
+        verify_scenario,
+    )
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            print("%-16s %s" % (name, SCENARIOS[name].description))
+        return 0
+    if not args.scenario:
+        print("error: --scenario NAME required (or --list)",
+              file=sys.stderr)
+        return 2
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as exc:
+        print("error: %s" % exc.args[0], file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1 (got %d)" % args.workers,
+              file=sys.stderr)
+        return 2
+    runner = ChaosRunner(scenario, seed=args.seed, workers=args.workers,
+                         shard_dir=args.shard_dir)
+    result = runner.run()
+    print("scenario %s seed=%d: %d records from %d device(s) in %d "
+          "shard(s)" % (scenario.name, args.seed, result.records,
+                        len(scenario.devices()), len(result.paths)))
+    print("shard dir:      %s" % result.shard_dir)
+    print("dataset sha256: %s" % result.digest())
+    print("plan sha256:    %s" % result.plan.digest())
+    print("ledger sha256:  %s" % result.ledger.digest())
+    if args.ledger:
+        result.ledger.save(args.ledger)
+        print("wrote ledger to %s" % args.ledger)
+    if args.export:
+        from repro.core.persist import merge_shards
+        merge_shards(result.paths, args.export)
+        print("merged dataset: %s" % args.export)
+    report = verify_scenario(result)
+    print(report.summary())
+    return 0
+
+
 def cmd_accuracy(_args) -> int:
     import runpy
     import os
@@ -354,11 +409,31 @@ def main(argv=None) -> int:
                                         "windows", "cases"])
     query.add_argument("--top", type=int, default=20,
                        help="row cap for apps/networks views")
+    chaos = sub.add_parser("chaos", help="run a fault-injection "
+                                         "scenario with ground truth")
+    chaos.add_argument("--scenario", type=str, default=None,
+                       help="scenario name (see --list)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--workers", type=int, default=1,
+                       help="worker processes; output is byte-identical "
+                            "for any value")
+    chaos.add_argument("--shard-dir", type=str, default=None,
+                       help="directory for the dataset shards "
+                            "(default: a fresh temp dir)")
+    chaos.add_argument("--ledger", type=str, default=None,
+                       metavar="FILE",
+                       help="write the ground-truth ledger JSON")
+    chaos.add_argument("--export", type=str, default=None,
+                       metavar="FILE.jsonl",
+                       help="merge the shards into one JSONL dataset")
+    chaos.add_argument("--list", action="store_true",
+                       help="list scenarios and exit")
     sub.add_parser("accuracy", help="Table 2 shoot-out")
     args = parser.parse_args(argv)
     return {"demo": cmd_demo, "metrics": cmd_metrics,
             "obsreport": cmd_obsreport, "crowd": cmd_crowd,
             "serve": cmd_serve, "query": cmd_query,
+            "chaos": cmd_chaos,
             "accuracy": cmd_accuracy}[args.command](args)
 
 

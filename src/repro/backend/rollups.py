@@ -170,6 +170,9 @@ class RollupStore:
         self.config = config or RollupConfig()
         self.meta: Dict[str, object] = dict(meta or {})
         self.records = 0
+        #: Failure-tagged records seen (not rolled up: their rtt_ms is
+        #: a time-to-failure, not an RTT).  Live-only; not snapshotted.
+        self.failure_records = 0
         self.tables: Dict[str, Dict[Key, MergeHist]] = {
             name: {} for name in self.TABLES}
 
@@ -183,6 +186,9 @@ class RollupStore:
         return hist
 
     def add(self, record: MeasurementRecord) -> None:
+        if record.failure is not None:
+            self.failure_records += 1
+            return
         self.records += 1
         rtt = record.rtt_ms
         window = str(self.config.window_of(record.timestamp_ms))
@@ -217,6 +223,7 @@ class RollupStore:
         if other.config.to_dict() != self.config.to_dict():
             raise ValueError("cannot merge rollups with different configs")
         self.records += other.records
+        self.failure_records += other.failure_records
         for table in self.TABLES:
             mine = self.tables[table]
             for key, hist in other.tables[table].items():

@@ -69,6 +69,29 @@ class BackendServer(AppServer):
         #: exercises the uploader's short-ACK retry tail.
         self.max_batch_records = max_batch_records
         self._conn_seq = 0
+        self.crashes = 0
+
+    # -- fault hooks ---------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self.outage_mode is not None
+
+    def crash(self, mode: str = "refuse") -> None:
+        """The collector process dies: every live connection is gone
+        (in-flight batches never get their ACK -- the uploader's
+        ack-timeout + idempotent-replay path), and new SYNs are refused
+        (process down, host up) or blackholed (host down) until
+        restart().  The pipeline object survives, like durable storage:
+        the dedup cache and rollups persist across the crash, which is
+        what makes the replay idempotent."""
+        self.set_outage(mode)
+        self._connections.clear()
+        self.crashes += 1
+
+    def restart(self) -> None:
+        """Bring the collector back; dedup/rollup state is durable."""
+        self.clear_outage()
 
     # -- registry views (the legacy attributes) ------------------------
 
@@ -157,10 +180,18 @@ class BackendServer(AppServer):
             return
         reply = b"ACK %d\n" % outcome.acked
         if outcome.delay_ms > 0:
-            # The ACK waits out the ingest cost in sim time.
+            # The ACK waits out the ingest cost in sim time.  If the
+            # server crashes inside that window the ACK dies with the
+            # process -- the batch was ingested but never acknowledged,
+            # which is exactly the duplicate-replay case the dedup
+            # cache exists for.
             delay = self.sim.timeout(outcome.delay_ms)
-            delay.callbacks.append(
-                lambda _evt: self._send_data(key, conn, reply))
+
+            def _ack_later(_evt, key=key, conn=conn, reply=reply):
+                if not self.crashed:
+                    self._send_data(key, conn, reply)
+
+            delay.callbacks.append(_ack_later)
         else:
             self._send_data(key, conn, reply)
 

@@ -27,7 +27,7 @@ from repro.core.records import (
 
 _FIELDS = ["kind", "rtt_ms", "timestamp_ms", "app_package", "app_uid",
            "dst_ip", "dst_port", "domain", "network_type", "operator",
-           "country", "device_id", "location"]
+           "country", "device_id", "failure", "location"]
 
 SHARD_PATTERN = "shard-%05d.jsonl"
 
@@ -66,6 +66,7 @@ def _record_to_dict(record: MeasurementRecord) -> dict:
         "operator": record.operator,
         "country": record.country,
         "device_id": record.device_id,
+        "failure": record.failure,
         "location": (None if location is None
                      else [location[0], location[1]]),
     }
@@ -89,6 +90,7 @@ def _record_from_dict(data: dict) -> MeasurementRecord:
         operator=data.get("operator", "unknown"),
         country=data.get("country", "unknown"),
         device_id=data.get("device_id", "local"),
+        failure=data.get("failure") or None,
         location=location)
 
 

@@ -17,6 +17,22 @@ class MeasurementKind:
     DNS = "DNS"
 
 
+class FailureKind:
+    """Why a measured connect/query produced no RTT sample.
+
+    ``timeout``: SYN retransmissions exhausted, or no DNS reply within
+    the relay deadline.  ``refused``: the peer answered the SYN with
+    RST.  ``unreachable``: the network reported no route to the
+    destination.
+    """
+
+    TIMEOUT = "timeout"
+    REFUSED = "refused"
+    UNREACHABLE = "unreachable"
+
+    ALL = (TIMEOUT, REFUSED, UNREACHABLE)
+
+
 @dataclass(frozen=True)
 class MeasurementRecord:
     kind: str                  # MeasurementKind
@@ -31,6 +47,9 @@ class MeasurementRecord:
     operator: str = "unknown"
     country: str = "unknown"
     device_id: str = "local"
+    #: None for a successful RTT sample; a FailureKind string when the
+    #: connect/query failed (rtt_ms then holds the time-to-failure).
+    failure: Optional[str] = None
     location: Optional[tuple] = None  # (lat, lon)
 
     def __post_init__(self):
@@ -38,6 +57,9 @@ class MeasurementRecord:
             raise ValueError("negative RTT %r" % self.rtt_ms)
         if self.kind not in (MeasurementKind.TCP, MeasurementKind.DNS):
             raise ValueError("unknown measurement kind %r" % self.kind)
+        if self.failure is not None and \
+                self.failure not in FailureKind.ALL:
+            raise ValueError("unknown failure kind %r" % self.failure)
 
 
 @dataclass(frozen=True)
@@ -98,10 +120,20 @@ class MeasurementStore:
         return out
 
     def tcp(self) -> "MeasurementStore":
-        return self.filter(lambda r: r.kind == MeasurementKind.TCP)
+        """Successful TCP samples only: failure records carry a
+        time-to-failure, not an RTT, and would poison every median."""
+        return self.filter(lambda r: r.kind == MeasurementKind.TCP
+                           and r.failure is None)
 
     def dns(self) -> "MeasurementStore":
-        return self.filter(lambda r: r.kind == MeasurementKind.DNS)
+        return self.filter(lambda r: r.kind == MeasurementKind.DNS
+                           and r.failure is None)
+
+    def failures(self, kind: Optional[str] = None) -> "MeasurementStore":
+        """Failure-tagged records, optionally one FailureKind only."""
+        if kind is None:
+            return self.filter(lambda r: r.failure is not None)
+        return self.filter(lambda r: r.failure == kind)
 
     def for_app(self, package: str) -> "MeasurementStore":
         return self.filter(lambda r: r.app_package == package)

@@ -12,13 +12,28 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from repro.core.records import MeasurementKind, MeasurementRecord
+from repro.core.records import (
+    FailureKind,
+    MeasurementKind,
+    MeasurementRecord,
+)
 from repro.netstack.tcp_segment import TCPSegment
 from repro.netstack.tcp_state import TCPState, TCPStateMachine
-from repro.phone.ktcp import ConnectionRefused, ConnectTimeout
+from repro.phone.ktcp import (
+    ConnectionRefused,
+    ConnectTimeout,
+    NetworkUnreachable,
+)
 from repro.phone.nio import OP_READ, OP_WRITE, SocketChannel
 
 FourTuple = Tuple[str, int, str, int]
+
+# Exception -> FailureKind on the persisted failure record.
+_FAILURE_KINDS = {
+    ConnectionRefused: FailureKind.REFUSED,
+    ConnectTimeout: FailureKind.TIMEOUT,
+    NetworkUnreachable: FailureKind.UNREACHABLE,
+}
 
 
 class TcpClient:
@@ -82,9 +97,18 @@ class TcpClient:
             yield self.device.busy(costs.connect_issue.sample(),
                                    "mopeye.connect")
             yield self.channel.connect(dst_ip, dst_port)
-        except (ConnectionRefused, ConnectTimeout) as exc:
+        except (ConnectionRefused, ConnectTimeout,
+                NetworkUnreachable) as exc:
             service.obs.end_span(span, outcome=type(exc).__name__)
-            # External connect failed: refuse the app with RST.
+            # External connect failed: persist *why* (timeout vs
+            # refused vs unreachable) so diagnosis can tell a dead host
+            # from a dead route, then refuse the app with RST.  Map
+            # the app first -- a failure record nobody can attribute
+            # is useless, and the app is already waiting on a failure,
+            # so the lazy-mapping timeliness argument does not apply.
+            self.app_uid, self.app_package = yield from \
+                service.mapper.map_connection(self.four_tuple)
+            service.record_tcp_failure(self, _FAILURE_KINDS[type(exc)])
             yield from service.emit_tunnel_segment(self,
                                                    self.machine.make_rst())
             service.remove_client(self)

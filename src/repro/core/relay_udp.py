@@ -66,6 +66,14 @@ class UdpRelay:
         if not reply.triggered:
             socket.close()
             self.obs.inc("udp_relay.timeouts")
+            if is_dns:
+                # Persist the missing answer as a timeout-tagged DNS
+                # record: a resolver outage is measurement evidence,
+                # not just a dropped sample.
+                end = costs.quantize_nano(self.sim.now)
+                service.record_dns_failure(
+                    end - start, packet.dst_str,
+                    self._query_name(datagram.payload))
             self.obs.end_span(span, outcome="timeout")
             return
         end = costs.quantize_nano(self.sim.now)
@@ -84,6 +92,16 @@ class UdpRelay:
                        response.encode(packet.dst_str, packet.src_str))
         yield from service.emit_packet(out)
         self.obs.end_span(span, rtt_ms=(end - start) if is_dns else None)
+
+    @staticmethod
+    def _query_name(payload: bytes):
+        """The question name of an outgoing DNS query (best effort)."""
+        try:
+            message = DNSMessage.decode(payload)
+        except Exception:
+            return None
+        return (message.questions[0].name
+                if message.questions else None)
 
     def _learn_bindings(self, payload: bytes):
         """Record domain -> IP bindings from a DNS answer so later TCP

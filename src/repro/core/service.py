@@ -14,6 +14,7 @@ from repro.core.config import MopEyeConfig
 from repro.core.main_worker import MainWorker
 from repro.core.mapping import make_mapper
 from repro.core.records import (
+    FailureKind,
     FlowRecord,
     MeasurementKind,
     MeasurementRecord,
@@ -93,12 +94,28 @@ class MopEyeService:
         self.running = False
         self._threads: List[object] = []
         self.started_at: Optional[float] = None
+        #: Process event of the teardown triggered by a VPN revoke;
+        #: waiters (the fault injector) yield it before restarting.
+        self.revoke_stop = None
+        self.vpn.on_revoked = self._on_vpn_revoked
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> None:
-        """Establish the VPN and launch TunReader/TunWriter/MainWorker."""
+        """Establish the VPN and launch TunReader/TunWriter/MainWorker.
+        Callable again after stop(): a restart gets fresh thread and
+        selector state (counters, being registry-backed, continue)."""
         if self.running:
             raise RuntimeError("MopEye already running")
+        if self.started_at is not None:
+            # Restart after a stop (e.g. VPN revoke): the old thread
+            # generators have exited; rebuild them and drop relay state
+            # tied to the torn-down tunnel.
+            self.selector = Selector(self.device)
+            self.tun_reader = TunReader(self)
+            self.tun_writer = TunWriter(self)
+            self.main_worker = MainWorker(self)
+            self.udp_relay = UdpRelay(self)
+            self.clients.clear()
         builder = self.vpn.new_builder()
         self.tun = builder.set_mtu(1500).add_address(
             self.device.tun_address).establish()
@@ -152,6 +169,14 @@ class MopEyeService:
         # Give threads a moment to observe the flags.
         yield self.sim.timeout(1.0)
         self.vpn.stop()
+
+    def _on_vpn_revoked(self) -> None:
+        """The system revoked VPN consent (another VPN app started, or
+        the user killed it): tear down like onRevoke() -> onDestroy()."""
+        if not self.running:
+            return
+        self.revoke_stop = self.sim.process(self.stop(),
+                                            name="vpn-revoke-stop")
 
     # -- client management ------------------------------------------------------
     def new_client(self, four_tuple: FourTuple,
@@ -209,6 +234,29 @@ class MopEyeService:
             operator=link.operator,
             device_id=self.device.model))
 
+    def record_tcp_failure(self, client: TcpClient,
+                           failure: str) -> None:
+        """The external connect() failed: persist the failure kind and
+        the time-to-failure (in rtt_ms) so diagnosis can tell refused
+        from timed-out from unreachable destinations."""
+        link = self.device.link
+        started = client.connect_started_at
+        elapsed = (self.sim.now - started
+                   if started is not None else 0.0)
+        self.store.add(MeasurementRecord(
+            kind=MeasurementKind.TCP,
+            rtt_ms=max(0.0, elapsed),
+            timestamp_ms=self.sim.now,
+            app_package=client.app_package,
+            app_uid=client.app_uid,
+            dst_ip=client.four_tuple[2],
+            dst_port=client.four_tuple[3],
+            domain=self.domain_of_ip.get(client.four_tuple[2]),
+            network_type=link.network_type,
+            operator=link.operator,
+            device_id=self.device.model,
+            failure=failure))
+
     def record_flow(self, client: TcpClient) -> None:
         """Beyond-RTT metrics: per-connection traffic summary."""
         self.flows.append(FlowRecord(
@@ -234,6 +282,23 @@ class MopEyeService:
             network_type=link.network_type,
             operator=link.operator,
             device_id=self.device.model))
+
+    def record_dns_failure(self, elapsed_ms: float, server_ip: str,
+                           domain: Optional[str]) -> None:
+        """A relayed DNS query got no reply within the relay deadline:
+        persist a timeout-tagged DNS record (rtt_ms = time waited)."""
+        link = self.device.link
+        self.store.add(MeasurementRecord(
+            kind=MeasurementKind.DNS,
+            rtt_ms=max(0.0, elapsed_ms),
+            timestamp_ms=self.sim.now,
+            dst_ip=server_ip,
+            dst_port=53,
+            domain=domain,
+            network_type=link.network_type,
+            operator=link.operator,
+            device_id=self.device.model,
+            failure=FailureKind.TIMEOUT))
 
     # -- resource accounting (Table 4) ----------------------------------------------------
     def cpu_utilisation(self) -> float:

@@ -34,7 +34,11 @@ from typing import Optional, Tuple
 
 from repro.core.persist import _record_to_dict
 from repro.network.link import NetworkType
-from repro.phone.ktcp import ConnectionRefused, ConnectTimeout
+from repro.phone.ktcp import (
+    ConnectionRefused,
+    ConnectTimeout,
+    NetworkUnreachable,
+)
 from repro.sim.kernel import Event
 
 
@@ -187,7 +191,8 @@ class MeasurementUploader:
         try:
             yield socket.connect(self.collector_ip,
                                  self.collector_port)
-        except (ConnectionRefused, ConnectTimeout) as exc:
+        except (ConnectionRefused, ConnectTimeout,
+                NetworkUnreachable) as exc:
             obs.inc("uploader.failures")
             obs.end_span(span, outcome=type(exc).__name__)
             return

@@ -1,0 +1,343 @@
+"""The chaos runner: one scenario, end to end, deterministically.
+
+Builds one packet-level world per device (fleet-style: real
+AndroidDevice + MopEye relay + servers placed at CRC-32-stable IPs),
+installs a :class:`FaultInjector` wired to that world's components,
+runs the app workload to completion, and streams the tagged
+measurement records into JSON-lines shards -- one shard per device, so
+the merged dataset bytes are identical no matter how many worker
+processes ran.
+
+Everything stochastic is string-seeded on ``(seed, device_id, ...)``,
+the same discipline as ``crowd/sharding.py``; worker processes rebuild
+their worlds from ``(scenario name, seed, device index)`` alone, so
+fork and spawn start methods, pool scheduling, and ``PYTHONHASHSEED``
+cannot change a byte of output.  The CI chaos job and the determinism
+tests both lean on this.
+
+No-hang guarantee: the workload races the scenario's ``duration_ms``
+budget.  Per-connect stalls are bounded by a watchdog race (a revoked
+VPN or crashed backend can strand one request, never the run), and a
+workload that fails to finish inside the budget raises instead of
+spinning -- a deadlock becomes a test failure, not a hung process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import multiprocessing
+import os
+import random
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core import MopEyeService
+from repro.core.persist import (
+    dataset_digest,
+    iter_jsonl_shards,
+    list_shards,
+    record_to_line,
+    shard_path,
+)
+from repro.core.records import MeasurementRecord, MeasurementStore
+from repro.core.uploader import MeasurementUploader
+from repro.backend.ingest import IngestLoadModel
+from repro.backend.server import BackendServer
+from repro.crowd.campaign import stable_ip_for_domain
+from repro.faults.injector import FaultInjector
+from repro.faults.ledger import GroundTruthLedger
+from repro.faults.plan import FaultPlan
+from repro.faults.scenarios import Scenario, SCENARIOS, get_scenario
+from repro.network import AccessLink, AppServer, DnsServer, DnsZone, Internet
+from repro.phone import AndroidDevice, App
+from repro.phone.device import ResolveError
+from repro.sim import Constant, LogNormal, Simulator
+
+#: Where the collector lives in backend-enabled scenarios.
+COLLECTOR_IP = "203.0.113.50"
+
+#: Upper bound on one connect+request exchange before the workload
+#: abandons it (the socket may still complete in the background).
+_CONNECT_WATCHDOG_MS = 60_000.0
+
+
+@dataclass
+class DeviceRun:
+    """What one device world produced."""
+    device_id: str
+    records: List[MeasurementRecord]
+    counts: Dict[str, Dict[str, int]]
+    stats: Dict[str, int]
+
+
+def _world_rng(seed: int, device_id: str, purpose: str) -> random.Random:
+    return random.Random("chaos:%d:%s:%s" % (seed, device_id, purpose))
+
+
+def run_device_world(scenario: Scenario, plan: FaultPlan, seed: int,
+                     device_index: int) -> DeviceRun:
+    """Build and run one device's world; pure function of
+    ``(scenario, seed, device_index)``."""
+    device_id, operator = scenario.devices()[device_index]
+    sim = Simulator()
+    internet = Internet(sim)
+    rng = _world_rng(seed, device_id, "world")
+    oneway = LogNormal(max(0.5, operator.access_oneway_ms),
+                       operator.sigma).bind(rng)
+    link = AccessLink(sim, up_latency=oneway, down_latency=oneway,
+                      network_type=operator.network_type,
+                      operator=operator.name, rng=rng)
+    device = AndroidDevice(sim, internet, link, sdk=23,
+                           rng=_world_rng(seed, device_id, "device"))
+    device.model = device_id
+    zone = DnsZone()
+    dns = DnsServer(sim, "8.8.8.8", zone,
+                    processing_delay=Constant(0.2),
+                    path_oneway=LogNormal(2.0, 0.2).bind(rng))
+    internet.add_server(dns)
+    servers: Dict[str, AppServer] = {}
+    for spec in scenario.apps:
+        ip = stable_ip_for_domain(spec.domain)
+        server = AppServer(
+            sim, [ip], name=spec.domain,
+            path_oneway=LogNormal(max(0.25, spec.path_oneway_ms),
+                                  spec.sigma).bind(rng),
+            accept_delay=Constant(0.05),
+            rng=_world_rng(seed, device_id, "server:%s" % spec.domain))
+        internet.add_server(server)
+        zone.add(spec.domain, ip)
+        servers[spec.domain] = server
+    service = MopEyeService(device)
+    service.start()
+    backend = uploader = None
+    if scenario.with_backend:
+        backend = BackendServer(
+            sim, [COLLECTOR_IP],
+            path_oneway=LogNormal(8.0, 0.2).bind(rng),
+            accept_delay=Constant(0.05),
+            load=IngestLoadModel(base_ms=400.0, per_record_ms=5.0),
+            rng=_world_rng(seed, device_id, "backend"))
+        internet.add_server(backend)
+        uploader = MeasurementUploader(
+            service, COLLECTOR_IP,
+            interval_ms=scenario.uploader_interval_ms,
+            min_batch=scenario.uploader_min_batch,
+            ack_timeout_ms=scenario.uploader_ack_timeout_ms)
+        uploader.start()
+    injector = FaultInjector(sim, plan, device_id=device_id,
+                             operator=operator.name, link=link,
+                             servers=servers, dns=dns, service=service,
+                             backend=backend)
+    injector.install()
+
+    apps = {spec.package: App(device, spec.package,
+                              rng=_world_rng(seed, device_id,
+                                             "app:%s" % spec.package))
+            for spec in scenario.apps}
+    wrng = _world_rng(seed, device_id, "workload")
+    resolve_failures = [0]
+
+    def one_connect(spec):
+        try:
+            yield from apps[spec.package].resolve_and_request(
+                spec.domain, 443, b"GET / HTTP/1.1\r\n\r\n")
+        except ResolveError:
+            resolve_failures[0] += 1
+
+    def workload():
+        for index in range(scenario.connects):
+            spec = scenario.apps[wrng.randrange(len(scenario.apps))]
+            attempt = sim.process(one_connect(spec),
+                                  name="connect-%d" % index)
+            # Watchdog race: a torn-down relay can strand one request
+            # (a recv() that will never complete); bound the damage.
+            yield sim.any_of([attempt, sim.timeout(_CONNECT_WATCHDOG_MS)])
+            yield sim.timeout(wrng.uniform(*scenario.think_ms))
+
+    process = sim.process(workload(), name="chaos-workload")
+    sim.run(until=scenario.duration_ms, stop_event=process)
+    if not process.triggered:
+        raise RuntimeError(
+            "chaos workload for %s did not finish within the %.0f ms "
+            "budget (deadlock?)" % (device_id, scenario.duration_ms))
+    if uploader is not None:
+        uploader.stop()
+        sim.run(until=sim.now + 15_000.0)
+    else:
+        sim.run(until=sim.now + 5_000.0)
+
+    records = [dataclasses.replace(record, device_id=device_id)
+               for record in service.store]
+    stats: Dict[str, int] = {
+        "records": len(records),
+        "failure_records": sum(1 for r in records
+                               if r.failure is not None),
+        "app_failures": sum(app.failures for app in apps.values()),
+        "resolve_failures": resolve_failures[0],
+        "workloads_completed": 1,
+        "vpn_revocations": device.vpn.revocations,
+        "service_running": int(service.running),
+    }
+    if backend is not None:
+        stats.update({
+            "backend_crashes": backend.crashes,
+            "backend_batches": backend.batches,
+            "backend_duplicates": backend.duplicates,
+            "backend_records": len(backend.received),
+            "uploader_failures": uploader.failures,
+            "uploader_ack_timeouts": uploader.ack_timeouts,
+            "uploader_records_acked": uploader.uploaded,
+            "store_records": len(service.store),
+        })
+    return DeviceRun(device_id=device_id, records=records,
+                     counts=injector.counts, stats=stats)
+
+
+def _merge_counts(total: Dict[str, Dict[str, int]],
+                  part: Dict[str, Dict[str, int]]) -> None:
+    for event_id in sorted(part):
+        entry = total.setdefault(event_id,
+                                 {"activations": 0, "deactivations": 0})
+        entry["activations"] += part[event_id].get("activations", 0)
+        entry["deactivations"] += part[event_id].get("deactivations", 0)
+
+
+def _merge_stats(total: Dict[str, int], part: Dict[str, int]) -> None:
+    for key in sorted(part):
+        total[key] = total.get(key, 0) + int(part[key])
+
+
+def _run_chaos_shard(task: Tuple[str, int, int, int, str]
+                     ) -> Tuple[int, int, str,
+                                Dict[str, Dict[str, int]],
+                                Dict[str, int]]:
+    """Worker entry point: one contiguous device range -> one shard.
+    Rebuilds everything from (scenario name, seed) so fork and spawn
+    behave identically."""
+    scenario_name, seed, device_lo, device_hi, path = task
+    scenario = get_scenario(scenario_name)
+    plan = scenario.plan(seed)
+    sha = hashlib.sha256()
+    count = 0
+    counts: Dict[str, Dict[str, int]] = {}
+    stats: Dict[str, int] = {}
+    with open(path, "w") as handle:
+        for device_index in range(device_lo, device_hi):
+            run = run_device_world(scenario, plan, seed, device_index)
+            for record in run.records:
+                line = record_to_line(record) + "\n"
+                handle.write(line)
+                sha.update(line.encode("utf-8"))
+                count += 1
+            _merge_counts(counts, run.counts)
+            _merge_stats(stats, run.stats)
+    return device_lo, count, sha.hexdigest(), counts, stats
+
+
+@dataclass
+class ChaosResult:
+    scenario_name: str
+    seed: int
+    shard_dir: str
+    paths: List[str] = field(default_factory=list)
+    records: int = 0
+    plan: Optional[FaultPlan] = None
+    ledger: Optional[GroundTruthLedger] = None
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def digest(self) -> str:
+        """SHA-256 of the merged dataset bytes (device order)."""
+        return dataset_digest(self.paths)
+
+    def iter_records(self) -> Iterator[MeasurementRecord]:
+        return iter_jsonl_shards(self.paths)
+
+    def load(self) -> MeasurementStore:
+        store = MeasurementStore()
+        for record in self.iter_records():
+            store.add(record)
+        return store
+
+
+class ChaosRunner:
+    """Run a scenario across a worker pool (one shard per device).
+
+    ``workers=1`` runs inline; multi-worker runs require a registry
+    scenario (workers regenerate it by name).  Output is byte-identical
+    either way -- the determinism tests compare exactly this.
+    """
+
+    def __init__(self, scenario, seed: int = 0, workers: int = 1,
+                 shard_dir: Optional[str] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
+        if workers > 1 and SCENARIOS.get(scenario.name) is not scenario:
+            raise ValueError("multi-worker runs need a registry "
+                             "scenario (workers rebuild it by name)")
+        self.scenario: Scenario = scenario
+        self.seed = seed
+        self.workers = workers
+        self.shard_dir = shard_dir
+
+    def run(self) -> ChaosResult:
+        shard_dir = self.shard_dir or tempfile.mkdtemp(
+            prefix="mopeye-chaos-")
+        os.makedirs(shard_dir, exist_ok=True)
+        for stale in list_shards(shard_dir):
+            os.remove(stale)
+        devices = self.scenario.devices()
+        tasks = [(self.scenario.name, self.seed, index, index + 1,
+                  shard_path(shard_dir, index))
+                 for index in range(len(devices))]
+        if self.workers == 1:
+            outcomes = [self._run_inline(task) for task in tasks]
+        else:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn")
+            with ctx.Pool(processes=self.workers) as pool:
+                outcomes = pool.map(_run_chaos_shard, tasks)
+        outcomes.sort(key=lambda outcome: outcome[0])
+        plan = self.scenario.plan(self.seed)
+        ledger = GroundTruthLedger.from_plan(plan)
+        result = ChaosResult(scenario_name=self.scenario.name,
+                             seed=self.seed, shard_dir=shard_dir,
+                             plan=plan, ledger=ledger)
+        for device_lo, count, _sha, counts, stats in outcomes:
+            result.paths.append(shard_path(shard_dir, device_lo))
+            result.records += count
+            ledger.record_counts(counts)
+            _merge_stats(result.stats, stats)
+        return result
+
+    def _run_inline(self, task):
+        """Single-process path: honours a non-registry Scenario object
+        while sharing the exact serialisation code of the worker."""
+        if SCENARIOS.get(self.scenario.name) is self.scenario:
+            return _run_chaos_shard(task)
+        _name, seed, device_lo, device_hi, path = task
+        plan = self.scenario.plan(seed)
+        sha = hashlib.sha256()
+        count = 0
+        counts: Dict[str, Dict[str, int]] = {}
+        stats: Dict[str, int] = {}
+        with open(path, "w") as handle:
+            for device_index in range(device_lo, device_hi):
+                run = run_device_world(self.scenario, plan, seed,
+                                       device_index)
+                for record in run.records:
+                    line = record_to_line(record) + "\n"
+                    handle.write(line)
+                    sha.update(line.encode("utf-8"))
+                    count += 1
+                _merge_counts(counts, run.counts)
+                _merge_stats(stats, run.stats)
+        return device_lo, count, sha.hexdigest(), counts, stats
+
+
+__all__ = ["ChaosResult", "ChaosRunner", "DeviceRun", "run_device_world",
+           "COLLECTOR_IP"]

@@ -1,0 +1,210 @@
+"""Applies a :class:`FaultPlan` to one live device world.
+
+One injector is built per world (the chaos runner builds one per
+device), handed references to the components it may break, and
+``install()``-ed before the workload starts.  Each applicable event
+becomes a simulation process that sleeps until ``start_ms``, flips the
+component's fault hook on, sleeps ``duration_ms``, and flips it off.
+A ``duration_ms`` of 0 means "for the rest of the run".
+
+Scope matching: link-layer faults (``burst_loss``, ``latency_spike``,
+``handover``) and ``vpn_revoke`` apply only when the event's
+``operator``/``device`` scope matches this world; ``server_outage``
+applies when the scoped domain has a server here; ``dns_outage`` and
+``backend_crash`` apply wherever a resolver/backend exists.  Because
+every device world re-derives the same plan from the scenario seed,
+a domain-scoped outage happens identically in all worlds -- it is one
+server as far as the dataset is concerned.
+
+Stochastic effect parameters draw from :func:`repro.faults.plan.event_rng`
+streams keyed on ``(seed, event_id, purpose)``, never from a shared
+RNG, so injection is deterministic per world regardless of how worlds
+are batched across worker processes.
+
+The injector reports ``{event_id: {"activations": n, "deactivations":
+n}}`` for the ground-truth ledger; the ``faults.*`` registry metrics
+mirror the same counts per world.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.network.link import NetworkType
+from repro.obs import Observability
+
+
+class FaultInjector:
+    def __init__(self, sim, plan: FaultPlan, *,
+                 device_id: Optional[str] = None,
+                 operator: Optional[str] = None,
+                 link=None,
+                 servers: Optional[Dict[str, object]] = None,
+                 dns=None,
+                 service=None,
+                 backend=None,
+                 obs: Optional[Observability] = None):
+        self.sim = sim
+        self.plan = plan
+        self.device_id = device_id
+        self.operator = operator
+        self.link = link
+        self.servers = servers or {}
+        self.dns = dns
+        self.service = service
+        self.backend = backend
+        self.obs = obs or Observability(sim=sim)
+        #: ``{event_id: {"activations": n, "deactivations": n}}`` --
+        #: folded into the GroundTruthLedger after the run.
+        self.counts: Dict[str, Dict[str, int]] = {}
+        self._active = 0
+
+    # -- installation --------------------------------------------------------
+    def install(self) -> int:
+        """Schedule a driver process per applicable event.  Returns the
+        number installed."""
+        installed = 0
+        for event in self.plan:
+            if not self._applies(event):
+                continue
+            self.sim.process(self._drive(event),
+                             name="fault:%s" % event.event_id)
+            self.obs.inc("faults.events_installed")
+            installed += 1
+        return installed
+
+    def _applies(self, event: FaultEvent) -> bool:
+        scope = event.scope
+        if scope.get("device") is not None and \
+                scope["device"] != self.device_id:
+            return False
+        if event.kind in (FaultKind.BURST_LOSS, FaultKind.LATENCY_SPIKE,
+                          FaultKind.HANDOVER):
+            if self.link is None:
+                return False
+            operator = scope.get("operator")
+            return operator is None or operator == self.operator
+        if event.kind == FaultKind.SERVER_OUTAGE:
+            return scope.get("domain") in self.servers
+        if event.kind == FaultKind.DNS_OUTAGE:
+            return self.dns is not None
+        if event.kind == FaultKind.VPN_REVOKE:
+            if self.service is None:
+                return False
+            operator = scope.get("operator")
+            return operator is None or operator == self.operator
+        if event.kind == FaultKind.BACKEND_CRASH:
+            return self.backend is not None
+        return False
+
+    # -- the driver process --------------------------------------------------
+    def _drive(self, event: FaultEvent):
+        if event.start_ms > self.sim.now:
+            yield self.sim.timeout(event.start_ms - self.sim.now)
+        if event.kind == FaultKind.VPN_REVOKE:
+            yield from self._drive_vpn_revoke(event)
+            return
+        if event.kind == FaultKind.HANDOVER:
+            yield from self._drive_handover(event)
+            return
+        self._activate(event)
+        self._mark(event, "activations")
+        if event.duration_ms > 0:
+            yield self.sim.timeout(event.duration_ms)
+            self._deactivate(event)
+            self._mark(event, "deactivations")
+
+    def _activate(self, event: FaultEvent) -> None:
+        params = event.params
+        if event.kind == FaultKind.BURST_LOSS:
+            self.link.set_burst_loss(
+                float(params.get("p_enter", 0.3)),
+                float(params.get("p_exit", 0.3)),
+                loss_good=float(params.get("loss_good", 0.0)),
+                loss_bad=float(params.get("loss_bad", 1.0)),
+                up_rng=self.plan.rng(event.event_id,
+                                     "burst:%s:up" % self.device_id),
+                down_rng=self.plan.rng(event.event_id,
+                                       "burst:%s:down" % self.device_id))
+        elif event.kind == FaultKind.LATENCY_SPIKE:
+            self.link.set_latency_spike(float(params.get("extra_ms", 100.0)))
+        elif event.kind == FaultKind.SERVER_OUTAGE:
+            self.servers[event.scope["domain"]].set_outage(
+                str(params.get("mode", "refuse")),
+                slow_ms=float(params.get("slow_ms", 0.0)))
+        elif event.kind == FaultKind.DNS_OUTAGE:
+            self.dns.set_outage(str(params.get("mode", "blackhole")))
+        elif event.kind == FaultKind.BACKEND_CRASH:
+            self.backend.crash(str(params.get("mode", "refuse")))
+        else:
+            raise ValueError("no activator for %r" % event.kind)
+
+    def _deactivate(self, event: FaultEvent) -> None:
+        if event.kind == FaultKind.BURST_LOSS:
+            self.link.clear_burst_loss()
+        elif event.kind == FaultKind.LATENCY_SPIKE:
+            self.link.clear_latency_spike()
+        elif event.kind == FaultKind.SERVER_OUTAGE:
+            self.servers[event.scope["domain"]].clear_outage()
+        elif event.kind == FaultKind.DNS_OUTAGE:
+            self.dns.clear_outage()
+        elif event.kind == FaultKind.BACKEND_CRASH:
+            self.backend.restart()
+
+    def _drive_vpn_revoke(self, event: FaultEvent):
+        """Consent revoked: the service tears itself down (via the
+        ``on_revoked`` callback); we wait the teardown out, hold the
+        VPN down for ``duration_ms``, then restart -- the no-hang path
+        the watchdog test drives."""
+        service = self.service
+        if not service.running:
+            return
+        service.vpn.revoke()
+        self._mark(event, "activations")
+        stop = service.revoke_stop
+        if stop is not None and not stop.triggered:
+            yield stop
+        if event.duration_ms > 0:
+            yield self.sim.timeout(event.duration_ms)
+        if not service.running:
+            service.start()
+        self._mark(event, "deactivations")
+
+    def _drive_handover(self, event: FaultEvent):
+        """A wifi<->cellular handover: a short radio gap where every
+        packet is lost, then the link comes back as the other network
+        type; after ``duration_ms`` the device hands back."""
+        link = self.link
+        params = event.params
+        original = link.network_type
+        to_type = str(params.get("to_type", NetworkType.LTE))
+        gap_ms = float(params.get("gap_ms", 150.0))
+        self._mark(event, "activations")
+        link.set_burst_loss(1.0, 0.0, loss_good=1.0, loss_bad=1.0)
+        yield self.sim.timeout(gap_ms)
+        link.clear_burst_loss()
+        link.network_type = to_type
+        if event.duration_ms > 0:
+            yield self.sim.timeout(event.duration_ms)
+            link.set_burst_loss(1.0, 0.0, loss_good=1.0, loss_bad=1.0)
+            yield self.sim.timeout(gap_ms)
+            link.clear_burst_loss()
+            link.network_type = original
+            self._mark(event, "deactivations")
+
+    # -- accounting ----------------------------------------------------------
+    def _mark(self, event: FaultEvent, what: str) -> None:
+        entry = self.counts.setdefault(
+            event.event_id, {"activations": 0, "deactivations": 0})
+        entry[what] += 1
+        if what == "activations":
+            self.obs.inc("faults.activated")
+            self._active += 1
+        else:
+            self.obs.inc("faults.deactivated")
+            self._active -= 1
+        self.obs.set_gauge("faults.active", float(self._active))
+
+
+__all__ = ["FaultInjector"]

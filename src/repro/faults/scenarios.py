@@ -1,0 +1,269 @@
+"""The chaos scenario library: named, self-contained experiments.
+
+A :class:`Scenario` bundles a miniature world description (operators,
+devices, apps) with the fault events injected into it.  The world
+parameters live here rather than in the runner so that a scenario name
+plus a seed fully determines the experiment -- ``python -m repro chaos
+--scenario bursty_lte --seed 7`` is reproducible from the command line
+alone.
+
+Each preset is designed so the faults leave a *diagnosable* footprint
+(see ``faults/verify.py``):
+
+* ``bursty_lte``      -- Gilbert-Elliott loss on one LTE operator and a
+  latency spike on a second, with a clean third as the peer baseline;
+  connect RTTs inflate through SYN retransmission (paper section 4.1)
+  and the operator diagnosis flags the access/core network.
+* ``server_brownout`` -- slow-accept brownouts on two apps' servers
+  (diagnosed SERVER_SIDE against healthy peers) plus a refuse window
+  on a third (refused-connect failure records).
+* ``dns_outage``      -- resolver blackhole window; timed-out relay
+  queries become DNS failure records.  Small and fast: the CI chaos
+  smoke job runs this one.
+* ``handover_storm``  -- repeated wifi<->LTE flips with radio gaps;
+  records carry both network types.
+* ``backend_crash``   -- collector crash window under an active
+  uploader; exercises ack-timeout, idempotent replay, and recovery.
+* ``vpn_flap``        -- VPN consent revoked twice mid-run; the relay
+  tears down and restarts (the no-hang watchdog scenario).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.network.link import NetworkType
+
+
+@dataclass(frozen=True)
+class ScenarioApp:
+    """One app and the server behind it."""
+    package: str
+    domain: str
+    path_oneway_ms: float = 10.0
+    sigma: float = 0.2
+
+
+@dataclass(frozen=True)
+class ScenarioOperator:
+    """One operator; the scenario runs ``devices`` phones on it."""
+    name: str
+    network_type: str = NetworkType.WIFI
+    access_oneway_ms: float = 5.0
+    sigma: float = 0.2
+    devices: int = 2
+
+
+def _slug(name: str) -> str:
+    return name.lower().replace(" ", "-")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    name: str
+    description: str
+    operators: Tuple[ScenarioOperator, ...]
+    apps: Tuple[ScenarioApp, ...]
+    events: Tuple[FaultEvent, ...]
+    connects: int = 30
+    think_ms: Tuple[float, float] = (200.0, 800.0)
+    #: Sim-time budget per device world; the no-hang watchdog bound.
+    duration_ms: float = 3_600_000.0
+    with_backend: bool = False
+    uploader_interval_ms: float = 2_000.0
+    uploader_min_batch: int = 4
+    uploader_ack_timeout_ms: float = 3_000.0
+
+    def plan(self, seed: int) -> FaultPlan:
+        """The fault plan for one run.  Events are static data; the
+        seed picks the per-event effect RNG streams."""
+        return FaultPlan(seed=seed, events=list(self.events))
+
+    def devices(self) -> List[Tuple[str, ScenarioOperator]]:
+        """``(device_id, operator)`` in canonical (shardable) order."""
+        out: List[Tuple[str, ScenarioOperator]] = []
+        for operator in self.operators:
+            for index in range(operator.devices):
+                out.append(("chaos-%s-%02d" % (_slug(operator.name),
+                                               index), operator))
+        return out
+
+
+def _bursty_lte() -> Scenario:
+    return Scenario(
+        name="bursty_lte",
+        description="Burst loss on one LTE operator, latency spike on "
+                    "another, third clean as the peer baseline.",
+        operators=(
+            ScenarioOperator("Jade LTE", NetworkType.LTE, 6.0),
+            ScenarioOperator("Coral LTE", NetworkType.LTE, 6.0),
+            ScenarioOperator("Slate LTE", NetworkType.LTE, 6.0),
+        ),
+        apps=(
+            ScenarioApp("chat.pigeon", "pigeon.example", 9.0),
+            ScenarioApp("cdn.lark", "lark.example", 11.0),
+            ScenarioApp("video.heron", "heron.example", 10.0),
+        ),
+        events=(
+            FaultEvent("e-burst", FaultKind.BURST_LOSS, 0.0, 0.0,
+                       scope={"operator": "Slate LTE"},
+                       params={"p_enter": 0.45, "p_exit": 0.25,
+                               "loss_bad": 0.7, "loss_good": 0.0}),
+            FaultEvent("e-spike", FaultKind.LATENCY_SPIKE, 0.0, 0.0,
+                       scope={"operator": "Coral LTE"},
+                       params={"extra_ms": 120.0}),
+        ),
+        connects=40,
+        think_ms=(200.0, 1000.0),
+    )
+
+
+def _server_brownout() -> Scenario:
+    return Scenario(
+        name="server_brownout",
+        description="Slow-accept brownout on two apps' servers plus a "
+                    "refuse window on a third; one healthy operator.",
+        operators=(
+            ScenarioOperator("Basalt Wifi", NetworkType.WIFI, 4.0,
+                             devices=3),
+        ),
+        apps=(
+            ScenarioApp("shop.fennec", "fennec.example", 9.0),
+            ScenarioApp("mail.oriole", "oriole.example", 10.0),
+            ScenarioApp("maps.vireo", "vireo.example", 8.0),
+            ScenarioApp("feed.tanager", "tanager.example", 11.0),
+            ScenarioApp("play.siskin", "siskin.example", 10.0),
+            ScenarioApp("news.egret", "egret.example", 9.0),
+        ),
+        events=(
+            FaultEvent("e-brown-1", FaultKind.SERVER_OUTAGE, 0.0, 0.0,
+                       scope={"domain": "fennec.example"},
+                       params={"mode": "slow_accept", "slow_ms": 300.0}),
+            FaultEvent("e-brown-2", FaultKind.SERVER_OUTAGE, 0.0, 0.0,
+                       scope={"domain": "oriole.example"},
+                       params={"mode": "slow_accept", "slow_ms": 350.0}),
+            FaultEvent("e-refuse", FaultKind.SERVER_OUTAGE,
+                       20_000.0, 40_000.0,
+                       scope={"domain": "vireo.example"},
+                       params={"mode": "refuse"}),
+        ),
+        connects=40,
+        think_ms=(500.0, 3000.0),
+    )
+
+
+def _dns_outage() -> Scenario:
+    return Scenario(
+        name="dns_outage",
+        description="Resolver blackhole window; relay DNS timeouts "
+                    "become failure records.  (CI smoke scenario.)",
+        operators=(
+            ScenarioOperator("Quartz Wifi", NetworkType.WIFI, 4.0),
+        ),
+        apps=(
+            ScenarioApp("web.plover", "plover.example", 9.0),
+            ScenarioApp("mail.dunlin", "dunlin.example", 10.0),
+        ),
+        events=(
+            FaultEvent("e-dns", FaultKind.DNS_OUTAGE,
+                       10_000.0, 25_000.0,
+                       scope={"server": "8.8.8.8"},
+                       params={"mode": "blackhole"}),
+        ),
+        connects=30,
+        think_ms=(400.0, 1500.0),
+    )
+
+
+def _handover_storm() -> Scenario:
+    return Scenario(
+        name="handover_storm",
+        description="Repeated wifi<->LTE handovers with radio gaps.",
+        operators=(
+            ScenarioOperator("Cobalt Mobile", NetworkType.WIFI, 5.0),
+        ),
+        apps=(
+            ScenarioApp("web.plover", "plover.example", 9.0),
+            ScenarioApp("video.heron", "heron.example", 10.0),
+            ScenarioApp("chat.pigeon", "pigeon.example", 9.0),
+        ),
+        events=tuple(
+            FaultEvent("e-hand-%d" % index, FaultKind.HANDOVER,
+                       6_000.0 * (index + 1), 4_000.0,
+                       scope={"operator": "Cobalt Mobile"},
+                       params={"to_type": NetworkType.LTE,
+                               "gap_ms": 120.0})
+            for index in range(3)),
+        connects=40,
+        think_ms=(200.0, 800.0),
+    )
+
+
+def _backend_crash() -> Scenario:
+    return Scenario(
+        name="backend_crash",
+        description="Collector crash window under an active uploader; "
+                    "ack-timeout, idempotent replay, recovery.",
+        operators=(
+            ScenarioOperator("Granite Wifi", NetworkType.WIFI, 4.0),
+        ),
+        apps=(
+            ScenarioApp("web.plover", "plover.example", 9.0),
+            ScenarioApp("mail.dunlin", "dunlin.example", 10.0),
+        ),
+        events=(
+            FaultEvent("e-crash", FaultKind.BACKEND_CRASH,
+                       12_000.0, 8_000.0,
+                       scope={"server": "collector"},
+                       params={"mode": "refuse"}),
+        ),
+        connects=40,
+        think_ms=(200.0, 1000.0),
+        with_backend=True,
+    )
+
+
+def _vpn_flap() -> Scenario:
+    return Scenario(
+        name="vpn_flap",
+        description="VPN consent revoked twice mid-run; the relay "
+                    "tears down and restarts without hanging.",
+        operators=(
+            ScenarioOperator("Opal Wifi", NetworkType.WIFI, 4.0),
+        ),
+        apps=(
+            ScenarioApp("web.plover", "plover.example", 9.0),
+            ScenarioApp("chat.pigeon", "pigeon.example", 9.0),
+        ),
+        events=(
+            FaultEvent("e-flap-1", FaultKind.VPN_REVOKE,
+                       8_000.0, 5_000.0, scope={}, params={}),
+            FaultEvent("e-flap-2", FaultKind.VPN_REVOKE,
+                       20_000.0, 4_000.0, scope={}, params={}),
+        ),
+        connects=40,
+        think_ms=(300.0, 900.0),
+    )
+
+
+def _build_registry() -> Dict[str, Scenario]:
+    scenarios = [_bursty_lte(), _server_brownout(), _dns_outage(),
+                 _handover_storm(), _backend_crash(), _vpn_flap()]
+    return {scenario.name: scenario for scenario in scenarios}
+
+
+SCENARIOS: Dict[str, Scenario] = _build_registry()
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError("unknown scenario %r (have: %s)"
+                       % (name, ", ".join(sorted(SCENARIOS))))
+
+
+__all__ = ["Scenario", "ScenarioApp", "ScenarioOperator", "SCENARIOS",
+           "get_scenario"]

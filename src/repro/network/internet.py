@@ -16,13 +16,22 @@ from repro.sim.kernel import Simulator
 
 
 class Internet:
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator,
+                 notify_unreachable: bool = False):
         self.sim = sim
         self._devices: Dict[str, object] = {}
         self._servers: Dict[str, object] = {}
         self._server_last_arrival: Dict[int, float] = {}
         # Wire observers see (direction, packet, timestamp); tcpdump is one.
         self._taps: List[Callable[[str, IPPacket, float], None]] = []
+        #: Destinations whose route is withdrawn (fault injection):
+        #: packets to them are treated exactly like unknown IPs.
+        self.unreachable_ips: set = set()
+        #: When True, unroutable uplink packets bounce an ICMP-style
+        #: destination-unreachable back to the sender (after the uplink
+        #: latency, as a first-hop router would).  Off by default: the
+        #: classic Internet here drops silently and lets TCP time out.
+        self.notify_unreachable = notify_unreachable
 
     # -- topology -----------------------------------------------------------
     def attach_device(self, device) -> None:
@@ -51,9 +60,20 @@ class Internet:
         """Uplink: device -> (link) -> path -> server."""
         self._notify_taps("up", packet)
         server = self._servers.get(packet.dst_str)
+        if packet.dst_str in self.unreachable_ips:
+            server = None
         if server is None:
             # Unroutable destination: silently dropped, like the real
-            # network.  TCP timeouts upstream handle it.
+            # network, unless ICMP feedback is enabled.  TCP timeouts
+            # upstream handle the silent case.  With feedback on, the
+            # packet still crosses the uplink; the first router past it
+            # bounces a (small) destination-unreachable back down.
+            if self.notify_unreachable:
+                device.link.up.send(
+                    packet, packet.total_length,
+                    lambda pkt: device.link.down.send(
+                        pkt, 64,
+                        lambda orig: device.deliver_unreachable(orig)))
             return
 
         def after_uplink(pkt: IPPacket) -> None:

@@ -23,6 +23,7 @@ from repro.netstack.dns import (
     DNSMessage,
     DNSResourceRecord,
     RCODE_NXDOMAIN,
+    RCODE_SERVFAIL,
 )
 from repro.netstack.ip import IPPacket, PROTO_TCP, PROTO_UDP
 from repro.netstack.tcp_segment import ACK, SYN, TCPSegment
@@ -38,6 +39,16 @@ from repro.sim.distributions import Constant, Distribution
 from repro.sim.kernel import Simulator
 
 _RESPONSE_PAGE = b"HTTP/1.1 200 OK\r\n\r\n" + b"m" * 1000
+
+# Outage modes shared by AppServer and DnsServer (driven by
+# repro.faults.injector).  "refuse" answers SYNs with RST (process
+# down, host up); "blackhole" drops everything (host or route gone);
+# "slow_accept" delays the SYN/ACK by outage_slow_ms (brownout);
+# "servfail" (DNS only) answers queries with SERVFAIL.
+OUTAGE_REFUSE = "refuse"
+OUTAGE_BLACKHOLE = "blackhole"
+OUTAGE_SLOW_ACCEPT = "slow_accept"
+OUTAGE_SERVFAIL = "servfail"
 
 
 class _ServerConnection:
@@ -75,18 +86,39 @@ class AppServer:
                                 _ServerConnection] = {}
         self.connections_accepted = 0
         self.bad_segments = 0
+        self.syn_ack_retransmissions = 0
+        #: Active outage mode (None in steady state); see set_outage.
+        self.outage_mode: Optional[str] = None
+        self.outage_slow_ms = 0.0
 
     def path_oneway_ms(self) -> float:
         return self.path_oneway.sample()
+
+    # -- fault hooks -------------------------------------------------------
+    def set_outage(self, mode: str, slow_ms: float = 0.0) -> None:
+        if mode not in (OUTAGE_REFUSE, OUTAGE_BLACKHOLE,
+                        OUTAGE_SLOW_ACCEPT):
+            raise ValueError("unknown outage mode %r" % mode)
+        self.outage_mode = mode
+        self.outage_slow_ms = slow_ms
+
+    def clear_outage(self) -> None:
+        self.outage_mode = None
+        self.outage_slow_ms = 0.0
 
     # -- packet handling ---------------------------------------------------
     def receive(self, packet: IPPacket) -> None:
         if packet.protocol != PROTO_TCP:
             return
+        if self.outage_mode == OUTAGE_BLACKHOLE:
+            return
         segment = TCPSegment.decode(packet.payload)
         key = (packet.src_str, segment.src_port,
                packet.dst_str, segment.dst_port)
         if segment.is_syn:
+            if self.outage_mode == OUTAGE_REFUSE:
+                self._refuse(packet, segment, key)
+                return
             if self.listen_ports is not None and \
                     segment.dst_port not in self.listen_ports:
                 self._refuse(packet, segment, key)
@@ -122,6 +154,7 @@ class AppServer:
         self._transmit(key, rst)
 
     def _retransmit_syn_ack(self, key, machine: TCPStateMachine) -> None:
+        self.syn_ack_retransmissions += 1
         duplicate = TCPSegment(
             src_port=machine.remote_port, dst_port=machine.local_port,
             seq=machine.snd_iss, ack=machine.rcv_nxt or 0,
@@ -168,7 +201,10 @@ class AppServer:
         machine.on_syn(segment)
         self._connections[key] = _ServerConnection(machine)
         self.connections_accepted += 1
-        delay = self.sim.timeout(self.accept_delay.sample())
+        accept_ms = self.accept_delay.sample()
+        if self.outage_mode == OUTAGE_SLOW_ACCEPT:
+            accept_ms += self.outage_slow_ms
+        delay = self.sim.timeout(accept_ms)
         delay.callbacks.append(
             lambda _evt: self._transmit(key, machine.make_syn_ack()))
 
@@ -314,12 +350,27 @@ class DnsServer:
         self.processing_delay = processing_delay or Constant(0.5)
         self.internet = None
         self.queries_served = 0
+        #: Active outage mode (None in steady state); see set_outage.
+        self.outage_mode: Optional[str] = None
+        self.queries_blackholed = 0
 
     def path_oneway_ms(self) -> float:
         return self.path_oneway.sample()
 
+    # -- fault hooks -------------------------------------------------------
+    def set_outage(self, mode: str) -> None:
+        if mode not in (OUTAGE_BLACKHOLE, OUTAGE_SERVFAIL):
+            raise ValueError("unknown DNS outage mode %r" % mode)
+        self.outage_mode = mode
+
+    def clear_outage(self) -> None:
+        self.outage_mode = None
+
     def receive(self, packet: IPPacket) -> None:
         if packet.protocol != PROTO_UDP:
+            return
+        if self.outage_mode == OUTAGE_BLACKHOLE:
+            self.queries_blackholed += 1
             return
         datagram = UDPDatagram.decode(packet.payload)
         try:
@@ -331,7 +382,9 @@ class DnsServer:
         self.queries_served += 1
         question = query.questions[0]
         address = self.zone.lookup(question.name)
-        if address is None:
+        if self.outage_mode == OUTAGE_SERVFAIL:
+            response = query.response([], rcode=RCODE_SERVFAIL)
+        elif address is None:
             response = query.response([], rcode=RCODE_NXDOMAIN)
         else:
             response = query.response(

@@ -244,6 +244,29 @@ CATALOG: Dict[str, MetricSpec] = dict([
        "repro.backend.ingest",
        "Wall-clock ingest throughput of the last offline ingest run.",
        volatile=True),
+    # -- access link (loss / latency faults land here) ---------------------
+    _m("link.packets_dropped", COUNTER, "packets", "repro.network.link",
+       "Packets lost on a link direction, i.i.d. and burst losses "
+       "combined."),
+    _m("link.burst_drops", COUNTER, "packets", "repro.network.link",
+       "Packets lost by the Gilbert-Elliott burst model specifically "
+       "(subset of link.packets_dropped)."),
+    _m("link.latency_extra_ms", GAUGE, "ms", "repro.network.link",
+       "Extra one-way latency currently injected on a link direction "
+       "(0 when no latency-spike fault is active)."),
+    # -- fault injection ---------------------------------------------------
+    _m("faults.events_installed", COUNTER, "events",
+       "repro.faults.injector",
+       "Fault events scheduled by an injector (scope matched)."),
+    _m("faults.activated", COUNTER, "events", "repro.faults.injector",
+       "Fault events whose start time fired and whose effect was "
+       "applied."),
+    _m("faults.deactivated", COUNTER, "events",
+       "repro.faults.injector",
+       "Fault events whose duration elapsed and whose effect was "
+       "reverted."),
+    _m("faults.active", GAUGE, "events", "repro.faults.injector",
+       "Fault events currently in effect."),
     # -- sharded crowd campaign --------------------------------------------
     _m("crowd.records_generated", COUNTER, "records",
        "repro.crowd.sharding",

@@ -20,7 +20,11 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Tuple
 
-from repro.phone.ktcp import ConnectionRefused, ConnectTimeout
+from repro.phone.ktcp import (
+    ConnectionRefused,
+    ConnectTimeout,
+    NetworkUnreachable,
+)
 from repro.sim.kernel import Event, Simulator
 
 
@@ -54,7 +58,7 @@ class App:
         start = self.sim.now
         try:
             yield socket.connect(ip, port)
-        except (ConnectionRefused, ConnectTimeout):
+        except (ConnectionRefused, ConnectTimeout, NetworkUnreachable):
             self.failures += 1
             return None
         self.connect_samples.append((ip, port, self.sim.now - start,

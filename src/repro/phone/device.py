@@ -156,6 +156,19 @@ class AndroidDevice:
         direction, or a looped outgoing packet)."""
         self._demux(packet)
 
+    def deliver_unreachable(self, original: IPPacket) -> None:
+        """ICMP destination-unreachable feedback: ``original`` is the
+        outgoing packet the network could not route.  Find the owning
+        socket (the original's *source* port is its local port) and let
+        it fail a pending connect."""
+        if original.protocol != PROTO_TCP:
+            return
+        segment = TCPSegment.decode(original.payload)
+        socket = self._find(PROTO_TCP, segment.src_port,
+                            original.dst_str, segment.dst_port)
+        if socket is not None and hasattr(socket, "on_unreachable"):
+            socket.on_unreachable()
+
     def _demux(self, packet: IPPacket) -> None:
         if packet.protocol == PROTO_TCP:
             segment = TCPSegment.decode(packet.payload)

@@ -39,6 +39,11 @@ class ConnectTimeout(Exception):
     """SYN retransmissions exhausted without an answer."""
 
 
+class NetworkUnreachable(Exception):
+    """The network reported no route to the destination (the ICMP
+    destination-unreachable feedback path; see Internet.notify_unreachable)."""
+
+
 # /proc/net/tcp state codes (include/net/tcp_states.h).
 TCP_ESTABLISHED = 0x01
 TCP_SYN_SENT = 0x02
@@ -334,6 +339,17 @@ class KernelTcpSocket:
         if refused and event and not event.triggered:
             event.fail(ConnectionRefused("%s:%d" % (self.remote_ip,
                                                     self.remote_port)))
+
+    def on_unreachable(self) -> None:
+        """ICMP destination-unreachable feedback for this flow: fail a
+        pending connect now instead of burning five SYN retries."""
+        if self.state != TCP_SYN_SENT:
+            return
+        event, self._connect_event = self._connect_event, None
+        self._teardown(deliver_eof=True)
+        if event and not event.triggered:
+            event.fail(NetworkUnreachable("%s:%d" % (self.remote_ip,
+                                                     self.remote_port)))
 
     # -- views ------------------------------------------------------------------
     @property

@@ -35,6 +35,12 @@ class VpnService:
         self.tun: Optional[TunDevice] = None
         self.disallowed_uids: Set[int] = set()
         self.protect_calls = 0
+        #: True after the system revoked consent; cleared by the next
+        #: successful establish().
+        self.revoked = False
+        #: onRevoke() callback: the owning app's teardown hook.
+        self.on_revoked = None
+        self.revocations = 0
 
     @property
     def active(self) -> bool:
@@ -74,6 +80,19 @@ class VpnService:
         cost = self.device.costs.vpn_add_disallowed.sample()
         return self.device.busy(cost, "vpn.init")
 
+    def revoke(self) -> None:
+        """The system revoked VPN consent (the Android ``onRevoke()``
+        path: another VPN app claimed the slot, or the user disabled
+        it).  Flags the service and fires the owner's teardown hook;
+        the tun keeps working until the owner closes it, exactly like
+        the platform behaviour."""
+        if not self.active:
+            return
+        self.revoked = True
+        self.revocations += 1
+        if self.on_revoked is not None:
+            self.on_revoked()
+
     def stop(self) -> None:
         if self.tun is not None:
             self.tun.close()
@@ -112,5 +131,6 @@ class VpnBuilder:
             device.tun_address = self.address
         tun = TunDevice(device.sim, device, mtu=self.mtu)
         self.service.tun = tun
+        self.service.revoked = False
         device.vpn = self.service
         return tun

@@ -126,6 +126,34 @@ class TestCrowd:
         assert open(a).read() == open(b).read()
 
 
+class TestChaos:
+    def test_chaos_list_enumerates_scenarios(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bursty_lte", "dns_outage", "vpn_flap",
+                     "backend_crash"):
+            assert name in out
+
+    def test_chaos_runs_scenario_with_artifacts(self, tmp_path,
+                                                capsys):
+        ledger = str(tmp_path / "ledger.json")
+        export = str(tmp_path / "dataset.jsonl")
+        assert main(["chaos", "--scenario", "dns_outage", "--seed", "5",
+                     "--shard-dir", str(tmp_path / "shards"),
+                     "--ledger", ledger, "--export", export]) == 0
+        out = capsys.readouterr().out
+        assert "dataset sha256:" in out
+        assert "recall 1.00" in out
+        entries = json.load(open(ledger))["entries"]
+        assert entries[0]["event_id"] == "e-dns"
+        assert entries[0]["activations"] == 2
+        assert sum(1 for _line in open(export)) > 0
+
+    def test_chaos_requires_scenario(self, capsys):
+        assert main(["chaos"]) == 2
+        assert main(["chaos", "--scenario", "volcano"]) == 2
+
+
 class TestArgs:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

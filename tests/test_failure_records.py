@@ -1,0 +1,133 @@
+"""Failure-kind tagging: failed connects/queries become labelled
+records instead of silent gaps, survive persistence, and stay out of
+every RTT statistic."""
+
+import pytest
+
+from repro.backend.rollups import RollupStore
+from repro.core import MopEyeService
+from repro.core.persist import load_csv, load_jsonl, save_csv, save_jsonl
+from repro.core.records import (
+    FailureKind,
+    MeasurementKind,
+    MeasurementRecord,
+    MeasurementStore,
+)
+from repro.phone import App
+from repro.phone.device import ResolveError
+from repro.sim import Constant
+from tests.conftest import World
+
+
+def relay_world():
+    world = World(server_path_oneway=Constant(1.0))
+    server = world.add_server("198.51.100.40", name="target",
+                              domains=["target.example"],
+                              accept_delay=Constant(0.0))
+    mopeye = MopEyeService(world.device)
+    mopeye.start()
+    app = App(world.device, "com.example.app")
+    return world, server, mopeye, app
+
+
+class TestFailureTagging:
+    def test_refused_connect_is_tagged(self):
+        world, server, mopeye, app = relay_world()
+        server.set_outage("refuse")
+        world.run_process(app.timed_connect("198.51.100.40", 443),
+                          until=60_000.0)
+        failures = mopeye.store.failures(FailureKind.REFUSED)
+        assert len(failures) == 1
+        record = list(failures)[0]
+        assert record.kind == MeasurementKind.TCP
+        assert record.app_package == "com.example.app"
+        assert app.failures == 1
+        # Failure records never count as RTT samples.
+        assert len(mopeye.store.tcp()) == 0
+
+    def test_timed_out_connect_is_tagged(self):
+        world, server, mopeye, app = relay_world()
+        server.set_outage("blackhole")
+        world.run_process(app.timed_connect("198.51.100.40", 443),
+                          until=120_000.0)
+        failures = mopeye.store.failures(FailureKind.TIMEOUT)
+        assert len(failures) == 1
+        record = list(failures)[0]
+        # rtt_ms holds time-to-failure: the full SYN retry ladder.
+        assert record.rtt_ms > 10_000.0
+
+    def test_unreachable_destination_is_tagged(self):
+        world, _server, mopeye, app = relay_world()
+        world.internet.notify_unreachable = True
+        world.run_process(app.timed_connect("203.0.113.99", 443),
+                          until=60_000.0)
+        failures = mopeye.store.failures(FailureKind.UNREACHABLE)
+        assert len(failures) == 1
+        # The ICMP-style bounce arrives within a couple of RTTs, far
+        # before the SYN retry ladder would give up.
+        assert list(failures)[0].rtt_ms < 1_000.0
+
+    def test_dns_relay_timeout_is_tagged(self):
+        world, _server, mopeye, app = relay_world()
+        world.dns.set_outage("blackhole")
+
+        def resolve():
+            try:
+                yield world.device.resolve_process("target.example")
+            except ResolveError:
+                pass
+
+        world.run_process(resolve(), until=120_000.0)
+        failures = mopeye.store.failures(FailureKind.TIMEOUT)
+        assert len(failures) >= 1
+        record = list(failures)[0]
+        assert record.kind == MeasurementKind.DNS
+        assert record.domain == "target.example"
+        assert len(mopeye.store.dns()) == 0
+
+    def test_unknown_failure_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementRecord(kind=MeasurementKind.TCP, rtt_ms=1.0,
+                              timestamp_ms=0.0, failure="gremlins")
+
+
+class TestFailurePersistence:
+    def sample_store(self):
+        store = MeasurementStore()
+        store.add(MeasurementRecord(
+            kind=MeasurementKind.TCP, rtt_ms=42.0, timestamp_ms=10.0,
+            app_package="a", dst_ip="1.2.3.4", dst_port=443,
+            domain="ok.example"))
+        store.add(MeasurementRecord(
+            kind=MeasurementKind.TCP, rtt_ms=31_000.0,
+            timestamp_ms=20.0, app_package="a", dst_ip="1.2.3.5",
+            dst_port=443, domain="down.example",
+            failure=FailureKind.TIMEOUT))
+        store.add(MeasurementRecord(
+            kind=MeasurementKind.DNS, rtt_ms=5_000.0,
+            timestamp_ms=30.0, dst_ip="8.8.8.8", dst_port=53,
+            domain="gone.example", failure=FailureKind.TIMEOUT))
+        return store
+
+    @pytest.mark.parametrize("save,load,name", [
+        (save_jsonl, load_jsonl, "f.jsonl"),
+        (save_csv, load_csv, "f.csv"),
+    ])
+    def test_round_trip_preserves_failure(self, tmp_path, save, load,
+                                          name):
+        store = self.sample_store()
+        path = str(tmp_path / name)
+        save(store, path)
+        loaded = load(path)
+        assert len(loaded) == 3
+        assert [r.failure for r in loaded] == \
+            [None, FailureKind.TIMEOUT, FailureKind.TIMEOUT]
+        assert len(loaded.tcp()) == 1
+        assert len(loaded.failures()) == 2
+
+    def test_rollups_skip_failure_records(self):
+        rollups = RollupStore()
+        for record in self.sample_store():
+            rollups.add(record)
+        assert rollups.records == 1
+        assert rollups.failure_records == 2
