@@ -17,10 +17,17 @@ Commands:
 * ``serve``     -- generate a campaign, ingest it through the backend
                    pipeline with shard-parallel workers, run the online
                    case-study detector, and save the rollup state
-                   (``--state FILE``) for later queries.
-* ``query``     -- read a saved rollup state: ``summary``, ``apps``,
+                   (``--state FILE`` for canonical JSON, ``--data-dir
+                   DIR`` for the segment-encoded storage engine).
+* ``query``     -- read a saved rollup state (a ``--state`` file or a
+                   ``--data-dir`` directory): ``summary``, ``apps``,
                    ``networks``, ``windows``, or ``cases`` (the
                    detector's findings).
+* ``store``     -- operate on a storage-engine data directory:
+                   ``inspect`` prints the manifest/segment/WAL summary,
+                   ``compact`` merges segments (optionally evicting
+                   windows past ``--retention-days``).  See
+                   docs/STORAGE.md.
 * ``chaos``     -- run a named fault-injection scenario (see
                    docs/FAULTS.md): deterministic dataset shards, the
                    ground-truth ledger, and the closed-loop
@@ -260,19 +267,55 @@ def cmd_serve(args) -> int:
     if args.state:
         rollups.save(args.state)
         print("saved rollup state to %s" % args.state)
+    if args.data_dir:
+        from repro.store import StoreEngine
+
+        engine = StoreEngine(args.data_dir,
+                             rollup_config=rollup_config)
+        engine.meta.update(rollups.meta)
+        engine.findings = list(findings)
+        engine.bulk_load(rollups)
+        segment_bytes = sum(reader.size_bytes()
+                            for reader in engine.segment_readers())
+        json_bytes = len(rollups.to_json()) + 1
+        ratio = json_bytes / segment_bytes if segment_bytes else 0.0
+        print("stored %d segment(s) under %s: %d bytes "
+              "(canonical JSON %d bytes, %.1fx smaller)"
+              % (len(engine.segment_names()), args.data_dir,
+                 segment_bytes, json_bytes, ratio))
+        engine.close()
     if args.metrics:
         _print_crowd_metrics()
     return 0
 
 
+def _load_rollup_state(state: str):
+    """``--state`` file or ``--data-dir`` directory, same view."""
+    import os
+
+    from repro.backend import RollupStore
+
+    if os.path.isdir(state):
+        from repro.store import StoreEngine
+
+        engine = StoreEngine(state)
+        try:
+            rollups = engine.materialize()
+            if "findings" not in rollups.meta:
+                rollups.meta["findings"] = list(engine.findings)
+        finally:
+            engine.close()
+        return rollups
+    return RollupStore.load(state)
+
+
 def cmd_query(args) -> int:
     import json as _json
 
-    from repro.backend import RollupStore
     from repro.backend import query as backend_query
 
     try:
-        rollups = RollupStore.load(args.state)
+        rollups = _load_rollup_state(args.state)
     except (OSError, ValueError, KeyError) as exc:
         print("error: cannot read rollup state: %s" % exc,
               file=sys.stderr)
@@ -327,6 +370,11 @@ def cmd_chaos(args) -> int:
     print("dataset sha256: %s" % result.digest())
     print("plan sha256:    %s" % result.plan.digest())
     print("ledger sha256:  %s" % result.ledger.digest())
+    rollup_digest = result.rollup_digest()
+    if rollup_digest is not None:
+        # Recovered purely from each backend's WAL + segments -- the
+        # CI storage smoke diffs this across PYTHONHASHSEED values.
+        print("recovered rollup sha256: %s" % rollup_digest)
     if args.ledger:
         result.ledger.save(args.ledger)
         print("wrote ledger to %s" % args.ledger)
@@ -337,6 +385,79 @@ def cmd_chaos(args) -> int:
     report = verify_scenario(result)
     print(report.summary())
     return 0
+
+
+def cmd_store(args) -> int:
+    """Operate on a storage-engine data directory (docs/STORAGE.md)."""
+    import os
+
+    from repro.store import StoreConfig, StoreEngine
+
+    if not os.path.isdir(args.data_dir):
+        print("error: %s is not a directory" % args.data_dir,
+              file=sys.stderr)
+        return 2
+    config = None
+    if args.action == "compact" and args.retention_days is not None:
+        config = StoreConfig(
+            retention_ms=args.retention_days * 24 * 3600 * 1000.0)
+    try:
+        engine = StoreEngine(args.data_dir, config=config)
+    except (OSError, ValueError) as exc:
+        print("error: cannot open store: %s" % exc, file=sys.stderr)
+        return 2
+    try:
+        if args.action == "compact":
+            rollups = engine.materialize()
+            windows = rollups.windows()
+            # Retention is judged against the newest data the store
+            # holds: the upper edge of its latest window.
+            now_ms = ((windows[-1] + 1)
+                      * engine.rollup_config.window_ms
+                      if windows else None)
+            before = engine.segment_names()
+            merged = engine.compact(now_ms=now_ms, force=True)
+            print("compacted %d segment(s) -> %d (%s)"
+                  % (len(before), len(engine.segment_names()),
+                     "merged" if merged else "nothing to merge"))
+        _print_store_summary(engine)
+    finally:
+        engine.close()
+    return 0
+
+
+def _print_store_summary(engine) -> None:
+    import os
+
+    from repro.store.engine import QUARANTINE_DIR
+    from repro.store.wal import replay
+
+    info = engine.last_recovery
+    readers = engine.segment_readers()
+    print("data dir:       %s" % engine.data_dir)
+    print("segments:       %d" % len(readers))
+    for reader in readers:
+        footer = reader.footer
+        print("  seq %-4d %-16s %8d bytes  %7d records"
+              % (footer["seq"],
+                 os.path.basename(reader.path),
+                 reader.size_bytes(), footer["records"]))
+    wal = replay(engine._wal_path())
+    print("wal:            %d frame(s), %d bytes%s"
+          % (len(wal.payloads), engine.wal.size_bytes(),
+             " (torn tail truncated)" if info and info.torn_tail
+             else ""))
+    print("dedup seeds:    %d" % len(engine.dedup))
+    print("findings:       %d" % len(engine.findings))
+    quarantine = os.path.join(engine.data_dir, QUARANTINE_DIR)
+    quarantined = (sorted(os.listdir(quarantine))
+                   if os.path.isdir(quarantine) else [])
+    if quarantined or (info and info.segments_quarantined):
+        print("quarantined:    %s" % (", ".join(quarantined) or "-"))
+    rollups = engine.materialize()
+    print("records:        %d (+%d failure-only)"
+          % (rollups.records, rollups.failure_records))
+    print("rollup sha256:  %s" % rollups.digest())
 
 
 def cmd_accuracy(_args) -> int:
@@ -401,10 +522,17 @@ def main(argv=None) -> int:
                        metavar="FILE",
                        help="save the rollup state (+ findings) as "
                             "canonical JSON for `repro query`")
+    serve.add_argument("--data-dir", type=str, default=None,
+                       metavar="DIR",
+                       help="persist the rollups (+ findings) through "
+                            "the storage engine: segment-encoded, "
+                            "queryable with `repro query DIR` and "
+                            "`repro store inspect DIR`")
     serve.add_argument("--metrics", action="store_true",
                        help="print the backend's registry snapshot")
     query = sub.add_parser("query", help="query a saved rollup state")
-    query.add_argument("state", help="state file from serve --state")
+    query.add_argument("state", help="state file from serve --state, "
+                                     "or a serve --data-dir directory")
     query.add_argument("view", choices=["summary", "apps", "networks",
                                         "windows", "cases"])
     query.add_argument("--top", type=int, default=20,
@@ -428,12 +556,24 @@ def main(argv=None) -> int:
                        help="merge the shards into one JSONL dataset")
     chaos.add_argument("--list", action="store_true",
                        help="list scenarios and exit")
+    store = sub.add_parser("store", help="inspect or compact a storage "
+                                         "engine data directory")
+    store.add_argument("action", choices=["inspect", "compact"],
+                       help="inspect: print the manifest/segment/WAL "
+                            "summary; compact: force a segment merge")
+    store.add_argument("data_dir", help="directory from serve "
+                                        "--data-dir (or a chaos "
+                                        "backend's store)")
+    store.add_argument("--retention-days", type=float, default=None,
+                       help="with compact: evict windowed rows older "
+                            "than this horizon (measured back from "
+                            "the newest window in the store)")
     sub.add_parser("accuracy", help="Table 2 shoot-out")
     args = parser.parse_args(argv)
     return {"demo": cmd_demo, "metrics": cmd_metrics,
             "obsreport": cmd_obsreport, "crowd": cmd_crowd,
             "serve": cmd_serve, "query": cmd_query,
-            "chaos": cmd_chaos,
+            "chaos": cmd_chaos, "store": cmd_store,
             "accuracy": cmd_accuracy}[args.command](args)
 
 

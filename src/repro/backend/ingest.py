@@ -122,6 +122,11 @@ class IngestLoadModel:
         self.backlog_ms += cost
         return True, self.backlog_ms
 
+    def reset(self) -> None:
+        """Drop the in-memory backlog (a crashed process's queue does
+        not survive the restart)."""
+        self.backlog_ms = 0.0
+
 
 @dataclass
 class BatchOutcome:
@@ -145,16 +150,31 @@ class IngestPipeline:
                  rate_refill_per_min: float = 600.0,
                  dedup_capacity: int = 4096,
                  on_records: Optional[
-                     Callable[[List[MeasurementRecord]], None]] = None
-                 ) -> None:
+                     Callable[[List[MeasurementRecord]], None]] = None,
+                 store=None) -> None:
+        #: Optional :class:`repro.store.StoreEngine`.  When present
+        #: the pipeline aggregates into the engine's memtable and
+        #: dedup map (shared objects), every accepted batch is logged
+        #: to the WAL before its ACK, and the modelled fsync cost is
+        #: added to the ACK delay -- durability is paid for in sim
+        #: time, not assumed.
+        self.store = store
+        if store is not None:
+            if rollups is not None:
+                raise ValueError("pass either rollups or store, "
+                                 "not both")
+            rollups = store.memtable
         self.rollups = rollups if rollups is not None else RollupStore()
         self.obs = obs or get_default()
         self.load = load or IngestLoadModel()
         self.rate_capacity = rate_capacity
         self.rate_refill_per_ms = rate_refill_per_min / 60_000.0
         self._buckets: Dict[str, TokenBucket] = {}
-        self._dedup: "OrderedDict[Tuple[str, int], int]" = OrderedDict()
-        self._dedup_capacity = dedup_capacity
+        self._dedup: "OrderedDict[Tuple[str, int], int]" = (
+            store.dedup if store is not None else OrderedDict())
+        self._dedup_capacity = (store.config.dedup_capacity
+                                if store is not None
+                                else dedup_capacity)
         self._on_records = on_records
 
     # -- wire-facing entry point -------------------------------------
@@ -194,11 +214,33 @@ class IngestPipeline:
         self.obs.observe("backend.batch_records", len(records))
         self.obs.observe("backend.ingest_delay_ms", delay_or_retry)
         self._remember(key, len(records))
+        delay = delay_or_retry
+        if self.store is not None:
+            # WAL commit before the ACK: the batch is durable by the
+            # time the uploader advances its cursor, and the fsync
+            # cost is part of what the uploader waits out.
+            delay += self.store.log_batch(device_id, batch_seq,
+                                          len(records), records)
         if self._on_records is not None and records:
             self._on_records(records)
         return BatchOutcome(status="ack", acked=len(records),
-                            delay_ms=delay_or_retry,
+                            delay_ms=delay,
                             truncated=truncated, records=records)
+
+    def reset_volatile(self) -> None:
+        """Crash hook: state a dead process cannot carry over.  Token
+        buckets and the load backlog die with the process; the rollup
+        memtable and dedup map are owned by the store engine (which
+        clears and recovers them) when one is attached, and are
+        cleared here when the pipeline is RAM-only."""
+        self._buckets.clear()
+        self.load.reset()
+        if self.store is None:
+            self._dedup.clear()
+            self.rollups.records = 0
+            self.rollups.failure_records = 0
+            for name in self.rollups.TABLES:
+                self.rollups.tables[name].clear()
 
     # -- offline entry point -----------------------------------------
 

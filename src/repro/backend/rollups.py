@@ -53,6 +53,11 @@ DEFAULT_WINDOW_MS = 28 * 24 * 3600 * 1000.0
 
 _SEP = "|"
 
+#: Snapshot wire-format version.  v1 (PR 3) had no ``schema`` key;
+#: v2 added it alongside the escaped key encoding.  ``load`` accepts
+#: both and rejects anything newer with a clear error.
+SNAPSHOT_SCHEMA = 2
+
 
 class MergeHist:
     """Sparse fixed-bin integer histogram with exact merge semantics.
@@ -146,12 +151,40 @@ class RollupConfig:
 Key = Tuple[str, ...]
 
 
+def _escape_part(part: str) -> str:
+    return part.replace("\\", "\\\\").replace(_SEP, "\\" + _SEP)
+
+
 def _encode_key(key: Key) -> str:
-    return _SEP.join(key)
+    """Join key parts with ``|``, escaping literal separators.
+
+    Keys without ``|`` or ``\\`` (every key today: domains, operator
+    names, window numbers) encode exactly as before, so existing
+    digests are unchanged -- but a domain containing a pipe can no
+    longer silently split into extra key parts on reload (the
+    round-trip bug this replaces)."""
+    return _SEP.join(_escape_part(part) for part in key)
 
 
 def _decode_key(text: str) -> Key:
-    return tuple(text.split(_SEP))
+    parts: List[str] = []
+    current: List[str] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "\\" and index + 1 < len(text):
+            current.append(text[index + 1])
+            index += 2
+            continue
+        if char == _SEP:
+            parts.append("".join(current))
+            current = []
+            index += 1
+            continue
+        current.append(char)
+        index += 1
+    parts.append("".join(current))
+    return tuple(parts)
 
 
 class RollupStore:
@@ -258,6 +291,7 @@ class RollupStore:
         """Canonical plain-data form: deterministic given the records,
         whatever the ingest parallelism or PYTHONHASHSEED."""
         return {
+            "schema": SNAPSHOT_SCHEMA,
             "config": self.config.to_dict(),
             "meta": {k: self.meta[k] for k in sorted(self.meta)},
             "records": self.records,
@@ -291,16 +325,35 @@ class RollupStore:
             fh.write("\n")
 
     @classmethod
-    def load(cls, path: str) -> "RollupStore":
-        with open(path) as fh:
-            data = json.load(fh)
-        store = cls(config=RollupConfig.from_dict(data["config"]),
-                    meta=data.get("meta", {}))
-        store.records = int(data["records"])
+    def from_snapshot(cls, data: Dict[str, object]) -> "RollupStore":
+        """Rebuild a store from :meth:`snapshot` data.  Accepts the
+        current schema and v1 (which predates the ``schema`` key);
+        anything newer is rejected with a clear error rather than a
+        KeyError somewhere downstream."""
+        version = data.get("schema", 1)
+        if version not in (1, SNAPSHOT_SCHEMA):
+            raise ValueError(
+                "rollup snapshot has schema version %r; this build "
+                "reads versions 1..%d -- refusing to guess at a "
+                "newer format" % (version, SNAPSHOT_SCHEMA))
+        try:
+            store = cls(config=RollupConfig.from_dict(data["config"]),
+                        meta=data.get("meta", {}))
+            store.records = int(data["records"])
+            tables = data["tables"]
+        except (KeyError, TypeError) as exc:
+            raise ValueError("rollup snapshot is missing required "
+                             "field: %s" % exc)
         for table in cls.TABLES:
-            loaded = data["tables"].get(table, {})
+            loaded = tables.get(table, {})
             store.tables[table] = {
                 _decode_key(text): MergeHist.from_dict(hist)
                 for text, hist in loaded.items()
             }
         return store
+
+    @classmethod
+    def load(cls, path: str) -> "RollupStore":
+        with open(path) as fh:
+            data = json.load(fh)
+        return cls.from_snapshot(data)

@@ -48,28 +48,42 @@ class BackendServer(AppServer):
                  load: Optional[IngestLoadModel] = None,
                  rate_capacity: float = 64.0,
                  rate_refill_per_min: float = 600.0,
+                 data_dir: Optional[str] = None,
+                 store=None,
+                 store_config=None,
                  **kwargs):
         super().__init__(sim, ips, name=name, **kwargs)
         # Per-instance scope by default: two collectors in one process
         # must not share counters (same rule as MopEyeService).
         self.obs = obs or Observability(sim=sim)
         self.received = MeasurementStore()
+        #: Durable storage.  ``data_dir`` builds a
+        #: :class:`repro.store.StoreEngine` under that directory;
+        #: without one the backend is RAM-only and a crash genuinely
+        #: loses everything (no more pretending RAM is durable).
+        if data_dir is not None and store is None:
+            from repro.store.engine import StoreEngine
+            store = StoreEngine(data_dir, config=store_config,
+                                obs=self.obs)
+        self.store = store
 
         def _keep(records):
             for record in records:
                 self.received.add(record)
 
+        self._keep_records = keep_records
         on_records = _keep if keep_records else None
         self.pipeline = pipeline or IngestPipeline(
             rollups=rollups, obs=self.obs, load=load,
             rate_capacity=rate_capacity,
             rate_refill_per_min=rate_refill_per_min,
-            on_records=on_records)
+            on_records=on_records, store=store)
         #: Server-side cap on records ACKed per batch (None = no cap);
         #: exercises the uploader's short-ACK retry tail.
         self.max_batch_records = max_batch_records
         self._conn_seq = 0
         self.crashes = 0
+        self.recoveries = 0
 
     # -- fault hooks ---------------------------------------------------
 
@@ -82,15 +96,33 @@ class BackendServer(AppServer):
         (in-flight batches never get their ACK -- the uploader's
         ack-timeout + idempotent-replay path), and new SYNs are refused
         (process down, host up) or blackholed (host down) until
-        restart().  The pipeline object survives, like durable storage:
-        the dedup cache and rollups persist across the crash, which is
-        what makes the replay idempotent."""
+        restart().
+
+        Volatile state dies with the process -- the rollup memtable,
+        the dedup cache, the received-record mirror, token buckets and
+        the load backlog are all genuinely cleared.  With a store
+        engine attached, what survives is what the engine forced to
+        disk (WAL frames + segments); without one, nothing survives,
+        which is the honest semantics of a RAM-only collector."""
         self.set_outage(mode)
         self._connections.clear()
         self.crashes += 1
+        if self.store is not None:
+            self.store.crash()
+        self.received = MeasurementStore()
+        self.pipeline.reset_volatile()
 
     def restart(self) -> None:
-        """Bring the collector back; dedup/rollup state is durable."""
+        """Bring the collector back.  With a store engine this is a
+        real recovery: the memtable, dedup seeds and received records
+        are rebuilt purely from the manifest + segments + WAL replay
+        -- the in-memory state was discarded by crash()."""
+        if self.store is not None:
+            info = self.store.recover()
+            self.recoveries += 1
+            if self._keep_records:
+                for record in info.replayed_records:
+                    self.received.add(record)
         self.clear_outage()
 
     # -- registry views (the legacy attributes) ------------------------

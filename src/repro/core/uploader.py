@@ -215,6 +215,14 @@ class MeasurementUploader:
         socket.close()
         obs.observe("uploader.ack_latency_ms", self.sim.now - started)
         if response.startswith(b"ACK"):
+            if self._inflight is None or self._inflight[0] != seq:
+                # A concurrent attempt (periodic upload racing the
+                # shutdown flush) already consumed this batch's ACK --
+                # the collector deduplicated the replay, so counting
+                # this one too would over-advance the cursor.
+                obs.inc("uploader.stale_acks")
+                obs.end_span(span, outcome="stale_ack")
+                return
             try:
                 acked = int(response.split()[1])
             except (IndexError, ValueError):

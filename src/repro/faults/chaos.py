@@ -29,6 +29,7 @@ import hashlib
 import multiprocessing
 import os
 import random
+import shutil
 import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -44,7 +45,9 @@ from repro.core.persist import (
 from repro.core.records import MeasurementRecord, MeasurementStore
 from repro.core.uploader import MeasurementUploader
 from repro.backend.ingest import IngestLoadModel
+from repro.backend.rollups import RollupStore
 from repro.backend.server import BackendServer
+from repro.store.engine import StoreConfig
 from repro.crowd.campaign import stable_ip_for_domain
 from repro.faults.injector import FaultInjector
 from repro.faults.ledger import GroundTruthLedger
@@ -70,6 +73,10 @@ class DeviceRun:
     records: List[MeasurementRecord]
     counts: Dict[str, Dict[str, int]]
     stats: Dict[str, int]
+    #: Canonical snapshot of the backend's *recovered* rollup store
+    #: (segments + WAL-replayed memtable), or None when the scenario
+    #: has no backend.  Plain data so it crosses process boundaries.
+    rollup: Optional[Dict[str, object]] = None
 
 
 def _world_rng(seed: int, device_id: str, purpose: str) -> random.Random:
@@ -112,12 +119,21 @@ def run_device_world(scenario: Scenario, plan: FaultPlan, seed: int,
     service = MopEyeService(device)
     service.start()
     backend = uploader = None
+    backend_data_dir = None
     if scenario.with_backend:
+        # Durable storage per world: every crash in this world now
+        # genuinely drops the memtable and dedup cache, and restart
+        # recovers them from WAL + segments alone.  Auto-flush is off
+        # so the WAL covers the entire run -- the recovered received
+        # mirror stays complete for the resync assertions.
+        backend_data_dir = tempfile.mkdtemp(prefix="mopeye-store-")
         backend = BackendServer(
             sim, [COLLECTOR_IP],
             path_oneway=LogNormal(8.0, 0.2).bind(rng),
             accept_delay=Constant(0.05),
             load=IngestLoadModel(base_ms=400.0, per_record_ms=5.0),
+            data_dir=backend_data_dir,
+            store_config=StoreConfig(flush_threshold_records=None),
             rng=_world_rng(seed, device_id, "backend"))
         internet.add_server(backend)
         uploader = MeasurementUploader(
@@ -180,19 +196,35 @@ def run_device_world(scenario: Scenario, plan: FaultPlan, seed: int,
         "vpn_revocations": device.vpn.revocations,
         "service_running": int(service.running),
     }
+    rollup_snapshot = None
     if backend is not None:
+        # Digest parity is the crash-recovery proof: the rollup store
+        # materialised purely from disk (segments + WAL replay, live
+        # memtable discarded by the recover() below) must equal a
+        # store built fresh from the device's own records.
+        backend.store.recover()
+        recovered = backend.store.materialize()
+        reference = RollupStore(config=backend.store.rollup_config)
+        reference.add_all(service.store)
         stats.update({
             "backend_crashes": backend.crashes,
+            "backend_recoveries": backend.recoveries,
             "backend_batches": backend.batches,
             "backend_duplicates": backend.duplicates,
             "backend_records": len(backend.received),
+            "backend_rollup_matches_store":
+                int(recovered.digest() == reference.digest()),
             "uploader_failures": uploader.failures,
             "uploader_ack_timeouts": uploader.ack_timeouts,
             "uploader_records_acked": uploader.uploaded,
             "store_records": len(service.store),
         })
+        rollup_snapshot = recovered.snapshot()
+        backend.store.close()
+        shutil.rmtree(backend_data_dir, ignore_errors=True)
     return DeviceRun(device_id=device_id, records=records,
-                     counts=injector.counts, stats=stats)
+                     counts=injector.counts, stats=stats,
+                     rollup=rollup_snapshot)
 
 
 def _merge_counts(total: Dict[str, Dict[str, int]],
@@ -209,10 +241,23 @@ def _merge_stats(total: Dict[str, int], part: Dict[str, int]) -> None:
         total[key] = total.get(key, 0) + int(part[key])
 
 
+def _merge_rollup(total: Optional[RollupStore],
+                  snapshot: Optional[Dict[str, object]]
+                  ) -> Optional[RollupStore]:
+    if snapshot is None:
+        return total
+    store = RollupStore.from_snapshot(snapshot)
+    if total is None:
+        return store
+    total.merge(store)
+    return total
+
+
 def _run_chaos_shard(task: Tuple[str, int, int, int, str]
                      ) -> Tuple[int, int, str,
                                 Dict[str, Dict[str, int]],
-                                Dict[str, int]]:
+                                Dict[str, int],
+                                Optional[Dict[str, object]]]:
     """Worker entry point: one contiguous device range -> one shard.
     Rebuilds everything from (scenario name, seed) so fork and spawn
     behave identically."""
@@ -223,6 +268,7 @@ def _run_chaos_shard(task: Tuple[str, int, int, int, str]
     count = 0
     counts: Dict[str, Dict[str, int]] = {}
     stats: Dict[str, int] = {}
+    rollup: Optional[RollupStore] = None
     with open(path, "w") as handle:
         for device_index in range(device_lo, device_hi):
             run = run_device_world(scenario, plan, seed, device_index)
@@ -233,7 +279,9 @@ def _run_chaos_shard(task: Tuple[str, int, int, int, str]
                 count += 1
             _merge_counts(counts, run.counts)
             _merge_stats(stats, run.stats)
-    return device_lo, count, sha.hexdigest(), counts, stats
+            rollup = _merge_rollup(rollup, run.rollup)
+    return (device_lo, count, sha.hexdigest(), counts, stats,
+            rollup.snapshot() if rollup is not None else None)
 
 
 @dataclass
@@ -246,10 +294,18 @@ class ChaosResult:
     plan: Optional[FaultPlan] = None
     ledger: Optional[GroundTruthLedger] = None
     stats: Dict[str, int] = field(default_factory=dict)
+    #: The recovered backend rollup store merged across all device
+    #: worlds (None for scenarios without a backend).
+    rollups: Optional[RollupStore] = None
 
     def digest(self) -> str:
         """SHA-256 of the merged dataset bytes (device order)."""
         return dataset_digest(self.paths)
+
+    def rollup_digest(self) -> Optional[str]:
+        """Digest of the recovered backend rollups -- the quantity the
+        storage CI job diffs across PYTHONHASHSEED values."""
+        return None if self.rollups is None else self.rollups.digest()
 
     def iter_records(self) -> Iterator[MeasurementRecord]:
         return iter_jsonl_shards(self.paths)
@@ -307,11 +363,14 @@ class ChaosRunner:
         result = ChaosResult(scenario_name=self.scenario.name,
                              seed=self.seed, shard_dir=shard_dir,
                              plan=plan, ledger=ledger)
-        for device_lo, count, _sha, counts, stats in outcomes:
+        rollup: Optional[RollupStore] = None
+        for device_lo, count, _sha, counts, stats, snapshot in outcomes:
             result.paths.append(shard_path(shard_dir, device_lo))
             result.records += count
             ledger.record_counts(counts)
             _merge_stats(result.stats, stats)
+            rollup = _merge_rollup(rollup, snapshot)
+        result.rollups = rollup
         return result
 
     def _run_inline(self, task):
@@ -325,6 +384,7 @@ class ChaosRunner:
         count = 0
         counts: Dict[str, Dict[str, int]] = {}
         stats: Dict[str, int] = {}
+        rollup: Optional[RollupStore] = None
         with open(path, "w") as handle:
             for device_index in range(device_lo, device_hi):
                 run = run_device_world(self.scenario, plan, seed,
@@ -336,7 +396,9 @@ class ChaosRunner:
                     count += 1
                 _merge_counts(counts, run.counts)
                 _merge_stats(stats, run.stats)
-        return device_lo, count, sha.hexdigest(), counts, stats
+                rollup = _merge_rollup(rollup, run.rollup)
+        return (device_lo, count, sha.hexdigest(), counts, stats,
+                rollup.snapshot() if rollup is not None else None)
 
 
 __all__ = ["ChaosResult", "ChaosRunner", "DeviceRun", "run_device_world",

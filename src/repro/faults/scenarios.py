@@ -24,6 +24,9 @@ Each preset is designed so the faults leave a *diagnosable* footprint
   records carry both network types.
 * ``backend_crash``   -- collector crash window under an active
   uploader; exercises ack-timeout, idempotent replay, and recovery.
+* ``multi_crash``     -- two crash windows (refuse, then blackhole);
+  each restart is a real WAL/segment recovery and the recovered
+  rollups must digest-match the device's own records.
 * ``vpn_flap``        -- VPN consent revoked twice mid-run; the relay
   tears down and restarts (the no-hang watchdog scenario).
 """
@@ -225,6 +228,37 @@ def _backend_crash() -> Scenario:
     )
 
 
+def _multi_crash() -> Scenario:
+    return Scenario(
+        name="multi_crash",
+        description="Two collector crash windows (refuse then "
+                    "blackhole) under an active uploader; every "
+                    "restart is a WAL/segment recovery and the "
+                    "recovered rollups must digest-match a store "
+                    "built from the device records.",
+        operators=(
+            ScenarioOperator("Flint Wifi", NetworkType.WIFI, 4.0),
+        ),
+        apps=(
+            ScenarioApp("web.plover", "plover.example", 9.0),
+            ScenarioApp("mail.dunlin", "dunlin.example", 10.0),
+        ),
+        events=(
+            FaultEvent("e-crash-1", FaultKind.BACKEND_CRASH,
+                       10_000.0, 6_000.0,
+                       scope={"server": "collector"},
+                       params={"mode": "refuse"}),
+            FaultEvent("e-crash-2", FaultKind.BACKEND_CRASH,
+                       24_000.0, 6_000.0,
+                       scope={"server": "collector"},
+                       params={"mode": "blackhole"}),
+        ),
+        connects=45,
+        think_ms=(200.0, 1000.0),
+        with_backend=True,
+    )
+
+
 def _vpn_flap() -> Scenario:
     return Scenario(
         name="vpn_flap",
@@ -250,7 +284,8 @@ def _vpn_flap() -> Scenario:
 
 def _build_registry() -> Dict[str, Scenario]:
     scenarios = [_bursty_lte(), _server_brownout(), _dns_outage(),
-                 _handover_storm(), _backend_crash(), _vpn_flap()]
+                 _handover_storm(), _backend_crash(), _multi_crash(),
+                 _vpn_flap()]
     return {scenario.name: scenario for scenario in scenarios}
 
 

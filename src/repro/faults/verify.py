@@ -216,13 +216,22 @@ def _check_entry(entry: LedgerEntry, store, records, stats,
 
     if entry.kind == FaultKind.BACKEND_CRASH:
         crashes = stats.get("backend_crashes", 0)
+        recoveries = stats.get("backend_recoveries", 0)
         disrupted = (stats.get("uploader_failures", 0)
                      + stats.get("uploader_ack_timeouts", 0))
         resynced = (stats.get("uploader_records_acked", 0)
                     == stats.get("store_records", -1))
-        ok = crashes > 0 and disrupted > 0 and resynced
-        return (ok, "crashes=%d upload_disruptions=%d resynced=%s"
-                % (crashes, disrupted, resynced))
+        # Recovery ground truth: every crash was followed by a real
+        # WAL/segment recovery, and every device world's recovered
+        # rollup store digest-matched a store built straight from its
+        # own records (the in-memory state was discarded at crash).
+        recovered = (recoveries > 0
+                     and stats.get("backend_rollup_matches_store", -1)
+                     == stats.get("workloads_completed", 0))
+        ok = crashes > 0 and disrupted > 0 and resynced and recovered
+        return (ok, "crashes=%d recoveries=%d upload_disruptions=%d "
+                "resynced=%s rollups_recovered=%s"
+                % (crashes, recoveries, disrupted, resynced, recovered))
 
     return (False, "no evidence rule for kind %r" % entry.kind)
 

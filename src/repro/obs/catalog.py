@@ -199,6 +199,11 @@ CATALOG: Dict[str, MetricSpec] = dict([
        "repro.core.uploader",
        "Batches pushed by the shutdown flush in stop(), below "
        "min_batch included."),
+    _m("uploader.stale_acks", COUNTER, "batches",
+       "repro.core.uploader",
+       "ACKs discarded because a concurrent attempt already consumed "
+       "the batch (periodic upload racing the shutdown flush); "
+       "counting them would over-advance the cursor."),
     # -- collection backend ------------------------------------------------
     _m("backend.batches", COUNTER, "batches", "repro.backend.ingest",
        "Upload batches accepted and ingested (duplicates excluded)."),
@@ -244,6 +249,60 @@ CATALOG: Dict[str, MetricSpec] = dict([
        "repro.backend.ingest",
        "Wall-clock ingest throughput of the last offline ingest run.",
        volatile=True),
+    # -- storage engine ----------------------------------------------------
+    _m("store.wal_appends", COUNTER, "frames", "repro.store.wal",
+       "WAL frames made durable by a group commit."),
+    _m("store.wal_bytes", COUNTER, "bytes", "repro.store.wal",
+       "Framed bytes written to the WAL (header + payload)."),
+    _m("store.wal_fsyncs", COUNTER, "fsyncs", "repro.store.wal",
+       "Group commits issued; each is one modelled fsync barrier."),
+    _m("store.wal_commit_cost_ms", HISTOGRAM, "ms", "repro.store.wal",
+       "Modelled sim-time cost per group commit (FsyncModel); charged "
+       "to the batch ACK.", max_x=500.0, n_bins=1000),
+    _m("store.wal_replayed_frames", COUNTER, "frames",
+       "repro.store.engine",
+       "Valid WAL frames replayed into the memtable by recovery."),
+    _m("store.wal_replayed_records", COUNTER, "records",
+       "repro.store.engine",
+       "Measurement records rebuilt from WAL replay."),
+    _m("store.wal_torn_tails", COUNTER, "tails", "repro.store.engine",
+       "Recoveries that found a torn or corrupt WAL tail and "
+       "truncated it at the last valid frame."),
+    _m("store.flushes", COUNTER, "flushes", "repro.store.engine",
+       "Memtable freezes into an immutable segment (WAL restarts "
+       "empty afterwards)."),
+    _m("store.segment_flush_bytes", COUNTER, "bytes",
+       "repro.store.engine",
+       "Bytes written by memtable flushes (compaction rewrites "
+       "excluded)."),
+    _m("store.segment_writes", COUNTER, "segments",
+       "repro.store.segments",
+       "Segment files written, flushes and compaction rewrites "
+       "combined."),
+    _m("store.compactions", COUNTER, "compactions",
+       "repro.store.engine",
+       "Tiered compactions: N segments merged into one."),
+    _m("store.segments_quarantined", COUNTER, "segments",
+       "repro.store.engine",
+       "Segments that failed checksum validation during recovery and "
+       "were moved to quarantine/ instead of being served."),
+    _m("store.retention_windows_evicted", COUNTER, "windows",
+       "repro.store.engine",
+       "Distinct rollup windows dropped by the retention pass for "
+       "exceeding the configured horizon."),
+    _m("store.recoveries", COUNTER, "recoveries", "repro.store.engine",
+       "Crash recoveries completed (initial cold opens excluded)."),
+    _m("store.segments", GAUGE, "segments", "repro.store.engine",
+       "Live segment files currently in the manifest."),
+    _m("store.segment_bytes", GAUGE, "bytes", "repro.store.engine",
+       "Total on-disk size of live segments."),
+    _m("store.memtable_records", GAUGE, "records",
+       "repro.store.engine",
+       "Records currently held only by the memtable (durable in the "
+       "WAL, not yet in a segment)."),
+    _m("store.recovery_replay_wall_ms", GAUGE, "ms",
+       "repro.store.engine",
+       "Wall-clock time of the last recovery replay.", volatile=True),
     # -- access link (loss / latency faults land here) ---------------------
     _m("link.packets_dropped", COUNTER, "packets", "repro.network.link",
        "Packets lost on a link direction, i.i.d. and burst losses "

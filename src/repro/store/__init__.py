@@ -1,0 +1,29 @@
+"""repro.store: the embedded storage engine under the backend.
+
+An LSM-shaped stack sized for rollup aggregates: a write-ahead log
+for durability (:mod:`repro.store.wal`), immutable checksummed
+segment files for bulk state (:mod:`repro.store.segments`), and
+:class:`~repro.store.engine.StoreEngine` tying them together with a
+memtable, tiered compaction, retention, and crash recovery.  See
+``docs/STORAGE.md`` for the operator guide.
+"""
+
+from repro.store.engine import RecoveryInfo, StoreConfig, StoreEngine
+from repro.store.segments import (
+    SegmentCorruption,
+    SegmentReader,
+    write_segment,
+)
+from repro.store.wal import FsyncModel, WriteAheadLog, replay
+
+__all__ = [
+    "FsyncModel",
+    "RecoveryInfo",
+    "SegmentCorruption",
+    "SegmentReader",
+    "StoreConfig",
+    "StoreEngine",
+    "WriteAheadLog",
+    "replay",
+    "write_segment",
+]

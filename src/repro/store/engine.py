@@ -1,0 +1,504 @@
+"""The storage engine: memtable + WAL + immutable segments.
+
+A miniature LSM tree shaped for the rollup workload:
+
+* writes land in the **memtable** (a live
+  :class:`~repro.backend.rollups.RollupStore`) and are made durable by
+  an envelope appended to the :mod:`WAL <repro.store.wal>` before the
+  batch is acknowledged;
+* when the memtable grows past ``flush_threshold_records`` it is
+  frozen into an immutable :mod:`segment <repro.store.segments>`, the
+  manifest is updated (segment list, dedup seeds, findings), and the
+  WAL restarts empty -- the segment now carries that data;
+* **compaction** merges accumulated segments into one (histogram merge
+  is commutative, so this is pure bookkeeping) and the **retention**
+  pass drops windowed rows older than the configured horizon;
+* **recovery** rebuilds the live state from disk alone: load the
+  manifest, check every segment (quarantining any that fails its
+  checksums), then replay the WAL into a fresh memtable -- dedup LRU
+  seeds and all -- truncating a torn tail at the last valid frame.
+
+The engine owns the memtable and the dedup map as *shared objects*:
+:class:`~repro.backend.ingest.IngestPipeline` holds references to the
+same instances, so an ingest is visible to the engine (and a recovery
+is visible to the pipeline) without any copying.  Crash and recovery
+mutate those objects in place for exactly that reason.
+
+Everything the engine writes is canonical (sorted keys, fixed
+separators, sorted rows), so two runs that ingest the same records
+produce byte-identical segments and manifests regardless of worker
+count or ``PYTHONHASHSEED`` -- the same determinism contract as the
+rest of the repo.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.backend.rollups import RollupConfig, RollupStore
+from repro.core.persist import _record_from_dict, record_to_line
+from repro.core.records import MeasurementRecord
+from repro.obs import Observability, get_default
+from repro.store.segments import SegmentCorruption, SegmentReader, write_segment
+from repro.store.wal import FsyncModel, WriteAheadLog, replay
+
+MANIFEST_NAME = "MANIFEST.json"
+WAL_NAME = "wal.log"
+SEGMENT_DIR = "segments"
+QUARANTINE_DIR = "quarantine"
+MANIFEST_SCHEMA = 1
+
+
+class StoreConfig:
+    """Tuning knobs for the engine."""
+
+    def __init__(self,
+                 flush_threshold_records: Optional[int] = 50_000,
+                 compaction_fanout: int = 4,
+                 retention_ms: Optional[float] = None,
+                 group_commit_records: int = 256,
+                 dedup_capacity: int = 4096,
+                 fsync: Optional[FsyncModel] = None) -> None:
+        #: Freeze the memtable into a segment at this many records
+        #: (``None`` disables auto-flush; the WAL then covers
+        #: everything, which is what the chaos crash worlds want).
+        self.flush_threshold_records = flush_threshold_records
+        #: ``compact()`` merges once this many segments accumulate.
+        self.compaction_fanout = max(2, int(compaction_fanout))
+        #: Evict windowed rows older than this horizon (``None`` keeps
+        #: everything; the CLI maps ``--retention-days`` onto it).
+        self.retention_ms = retention_ms
+        #: Bulk-append path: one fsync per this many envelopes.
+        self.group_commit_records = max(1, int(group_commit_records))
+        self.dedup_capacity = int(dedup_capacity)
+        self.fsync = fsync or FsyncModel()
+
+
+@dataclass
+class RecoveryInfo:
+    """What one recovery pass found and rebuilt."""
+    segments_loaded: int = 0
+    segments_quarantined: int = 0
+    wal_frames: int = 0
+    wal_records: int = 0
+    torn_tail: bool = False
+    corrupt_frame: bool = False
+    dedup_entries: int = 0
+    replayed_records: List[MeasurementRecord] = field(
+        default_factory=list)
+
+
+class StoreEngine:
+    """Embedded storage under one ``data_dir``.
+
+    Layout::
+
+        data_dir/
+          MANIFEST.json        segment list, seq counter, dedup seeds
+          wal.log              the write-ahead log
+          segments/seg-NNNNNN.seg
+          quarantine/          segments that failed their checksums
+    """
+
+    def __init__(self, data_dir: str,
+                 rollup_config: Optional[RollupConfig] = None,
+                 config: Optional[StoreConfig] = None,
+                 obs: Optional[Observability] = None) -> None:
+        self.data_dir = data_dir
+        self.config = config or StoreConfig()
+        self.obs = obs or get_default()
+        os.makedirs(os.path.join(data_dir, SEGMENT_DIR), exist_ok=True)
+        #: An explicit config wins; otherwise a reopened directory
+        #: adopts the config its manifest was written with (the disk
+        #: layout defines the windows, not the caller's defaults).
+        self._explicit_config = rollup_config is not None
+        self.rollup_config = rollup_config or RollupConfig()
+        #: Live aggregates; the ingest pipeline shares this object.
+        self.memtable = RollupStore(config=self.rollup_config)
+        #: ``(device_id, batch_seq) -> acked``; shared with the
+        #: pipeline.  Rebuilt by recovery from manifest seeds + WAL.
+        self.dedup: "OrderedDict[Tuple[str, int], int]" = OrderedDict()
+        #: Opaque caller state persisted at flush (detector findings).
+        self.findings: List[dict] = []
+        self.meta: Dict[str, object] = {}
+        self._segments: List[str] = []          # file names, seq order
+        self._next_seq = 1
+        self._bulk_seq = 0
+        self.wal: Optional[WriteAheadLog] = None
+        self.last_recovery: Optional[RecoveryInfo] = None
+        self.recoveries = 0
+        self.recover(initial=True)
+
+    # -- paths ---------------------------------------------------------
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.data_dir, MANIFEST_NAME)
+
+    def _wal_path(self) -> str:
+        return os.path.join(self.data_dir, WAL_NAME)
+
+    def _segment_path(self, name: str) -> str:
+        return os.path.join(self.data_dir, SEGMENT_DIR, name)
+
+    def segment_names(self) -> List[str]:
+        return list(self._segments)
+
+    # -- manifest ------------------------------------------------------
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "schema": MANIFEST_SCHEMA,
+            "next_seq": self._next_seq,
+            "segments": list(self._segments),
+            "config": self.rollup_config.to_dict(),
+            "dedup": [[device, seq, acked]
+                      for (device, seq), acked in self.dedup.items()],
+            "findings": self.findings,
+            "meta": {k: self.meta[k] for k in sorted(self.meta)},
+        }
+        blob = json.dumps(manifest, sort_keys=True,
+                          separators=(",", ":"))
+        tmp = self._manifest_path() + ".tmp"
+        with open(tmp, "w") as handle:
+            handle.write(blob + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._manifest_path())
+
+    def _load_manifest(self) -> Optional[dict]:
+        try:
+            with open(self._manifest_path()) as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            return None
+        if manifest.get("schema") != MANIFEST_SCHEMA:
+            raise ValueError(
+                "manifest %s has schema %r; this engine understands %d"
+                % (self._manifest_path(), manifest.get("schema"),
+                   MANIFEST_SCHEMA))
+        return manifest
+
+    # -- the write path ------------------------------------------------
+
+    def log_batch(self, device_id: str, batch_seq: int, acked: int,
+                  records: List[MeasurementRecord]) -> float:
+        """Make one accepted batch durable.  Returns the sim-time
+        fsync cost to charge to the batch ACK."""
+        envelope = {
+            "kind": "batch",
+            "device": device_id,
+            "seq": int(batch_seq),
+            "acked": int(acked),
+            "lines": [record_to_line(record) for record in records],
+        }
+        self.wal.append(json.dumps(envelope, sort_keys=True,
+                                   separators=(",", ":")).encode())
+        cost = self.wal.commit()
+        self._maybe_flush()
+        return cost
+
+    def append_records(self, records, batch_records: int = 512) -> int:
+        """Bulk ingest for trusted offline sources: records go through
+        the memtable *and* the WAL (group commit, one fsync per
+        ``group_commit_records`` envelopes)."""
+        count = 0
+        batch: List[str] = []
+
+        def _emit() -> None:
+            self._bulk_seq += 1
+            envelope = {"kind": "bulk", "seq": self._bulk_seq,
+                        "lines": batch}
+            self.wal.append(json.dumps(envelope, sort_keys=True,
+                                       separators=(",", ":")).encode())
+            if self.wal.pending >= self.config.group_commit_records:
+                self.wal.commit()
+
+        for record in records:
+            self.memtable.add(record)
+            batch.append(record_to_line(record))
+            count += 1
+            if len(batch) >= batch_records:
+                _emit()
+                batch = []
+            if self._over_threshold():
+                if batch:
+                    _emit()
+                    batch = []
+                self.wal.commit()
+                self.flush()
+        if batch:
+            _emit()
+        self.wal.commit()
+        self._update_gauges()
+        return count
+
+    def bulk_load(self, store: RollupStore) -> str:
+        """Import a whole RollupStore as one segment, bypassing the
+        WAL (used by ``serve --data-dir``, where the shard files are
+        the durable source).  Returns the segment file name."""
+        name = self._flush_store(store)
+        self._update_gauges()
+        return name
+
+    def _over_threshold(self) -> bool:
+        threshold = self.config.flush_threshold_records
+        return threshold is not None and \
+            self.memtable.records + self.memtable.failure_records \
+            >= threshold
+
+    def _maybe_flush(self) -> None:
+        if self._over_threshold():
+            self.flush()
+
+    # -- flush ---------------------------------------------------------
+
+    @staticmethod
+    def _clear_store(store: RollupStore) -> None:
+        """Empty a RollupStore in place (object identity matters: the
+        pipeline holds a reference to the memtable)."""
+        store.records = 0
+        store.failure_records = 0
+        for name in RollupStore.TABLES:
+            store.tables[name].clear()
+
+    def _memtable_empty(self) -> bool:
+        return self.memtable.records == 0 and \
+            self.memtable.failure_records == 0 and \
+            self.memtable.group_count() == 0
+
+    def _flush_store(self, store: RollupStore) -> str:
+        seq = self._next_seq
+        self._next_seq += 1
+        name = "seg-%06d.seg" % seq
+        nbytes = write_segment(self._segment_path(name), store, seq,
+                               obs=self.obs)
+        self._segments.append(name)
+        self.obs.inc("store.flushes")
+        self.obs.inc("store.segment_flush_bytes", nbytes)
+        self._write_manifest()
+        return name
+
+    def flush(self) -> Optional[str]:
+        """Freeze the memtable into a segment; the WAL restarts empty.
+        No-op on an empty memtable.  Returns the segment name."""
+        if self._memtable_empty():
+            return None
+        name = self._flush_store(self.memtable)
+        self._clear_store(self.memtable)
+        self.wal.reset()
+        self._update_gauges()
+        return name
+
+    # -- compaction + retention ----------------------------------------
+
+    def compact(self, now_ms: Optional[float] = None,
+                force: bool = False) -> bool:
+        """Merge segments into one when ``compaction_fanout`` have
+        accumulated (or ``force`` with >= 2); apply retention when a
+        horizon and ``now_ms`` are given.  Returns True if a merge
+        happened."""
+        if len(self._segments) < (2 if force
+                                  else self.config.compaction_fanout):
+            self._apply_retention_gauge_only()
+            return False
+        merged = RollupStore(config=self.rollup_config)
+        old = list(self._segments)
+        for name in old:
+            merged.merge(SegmentReader(self._segment_path(name))
+                         .to_store())
+        if self.config.retention_ms is not None and now_ms is not None:
+            self._evict_old_windows(merged, now_ms)
+        seq = self._next_seq
+        self._next_seq += 1
+        name = "seg-%06d.seg" % seq
+        write_segment(self._segment_path(name), merged, seq,
+                      obs=self.obs)
+        self._segments = [name]
+        self._write_manifest()
+        for stale in old:
+            os.remove(self._segment_path(stale))
+        self.obs.inc("store.compactions")
+        self._update_gauges()
+        return True
+
+    def _apply_retention_gauge_only(self) -> None:
+        self._update_gauges()
+
+    def _evict_old_windows(self, store: RollupStore,
+                           now_ms: float) -> None:
+        cutoff = self.rollup_config.window_of(
+            now_ms - self.config.retention_ms)
+        evicted_windows = set()
+        for table in ("network", "app"):
+            rows = store.tables[table]
+            for key in [k for k in rows if int(k[0]) < cutoff]:
+                evicted_windows.add(int(key[0]))
+                del rows[key]
+        if evicted_windows:
+            self.obs.inc("store.retention_windows_evicted",
+                         len(evicted_windows))
+
+    # -- crash + recovery ----------------------------------------------
+
+    def crash(self) -> None:
+        """The process dies.  Volatile state -- memtable, dedup map,
+        findings, the WAL's uncommitted buffer -- is genuinely gone;
+        only what commit()/flush() forced to disk survives."""
+        if self.wal is not None:
+            self.wal.crash()
+        self._clear_store(self.memtable)
+        self.dedup.clear()
+        del self.findings[:]
+        self._segments = []
+        self._next_seq = 1
+
+    def recover(self, initial: bool = False) -> RecoveryInfo:
+        """Rebuild live state from disk alone: manifest -> segments
+        (quarantining corrupt ones) -> WAL replay into the memtable
+        and dedup map, truncating any torn tail."""
+        started = time.time()
+        info = RecoveryInfo()
+        self._clear_store(self.memtable)
+        self.dedup.clear()
+        del self.findings[:]
+        self._segments = []
+        self._next_seq = 1
+        self._bulk_seq = 0
+
+        manifest = self._load_manifest()
+        if manifest is not None:
+            if not self._explicit_config and "config" in manifest:
+                self.rollup_config = RollupConfig.from_dict(
+                    manifest["config"])
+                self.memtable.config = self.rollup_config
+            self._next_seq = int(manifest.get("next_seq", 1))
+            self.meta = dict(manifest.get("meta", {}))
+            self.findings.extend(manifest.get("findings", []))
+            for device, seq, acked in manifest.get("dedup", []):
+                self._seed_dedup(device, int(seq), int(acked))
+            for name in manifest.get("segments", []):
+                if self._check_segment(name):
+                    self._segments.append(name)
+                    info.segments_loaded += 1
+                else:
+                    info.segments_quarantined += 1
+            if info.segments_quarantined:
+                self._write_manifest()
+
+        result = replay(self._wal_path())
+        info.torn_tail = result.torn
+        info.corrupt_frame = result.corrupt
+        for payload in result.payloads:
+            envelope = json.loads(payload.decode("utf-8"))
+            records = [_record_from_dict(json.loads(line))
+                       for line in envelope["lines"]]
+            for record in records:
+                self.memtable.add(record)
+            info.replayed_records.extend(records)
+            info.wal_records += len(records)
+            if envelope.get("kind") == "batch":
+                self._seed_dedup(envelope["device"],
+                                 int(envelope["seq"]),
+                                 int(envelope["acked"]))
+            else:
+                self._bulk_seq = max(self._bulk_seq,
+                                     int(envelope.get("seq", 0)))
+        info.wal_frames = len(result.payloads)
+        info.dedup_entries = len(self.dedup)
+
+        if self.wal is None:
+            self.wal = WriteAheadLog(self._wal_path(), obs=self.obs,
+                                     fsync=self.config.fsync)
+        else:
+            self.wal.reopen()
+        if result.torn or result.corrupt:
+            self.wal.truncate_to(result.valid_bytes)
+            self.obs.inc("store.wal_torn_tails")
+
+        self.obs.inc("store.wal_replayed_frames", info.wal_frames)
+        self.obs.inc("store.wal_replayed_records", info.wal_records)
+        if info.segments_quarantined:
+            self.obs.inc("store.segments_quarantined",
+                         info.segments_quarantined)
+        if not initial:
+            self.obs.inc("store.recoveries")
+            self.recoveries += 1
+        self.obs.set_gauge("store.recovery_replay_wall_ms",
+                           (time.time() - started) * 1000.0)
+        self._update_gauges()
+        self.last_recovery = info
+        return info
+
+    def _seed_dedup(self, device: str, seq: int, acked: int) -> None:
+        key = (device, seq)
+        self.dedup[key] = acked
+        self.dedup.move_to_end(key)
+        while len(self.dedup) > self.config.dedup_capacity:
+            self.dedup.popitem(last=False)
+
+    def _check_segment(self, name: str) -> bool:
+        """Full checksum pass; quarantine the file on failure."""
+        path = self._segment_path(name)
+        try:
+            SegmentReader(path).verify()
+            return True
+        except SegmentCorruption:
+            quarantine = os.path.join(self.data_dir, QUARANTINE_DIR)
+            os.makedirs(quarantine, exist_ok=True)
+            if os.path.exists(path):
+                os.replace(path, os.path.join(quarantine, name))
+            return False
+
+    # -- the read path -------------------------------------------------
+
+    def materialize(self) -> RollupStore:
+        """Segments (seq order) + memtable, merged into one
+        RollupStore -- the read path queries run against."""
+        merged = RollupStore(config=self.rollup_config,
+                             meta=self.meta)
+        for name in self._segments:
+            merged.merge(SegmentReader(self._segment_path(name))
+                         .to_store())
+        merged.merge(self.memtable)
+        return merged
+
+    def segment_readers(self) -> List[SegmentReader]:
+        return [SegmentReader(self._segment_path(name))
+                for name in self._segments]
+
+    def disk_bytes(self) -> int:
+        total = self.wal.size_bytes() if self.wal is not None else 0
+        for name in self._segments:
+            try:
+                total += os.path.getsize(self._segment_path(name))
+            except OSError:
+                pass
+        return total
+
+    def _update_gauges(self) -> None:
+        self.obs.set_gauge("store.segments", float(len(self._segments)))
+        segment_bytes = 0
+        for name in self._segments:
+            try:
+                segment_bytes += os.path.getsize(
+                    self._segment_path(name))
+            except OSError:
+                pass
+        self.obs.set_gauge("store.segment_bytes", float(segment_bytes))
+        self.obs.set_gauge(
+            "store.memtable_records",
+            float(self.memtable.records
+                  + self.memtable.failure_records))
+
+    def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()
+
+
+__all__ = ["MANIFEST_NAME", "QUARANTINE_DIR", "RecoveryInfo",
+           "SEGMENT_DIR", "StoreConfig", "StoreEngine", "WAL_NAME"]

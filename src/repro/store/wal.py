@@ -1,0 +1,207 @@
+"""The write-ahead log: durability for everything the memtable holds.
+
+Every accepted batch becomes one canonical-JSON envelope appended to
+``wal.log`` as a CRC frame (see :mod:`repro.store.encoding`).  Appends
+buffer in memory; :meth:`WriteAheadLog.commit` writes the buffered
+frames and issues one fsync for the whole group -- group commit, the
+classic trade of latency for throughput.  The sim-time price of that
+fsync comes from :class:`FsyncModel` (the same shape as
+``IngestLoadModel``: a base cost plus a marginal per-kilobyte cost)
+and is returned to the caller, which charges it to the batch ACK --
+durable backends are slower backends, and the uploader's ACK-latency
+histogram sees the difference.
+
+Crash semantics are literal: :meth:`WriteAheadLog.crash` discards the
+uncommitted buffer, exactly the bytes a real process loses when it
+dies between ``write()`` and ``fsync()``.  :func:`replay` walks the
+frames back, classifying the tail -- a *torn* tail (partial frame) is
+the expected signature of a crash and recovery truncates it; a
+*corrupt* frame (complete but checksum-failed) stops the replay at
+the last valid frame and is reported separately, because media
+corruption is never expected and must show up in ``store.*`` metrics.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.obs import Observability, get_default
+from repro.store.encoding import (
+    FRAME_CORRUPT,
+    FRAME_END,
+    FRAME_OK,
+    frame,
+    read_frame,
+)
+
+MAGIC = b"MOPWAL1\n"
+
+
+class FsyncModel:
+    """Sim-time cost of one group-commit fsync.
+
+    ``base_ms`` is the fixed price of the barrier (journal flush,
+    device cache flush); ``per_kb_ms`` the marginal cost of the dirty
+    bytes being forced out.  Defaults approximate a mobile-grade eMMC
+    part; a benchmark can zero them to measure the no-WAL upper bound.
+    """
+
+    def __init__(self, base_ms: float = 8.0,
+                 per_kb_ms: float = 0.05) -> None:
+        self.base_ms = float(base_ms)
+        self.per_kb_ms = float(per_kb_ms)
+
+    def cost_ms(self, nbytes: int) -> float:
+        return self.base_ms + self.per_kb_ms * (nbytes / 1024.0)
+
+
+@dataclass
+class ReplayResult:
+    """What :func:`replay` found in a WAL file."""
+    payloads: List[bytes] = field(default_factory=list)
+    valid_bytes: int = 0        # offset of the last valid frame's end
+    torn: bool = False          # partial frame at the tail (crash)
+    corrupt: bool = False       # checksum-failed frame (media fault)
+
+
+def replay(path: str) -> ReplayResult:
+    """Read every valid frame from ``path``, stopping at the first
+    torn or corrupt frame.  ``valid_bytes`` is the safe truncation
+    point.  A missing file replays as empty."""
+    result = ReplayResult()
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return result
+    if not data.startswith(MAGIC):
+        # A WAL that lost its header is unreadable from byte 0: treat
+        # the whole file as a torn tail and let recovery reset it.
+        result.torn = bool(data)
+        return result
+    pos = len(MAGIC)
+    result.valid_bytes = pos
+    while True:
+        payload, pos, status = read_frame(data, pos)
+        if status == FRAME_OK:
+            result.payloads.append(payload)
+            result.valid_bytes = pos
+            continue
+        if status != FRAME_END:
+            result.torn = status != FRAME_CORRUPT
+            result.corrupt = status == FRAME_CORRUPT
+        return result
+
+
+class WriteAheadLog:
+    """Append-only frame log with group commit.
+
+    ``append`` buffers; ``commit`` makes the buffered group durable
+    and returns the modelled fsync cost in sim-ms.  Nothing buffered
+    survives :meth:`crash`.
+    """
+
+    def __init__(self, path: str,
+                 obs: Optional[Observability] = None,
+                 fsync: Optional[FsyncModel] = None) -> None:
+        self.path = path
+        self.obs = obs or get_default()
+        self.fsync = fsync or FsyncModel()
+        self._pending: List[bytes] = []
+        self._handle = None
+        self._open()
+
+    def _open(self) -> None:
+        fresh = not os.path.exists(self.path) or \
+            os.path.getsize(self.path) == 0
+        self._handle = open(self.path, "ab")
+        if fresh:
+            self._handle.write(MAGIC)
+            self._handle.flush()
+
+    # -- the write path ------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def append(self, payload: bytes) -> None:
+        """Buffer one record; durable only after :meth:`commit`."""
+        if self._handle is None:
+            raise RuntimeError("WAL is closed")
+        self._pending.append(frame(payload))
+
+    def commit(self) -> float:
+        """Write and fsync the buffered group.  Returns the modelled
+        sim-time cost; 0.0 when nothing was pending."""
+        if not self._pending:
+            return 0.0
+        blob = b"".join(self._pending)
+        count = len(self._pending)
+        self._pending = []
+        self._handle.write(blob)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        cost = self.fsync.cost_ms(len(blob))
+        self.obs.inc("store.wal_appends", count)
+        self.obs.inc("store.wal_bytes", len(blob))
+        self.obs.inc("store.wal_fsyncs")
+        self.obs.observe("store.wal_commit_cost_ms", cost)
+        return cost
+
+    # -- lifecycle -----------------------------------------------------
+
+    def crash(self) -> None:
+        """The process dies: the uncommitted buffer is gone, the file
+        keeps only what commit() already forced out."""
+        self._pending = []
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def close(self) -> None:
+        if self._pending:
+            self.commit()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def reopen(self) -> None:
+        if self._handle is None:
+            self._open()
+
+    def reset(self) -> None:
+        """Truncate after a segment flush: everything logged so far is
+        now durable in a segment, the log restarts empty."""
+        self._pending = []
+        if self._handle is not None:
+            self._handle.close()
+        with open(self.path, "wb") as handle:
+            handle.write(MAGIC)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle = open(self.path, "ab")
+
+    def truncate_to(self, valid_bytes: int) -> None:
+        """Cut a torn tail off at the last valid frame boundary."""
+        if valid_bytes < len(MAGIC):
+            # Not even the header survived: start the log over.
+            self.reset()
+            return
+        if self._handle is not None:
+            self._handle.close()
+        with open(self.path, "r+b") as handle:
+            handle.truncate(valid_bytes)
+        self._handle = open(self.path, "ab")
+
+    def size_bytes(self) -> int:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+
+__all__ = ["FsyncModel", "MAGIC", "ReplayResult", "WriteAheadLog",
+           "replay"]

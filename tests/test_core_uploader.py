@@ -250,6 +250,36 @@ class TestCollectorProtocol:
         assert len(w.collector.received) == 1      # ingested once
         assert w.collector.duplicates == 1
 
+    def test_racing_flush_cannot_double_count_acks(self, world):
+        """Regression: stop() while the periodic upload is awaiting a
+        slow ACK sends the same in-flight batch twice.  The collector
+        deduplicates, but both ACKs come back -- only the first may
+        advance the cursor; the second is a stale ACK."""
+        from repro.backend.ingest import IngestLoadModel
+        from repro.backend.server import BackendServer
+        backend = BackendServer(
+            world.sim, ["198.51.100.201"], name="slow-collector",
+            load=IngestLoadModel(base_ms=5_000.0, per_record_ms=0.0))
+        world.internet.add_server(backend)
+        mopeye = MopEyeService(world.device)
+        mopeye.start()
+        world.mopeye = mopeye
+        generate_measurements(world, n=6)
+        uploader = MeasurementUploader(mopeye, "198.51.100.201",
+                                       interval_ms=1_000.0,
+                                       min_batch=1,
+                                       ack_timeout_ms=60_000.0)
+        uploader.start()
+        # Let one periodic upload get in flight (its ACK is ~5 s out),
+        # then stop: the shutdown flush re-sends the same batch.
+        world.run(until=1_500.0)
+        uploader.stop()
+        world.run(until=60_000.0)
+        assert backend.duplicates >= 1
+        assert mopeye.obs.value("uploader.stale_acks") >= 1
+        assert uploader.uploaded == len(mopeye.store)
+        assert len(backend.received) == len(mopeye.store)
+
     def test_busy_backpressure_and_backoff(self, world):
         """A rate-limited backend sheds batches with BUSY; the
         uploader backs off with jitter and retries the same batch, so

@@ -1,17 +1,23 @@
 """Injector-layer tests: link fault hooks, scope matching, timed
-activation windows, and the paper-facing SYN-ACK retransmission
-inflation (section 4.1)."""
+activation windows, backend crash semantics (volatile state genuinely
+dies; recovery genuinely rebuilds it from disk), and the paper-facing
+SYN-ACK retransmission inflation (section 4.1)."""
 
 import random
 
 import pytest
 
+from repro.backend.rollups import RollupStore
+from repro.backend.server import BackendServer
 from repro.core import MopEyeService
+from repro.core.persist import record_to_line
+from repro.core.records import MeasurementRecord
 from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
 from repro.network.link import LinkDirection, NetworkType
 from repro.network.servers import OUTAGE_REFUSE
 from repro.phone import App
 from repro.sim import Constant, Simulator
+from repro.store import StoreConfig
 from tests.conftest import World
 
 
@@ -207,6 +213,84 @@ class TestInjectorWindows:
         assert injector.obs.value("faults.activated") == 1
         assert injector.obs.value("faults.deactivated") == 1
         assert injector.obs.value("faults.active") == 0.0
+
+
+def _batch_payload(n=8, seq_base=0):
+    records = [MeasurementRecord(
+        kind="TCP", rtt_ms=40.0 + index, timestamp_ms=1000.0 * index,
+        app_package="com.crash.app", app_uid=10001,
+        dst_ip="203.0.113.9", dst_port=443, domain="crash.example",
+        operator="TestNet", device_id="dev-crash")
+        for index in range(seq_base, seq_base + n)]
+    return ("\n".join(record_to_line(r) for r in records)
+            + "\n").encode(), len(records)
+
+
+class TestBackendCrashSemantics:
+    """A crash is a real process death: the rollup memtable, dedup
+    cache and received mirror are genuinely dropped, and the post-
+    restart digest parity comes from WAL/segment *recovery* -- not
+    from in-memory state quietly surviving the crash."""
+
+    def _durable_backend(self, tmp_path):
+        sim = Simulator()
+        return BackendServer(
+            sim, ["203.0.113.50"],
+            data_dir=str(tmp_path / "store"),
+            store_config=StoreConfig(flush_threshold_records=None))
+
+    def test_crash_genuinely_drops_volatile_state(self, tmp_path):
+        backend = self._durable_backend(tmp_path)
+        payload, count = _batch_payload()
+        outcome = backend.pipeline.handle_batch("dev-crash", 0,
+                                                payload, now_ms=0.0)
+        assert outcome.acked == count
+        ingested = backend.rollups.digest()
+        empty = RollupStore(
+            config=backend.store.rollup_config).digest()
+        assert ingested != empty
+        backend.crash()
+        # Volatile state is gone -- no pretending RAM is durable.
+        assert backend.rollups.records == 0
+        assert backend.rollups.digest() == empty
+        assert len(backend.received) == 0
+        assert len(backend.store.dedup) == 0
+
+    def test_restart_recovers_from_wal_not_survival(self, tmp_path):
+        backend = self._durable_backend(tmp_path)
+        payload, count = _batch_payload()
+        backend.pipeline.handle_batch("dev-crash", 0, payload,
+                                      now_ms=0.0)
+        ingested = backend.rollups.digest()
+        received = len(backend.received)
+        backend.crash()
+        assert backend.rollups.records == 0     # really dropped...
+        backend.restart()
+        # ...and really rebuilt, purely from the WAL on disk.
+        assert backend.recoveries == 1
+        assert backend.rollups.digest() == ingested
+        assert len(backend.received) == received
+        assert backend.store.last_recovery.wal_records == count
+        # The dedup cache recovered too: replaying the acked batch
+        # returns the cached ACK instead of double-counting.
+        again = backend.pipeline.handle_batch("dev-crash", 0, payload,
+                                              now_ms=1000.0)
+        assert again.acked == count
+        assert backend.duplicates == 1
+        assert backend.rollups.digest() == ingested
+
+    def test_ram_only_backend_loses_everything(self, tmp_path):
+        sim = Simulator()
+        backend = BackendServer(sim, ["203.0.113.50"])
+        payload, _count = _batch_payload()
+        backend.pipeline.handle_batch("dev-crash", 0, payload,
+                                      now_ms=0.0)
+        assert backend.rollups.records > 0
+        backend.crash()
+        backend.restart()
+        assert backend.recoveries == 0
+        assert backend.rollups.records == 0
+        assert len(backend.received) == 0
 
 
 class TestSynAckRetransmissionInflation:

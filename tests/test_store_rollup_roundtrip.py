@@ -1,0 +1,175 @@
+"""Property tests for the RollupStore save/load round trip.
+
+The durable formats (JSON snapshot and segment files) both promise
+``load(save(s)).digest() == s.digest()`` for *any* store: empty,
+single-bin histograms, keys containing the separator character,
+failure-only ingest.  Hypothesis drives the record generator; the
+schema-version gate gets its own explicit cases."""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backend.rollups import (
+    SNAPSHOT_SCHEMA,
+    MergeHist,
+    RollupConfig,
+    RollupStore,
+    _decode_key,
+    _encode_key,
+)
+from repro.core.records import MeasurementRecord
+from repro.store.segments import SegmentReader, write_segment
+
+_SETTINGS = dict(
+    max_examples=25, deadline=None,
+    # tmp_path is handed to @given tests on purpose: each example
+    # writes its own uniquely-named file inside the shared directory.
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.function_scoped_fixture])
+
+_names = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    min_size=1, max_size=12)
+
+_records = st.lists(
+    st.builds(
+        MeasurementRecord,
+        kind=st.sampled_from(["TCP", "DNS"]),
+        rtt_ms=st.floats(min_value=0.0, max_value=10_000.0,
+                         allow_nan=False),
+        timestamp_ms=st.floats(min_value=0.0, max_value=3e10,
+                               allow_nan=False),
+        app_package=_names,
+        domain=st.one_of(st.none(), _names),
+        network_type=st.sampled_from(["WIFI", "LTE"]),
+        operator=_names,
+        failure=st.one_of(st.none(),
+                          st.sampled_from(["timeout", "refused",
+                                           "unreachable"])),
+    ),
+    max_size=40)
+
+
+def _store_of(records):
+    store = RollupStore()
+    store.add_all(records)
+    return store
+
+
+class TestSnapshotRoundTrip:
+    @given(records=_records)
+    @settings(**_SETTINGS)
+    def test_save_load_preserves_the_digest(self, records, tmp_path):
+        store = _store_of(records)
+        path = str(tmp_path / "state.json")
+        store.save(path)
+        loaded = RollupStore.load(path)
+        assert loaded.digest() == store.digest()
+        assert loaded.records == store.records
+        for table in RollupStore.TABLES:
+            assert loaded.tables[table].keys() == \
+                store.tables[table].keys()
+
+    @given(records=_records)
+    @settings(**_SETTINGS)
+    def test_segment_round_trip_matches_snapshot_round_trip(
+            self, records, tmp_path):
+        store = _store_of(records)
+        seg = str(tmp_path / "seg.seg")
+        write_segment(seg, store, seq=1)
+        assert SegmentReader(seg).to_store().digest() == store.digest()
+
+    def test_empty_store_round_trips(self, tmp_path):
+        store = RollupStore()
+        path = str(tmp_path / "empty.json")
+        store.save(path)
+        assert RollupStore.load(path).digest() == store.digest()
+
+    def test_single_bin_hist_round_trips(self, tmp_path):
+        store = RollupStore()
+        hist = MergeHist()
+        hist.add(42.0)
+        store.tables["app"][("0", "com.one", "TCP")] = hist
+        store.records = 1
+        path = str(tmp_path / "one.json")
+        store.save(path)
+        loaded = RollupStore.load(path)
+        assert loaded.digest() == store.digest()
+        got = loaded.tables["app"][("0", "com.one", "TCP")]
+        assert got.bins == hist.bins and got.count == hist.count
+
+    def test_failure_records_are_live_only(self, tmp_path):
+        """failure_records counts time-to-failure records that are
+        never rolled up; the field is volatile by design and must not
+        perturb the digest across a round trip."""
+        store = RollupStore()
+        store.add(MeasurementRecord(
+            kind="TCP", rtt_ms=1.0, timestamp_ms=0.0,
+            app_package="com.app", failure="timeout"))
+        assert store.failure_records == 1 and store.records == 0
+        assert "failure_records" not in store.snapshot()
+        path = str(tmp_path / "f.json")
+        store.save(path)
+        loaded = RollupStore.load(path)
+        assert loaded.failure_records == 0
+        assert loaded.digest() == store.digest()
+
+
+class TestKeyEncoding:
+    @given(key=st.lists(_names, min_size=1, max_size=4))
+    @settings(**_SETTINGS)
+    def test_any_printable_key_round_trips(self, key):
+        assert _decode_key(_encode_key(tuple(key))) == tuple(key)
+
+    def test_separator_in_key_no_longer_splits(self):
+        """Regression: an operator named ``A|B`` used to come back as
+        two key parts after save/load."""
+        key = ("0", "Evil|Operator\\Inc", "WIFI", "TCP")
+        assert _decode_key(_encode_key(key)) == key
+
+    def test_separator_key_survives_save_load(self, tmp_path):
+        store = RollupStore()
+        store.add(MeasurementRecord(
+            kind="TCP", rtt_ms=10.0, timestamp_ms=0.0,
+            app_package="com.pipe", operator="Evil|Op"))
+        path = str(tmp_path / "pipe.json")
+        store.save(path)
+        loaded = RollupStore.load(path)
+        assert loaded.digest() == store.digest()
+        assert ("0", "Evil|Op", "WIFI", "TCP") in \
+            loaded.tables["network"]
+
+
+class TestSchemaGate:
+    def test_current_schema_is_stamped(self):
+        assert RollupStore().snapshot()["schema"] == SNAPSHOT_SCHEMA
+
+    def test_v1_snapshot_without_schema_key_loads(self, tmp_path):
+        store = _store_of([MeasurementRecord(
+            kind="TCP", rtt_ms=10.0, timestamp_ms=0.0,
+            app_package="com.v1")])
+        snapshot = store.snapshot()
+        del snapshot["schema"]
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(snapshot))
+        assert RollupStore.load(str(path)).digest() == store.digest()
+
+    def test_newer_schema_rejected_with_clear_error(self, tmp_path):
+        snapshot = RollupStore().snapshot()
+        snapshot["schema"] = SNAPSHOT_SCHEMA + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(snapshot))
+        with pytest.raises(ValueError, match="schema version"):
+            RollupStore.load(str(path))
+
+    def test_missing_field_is_a_value_error_not_keyerror(self,
+                                                         tmp_path):
+        snapshot = RollupStore().snapshot()
+        del snapshot["config"]
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(snapshot))
+        with pytest.raises(ValueError, match="missing required"):
+            RollupStore.load(str(path))

@@ -1,0 +1,195 @@
+"""Segment-file tests: digest-exact round trips, footer-indexed point
+reads, the sparse hist codec, and corruption detection (every block
+carries its own CRC; a lying file raises, never serves)."""
+
+import pytest
+
+from repro.backend.rollups import MergeHist, RollupConfig, RollupStore
+from repro.core.records import MeasurementRecord
+from repro.obs import Observability
+from repro.store.encoding import decode_hist, encode_hist
+from repro.store.segments import (
+    SEGMENT_SCHEMA,
+    SegmentCorruption,
+    SegmentReader,
+    write_segment,
+)
+
+
+def _rec(kind="TCP", rtt=100.0, ts=0.0, domain=None, operator="OpA",
+         tech="WIFI", app="com.app.a", failure=None):
+    return MeasurementRecord(
+        kind=kind, rtt_ms=rtt, timestamp_ms=ts, app_package=app,
+        app_uid=10001, dst_ip="203.0.113.1", dst_port=443,
+        domain=domain, network_type=tech, operator=operator,
+        country="US", device_id="dev-1", failure=failure)
+
+
+def _populated_store():
+    store = RollupStore()
+    day = 24 * 3600 * 1000.0
+    for index in range(200):
+        store.add(_rec(rtt=20.0 + index, ts=index * day,
+                       app="com.app.%d" % (index % 5),
+                       domain="d%d.example" % (index % 3),
+                       tech="LTE" if index % 2 else "WIFI"))
+    store.add(_rec(kind="DNS", rtt=8.0))
+    store.add(_rec(domain="mmx.whatsapp.net", rtt=55.0))
+    store.add(_rec(rtt=1.0, failure="timeout"))
+    return store
+
+
+class TestHistCodec:
+    def test_sparse_hist_round_trip(self):
+        hist = MergeHist()
+        for value in (0.0, 0.1, 12.25, 12.3, 7999.9, 9000.0, 9000.0):
+            hist.add(value)
+        out = bytearray()
+        encode_hist(out, hist)
+        decoded, pos = decode_hist(bytes(out), 0)
+        assert pos == len(out)
+        assert decoded.bins == hist.bins
+        assert decoded.count == hist.count
+        assert decoded.overflow == hist.overflow
+
+    def test_single_bin_hist_is_tiny(self):
+        hist = MergeHist()
+        for _ in range(1000):
+            hist.add(50.0)
+        out = bytearray()
+        encode_hist(out, hist)
+        # count, overflow, n_entries, index, count-1: a few varints.
+        assert len(out) <= 8
+        decoded, _pos = decode_hist(bytes(out), 0)
+        assert decoded.bins == hist.bins
+
+
+class TestSegmentRoundTrip:
+    def test_digest_exact_round_trip(self, tmp_path):
+        store = _populated_store()
+        path = str(tmp_path / "seg.seg")
+        obs = Observability()
+        nbytes = write_segment(path, store, seq=7, obs=obs)
+        assert nbytes == (tmp_path / "seg.seg").stat().st_size
+        assert obs.value("store.segment_writes") == 1
+        reader = SegmentReader(path)
+        assert reader.seq == 7
+        loaded = reader.to_store()
+        assert loaded.digest() == store.digest()
+        assert loaded.records == store.records
+        assert loaded.failure_records == store.failure_records
+        assert loaded.config.to_dict() == store.config.to_dict()
+
+    def test_point_reads_match_the_store(self, tmp_path):
+        store = _populated_store()
+        path = str(tmp_path / "seg.seg")
+        write_segment(path, store, seq=1)
+        reader = SegmentReader(path)
+        for table in RollupStore.TABLES:
+            rows = dict(reader.iter_table(table))
+            assert rows.keys() == store.tables[table].keys()
+        key = next(iter(sorted(store.tables["app"])))
+        hist = reader.get("app", key)
+        assert hist is not None
+        assert hist.bins == store.tables["app"][key].bins
+        assert reader.get("app", ("9999", "com.nope", "TCP")) is None
+
+    def test_reads_touch_only_the_indexed_block(self, tmp_path):
+        """Corrupting one table's block must not break point reads on
+        the others -- the footer index localises both reads and
+        damage."""
+        store = _populated_store()
+        path = str(tmp_path / "seg.seg")
+        write_segment(path, store, seq=1)
+        probe = SegmentReader(path)
+        entry = probe.footer["tables"]["network"]
+        with open(path, "r+b") as handle:
+            handle.seek(entry["offset"] + 10)
+            byte = handle.read(1)
+            handle.seek(entry["offset"] + 10)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        reader = SegmentReader(path)          # footer still valid
+        key = next(iter(sorted(store.tables["app"])))
+        assert reader.get("app", key) is not None
+        with pytest.raises(SegmentCorruption):
+            reader.iter_table("network").__next__()
+        with pytest.raises(SegmentCorruption):
+            SegmentReader(path).verify()
+
+    def test_empty_store_round_trips(self, tmp_path):
+        store = RollupStore(config=RollupConfig(window_ms=1000.0))
+        path = str(tmp_path / "empty.seg")
+        write_segment(path, store, seq=1)
+        loaded = SegmentReader(path).to_store()
+        assert loaded.digest() == store.digest()
+        assert loaded.records == 0
+
+
+class TestSegmentCorruption:
+    def _segment(self, tmp_path):
+        path = str(tmp_path / "seg.seg")
+        write_segment(path, _populated_store(), seq=1)
+        return path
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = self._segment(tmp_path)
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[:len(data) // 2])
+        with pytest.raises(SegmentCorruption):
+            SegmentReader(path)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = self._segment(tmp_path)
+        data = bytearray(open(path, "rb").read())
+        data[0] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(SegmentCorruption, match="magic"):
+            SegmentReader(path)
+
+    def test_footer_checksum_failure_rejected(self, tmp_path):
+        path = self._segment(tmp_path)
+        data = bytearray(open(path, "rb").read())
+        data[-20] ^= 0xFF                     # inside the footer frame
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(SegmentCorruption):
+            SegmentReader(path)
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        store = RollupStore()
+        path = str(tmp_path / "seg.seg")
+        write_segment(path, store, seq=1)
+        import json
+
+        from repro.store import encoding
+        data = open(path, "rb").read()
+        offset = encoding.unpack_u64(data, len(data) - 16)
+        payload, _end, _status = encoding.read_frame(data, offset)
+        footer = json.loads(payload)
+        footer["schema"] = SEGMENT_SCHEMA + 1
+        new_payload = json.dumps(footer, sort_keys=True,
+                                 separators=(",", ":")).encode()
+        blob = (data[:offset] + encoding.frame(new_payload)
+                + encoding.pack_u64(offset) + data[-8:])
+        open(path, "wb").write(blob)
+        with pytest.raises(SegmentCorruption, match="schema"):
+            SegmentReader(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SegmentCorruption, match="unreadable"):
+            SegmentReader(str(tmp_path / "nope.seg"))
+
+
+class TestDeterminism:
+    def test_insertion_order_cannot_change_the_bytes(self, tmp_path):
+        day = 24 * 3600 * 1000.0
+        records = [_rec(rtt=20.0 + i, ts=i * day,
+                        app="com.app.%d" % (i % 7)) for i in range(50)]
+        one, two = RollupStore(), RollupStore()
+        one.add_all(records)
+        two.add_all(list(reversed(records)))
+        path_a = str(tmp_path / "a.seg")
+        path_b = str(tmp_path / "b.seg")
+        write_segment(path_a, one, seq=1)
+        write_segment(path_b, two, seq=1)
+        assert open(path_a, "rb").read() == open(path_b, "rb").read()

@@ -1,0 +1,181 @@
+"""WAL-layer tests: CRC framing, group commit, the fsync cost model,
+and literal crash semantics (nothing uncommitted survives; a torn
+tail truncates at the last valid frame)."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.store.encoding import (
+    FRAME_CORRUPT,
+    FRAME_END,
+    FRAME_OK,
+    FRAME_TORN,
+    frame,
+    read_frame,
+    read_uvarint,
+    write_uvarint,
+)
+from repro.store.wal import MAGIC, FsyncModel, WriteAheadLog, replay
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        data = frame(b"hello") + frame(b"") + frame(b"x" * 1000)
+        payloads = []
+        pos = 0
+        while True:
+            payload, pos, status = read_frame(data, pos)
+            if status != FRAME_OK:
+                break
+            payloads.append(payload)
+        assert status == FRAME_END
+        assert payloads == [b"hello", b"", b"x" * 1000]
+
+    def test_partial_header_is_torn(self):
+        data = frame(b"ok") + b"\x05\x00"
+        payload, pos, status = read_frame(data, len(frame(b"ok")))
+        assert status == FRAME_TORN and payload == b""
+
+    def test_partial_payload_is_torn(self):
+        data = frame(b"hello")[:-2]
+        _payload, _pos, status = read_frame(data, 0)
+        assert status == FRAME_TORN
+
+    def test_checksum_mismatch_is_corrupt(self):
+        data = bytearray(frame(b"hello"))
+        data[-1] ^= 0xFF
+        _payload, _pos, status = read_frame(bytes(data), 0)
+        assert status == FRAME_CORRUPT
+
+    def test_uvarint_round_trip(self):
+        out = bytearray()
+        values = [0, 1, 127, 128, 300, 2 ** 32, 2 ** 62]
+        for value in values:
+            write_uvarint(out, value)
+        pos = 0
+        decoded = []
+        for _ in values:
+            value, pos = read_uvarint(bytes(out), pos)
+            decoded.append(value)
+        assert decoded == values and pos == len(out)
+
+    def test_uvarint_rejects_negative_and_truncated(self):
+        with pytest.raises(ValueError):
+            write_uvarint(bytearray(), -1)
+        with pytest.raises(ValueError):
+            read_uvarint(b"\x80", 0)
+
+
+class TestWriteAheadLog:
+    def _wal(self, tmp_path, **kwargs):
+        obs = Observability()
+        return WriteAheadLog(str(tmp_path / "wal.log"), obs=obs,
+                             **kwargs), obs
+
+    def test_commit_makes_frames_replayable(self, tmp_path):
+        wal, obs = self._wal(tmp_path)
+        wal.append(b"one")
+        wal.append(b"two")
+        assert wal.pending == 2
+        cost = wal.commit()
+        assert cost > 0
+        result = replay(wal.path)
+        assert result.payloads == [b"one", b"two"]
+        assert not result.torn and not result.corrupt
+        assert obs.value("store.wal_appends") == 2
+        assert obs.value("store.wal_fsyncs") == 1
+
+    def test_commit_with_nothing_pending_is_free(self, tmp_path):
+        wal, obs = self._wal(tmp_path)
+        assert wal.commit() == 0.0
+        assert obs.value("store.wal_fsyncs") == 0
+
+    def test_crash_drops_the_uncommitted_buffer(self, tmp_path):
+        wal, _obs = self._wal(tmp_path)
+        wal.append(b"durable")
+        wal.commit()
+        wal.append(b"volatile")
+        wal.crash()
+        result = replay(wal.path)
+        assert result.payloads == [b"durable"]
+
+    def test_fsync_cost_model_scales_with_bytes(self, tmp_path):
+        model = FsyncModel(base_ms=5.0, per_kb_ms=1.0)
+        assert model.cost_ms(0) == 5.0
+        assert model.cost_ms(2048) == pytest.approx(7.0)
+        wal, _obs = self._wal(tmp_path, fsync=model)
+        wal.append(b"x" * 100)
+        assert wal.commit() == pytest.approx(
+            model.cost_ms(len(frame(b"x" * 100))))
+
+    def test_torn_tail_stops_replay_at_last_valid_frame(self, tmp_path):
+        wal, _obs = self._wal(tmp_path)
+        wal.append(b"first")
+        wal.append(b"second")
+        wal.commit()
+        with open(wal.path, "r+b") as handle:
+            handle.truncate(wal.size_bytes() - 3)
+        result = replay(wal.path)
+        assert result.payloads == [b"first"]
+        assert result.torn and not result.corrupt
+        assert result.valid_bytes == len(MAGIC) + len(frame(b"first"))
+
+    def test_corrupt_frame_reported_not_replayed(self, tmp_path):
+        wal, _obs = self._wal(tmp_path)
+        wal.append(b"good")
+        wal.append(b"evil")
+        wal.commit()
+        wal.close()
+        with open(wal.path, "r+b") as handle:
+            handle.seek(-1, 2)
+            last = handle.read(1)
+            handle.seek(-1, 2)
+            handle.write(bytes([last[0] ^ 0xFF]))
+        result = replay(wal.path)
+        assert result.payloads == [b"good"]
+        assert result.corrupt and not result.torn
+
+    def test_truncate_to_cuts_the_tail(self, tmp_path):
+        wal, _obs = self._wal(tmp_path)
+        wal.append(b"keep")
+        wal.commit()
+        wal.append(b"cut")
+        wal.commit()
+        result = replay(wal.path)
+        keep_end = len(MAGIC) + len(frame(b"keep"))
+        wal.truncate_to(keep_end)
+        assert replay(wal.path).payloads == [b"keep"]
+        assert wal.size_bytes() == keep_end
+        wal.append(b"after")
+        wal.commit()
+        assert replay(wal.path).payloads == [b"keep", b"after"]
+
+    def test_truncate_below_magic_resets_the_log(self, tmp_path):
+        wal, _obs = self._wal(tmp_path)
+        wal.append(b"gone")
+        wal.commit()
+        wal.truncate_to(0)
+        assert wal.size_bytes() == len(MAGIC)
+        assert replay(wal.path).payloads == []
+
+    def test_headerless_file_replays_as_torn(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"not a wal")
+        result = replay(str(path))
+        assert result.payloads == [] and result.torn
+        assert result.valid_bytes == 0
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        result = replay(str(tmp_path / "nope.log"))
+        assert result.payloads == []
+        assert not result.torn and not result.corrupt
+
+    def test_reset_restarts_empty(self, tmp_path):
+        wal, _obs = self._wal(tmp_path)
+        wal.append(b"old")
+        wal.commit()
+        wal.reset()
+        assert replay(wal.path).payloads == []
+        wal.append(b"new")
+        wal.commit()
+        assert replay(wal.path).payloads == [b"new"]
