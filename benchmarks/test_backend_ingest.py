@@ -1,16 +1,27 @@
-"""Backend ingest: shard-parallel throughput + digest determinism.
+"""Backend ingest: worker-scaling curve + digest determinism.
 
 Generates the synthetic crowdsourcing dataset once, then ingests the
-shard files into backend rollups with a single worker and with a pool,
-asserting the two rollup digests are byte-identical (the merge is
-commutative over integer histogram state, so worker count must not
-matter) and that the online detector re-derives both section 4.2.2
-case-study verdicts from the live rollups.  The speedup assertion only
-applies on multi-core hosts.
+shard files at every worker count in the scaling ladder, asserting the
+rollup digests are byte-identical (the merge is commutative over
+integer histogram state, so worker count must not matter) and that the
+online detector re-derives both section 4.2.2 case-study verdicts from
+the live rollups.
+
+Methodology notes (the previous revision of this file got both wrong):
+
+* every row records its **per-worker wall times** and the parent-side
+  **merge wall** (via ``ingest_shard_files(report=...)``), so the
+  serial fraction is measured, not guessed;
+* speedup assertions are gated on the host actually having the cores
+  -- a 1-CPU container running a 4-process pool measures scheduling
+  overhead, not scaling, and publishing that number as "the speedup"
+  is how the old 0.902x report happened.  On such hosts the JSON
+  carries the measured (honest) numbers plus an Amdahl projection
+  clearly labelled as derived from the single-core decomposition.
 
 Scale/worker knobs for quick local runs:
 
-    MOPEYE_BACKEND_BENCH_SCALE=0.02 MOPEYE_BACKEND_BENCH_WORKERS=2 \
+    MOPEYE_BACKEND_BENCH_SCALE=0.02 MOPEYE_BACKEND_BENCH_WORKERS=1,2 \
         PYTHONPATH=src python -m pytest benchmarks/test_backend_ingest.py
 """
 
@@ -24,15 +35,19 @@ from repro.crowd import CampaignConfig, ShardedCampaign
 from repro.obs import Observability
 
 SCALE = float(os.environ.get("MOPEYE_BACKEND_BENCH_SCALE", "0.1"))
-WORKERS = int(os.environ.get("MOPEYE_BACKEND_BENCH_WORKERS", "4"))
+WORKER_LADDER = [
+    int(part) for part in
+    os.environ.get("MOPEYE_BACKEND_BENCH_WORKERS", "1,2,4,8").split(",")
+    if part.strip()]
 SEED = 2016
 
 
 def _ingest(paths, workers):
+    report = {}
     start = time.perf_counter()
     rollups = ingest_shard_files(paths, config=RollupConfig(),
-                                 workers=workers)
-    return rollups, time.perf_counter() - start
+                                 workers=workers, report=report)
+    return rollups, time.perf_counter() - start, report
 
 
 def _sim_overhead_per_batch(path, batch_size=50, batches=20):
@@ -55,62 +70,97 @@ def _sim_overhead_per_batch(path, batch_size=50, batches=20):
     return sum(delays) / len(delays)
 
 
+def _amdahl_projection(serial_s, report):
+    """Projected speedups from the measured decomposition: the
+    parallelisable work is the *uncontended* serial wall (worker walls
+    measured on an oversubscribed host include CPU-wait and would
+    inflate it), the serial fraction the measured parent-side merge
+    wall.  Only meaningful when published *as a projection* next to
+    the honest measured numbers."""
+    merge_s = report.get("merge_wall_s", 0.0)
+    return {
+        str(workers): round(serial_s / (serial_s / workers + merge_s),
+                            2)
+        for workers in (2, 4, 8)}
+
+
 def test_backend_ingest_speedup_and_determinism(tmp_path, benchmark):
-    from benchmarks._common import save_result
+    from benchmarks._common import RESULTS_DIR, save_result
     from repro.analysis import format_table
 
+    ladder = sorted(set(WORKER_LADDER) | {1})
     campaign = ShardedCampaign(
         config=CampaignConfig(scale=SCALE, seed=SEED),
-        workers=WORKERS, shard_dir=str(tmp_path / "shards"))
+        workers=max(ladder), shard_dir=str(tmp_path / "shards"))
     dataset = campaign.run()
 
-    serial, serial_s = _ingest(dataset.paths, 1)
-
+    rows = []
     box = {}
 
-    def parallel_run():
-        box["rollups"], box["elapsed"] = _ingest(dataset.paths, WORKERS)
+    def ladder_run():
+        for workers in ladder:
+            rollups, wall, report = _ingest(dataset.paths, workers)
+            rows.append({
+                "workers": workers,
+                "wall_s": round(wall, 3),
+                "worker_walls_s": report["worker_walls_s"],
+                "merge_wall_s": report["merge_wall_s"],
+                "chunks": report["chunks"],
+                "mode": report["mode"],
+                "digest": rollups.digest(),
+            })
+            box[workers] = rollups
 
-    benchmark.pedantic(parallel_run, rounds=1, iterations=1)
-    parallel, parallel_s = box["rollups"], box["elapsed"]
+    benchmark.pedantic(ladder_run, rounds=1, iterations=1)
+    serial_row = rows[0]
+    parallel = box[max(ladder)]
+    for row in rows:
+        row["speedup"] = round(serial_row["wall_s"] / row["wall_s"], 3)
 
     detector = OnlineDetector(parallel, scale=SCALE)
     findings = detector.evaluate()
     rules = sorted(f.rule for f in findings)
 
-    speedup = serial_s / parallel_s
     cpus = os.cpu_count() or 1
-    rate = parallel.records / parallel_s if parallel_s else 0.0
+    rate = parallel.records / rows[-1]["wall_s"]
     batch_overhead_ms = _sim_overhead_per_batch(dataset.paths[0])
+    parallel_report = next((row for row in rows if row["workers"] > 1),
+                           serial_row)
+    projection = _amdahl_projection(serial_row["wall_s"],
+                                    parallel_report)
     text = format_table(
-        ["Workers", "Wall (s)", "Records", "Groups",
-         "Digest (first 12)"],
-        [[1, "%.1f" % serial_s, serial.records,
-          sum(len(serial.table(t)) for t in serial.TABLES),
-          serial.digest()[:12]],
-         [WORKERS, "%.1f" % parallel_s, parallel.records,
-          sum(len(parallel.table(t)) for t in parallel.TABLES),
-          parallel.digest()[:12]]],
-        title="Backend ingest, scale=%g on %d CPU(s): speedup %.2fx, "
-              "%.0f rec/s, %.2f ms sim-time/batch; findings: %s." % (
-                  SCALE, cpus, speedup, rate, batch_overhead_ms,
+        ["Workers", "Wall (s)", "Speedup", "Merge (s)",
+         "Worker walls (s)", "Digest (first 12)"],
+        [[row["workers"], "%.1f" % row["wall_s"],
+          "%.2fx" % row["speedup"], "%.2f" % row["merge_wall_s"],
+          " ".join("%.1f" % w for w in row["worker_walls_s"]),
+          row["digest"][:12]] for row in rows],
+        title="Backend ingest, scale=%g on %d CPU(s): %.0f rec/s at "
+              "%d workers, %.2f ms sim-time/batch; findings: %s." % (
+                  SCALE, cpus, rate, max(ladder), batch_overhead_ms,
                   ", ".join(rules)))
     save_result("backend_ingest", text)
 
-    from benchmarks._common import RESULTS_DIR
     payload = {
         "benchmark": "backend_ingest",
         "scale": SCALE,
-        "workers": WORKERS,
         "cpus": cpus,
         "records": parallel.records,
-        "serial_wall_s": round(serial_s, 3),
-        "parallel_wall_s": round(parallel_s, 3),
-        "speedup": round(speedup, 3),
+        "scaling": rows,
+        "speedup_at_2": next((row["speedup"] for row in rows
+                              if row["workers"] == 2), None),
         "records_per_s": round(rate, 1),
         "sim_ms_per_batch": round(batch_overhead_ms, 3),
         "digest": parallel.digest(),
-        "digest_matches_serial": serial.digest() == parallel.digest(),
+        "digest_matches_serial":
+            all(row["digest"] == serial_row["digest"] for row in rows),
+        "amdahl_projection": {
+            "note": "projected from the measured single-run "
+                    "decomposition (parallel work / W + merge wall); "
+                    "NOT a measurement -- see the per-row walls for "
+                    "those",
+            "speedups": projection,
+        },
         "findings": [f.to_dict() for f in findings],
     }
     os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -120,14 +170,24 @@ def test_backend_ingest_speedup_and_determinism(tmp_path, benchmark):
         handle.write("\n")
 
     # Determinism holds regardless of hardware.
-    assert serial.records == parallel.records
-    assert serial.digest() == parallel.digest()
+    assert all(row["digest"] == serial_row["digest"] for row in rows)
     # The online detector re-derives both paper case studies.
     assert rules == ["chat_domain_degradation", "isp_rtt_anomaly"]
     subjects = {f.rule: f.subject for f in findings}
     assert subjects["chat_domain_degradation"] == "whatsapp.net"
     assert "Jio" in subjects["isp_rtt_anomaly"]
-    if cpus >= 2 and WORKERS >= 2:
-        assert speedup > 1.5, \
-            "expected >1.5x at %d workers on %d CPUs, got %.2fx" % (
-                WORKERS, cpus, speedup)
+    # Scaling assertions only where the host can physically scale.
+    for row in rows[1:]:
+        if cpus >= row["workers"] >= 2:
+            assert row["speedup"] > 1.5, \
+                "expected >1.5x at %d workers on %d CPUs, got %.2fx" \
+                % (row["workers"], cpus, row["speedup"])
+        # The parent-side merge must stay a small, flat fraction --
+        # this holds on any host (it is wall time of parent work that
+        # no longer grows with worker count).
+        if row["workers"] >= 2:
+            assert row["merge_wall_s"] <= \
+                max(1.0, 0.25 * serial_row["wall_s"]), \
+                "parent-side merge (%.2fs) is not a small fraction " \
+                "of serial ingest (%.2fs)" % (row["merge_wall_s"],
+                                              serial_row["wall_s"])

@@ -1,15 +1,20 @@
-"""Storage engine: WAL write cost, recovery replay, and segment
-compression against the canonical JSON snapshot.
+"""Storage engine: WAL write cost, checkpoint-bounded recovery, and
+segment compression against the canonical JSON snapshot.
 
 Generates the synthetic crowdsourcing dataset once, then drives the
 records through three measurements:
 
 * ingest throughput into a bare ``RollupStore`` (no WAL) versus the
-  ``StoreEngine`` write path (WAL framing + group commit + fsync
-  model) -- the durability tax in real wall-clock terms;
-* crash-recovery replay time as a function of WAL length (25%, 50%,
-  100% of the dataset), with digest parity against a store built
-  straight from the records;
+  ``StoreEngine`` write path -- the durability tax in real wall-clock
+  terms.  The engine path uses ``append_entries`` with the shard
+  files' raw line bytes (what a real ingest holds), so the WAL cost
+  measured is framing + group commit + fsync, not redundant
+  re-serialisation;
+* crash-recovery replay time as a function of run length (25%, 50%,
+  100% of the dataset) **with checkpoints enabled** -- the tail
+  replayed must stay bounded by the checkpoint interval while the run
+  grows 4x -- plus the same full-length recovery without checkpoints
+  as the before/after contrast;
 * segment bytes versus the canonical JSON snapshot of the same
   rollups, with the read-path queries asserted identical -- the
   compression must not cost fidelity.
@@ -26,7 +31,7 @@ import time
 
 from repro.backend import query as backend_query
 from repro.backend.rollups import RollupStore
-from repro.core.persist import iter_jsonl
+from repro.core.persist import _record_from_dict
 from repro.crowd import CampaignConfig, ShardedCampaign
 from repro.obs import Observability
 from repro.store import StoreConfig, StoreEngine
@@ -34,23 +39,39 @@ from repro.store import StoreConfig, StoreEngine
 SCALE = float(os.environ.get("MOPEYE_STORE_BENCH_SCALE", "0.1"))
 WORKERS = int(os.environ.get("MOPEYE_STORE_BENCH_WORKERS", "4"))
 SEED = 2016
+#: Checkpoint cadence for the bounded-replay measurement.
+CKPT_INTERVAL = 50_000
 # The acceptance line (>= 3x) is proven at campaign scale; tiny local
 # runs have proportionally larger fixed overheads.
 MIN_RATIO = 3.0 if SCALE >= 0.1 else 2.5
 
 
-def _engine(root, name):
-    return StoreEngine(
-        os.path.join(root, name),
-        config=StoreConfig(flush_threshold_records=None),
-        obs=Observability())
+def _load_entries(paths):
+    """``(record, raw_line_bytes)`` pairs, the shape a transport that
+    already holds the JSONL hands to ``append_entries``."""
+    entries = []
+    for path in paths:
+        with open(path, "rb") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    entries.append(
+                        (_record_from_dict(json.loads(line)), line))
+    return entries
 
 
-def _wal_ingest(root, name, records):
-    engine = _engine(root, name)
+def _engine(root, name, **config):
+    config.setdefault("flush_threshold_records", None)
+    return StoreEngine(os.path.join(root, name),
+                       config=StoreConfig(**config),
+                       obs=Observability())
+
+
+def _timed_recovery(engine):
+    engine.crash()
     start = time.perf_counter()
-    engine.append_records(records)
-    return engine, time.perf_counter() - start
+    info = engine.recover()
+    return info, time.perf_counter() - start
 
 
 def test_store_wal_recovery_and_compression(tmp_path, benchmark):
@@ -61,8 +82,8 @@ def test_store_wal_recovery_and_compression(tmp_path, benchmark):
         config=CampaignConfig(scale=SCALE, seed=SEED),
         workers=WORKERS, shard_dir=str(tmp_path / "shards"))
     dataset = campaign.run()
-    records = [record for path in dataset.paths
-               for record in iter_jsonl(path)]
+    entries = _load_entries(dataset.paths)
+    records = [record for record, _line in entries]
 
     # -- ingest throughput, bare store vs WAL-backed engine ----------
     bare = RollupStore()
@@ -73,37 +94,42 @@ def test_store_wal_recovery_and_compression(tmp_path, benchmark):
     box = {}
 
     def wal_run():
-        box["engine"], box["elapsed"] = _wal_ingest(
-            str(tmp_path), "full", records)
+        engine = _engine(str(tmp_path), "full")
+        start = time.perf_counter()
+        engine.append_entries(entries)
+        box["engine"], box["elapsed"] = \
+            engine, time.perf_counter() - start
 
     benchmark.pedantic(wal_run, rounds=1, iterations=1)
     engine, wal_s = box["engine"], box["elapsed"]
-    wal_bytes = engine.wal.size_bytes()
+    wal_bytes = engine.wal_bytes()
 
-    # -- recovery replay time vs WAL length --------------------------
+    # -- recovery replay vs run length, checkpoints on ---------------
     replay_rows = []
     for fraction in (0.25, 0.5, 1.0):
-        count = max(1, int(len(records) * fraction))
-        if fraction == 1.0:
-            subject = engine
-        else:
-            subject, _ = _wal_ingest(str(tmp_path),
-                                     "frac-%d" % (fraction * 100),
-                                     records[:count])
-        subject.crash()
-        start = time.perf_counter()
-        info = subject.recover()
-        replay_s = time.perf_counter() - start
+        count = max(1, int(len(entries) * fraction))
+        subject = _engine(str(tmp_path), "ckpt-%d" % (fraction * 100),
+                          checkpoint_interval_records=CKPT_INTERVAL)
+        subject.append_entries(entries[:count])
+        info, replay_s = _timed_recovery(subject)
+        reference = RollupStore()
+        reference.add_all(records[:count])
+        assert subject.memtable.digest() == reference.digest()
         replay_rows.append({
             "fraction": fraction,
             "records": count,
-            "wal_bytes": subject.wal.size_bytes(),
+            "wal_bytes": subject.wal_bytes(),
             "replay_s": round(replay_s, 3),
-            "wal_records": info.wal_records,
+            "wal_records_replayed": info.wal_records,
+            "checkpoint_records": info.checkpoint_records,
+            "checkpoint_loaded": info.checkpoint_loaded,
         })
-        if fraction != 1.0:
-            subject.close()
+        subject.close()
 
+    # The before/after contrast: the same full-length recovery with no
+    # checkpoint replays every record.
+    info, nockpt_replay_s = _timed_recovery(engine)
+    assert info.wal_records == len(records)
     reference = RollupStore()
     reference.add_all(records)
     recovered_digest = engine.memtable.digest()
@@ -137,11 +163,13 @@ def test_store_wal_recovery_and_compression(tmp_path, benchmark):
           segment_bytes],
          ["JSON snapshot", materialized.records, "-", "-",
           json_bytes]],
-        title="Store engine, scale=%g: WAL tax %.2fx, replay %d "
-              "records in %.2fs, segment %.2fx smaller than JSON." % (
+        title="Store engine, scale=%g: WAL tax %.2fx, checkpointed "
+              "recovery replays %d of %d records in %.2fs (full "
+              "replay: %.2fs), segment %.2fx smaller than JSON." % (
                   SCALE, wal_s / bare_s if bare_s else 0.0,
+                  full_replay["wal_records_replayed"],
                   full_replay["records"], full_replay["replay_s"],
-                  ratio))
+                  nockpt_replay_s, ratio))
     save_result("store_engine", text)
 
     payload = {
@@ -152,8 +180,11 @@ def test_store_wal_recovery_and_compression(tmp_path, benchmark):
         "ingest_no_wal_records_per_s": round(bare_rate, 1),
         "ingest_wal_s": round(wal_s, 3),
         "ingest_wal_records_per_s": round(wal_rate, 1),
+        "wal_tax": round(wal_s / bare_s, 3) if bare_s else None,
         "wal_bytes": wal_bytes,
+        "checkpoint_interval_records": CKPT_INTERVAL,
         "replay": replay_rows,
+        "replay_full_no_checkpoint_s": round(nockpt_replay_s, 3),
         "segment_bytes": segment_bytes,
         "json_bytes": json_bytes,
         "compression_ratio": round(ratio, 3),
@@ -167,10 +198,13 @@ def test_store_wal_recovery_and_compression(tmp_path, benchmark):
         handle.write("\n")
     engine.close()
 
-    # Replay time grows with WAL length (monotone in records).
-    assert [row["records"] for row in replay_rows] == \
-        sorted(row["records"] for row in replay_rows)
-    assert full_replay["wal_records"] == len(records)
+    # Replay work is bounded by the checkpoint interval (plus one
+    # group-commit envelope), not the run length -- the 4x run must
+    # not replay 4x the records.
+    for row in replay_rows:
+        if row["records"] > CKPT_INTERVAL:
+            assert row["wal_records_replayed"] <= CKPT_INTERVAL + 512
+            assert row["checkpoint_loaded"] is not None
     assert json_bytes >= MIN_RATIO * segment_bytes, \
         "segment encoding only %.2fx smaller than JSON " \
         "(need >= %.1fx at scale %g)" % (ratio, MIN_RATIO, SCALE)

@@ -442,11 +442,19 @@ def _print_store_summary(engine) -> None:
               % (footer["seq"],
                  os.path.basename(reader.path),
                  reader.size_bytes(), footer["records"]))
-    wal = replay(engine._wal_path())
-    print("wal:            %d frame(s), %d bytes%s"
-          % (len(wal.payloads), engine.wal.size_bytes(),
+    frames = sum(len(replay(path).payloads)
+                 for path in engine.wal_paths())
+    print("wal:            %d file(s), %d frame(s), %d bytes%s"
+          % (len(engine.wal_paths()), frames, engine.wal_bytes(),
              " (torn tail truncated)" if info and info.torn_tail
              else ""))
+    checkpoints = engine.checkpoint_names()
+    if checkpoints or (info and info.checkpoint_loaded):
+        print("checkpoints:    %s" % (", ".join(checkpoints) or "-"))
+        if info and info.checkpoint_loaded:
+            print("  recovered from %s (%d records, %d replayed)"
+                  % (info.checkpoint_loaded, info.checkpoint_records,
+                     info.wal_records))
     print("dedup seeds:    %d" % len(engine.dedup))
     print("findings:       %d" % len(engine.findings))
     quarantine = os.path.join(engine.data_dir, QUARANTINE_DIR)

@@ -30,6 +30,7 @@ from repro.backend.ingest import (
     IngestPipeline,
     TokenBucket,
     ingest_shard_files,
+    parse_batch_lines,
     parse_batch_prefix,
 )
 from repro.backend.rollups import (
@@ -53,5 +54,6 @@ __all__ = [
     "RollupStore",
     "TokenBucket",
     "ingest_shard_files",
+    "parse_batch_lines",
     "parse_batch_prefix",
 ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -32,28 +33,45 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from repro.obs import Observability, get_default
 
 from repro.backend.rollups import RollupConfig, RollupStore
+from repro.backend.shardmerge import (
+    MergeAccumulator,
+    np_available,
+    pack_store,
+)
 from repro.core.persist import _record_from_dict, iter_jsonl
 from repro.core.records import MeasurementRecord
 
 
-def parse_batch_prefix(payload: bytes
-                       ) -> Tuple[List[MeasurementRecord], bool]:
+def parse_batch_lines(payload: bytes
+                      ) -> Tuple[List[MeasurementRecord],
+                                 List[bytes], bool]:
     """Parse JSONL payload up to the first malformed line.
 
-    Returns ``(records, truncated)`` where ``records`` is the valid
-    prefix and ``truncated`` says whether a bad line stopped the parse.
+    Returns ``(records, lines, truncated)``: the valid prefix as
+    records, the same prefix as raw line bytes (what the WAL appends
+    verbatim -- re-serialising every record on the hot path is the
+    overhead this replaces), and whether a bad line stopped the parse.
     Records after a bad line are NOT ingested even if parseable: the
     ACK must be a prefix count for the uploader's cursor arithmetic.
     """
     records: List[MeasurementRecord] = []
+    lines: List[bytes] = []
     for line in payload.decode("utf-8", "replace").splitlines():
         if not line.strip():
             continue
         try:
             records.append(_record_from_dict(json.loads(line)))
         except (ValueError, KeyError, TypeError):
-            return records, True
-    return records, False
+            return records, lines, True
+        lines.append(line.encode("utf-8"))
+    return records, lines, False
+
+
+def parse_batch_prefix(payload: bytes
+                       ) -> Tuple[List[MeasurementRecord], bool]:
+    """:func:`parse_batch_lines` without the raw lines."""
+    records, _lines, truncated = parse_batch_lines(payload)
+    return records, truncated
 
 
 class TokenBucket:
@@ -199,7 +217,7 @@ class IngestPipeline:
             return BatchOutcome(status="busy",
                                 retry_ms=bucket.retry_hint_ms())
 
-        records, truncated = parse_batch_prefix(payload)
+        records, lines, truncated = parse_batch_lines(payload)
         admitted, delay_or_retry = self.load.admit(len(records), now_ms)
         if not admitted:
             self.obs.inc("backend.busy_rejections")
@@ -220,7 +238,8 @@ class IngestPipeline:
             # time the uploader advances its cursor, and the fsync
             # cost is part of what the uploader waits out.
             delay += self.store.log_batch(device_id, batch_seq,
-                                          len(records), records)
+                                          len(records), records,
+                                          lines=lines)
         if self._on_records is not None and records:
             self._on_records(records)
         return BatchOutcome(status="ack", acked=len(records),
@@ -272,55 +291,120 @@ class IngestPipeline:
 # -- shard-parallel offline ingest ------------------------------------------
 
 
-def _ingest_shard_file(task: Tuple[str, dict]
-                       ) -> Tuple[str, RollupStore, int, float]:
-    """Worker entry point: roll up one JSONL shard file.
+def _balance_chunks(paths: List[str], workers: int) -> List[List[str]]:
+    """Split shard files into at most ``workers`` chunks balanced by
+    file size (greedy longest-processing-time).  Deterministic: ties
+    break on the original path order, then the lowest chunk index."""
+    sizes = []
+    for index, path in enumerate(paths):
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            size = 0
+        sizes.append((-size, index, path))
+    chunks: List[List[str]] = [[] for _ in range(min(workers,
+                                                     len(paths)))]
+    loads = [0] * len(chunks)
+    for negative_size, _index, path in sorted(sizes):
+        target = loads.index(min(loads))
+        chunks[target].append(path)
+        loads[target] -= negative_size
+    return [chunk for chunk in chunks if chunk]
 
-    Builds the rollup store locally from the file alone, so the result
-    never depends on inherited parent state; merge order is fixed by
-    the parent (shard path order), and merge itself is commutative, so
-    scheduling cannot perturb the digest.
+
+def _ingest_shard_chunk(task: Tuple[int, List[str], dict]
+                        ) -> Tuple[int, dict, int, float]:
+    """Worker entry point: roll up one chunk of JSONL shard files and
+    return it *packed* (see :mod:`repro.backend.shardmerge`), so the
+    expensive part of serialisation happens in the worker and the
+    parent receives a few flat arrays instead of a pickled store.
+
+    The store is built from the files alone -- never from inherited
+    parent state -- and histogram merge is commutative, so scheduling
+    and arrival order cannot perturb the digest.
     """
-    path, config_kwargs = task
+    index, paths, config_kwargs = task
     store = RollupStore(config=RollupConfig(**config_kwargs))
     started = time.time()
-    count = store.add_all(iter_jsonl(path))
-    return path, store, count, time.time() - started
+    count = 0
+    for path in paths:
+        count += store.add_all(iter_jsonl(path))
+    return index, pack_store(store), count, time.time() - started
 
 
 def ingest_shard_files(paths: List[str],
                        config: Optional[RollupConfig] = None,
                        workers: int = 1,
-                       obs: Optional[Observability] = None
-                       ) -> RollupStore:
+                       obs: Optional[Observability] = None,
+                       report: Optional[dict] = None) -> RollupStore:
     """Roll up a sharded dataset with a worker pool and merge
-    deterministically (same digest for any ``workers``)."""
+    deterministically (same digest for any ``workers``).
+
+    Shards are balanced into one chunk per worker by byte size; each
+    worker packs its chunk's rollups compactly and the parent folds
+    packs in completion order (no barrier) through a
+    :class:`~repro.backend.shardmerge.MergeAccumulator`, finalising
+    once -- parent-side merge cost does not grow with ``workers``.
+    Pass ``report`` (a dict) to receive per-worker wall times and the
+    parent-side merge wall, which is what the scaling benchmark
+    decomposes.
+    """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     config = config or RollupConfig()
     obs = obs or get_default()
-    tasks = [(path, config.to_dict()) for path in paths]
     started = time.time()
-    if workers == 1:
-        outcomes = [_ingest_shard_file(task) for task in tasks]
+    chunks = _balance_chunks(paths, workers) if workers > 1 else []
+    worker_walls: List[float] = []
+    merge_wall = 0.0
+    if len(chunks) <= 1:
+        # Single worker (or a single chunk): build the store directly,
+        # no pack/unpack round trip to pay for.
+        merged = RollupStore(config=config)
+        total = 0
+        for path in paths:
+            shard_start = time.time()
+            total += merged.add_all(iter_jsonl(path))
+            worker_walls.append(time.time() - shard_start)
+        worker_walls = [sum(worker_walls)] if worker_walls else []
     else:
+        tasks = [(index, chunk, config.to_dict())
+                 for index, chunk in enumerate(chunks)]
+        accumulator = MergeAccumulator(config)
+        worker_walls = [0.0] * len(tasks)
+        total = 0
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn")
-        with ctx.Pool(processes=workers) as pool:
-            outcomes = pool.map(_ingest_shard_file, tasks)
-    merged = RollupStore(config=config)
-    by_path = {path: (store, count) for path, store, count, _ in outcomes}
-    total = 0
-    for path in paths:                       # merge in shard order
-        store, count = by_path[path]
-        merged.merge(store)
-        total += count
+        with ctx.Pool(processes=len(tasks)) as pool:
+            for index, packed, count, wall in pool.imap_unordered(
+                    _ingest_shard_chunk, tasks):
+                fold_start = time.time()
+                accumulator.add(packed)
+                merge_wall += time.time() - fold_start
+                worker_walls[index] = wall
+                total += count
+        fold_start = time.time()
+        merged = accumulator.finalize()
+        merge_wall += time.time() - fold_start
     elapsed = time.time() - started
     obs.inc("backend.records_ingested", total)
     obs.set_gauge("backend.rollup_groups", merged.group_count())
+    obs.set_gauge("backend.ingest_merge_wall_ms", merge_wall * 1000.0)
+    for wall in worker_walls:
+        obs.observe("backend.ingest_worker_wall_ms", wall * 1000.0)
     if elapsed > 0:
         obs.set_gauge("backend.ingest_records_per_sec",
                       total / elapsed)
     merged.meta.update({"workers": workers, "shards": len(paths)})
+    if report is not None:
+        report.update({
+            "workers": workers,
+            "chunks": [len(chunk) for chunk in chunks] or [len(paths)],
+            "worker_walls_s": [round(wall, 3) for wall in worker_walls],
+            "merge_wall_s": round(merge_wall, 3),
+            "elapsed_s": round(elapsed, 3),
+            "mode": ("arrays" if np_available() else "plain")
+                    if len(chunks) > 1 else "inline",
+        })
     return merged

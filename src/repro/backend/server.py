@@ -118,11 +118,14 @@ class BackendServer(AppServer):
         are rebuilt purely from the manifest + segments + WAL replay
         -- the in-memory state was discarded by crash()."""
         if self.store is not None:
-            info = self.store.recover()
+            # WAL-tail records stream straight into the received
+            # mirror; records already folded into a checkpoint or
+            # segment exist only as aggregates and cannot be
+            # re-materialised (recovery memory stays bounded by the
+            # checkpoint interval, not the run length).
+            on_record = self.received.add if self._keep_records else None
+            self.store.recover(on_record=on_record)
             self.recoveries += 1
-            if self._keep_records:
-                for record in info.replayed_records:
-                    self.received.add(record)
         self.clear_outage()
 
     # -- registry views (the legacy attributes) ------------------------

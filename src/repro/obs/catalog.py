@@ -249,6 +249,17 @@ CATALOG: Dict[str, MetricSpec] = dict([
        "repro.backend.ingest",
        "Wall-clock ingest throughput of the last offline ingest run.",
        volatile=True),
+    _m("backend.ingest_merge_wall_ms", GAUGE, "ms",
+       "repro.backend.ingest",
+       "Parent-side wall-clock time the last shard-parallel ingest "
+       "spent accumulating and finalising worker packs (the serial "
+       "fraction that used to scale with worker count).",
+       volatile=True),
+    _m("backend.ingest_worker_wall_ms", HISTOGRAM, "ms",
+       "repro.backend.ingest",
+       "Per-worker wall-clock time of the last shard-parallel ingest "
+       "(straggler spread shows up as histogram width).",
+       max_x=120000.0, n_bins=1200, volatile=True),
     # -- storage engine ----------------------------------------------------
     _m("store.wal_appends", COUNTER, "frames", "repro.store.wal",
        "WAL frames made durable by a group commit."),
@@ -303,6 +314,28 @@ CATALOG: Dict[str, MetricSpec] = dict([
     _m("store.recovery_replay_wall_ms", GAUGE, "ms",
        "repro.store.engine",
        "Wall-clock time of the last recovery replay.", volatile=True),
+    _m("store.checkpoints", COUNTER, "checkpoints",
+       "repro.store.checkpoint",
+       "Checkpoint files written (memtable snapshots that bound WAL "
+       "replay at recovery)."),
+    _m("store.checkpoint_bytes", COUNTER, "bytes",
+       "repro.store.checkpoint",
+       "Bytes written by checkpoint snapshots (tmp+rename writes, "
+       "quarantined files included)."),
+    _m("store.checkpoint_records", GAUGE, "records",
+       "repro.store.engine",
+       "Records covered by the most recent checkpoint snapshot."),
+    _m("store.checkpoints_quarantined", COUNTER, "checkpoints",
+       "repro.store.engine",
+       "Checkpoints that failed validation during recovery and were "
+       "moved to quarantine/; recovery fell back to the previous "
+       "checkpoint (or a full WAL replay)."),
+    _m("store.wal_rotations", COUNTER, "rotations",
+       "repro.store.engine",
+       "WAL generation seals: the active generation was closed and a "
+       "fresh one opened (checkpoint or flush)."),
+    _m("store.wal_files", GAUGE, "files", "repro.store.engine",
+       "WAL files currently on disk across generations and shards."),
     # -- access link (loss / latency faults land here) ---------------------
     _m("link.packets_dropped", COUNTER, "packets", "repro.network.link",
        "Packets lost on a link direction, i.i.d. and burst losses "

@@ -8,6 +8,11 @@ memtable, tiered compaction, retention, and crash recovery.  See
 ``docs/STORAGE.md`` for the operator guide.
 """
 
+from repro.store.checkpoint import (
+    CheckpointCorruption,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.store.engine import RecoveryInfo, StoreConfig, StoreEngine
 from repro.store.segments import (
     SegmentCorruption,
@@ -17,6 +22,7 @@ from repro.store.segments import (
 from repro.store.wal import FsyncModel, WriteAheadLog, replay
 
 __all__ = [
+    "CheckpointCorruption",
     "FsyncModel",
     "RecoveryInfo",
     "SegmentCorruption",
@@ -24,6 +30,8 @@ __all__ = [
     "StoreConfig",
     "StoreEngine",
     "WriteAheadLog",
+    "read_checkpoint",
     "replay",
+    "write_checkpoint",
     "write_segment",
 ]

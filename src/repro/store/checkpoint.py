@@ -1,0 +1,147 @@
+"""Checkpoint files: a durable snapshot of the memtable mid-run.
+
+Without checkpoints, recovery replays the WAL from its first frame,
+so recovery time grows with run length.  A checkpoint freezes the
+memtable's aggregates to disk (without flushing them to a segment, so
+the memtable keeps accumulating) and records which WAL generations it
+covers; recovery then loads the newest valid checkpoint and replays
+only the WAL tail written after it -- bounded by the checkpoint
+interval, not the run.
+
+Layout, front to back::
+
+    MOPCKP1\\n                         8-byte magic
+    [header]                          CRC frame, canonical JSON
+    [table block] x len(TABLES)       CRC frame per rollup table
+    MOPCKPF1                          8-byte tail magic
+
+The header carries ``schema``, ``covers_gen`` (the highest WAL
+generation whose frames are folded into this snapshot), the rollup
+config, and the record counters.  Table blocks reuse the segment
+format's sorted delta+varint row encoding (deflated, CRC framed), so
+a checkpoint of equal content is byte-identical regardless of
+insertion order or ``PYTHONHASHSEED``.
+
+Writes are atomic (``.tmp`` + rename).  Readers validate everything
+up front and raise :class:`CheckpointCorruption` on any structural or
+checksum failure; the engine quarantines the file and falls back to
+the previous checkpoint plus a longer WAL replay -- which is exactly
+why the engine retains two checkpoints and only prunes WAL
+generations the *older* one covers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Optional, Tuple
+
+from repro.backend.rollups import RollupConfig, RollupStore
+from repro.obs import Observability
+from repro.store.encoding import FRAME_OK, frame, read_frame
+from repro.store.segments import SegmentReader, _encode_block
+
+MAGIC = b"MOPCKP1\n"
+TAIL_MAGIC = b"MOPCKPF1"
+CHECKPOINT_SCHEMA = 1
+
+
+class CheckpointCorruption(Exception):
+    """A checkpoint failed structural or checksum validation."""
+
+
+def write_checkpoint(path: str, store: RollupStore, covers_gen: int,
+                     obs: Optional[Observability] = None) -> int:
+    """Write ``store`` as a checkpoint covering WAL generations
+    ``<= covers_gen`` (atomically).  Returns the file size."""
+    header = {
+        "schema": CHECKPOINT_SCHEMA,
+        "covers_gen": int(covers_gen),
+        "config": store.config.to_dict(),
+        "records": store.records,
+        "failure_records": store.failure_records,
+        "tables": list(RollupStore.TABLES),
+    }
+    parts = [MAGIC,
+             frame(json.dumps(header, sort_keys=True,
+                              separators=(",", ":")).encode())]
+    for name in RollupStore.TABLES:
+        payload, _rows = _encode_block(store.tables[name])
+        parts.append(frame(zlib.compress(payload, 9)))
+    parts.append(TAIL_MAGIC)
+    blob = b"".join(parts)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    if obs is not None:
+        obs.inc("store.checkpoints")
+        obs.inc("store.checkpoint_bytes", len(blob))
+    return len(blob)
+
+
+def read_checkpoint(path: str) -> Tuple[RollupStore, int]:
+    """Load and fully validate a checkpoint.  Returns
+    ``(store, covers_gen)``; raises :class:`CheckpointCorruption` on
+    any defect (the caller quarantines and falls back)."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        raise CheckpointCorruption("unreadable checkpoint %s: %s"
+                                   % (path, exc))
+    if len(data) < len(MAGIC) + len(TAIL_MAGIC) or \
+            not data.startswith(MAGIC):
+        raise CheckpointCorruption("bad checkpoint magic in %s" % path)
+    if data[-len(TAIL_MAGIC):] != TAIL_MAGIC:
+        raise CheckpointCorruption("bad tail magic in %s (torn write?)"
+                                   % path)
+    payload, pos, status = read_frame(data, len(MAGIC))
+    if status != FRAME_OK:
+        raise CheckpointCorruption("header frame %s in %s"
+                                   % (status, path))
+    try:
+        header = json.loads(payload.decode("utf-8"))
+    except ValueError:
+        raise CheckpointCorruption("header is not JSON in %s" % path)
+    if header.get("schema") != CHECKPOINT_SCHEMA:
+        raise CheckpointCorruption(
+            "checkpoint %s has schema %r; this reader understands %d"
+            % (path, header.get("schema"), CHECKPOINT_SCHEMA))
+    store = RollupStore(
+        config=RollupConfig.from_dict(header["config"]))
+    store.records = int(header["records"])
+    store.failure_records = int(header.get("failure_records", 0))
+    for name in RollupStore.TABLES:
+        payload, pos, status = read_frame(data, pos)
+        if status != FRAME_OK:
+            raise CheckpointCorruption(
+                "table %r block %s in %s" % (name, status, path))
+        try:
+            rows = zlib.decompress(payload)
+        except zlib.error as exc:
+            raise CheckpointCorruption(
+                "table %r block undeflatable in %s: %s"
+                % (name, path, exc))
+        try:
+            store.tables[name] = _decode_rows(rows)
+        except (ValueError, IndexError) as exc:
+            raise CheckpointCorruption(
+                "table %r rows undecodable in %s: %s"
+                % (name, path, exc))
+    if pos != len(data) - len(TAIL_MAGIC):
+        raise CheckpointCorruption("trailing garbage in %s" % path)
+    return store, int(header["covers_gen"])
+
+
+def _decode_rows(payload: bytes):
+    from repro.store.encoding import read_uvarint
+    n_rows, _pos = read_uvarint(payload, 0)
+    return SegmentReader._decode_rows(payload, n_rows)
+
+
+__all__ = ["CHECKPOINT_SCHEMA", "CheckpointCorruption", "MAGIC",
+           "TAIL_MAGIC", "read_checkpoint", "write_checkpoint"]

@@ -1,4 +1,4 @@
-"""The storage engine: memtable + WAL + immutable segments.
+"""The storage engine: memtable + WAL + checkpoints + segments.
 
 A miniature LSM tree shaped for the rollup workload:
 
@@ -6,17 +6,36 @@ A miniature LSM tree shaped for the rollup workload:
   :class:`~repro.backend.rollups.RollupStore`) and are made durable by
   an envelope appended to the :mod:`WAL <repro.store.wal>` before the
   batch is acknowledged;
+* the WAL is a sequence of **generations** (``wal.log`` is generation
+  0; later files are ``wal-g<gen>-s<shard>.log``), optionally striped
+  over ``wal_shards`` files whose frames merge commutatively on
+  recovery.  Envelopes carry the records as raw JSONL bytes after a
+  one-line JSON header -- no per-record re-serialisation, no
+  JSON-in-JSON escaping -- and the bulk path group-commits on byte
+  *and* record thresholds;
+* a periodic **checkpoint** (every ``checkpoint_interval_records``)
+  seals the current WAL generation, snapshots the memtable + dedup
+  seeds atomically (checkpoint file + manifest), and prunes WAL
+  generations the *previous* retained checkpoint already covers --
+  recovery replay is bounded by the checkpoint interval, not the run
+  length, and a torn newest checkpoint still falls back to the older
+  one plus a longer replay;
 * when the memtable grows past ``flush_threshold_records`` it is
   frozen into an immutable :mod:`segment <repro.store.segments>`, the
   manifest is updated (segment list, dedup seeds, findings), and the
-  WAL restarts empty -- the segment now carries that data;
+  WAL + checkpoints restart empty -- the segment now carries that
+  data;
 * **compaction** merges accumulated segments into one (histogram merge
   is commutative, so this is pure bookkeeping) and the **retention**
   pass drops windowed rows older than the configured horizon;
 * **recovery** rebuilds the live state from disk alone: load the
   manifest, check every segment (quarantining any that fails its
-  checksums), then replay the WAL into a fresh memtable -- dedup LRU
-  seeds and all -- truncating a torn tail at the last valid frame.
+  checksums), load the newest valid checkpoint (quarantining torn
+  ones), then stream the uncovered WAL tail into the memtable --
+  dedup LRU seeds and all -- truncating torn tails at the last valid
+  frame.  Replayed records are *not* accumulated; pass ``on_record``
+  to observe them (recovery stays O(checkpoint interval) in memory,
+  not O(run)).
 
 The engine owns the memtable and the dedup map as *shared objects*:
 :class:`~repro.backend.ingest.IngestPipeline` holds references to the
@@ -26,32 +45,44 @@ mutate those objects in place for exactly that reason.
 
 Everything the engine writes is canonical (sorted keys, fixed
 separators, sorted rows), so two runs that ingest the same records
-produce byte-identical segments and manifests regardless of worker
-count or ``PYTHONHASHSEED`` -- the same determinism contract as the
-rest of the repo.
+produce byte-identical segments, checkpoints and manifests regardless
+of worker count or ``PYTHONHASHSEED`` -- the same determinism
+contract as the rest of the repo.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 import time
+import zlib
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.backend.rollups import RollupConfig, RollupStore
 from repro.core.persist import _record_from_dict, record_to_line
 from repro.core.records import MeasurementRecord
 from repro.obs import Observability, get_default
+from repro.store.checkpoint import (
+    CheckpointCorruption,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.store.segments import SegmentCorruption, SegmentReader, write_segment
 from repro.store.wal import FsyncModel, WriteAheadLog, replay
+from repro.store.wal import MAGIC as WAL_MAGIC
 
 MANIFEST_NAME = "MANIFEST.json"
 WAL_NAME = "wal.log"
 SEGMENT_DIR = "segments"
 QUARANTINE_DIR = "quarantine"
-MANIFEST_SCHEMA = 1
+#: v1 (PR 5) predates checkpoints, WAL generations and the bulk-seq
+#: watermark; v2 adds those fields.  ``_load_manifest`` accepts both.
+MANIFEST_SCHEMA = 2
+
+_WAL_FILE_RE = re.compile(r"^wal-g(\d{6})-s(\d{2})\.log$")
 
 
 class StoreConfig:
@@ -61,36 +92,61 @@ class StoreConfig:
                  flush_threshold_records: Optional[int] = 50_000,
                  compaction_fanout: int = 4,
                  retention_ms: Optional[float] = None,
-                 group_commit_records: int = 256,
+                 group_commit_records: int = 16_384,
+                 group_commit_bytes: int = 1 << 20,
+                 wal_shards: int = 1,
+                 checkpoint_interval_records: Optional[int] = None,
+                 checkpoint_keep: int = 2,
                  dedup_capacity: int = 4096,
                  fsync: Optional[FsyncModel] = None) -> None:
         #: Freeze the memtable into a segment at this many records
-        #: (``None`` disables auto-flush; the WAL then covers
-        #: everything, which is what the chaos crash worlds want).
+        #: (``None`` disables auto-flush; the WAL -- bounded by
+        #: checkpoints if enabled -- then covers everything, which is
+        #: what the chaos crash worlds want).
         self.flush_threshold_records = flush_threshold_records
         #: ``compact()`` merges once this many segments accumulate.
         self.compaction_fanout = max(2, int(compaction_fanout))
         #: Evict windowed rows older than this horizon (``None`` keeps
         #: everything; the CLI maps ``--retention-days`` onto it).
         self.retention_ms = retention_ms
-        #: Bulk-append path: one fsync per this many envelopes.
+        #: Bulk-append path: one fsync once this many *records* (not
+        #: envelopes) are buffered ...
         self.group_commit_records = max(1, int(group_commit_records))
+        #: ... or once this many framed bytes are, whichever first.
+        self.group_commit_bytes = max(1, int(group_commit_bytes))
+        #: Stripe the WAL over this many files per generation; frames
+        #: merge commutatively on recovery (batch envelopes route by
+        #: device hash, so per-device dedup order is preserved).
+        self.wal_shards = max(1, int(wal_shards))
+        #: Checkpoint the memtable every this many logged records
+        #: (``None`` disables checkpoints; recovery then replays the
+        #: whole WAL).
+        self.checkpoint_interval_records = checkpoint_interval_records
+        #: Checkpoints retained on disk.  Keeping two means a torn
+        #: newest checkpoint falls back to the previous one -- WAL
+        #: generations are only pruned once the *older* retained
+        #: checkpoint covers them.
+        self.checkpoint_keep = max(1, int(checkpoint_keep))
         self.dedup_capacity = int(dedup_capacity)
         self.fsync = fsync or FsyncModel()
 
 
 @dataclass
 class RecoveryInfo:
-    """What one recovery pass found and rebuilt."""
+    """What one recovery pass found and rebuilt.  Counts only: the
+    replayed records themselves stream straight into the memtable (and
+    the caller's ``on_record`` hook), never into a list."""
     segments_loaded: int = 0
     segments_quarantined: int = 0
+    checkpoint_loaded: Optional[str] = None
+    checkpoint_records: int = 0
+    checkpoints_quarantined: int = 0
+    wal_files: int = 0
     wal_frames: int = 0
     wal_records: int = 0
     torn_tail: bool = False
     corrupt_frame: bool = False
     dedup_entries: int = 0
-    replayed_records: List[MeasurementRecord] = field(
-        default_factory=list)
 
 
 class StoreEngine:
@@ -99,10 +155,13 @@ class StoreEngine:
     Layout::
 
         data_dir/
-          MANIFEST.json        segment list, seq counter, dedup seeds
-          wal.log              the write-ahead log
+          MANIFEST.json        segments, checkpoints, seq counters,
+                               dedup seeds, WAL coverage watermark
+          wal.log              WAL generation 0 (shard 0)
+          wal-gNNNNNN-sNN.log  later generations / extra shards
+          ckpt-NNNNNN.ckpt     periodic memtable checkpoints
           segments/seg-NNNNNN.seg
-          quarantine/          segments that failed their checksums
+          quarantine/          files that failed their checksums
     """
 
     def __init__(self, data_dir: str,
@@ -127,9 +186,18 @@ class StoreEngine:
         self.findings: List[dict] = []
         self.meta: Dict[str, object] = {}
         self._segments: List[str] = []          # file names, seq order
+        self._checkpoints: List[dict] = []      # {"name","covers_gen"}
         self._next_seq = 1
+        self._next_ckpt = 1
         self._bulk_seq = 0
+        #: Highest WAL generation whose frames are already durable in
+        #: segments (set by flush; persisted in the manifest).
+        self._covered_gen = -1
+        self._wal_gen = 0
+        self._wals: List[WriteAheadLog] = []
         self.wal: Optional[WriteAheadLog] = None
+        self._pending_records = 0
+        self._records_since_checkpoint = 0
         self.last_recovery: Optional[RecoveryInfo] = None
         self.recoveries = 0
         self.recover(initial=True)
@@ -139,14 +207,58 @@ class StoreEngine:
     def _manifest_path(self) -> str:
         return os.path.join(self.data_dir, MANIFEST_NAME)
 
+    @staticmethod
+    def _wal_name(gen: int, shard: int) -> str:
+        if gen == 0 and shard == 0:
+            return WAL_NAME
+        return "wal-g%06d-s%02d.log" % (gen, shard)
+
     def _wal_path(self) -> str:
-        return os.path.join(self.data_dir, WAL_NAME)
+        """The active shard-0 WAL file."""
+        return os.path.join(self.data_dir,
+                            self._wal_name(self._wal_gen, 0))
 
     def _segment_path(self, name: str) -> str:
         return os.path.join(self.data_dir, SEGMENT_DIR, name)
 
+    def _checkpoint_path(self, name: str) -> str:
+        return os.path.join(self.data_dir, name)
+
     def segment_names(self) -> List[str]:
         return list(self._segments)
+
+    def checkpoint_names(self) -> List[str]:
+        return [entry["name"] for entry in self._checkpoints]
+
+    def _discover_wal_files(self) -> List[Tuple[int, int, str]]:
+        """Every WAL file on disk as ``(gen, shard, path)``, sorted --
+        the deterministic replay order."""
+        found: List[Tuple[int, int, str]] = []
+        try:
+            names = os.listdir(self.data_dir)
+        except OSError:
+            return found
+        for name in names:
+            if name == WAL_NAME:
+                found.append((0, 0, os.path.join(self.data_dir, name)))
+                continue
+            match = _WAL_FILE_RE.match(name)
+            if match:
+                found.append((int(match.group(1)), int(match.group(2)),
+                              os.path.join(self.data_dir, name)))
+        return sorted(found)
+
+    def wal_paths(self) -> List[str]:
+        return [path for _gen, _shard, path in self._discover_wal_files()]
+
+    def wal_bytes(self) -> int:
+        total = 0
+        for path in self.wal_paths():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass
+        return total
 
     # -- manifest ------------------------------------------------------
 
@@ -154,7 +266,11 @@ class StoreEngine:
         manifest = {
             "schema": MANIFEST_SCHEMA,
             "next_seq": self._next_seq,
+            "next_ckpt": self._next_ckpt,
+            "bulk_seq": self._bulk_seq,
+            "wal_covered_gen": self._covered_gen,
             "segments": list(self._segments),
+            "checkpoints": list(self._checkpoints),
             "config": self.rollup_config.to_dict(),
             "dedup": [[device, seq, acked]
                       for (device, seq), acked in self.dedup.items()],
@@ -176,66 +292,127 @@ class StoreEngine:
                 manifest = json.load(handle)
         except FileNotFoundError:
             return None
-        if manifest.get("schema") != MANIFEST_SCHEMA:
+        if manifest.get("schema") not in (1, MANIFEST_SCHEMA):
             raise ValueError(
-                "manifest %s has schema %r; this engine understands %d"
-                % (self._manifest_path(), manifest.get("schema"),
-                   MANIFEST_SCHEMA))
+                "manifest %s has schema %r; this engine understands "
+                "1..%d" % (self._manifest_path(),
+                           manifest.get("schema"), MANIFEST_SCHEMA))
         return manifest
 
     # -- the write path ------------------------------------------------
 
+    def _shard_for_device(self, device_id: str) -> WriteAheadLog:
+        if len(self._wals) == 1:
+            return self._wals[0]
+        digest = zlib.crc32(device_id.encode("utf-8")) & 0xFFFFFFFF
+        return self._wals[digest % len(self._wals)]
+
+    @staticmethod
+    def _envelope(header: dict, lines: List[bytes]) -> bytes:
+        """v2 wire form: one canonical-JSON header line, then the raw
+        record lines verbatim.  No re-serialisation, no JSON-in-JSON
+        escaping -- the frame CRC covers the lot."""
+        payload = json.dumps(header, sort_keys=True,
+                             separators=(",", ":")).encode()
+        if lines:
+            payload += b"\n" + b"\n".join(lines)
+        return payload
+
     def log_batch(self, device_id: str, batch_seq: int, acked: int,
-                  records: List[MeasurementRecord]) -> float:
+                  records: List[MeasurementRecord],
+                  lines: Optional[List[bytes]] = None) -> float:
         """Make one accepted batch durable.  Returns the sim-time
-        fsync cost to charge to the batch ACK."""
-        envelope = {
-            "kind": "batch",
-            "device": device_id,
-            "seq": int(batch_seq),
-            "acked": int(acked),
-            "lines": [record_to_line(record) for record in records],
-        }
-        self.wal.append(json.dumps(envelope, sort_keys=True,
-                                   separators=(",", ":")).encode())
-        cost = self.wal.commit()
+        fsync cost to charge to the batch ACK.  Pass the batch's raw
+        JSONL ``lines`` when the transport already has them (the
+        pipeline does); otherwise they are serialised here."""
+        if lines is None:
+            lines = [record_to_line(record).encode("utf-8")
+                     for record in records]
+        # Seed the shared dedup map before any checkpoint can fire:
+        # the manifest snapshot must carry this batch's identity, or a
+        # checkpoint that truncates its envelope would forget it.
+        self._seed_dedup(device_id, int(batch_seq), int(acked))
+        header = {"kind": "batch", "device": device_id,
+                  "seq": int(batch_seq), "acked": int(acked),
+                  "n": len(lines)}
+        wal = self._shard_for_device(device_id)
+        wal.append(self._envelope(header, lines))
+        cost = wal.commit()
+        self._pending_records = 0
+        self._records_since_checkpoint += len(lines)
         self._maybe_flush()
+        self._maybe_checkpoint()
         return cost
 
-    def append_records(self, records, batch_records: int = 512) -> int:
+    def append_records(self, records: Iterable[MeasurementRecord],
+                       batch_records: int = 512) -> int:
         """Bulk ingest for trusted offline sources: records go through
-        the memtable *and* the WAL (group commit, one fsync per
-        ``group_commit_records`` envelopes)."""
+        the memtable *and* the WAL (group commit on record/byte
+        thresholds)."""
+        return self.append_entries(((record, None)
+                                    for record in records),
+                                   batch_records=batch_records)
+
+    def append_entries(self,
+                       entries: Iterable[Tuple[MeasurementRecord,
+                                               Optional[bytes]]],
+                       batch_records: int = 512) -> int:
+        """Bulk ingest of ``(record, raw_line_bytes)`` pairs.  A
+        ``None`` line is serialised here; callers that already hold
+        the canonical JSONL bytes (shard files, upload payloads) pass
+        them through and skip the per-record ``json.dumps`` entirely
+        -- that re-serialisation was most of the WAL's 3.5x ingest
+        tax."""
         count = 0
-        batch: List[str] = []
+        lines: List[bytes] = []
 
         def _emit() -> None:
             self._bulk_seq += 1
-            envelope = {"kind": "bulk", "seq": self._bulk_seq,
-                        "lines": batch}
-            self.wal.append(json.dumps(envelope, sort_keys=True,
-                                       separators=(",", ":")).encode())
-            if self.wal.pending >= self.config.group_commit_records:
-                self.wal.commit()
+            header = {"kind": "bulk", "n": len(lines),
+                      "seq": self._bulk_seq}
+            wal = self._wals[self._bulk_seq % len(self._wals)]
+            wal.append(self._envelope(header, lines))
+            self._pending_records += len(lines)
+            if self._group_commit_due():
+                self._commit_all()
 
-        for record in records:
+        for record, line in entries:
             self.memtable.add(record)
-            batch.append(record_to_line(record))
+            lines.append(line if line is not None
+                         else record_to_line(record).encode("utf-8"))
             count += 1
-            if len(batch) >= batch_records:
+            self._records_since_checkpoint += 1
+            if len(lines) >= batch_records:
                 _emit()
-                batch = []
+                lines = []
             if self._over_threshold():
-                if batch:
+                if lines:
                     _emit()
-                    batch = []
-                self.wal.commit()
+                    lines = []
                 self.flush()
-        if batch:
+            elif self._checkpoint_due():
+                if lines:
+                    _emit()
+                    lines = []
+                self.checkpoint()
+        if lines:
             _emit()
-        self.wal.commit()
+        self._commit_all()
         self._update_gauges()
         return count
+
+    def _group_commit_due(self) -> bool:
+        if self._pending_records >= self.config.group_commit_records:
+            return True
+        return sum(wal.pending_bytes for wal in self._wals) \
+            >= self.config.group_commit_bytes
+
+    def _commit_all(self) -> float:
+        cost = 0.0
+        for wal in self._wals:
+            cost += wal.commit()
+        self._pending_records = 0
+        return cost
 
     def bulk_load(self, store: RollupStore) -> str:
         """Import a whole RollupStore as one segment, bypassing the
@@ -254,6 +431,15 @@ class StoreEngine:
     def _maybe_flush(self) -> None:
         if self._over_threshold():
             self.flush()
+
+    def _checkpoint_due(self) -> bool:
+        interval = self.config.checkpoint_interval_records
+        return interval is not None and \
+            self._records_since_checkpoint >= interval
+
+    def _maybe_checkpoint(self) -> None:
+        if self._checkpoint_due():
+            self.checkpoint()
 
     # -- flush ---------------------------------------------------------
 
@@ -283,14 +469,106 @@ class StoreEngine:
         self._write_manifest()
         return name
 
+    def _seal_and_rotate(self) -> int:
+        """Close the active WAL generation and open the next one.
+        Returns the sealed generation number."""
+        sealed = self._wal_gen
+        for wal in self._wals:
+            wal.close()
+        self._open_wals(sealed + 1)
+        self.obs.inc("store.wal_rotations")
+        return sealed
+
+    def _open_wals(self, gen: int) -> None:
+        self._wal_gen = gen
+        self._wals = [
+            WriteAheadLog(
+                os.path.join(self.data_dir, self._wal_name(gen, shard)),
+                obs=self.obs, fsync=self.config.fsync)
+            for shard in range(self.config.wal_shards)]
+        self.wal = self._wals[0]
+        self._pending_records = 0
+
+    def _prune_wal_files(self) -> None:
+        """Delete WAL generations recovery can never need: those at or
+        below the flush watermark, or those the *previous* retained
+        checkpoint covers (so a torn newest checkpoint still has its
+        fallback's tail on disk)."""
+        horizon = self._covered_gen
+        if len(self._checkpoints) >= 2:
+            horizon = max(horizon,
+                          int(self._checkpoints[-2]["covers_gen"]))
+        for gen, _shard, path in self._discover_wal_files():
+            if gen <= horizon and gen < self._wal_gen:
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+
     def flush(self) -> Optional[str]:
-        """Freeze the memtable into a segment; the WAL restarts empty.
-        No-op on an empty memtable.  Returns the segment name."""
+        """Freeze the memtable into a segment; the WAL rotates to a
+        fresh generation and everything the segment now carries --
+        older generations, checkpoints -- is deleted.  No-op on an
+        empty memtable.  Returns the segment name."""
         if self._memtable_empty():
             return None
+        self._commit_all()
+        self._covered_gen = self._seal_and_rotate()
+        stale_checkpoints = self._checkpoints
+        self._checkpoints = []
         name = self._flush_store(self.memtable)
         self._clear_store(self.memtable)
-        self.wal.reset()
+        for entry in stale_checkpoints:
+            try:
+                os.remove(self._checkpoint_path(entry["name"]))
+            except OSError:
+                pass
+        self._prune_wal_files()
+        self._records_since_checkpoint = 0
+        self._update_gauges()
+        return name
+
+    # -- checkpoints ---------------------------------------------------
+
+    def checkpoint(self) -> Optional[str]:
+        """Snapshot the memtable + dedup seeds durably and prune the
+        WAL behind the previous checkpoint.
+
+        Ordering is what makes a crash at any point recoverable:
+        commit + seal the active generation first (the snapshot then
+        covers exactly generations ``<= sealed``), write the
+        checkpoint file atomically, publish it in the manifest
+        (with the dedup seeds and bulk-seq watermark), and only then
+        delete what is no longer needed.  Die before the manifest
+        rename and recovery uses the previous checkpoint + the full
+        tail; die before the deletions and recovery ignores (then
+        cleans) the stale files.  Returns the checkpoint file name,
+        or ``None`` on an empty memtable."""
+        if self._memtable_empty():
+            self._records_since_checkpoint = 0
+            return None
+        self._commit_all()
+        sealed = self._seal_and_rotate()
+        name = "ckpt-%06d.ckpt" % self._next_ckpt
+        self._next_ckpt += 1
+        write_checkpoint(self._checkpoint_path(name), self.memtable,
+                         covers_gen=sealed, obs=self.obs)
+        self.obs.set_gauge(
+            "store.checkpoint_records",
+            float(self.memtable.records
+                  + self.memtable.failure_records))
+        self._checkpoints.append({"name": name, "covers_gen": sealed})
+        retired = self._checkpoints[:-self.config.checkpoint_keep]
+        self._checkpoints = \
+            self._checkpoints[-self.config.checkpoint_keep:]
+        self._write_manifest()
+        for entry in retired:
+            try:
+                os.remove(self._checkpoint_path(entry["name"]))
+            except OSError:
+                pass
+        self._prune_wal_files()
+        self._records_since_checkpoint = 0
         self._update_gauges()
         return name
 
@@ -347,36 +625,83 @@ class StoreEngine:
 
     def crash(self) -> None:
         """The process dies.  Volatile state -- memtable, dedup map,
-        findings, the WAL's uncommitted buffer -- is genuinely gone;
-        only what commit()/flush() forced to disk survives."""
-        if self.wal is not None:
-            self.wal.crash()
+        findings, the WALs' uncommitted buffers -- is genuinely gone;
+        only what commit()/checkpoint()/flush() forced to disk
+        survives."""
+        for wal in self._wals:
+            wal.crash()
         self._clear_store(self.memtable)
         self.dedup.clear()
         del self.findings[:]
         self._segments = []
+        self._checkpoints = []
         self._next_seq = 1
+        self._pending_records = 0
 
-    def recover(self, initial: bool = False) -> RecoveryInfo:
+    @staticmethod
+    def _decode_envelope(payload: bytes) -> Tuple[dict, List[bytes]]:
+        """Both envelope forms: v2 (header line + raw JSONL body) and
+        the legacy v1 single JSON object with a ``lines`` array."""
+        newline = payload.find(b"\n")
+        if newline < 0:
+            header = json.loads(payload.decode("utf-8"))
+            body = b""
+        else:
+            header = json.loads(payload[:newline].decode("utf-8"))
+            body = payload[newline + 1:]
+        if "lines" in header:
+            lines = [line.encode("utf-8") for line in header["lines"]]
+        else:
+            lines = body.split(b"\n") if body else []
+        return header, lines
+
+    def _truncate_wal_file(self, path: str, valid_bytes: int) -> None:
+        """Cut a torn tail at the last valid frame boundary (a file
+        that lost even its header restarts empty)."""
+        if valid_bytes < len(WAL_MAGIC):
+            with open(path, "wb") as handle:
+                handle.write(WAL_MAGIC)
+                handle.flush()
+                os.fsync(handle.fileno())
+            return
+        with open(path, "r+b") as handle:
+            handle.truncate(valid_bytes)
+
+    def recover(self, initial: bool = False,
+                on_record: Optional[
+                    Callable[[MeasurementRecord], None]] = None
+                ) -> RecoveryInfo:
         """Rebuild live state from disk alone: manifest -> segments
-        (quarantining corrupt ones) -> WAL replay into the memtable
-        and dedup map, truncating any torn tail."""
+        (quarantining corrupt ones) -> newest valid checkpoint
+        (quarantining torn ones, falling back to the previous) -> WAL
+        tail replay into the memtable and dedup map, truncating torn
+        tails.  Each replayed record streams through ``on_record``
+        (when given) and is then dropped -- only counts are kept."""
         started = time.time()
         info = RecoveryInfo()
+        for wal in self._wals:
+            wal.crash()                 # drop buffers, release handles
         self._clear_store(self.memtable)
         self.dedup.clear()
         del self.findings[:]
         self._segments = []
+        self._checkpoints = []
         self._next_seq = 1
+        self._next_ckpt = 1
         self._bulk_seq = 0
+        self._covered_gen = -1
 
         manifest = self._load_manifest()
+        manifest_dirty = False
         if manifest is not None:
             if not self._explicit_config and "config" in manifest:
                 self.rollup_config = RollupConfig.from_dict(
                     manifest["config"])
                 self.memtable.config = self.rollup_config
             self._next_seq = int(manifest.get("next_seq", 1))
+            self._next_ckpt = int(manifest.get("next_ckpt", 1))
+            self._bulk_seq = int(manifest.get("bulk_seq", 0))
+            self._covered_gen = int(manifest.get("wal_covered_gen", -1))
             self.meta = dict(manifest.get("meta", {}))
             self.findings.extend(manifest.get("findings", []))
             for device, seq, acked in manifest.get("dedup", []):
@@ -387,38 +712,58 @@ class StoreEngine:
                     info.segments_loaded += 1
                 else:
                     info.segments_quarantined += 1
-            if info.segments_quarantined:
-                self._write_manifest()
+            manifest_dirty = info.segments_quarantined > 0
+            manifest_dirty |= self._load_checkpoint(
+                list(manifest.get("checkpoints", [])), info)
+        covered = self._covered_gen
+        if manifest_dirty:
+            self._write_manifest()
+        self._sweep_orphan_checkpoints()
 
-        result = replay(self._wal_path())
-        info.torn_tail = result.torn
-        info.corrupt_frame = result.corrupt
-        for payload in result.payloads:
-            envelope = json.loads(payload.decode("utf-8"))
-            records = [_record_from_dict(json.loads(line))
-                       for line in envelope["lines"]]
-            for record in records:
-                self.memtable.add(record)
-            info.replayed_records.extend(records)
-            info.wal_records += len(records)
-            if envelope.get("kind") == "batch":
-                self._seed_dedup(envelope["device"],
-                                 int(envelope["seq"]),
-                                 int(envelope["acked"]))
-            else:
-                self._bulk_seq = max(self._bulk_seq,
-                                     int(envelope.get("seq", 0)))
-        info.wal_frames = len(result.payloads)
+        wal_files = self._discover_wal_files()
+        live_files: List[Tuple[int, int, str]] = []
+        for gen, shard, path in wal_files:
+            if gen <= covered:
+                # Covered by a checkpoint or flush that crashed before
+                # its deletions; finish the cleanup.
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                continue
+            live_files.append((gen, shard, path))
+        info.wal_files = len(live_files)
+        torn_files = 0
+        for gen, shard, path in live_files:
+            result = replay(path)
+            for payload in result.payloads:
+                header, lines = self._decode_envelope(payload)
+                for line in lines:
+                    record = _record_from_dict(json.loads(line))
+                    self.memtable.add(record)
+                    if on_record is not None:
+                        on_record(record)
+                info.wal_records += len(lines)
+                if header.get("kind") == "batch":
+                    self._seed_dedup(header["device"],
+                                     int(header["seq"]),
+                                     int(header["acked"]))
+                else:
+                    self._bulk_seq = max(self._bulk_seq,
+                                         int(header.get("seq", 0)))
+            info.wal_frames += len(result.payloads)
+            if result.torn or result.corrupt:
+                info.torn_tail |= result.torn
+                info.corrupt_frame |= result.corrupt
+                self._truncate_wal_file(path, result.valid_bytes)
+                torn_files += 1
         info.dedup_entries = len(self.dedup)
 
-        if self.wal is None:
-            self.wal = WriteAheadLog(self._wal_path(), obs=self.obs,
-                                     fsync=self.config.fsync)
-        else:
-            self.wal.reopen()
-        if result.torn or result.corrupt:
-            self.wal.truncate_to(result.valid_bytes)
-            self.obs.inc("store.wal_torn_tails")
+        active_gen = max([gen for gen, _shard, _path in live_files],
+                        default=covered + 1 if covered >= 0 else 0)
+        self._open_wals(active_gen)
+        if torn_files:
+            self.obs.inc("store.wal_torn_tails", torn_files)
 
         self.obs.inc("store.wal_replayed_frames", info.wal_frames)
         self.obs.inc("store.wal_replayed_records", info.wal_records)
@@ -428,11 +773,66 @@ class StoreEngine:
         if not initial:
             self.obs.inc("store.recoveries")
             self.recoveries += 1
+        self._records_since_checkpoint = info.wal_records
         self.obs.set_gauge("store.recovery_replay_wall_ms",
                            (time.time() - started) * 1000.0)
         self._update_gauges()
         self.last_recovery = info
         return info
+
+    def _load_checkpoint(self, entries: List[dict],
+                         info: RecoveryInfo) -> bool:
+        """Load the newest valid checkpoint into the memtable,
+        quarantining torn ones and falling back to older entries.
+        Returns True when the manifest needs rewriting."""
+        survivors: List[dict] = []
+        loaded_store = None
+        for entry in reversed(entries):
+            if loaded_store is None:
+                path = self._checkpoint_path(entry["name"])
+                try:
+                    loaded_store, covers = read_checkpoint(path)
+                except CheckpointCorruption:
+                    self._quarantine_checkpoint(entry["name"])
+                    info.checkpoints_quarantined += 1
+                    continue
+                info.checkpoint_loaded = entry["name"]
+                info.checkpoint_records = (loaded_store.records
+                                           + loaded_store.failure_records)
+                self._covered_gen = max(self._covered_gen, int(covers))
+            survivors.append(entry)
+        survivors.reverse()
+        self._checkpoints = survivors
+        if loaded_store is not None:
+            self.memtable.merge(loaded_store)
+        if info.checkpoints_quarantined:
+            self.obs.inc("store.checkpoints_quarantined",
+                         info.checkpoints_quarantined)
+        return info.checkpoints_quarantined > 0
+
+    def _quarantine_checkpoint(self, name: str) -> None:
+        quarantine = os.path.join(self.data_dir, QUARANTINE_DIR)
+        os.makedirs(quarantine, exist_ok=True)
+        path = self._checkpoint_path(name)
+        if os.path.exists(path):
+            os.replace(path, os.path.join(quarantine, name))
+
+    def _sweep_orphan_checkpoints(self) -> None:
+        """Delete checkpoint files the manifest does not reference --
+        leftovers of a crash between a checkpoint/flush write and its
+        manifest publish or deletions."""
+        valid = {entry["name"] for entry in self._checkpoints}
+        try:
+            names = os.listdir(self.data_dir)
+        except OSError:
+            return
+        for name in names:
+            if (name.endswith(".ckpt") or name.endswith(".ckpt.tmp")) \
+                    and name not in valid:
+                try:
+                    os.remove(os.path.join(self.data_dir, name))
+                except OSError:
+                    pass
 
     def _seed_dedup(self, device: str, seq: int, acked: int) -> None:
         key = (device, seq)
@@ -472,7 +872,13 @@ class StoreEngine:
                 for name in self._segments]
 
     def disk_bytes(self) -> int:
-        total = self.wal.size_bytes() if self.wal is not None else 0
+        total = self.wal_bytes()
+        for entry in self._checkpoints:
+            try:
+                total += os.path.getsize(
+                    self._checkpoint_path(entry["name"]))
+            except OSError:
+                pass
         for name in self._segments:
             try:
                 total += os.path.getsize(self._segment_path(name))
@@ -494,10 +900,12 @@ class StoreEngine:
             "store.memtable_records",
             float(self.memtable.records
                   + self.memtable.failure_records))
+        self.obs.set_gauge("store.wal_files",
+                           float(len(self._discover_wal_files())))
 
     def close(self) -> None:
-        if self.wal is not None:
-            self.wal.close()
+        for wal in self._wals:
+            wal.close()
 
 
 __all__ = ["MANIFEST_NAME", "QUARANTINE_DIR", "RecoveryInfo",

@@ -110,6 +110,7 @@ class WriteAheadLog:
         self.obs = obs or get_default()
         self.fsync = fsync or FsyncModel()
         self._pending: List[bytes] = []
+        self._pending_bytes = 0
         self._handle = None
         self._open()
 
@@ -127,11 +128,19 @@ class WriteAheadLog:
     def pending(self) -> int:
         return len(self._pending)
 
+    @property
+    def pending_bytes(self) -> int:
+        """Framed bytes buffered but not yet committed -- what the
+        engine's byte-threshold group commit watches."""
+        return self._pending_bytes
+
     def append(self, payload: bytes) -> None:
         """Buffer one record; durable only after :meth:`commit`."""
         if self._handle is None:
             raise RuntimeError("WAL is closed")
-        self._pending.append(frame(payload))
+        framed = frame(payload)
+        self._pending.append(framed)
+        self._pending_bytes += len(framed)
 
     def commit(self) -> float:
         """Write and fsync the buffered group.  Returns the modelled
@@ -141,6 +150,7 @@ class WriteAheadLog:
         blob = b"".join(self._pending)
         count = len(self._pending)
         self._pending = []
+        self._pending_bytes = 0
         self._handle.write(blob)
         self._handle.flush()
         os.fsync(self._handle.fileno())
@@ -157,6 +167,7 @@ class WriteAheadLog:
         """The process dies: the uncommitted buffer is gone, the file
         keeps only what commit() already forced out."""
         self._pending = []
+        self._pending_bytes = 0
         if self._handle is not None:
             self._handle.close()
             self._handle = None
@@ -176,6 +187,7 @@ class WriteAheadLog:
         """Truncate after a segment flush: everything logged so far is
         now durable in a segment, the log restarts empty."""
         self._pending = []
+        self._pending_bytes = 0
         if self._handle is not None:
             self._handle.close()
         with open(self.path, "wb") as handle:

@@ -1,0 +1,283 @@
+"""Checkpoint semantics: bounded replay, crash windows inside the
+checkpoint sequence, torn-checkpoint quarantine + fallback, dedup
+seeding, and sharded-WAL digest parity."""
+
+import json
+import os
+
+from repro.backend.rollups import RollupStore
+from repro.core.persist import record_to_line
+from repro.core.records import MeasurementRecord
+from repro.obs import Observability
+from repro.store import StoreConfig, StoreEngine
+from repro.store.checkpoint import TAIL_MAGIC
+from repro.store.engine import QUARANTINE_DIR
+
+
+def _rec(kind="TCP", rtt=100.0, ts=0.0, domain=None, operator="OpA",
+         tech="WIFI", app="com.app.a", failure=None, device="dev-1"):
+    return MeasurementRecord(
+        kind=kind, rtt_ms=rtt, timestamp_ms=ts, app_package=app,
+        app_uid=10001, dst_ip="203.0.113.1", dst_port=443,
+        domain=domain, network_type=tech, operator=operator,
+        country="US", device_id=device, failure=failure)
+
+
+def _records(n=120, device="dev-1"):
+    day = 24 * 3600 * 1000.0
+    return [_rec(rtt=15.0 + (i % 40), ts=i * day,
+                 app="com.app.%d" % (i % 4),
+                 domain="d%d.example" % (i % 3),
+                 tech="LTE" if i % 3 == 0 else "WIFI",
+                 operator="Op%d" % (i % 2), device=device)
+            for i in range(n)]
+
+
+def _engine(tmp_path, name="store", **config):
+    obs = Observability()
+    engine = StoreEngine(str(tmp_path / name),
+                         config=StoreConfig(**config), obs=obs)
+    return engine, obs
+
+
+def _reference(records):
+    store = RollupStore()
+    store.add_all(records)
+    return store
+
+
+def _corrupt_tail(path):
+    with open(path, "r+b") as handle:
+        handle.seek(-len(TAIL_MAGIC) - 3, os.SEEK_END)
+        byte = handle.read(1)
+        handle.seek(-1, os.SEEK_CUR)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+class TestBoundedReplay:
+    def test_checkpoint_bounds_wal_replay_to_the_interval(self,
+                                                          tmp_path):
+        records = _records(1010)
+        engine, obs = _engine(tmp_path, flush_threshold_records=None,
+                              checkpoint_interval_records=100)
+        engine.append_records(records, batch_records=25)
+        assert obs.value("store.checkpoints") >= 9
+        engine.crash()
+        info = engine.recover()
+        # Replay is the tail after the last checkpoint, not the run.
+        assert info.checkpoint_loaded is not None
+        assert info.wal_records <= 125
+        assert info.checkpoint_records + info.wal_records == 1010
+        assert engine.memtable.records == 1010
+        assert engine.memtable.digest() == _reference(records).digest()
+
+    def test_retention_keeps_two_checkpoints_and_prunes_wal(self,
+                                                            tmp_path):
+        engine, _obs = _engine(tmp_path, flush_threshold_records=None,
+                               checkpoint_interval_records=None)
+        records = _records(300)
+        for start in range(0, 300, 100):
+            engine.append_records(records[start:start + 100])
+            engine.checkpoint()
+        on_disk = [name for name in os.listdir(engine.data_dir)
+                   if name.endswith(".ckpt")]
+        assert sorted(on_disk) == engine.checkpoint_names()
+        assert len(on_disk) == 2
+        # Generations the older retained checkpoint covers are gone;
+        # its own tail (the newest checkpoint's fallback replay) and
+        # the active generation remain.
+        assert len(engine.wal_paths()) == 2
+        engine.crash()
+        engine.recover()
+        assert engine.memtable.digest() == _reference(records).digest()
+
+    def test_flush_supersedes_checkpoints(self, tmp_path):
+        engine, _obs = _engine(tmp_path, flush_threshold_records=None,
+                               checkpoint_interval_records=None)
+        records = _records(120)
+        engine.append_records(records[:80])
+        engine.checkpoint()
+        engine.append_records(records[80:])
+        engine.flush()
+        assert engine.checkpoint_names() == []
+        assert not [name for name in os.listdir(engine.data_dir)
+                    if name.endswith(".ckpt")]
+        assert len(engine.wal_paths()) == 1       # the fresh active gen
+        engine.crash()
+        info = engine.recover()
+        assert info.wal_records == 0
+        assert engine.materialize().digest() == \
+            _reference(records).digest()
+
+
+class TestCrashWindows:
+    def test_crash_before_manifest_publish_ignores_the_orphan(
+            self, tmp_path, monkeypatch):
+        """Die after the checkpoint file lands but before the manifest
+        references it: recovery must ignore (and sweep) the orphan and
+        replay the full WAL."""
+        records = _records(90)
+        engine, _obs = _engine(tmp_path, flush_threshold_records=None,
+                               checkpoint_interval_records=None)
+        engine.append_records(records)
+        monkeypatch.setattr(engine, "_write_manifest", lambda: None)
+        name = engine.checkpoint()
+        monkeypatch.undo()
+        assert os.path.exists(os.path.join(engine.data_dir, name))
+        engine.crash()
+        info = engine.recover()
+        assert info.checkpoint_loaded is None
+        assert info.wal_records == 90
+        assert not os.path.exists(os.path.join(engine.data_dir, name))
+        assert engine.memtable.digest() == _reference(records).digest()
+
+    def test_crash_before_wal_pruning_cleans_stale_generations(
+            self, tmp_path, monkeypatch):
+        """Die after the manifest publish but before the covered WAL
+        generations are deleted: recovery must not replay them (double
+        count) and must finish the cleanup."""
+        records = _records(200)
+        engine, _obs = _engine(tmp_path, flush_threshold_records=None,
+                               checkpoint_interval_records=None)
+        engine.append_records(records[:100])
+        engine.checkpoint()
+        engine.append_records(records[100:])
+        monkeypatch.setattr(engine, "_prune_wal_files", lambda: None)
+        engine.checkpoint()
+        monkeypatch.undo()
+        stale = len(engine.wal_paths())
+        assert stale >= 3                 # gen0 + gen1 + active gen2
+        engine.crash()
+        info = engine.recover()
+        assert info.wal_records == 0
+        assert engine.memtable.records == 200
+        assert engine.memtable.digest() == _reference(records).digest()
+        assert len(engine.wal_paths()) < stale
+
+    def test_torn_checkpoint_falls_back_to_the_previous(self,
+                                                        tmp_path):
+        records = _records(180)
+        engine, obs = _engine(tmp_path, flush_threshold_records=None,
+                              checkpoint_interval_records=None)
+        engine.append_records(records[:100])
+        first = engine.checkpoint()
+        engine.append_records(records[100:150])
+        second = engine.checkpoint()
+        engine.append_records(records[150:])
+        engine._commit_all()
+        _corrupt_tail(os.path.join(engine.data_dir, second))
+        engine.crash()
+        info = engine.recover()
+        assert info.checkpoints_quarantined == 1
+        assert info.checkpoint_loaded == first
+        # The fallback replays the second checkpoint's interval too.
+        assert info.wal_records == 80
+        assert engine.memtable.digest() == _reference(records).digest()
+        assert os.path.exists(os.path.join(
+            engine.data_dir, QUARANTINE_DIR, second))
+        assert obs.value("store.checkpoints_quarantined") == 1
+
+    def test_single_torn_checkpoint_falls_back_to_full_wal(self,
+                                                           tmp_path):
+        records = _records(130)
+        engine, _obs = _engine(tmp_path, flush_threshold_records=None,
+                               checkpoint_interval_records=None)
+        engine.append_records(records[:100])
+        name = engine.checkpoint()
+        engine.append_records(records[100:])
+        engine._commit_all()
+        _corrupt_tail(os.path.join(engine.data_dir, name))
+        engine.crash()
+        info = engine.recover()
+        # The only checkpoint is gone, but its WAL generations were
+        # never pruned (the horizon trails by one checkpoint), so the
+        # full replay reconstructs everything.
+        assert info.checkpoint_loaded is None
+        assert info.checkpoints_quarantined == 1
+        assert info.wal_records == 130
+        assert engine.memtable.digest() == _reference(records).digest()
+
+
+class TestDedupAndStreaming:
+    def test_dedup_seeds_survive_checkpoint_recovery(self, tmp_path):
+        engine, _obs = _engine(tmp_path, flush_threshold_records=None,
+                               checkpoint_interval_records=15)
+        batches = [(str("dev-%d" % i), _records(10, device="dev-%d" % i))
+                   for i in range(3)]
+        for seq, (device, records) in enumerate(batches):
+            for record in records:
+                engine.memtable.add(record)
+            engine.log_batch(device, seq, len(records), records)
+        engine.crash()
+        engine.recover()
+        # Checkpointed batch identities come from the manifest seeds,
+        # tail identities from WAL replay -- a replayed (device, seq)
+        # must hit the dedup cache either way.
+        for seq, (device, _records_) in enumerate(batches):
+            assert engine.dedup[(device, seq)] == 10
+        assert engine.memtable.records == 30
+
+    def test_recovery_streams_records_through_on_record(self,
+                                                        tmp_path):
+        engine, _obs = _engine(tmp_path, flush_threshold_records=None)
+        records = _records(40)
+        engine.append_records(records)
+        engine.crash()
+        seen = []
+        info = engine.recover(on_record=seen.append)
+        assert info.wal_records == 40
+        assert len(seen) == 40
+        assert not hasattr(info, "replayed_records")
+        assert _reference(seen).digest() == _reference(records).digest()
+
+
+class TestShardedWal:
+    def test_digest_identical_across_wal_shard_counts(self, tmp_path):
+        devices = ["dev-%d" % i for i in range(6)]
+        digests = []
+        for shards in (1, 3):
+            engine, _obs = _engine(tmp_path, name="s%d" % shards,
+                                   flush_threshold_records=None,
+                                   wal_shards=shards)
+            for seq in range(4):
+                for device in devices:
+                    records = _records(5, device=device)
+                    for record in records:
+                        engine.memtable.add(record)
+                    engine.log_batch(device, seq, len(records), records)
+            engine.crash()
+            info = engine.recover()
+            assert info.wal_records == 120
+            assert len(engine.dedup) == 24
+            digests.append(engine.memtable.digest())
+        assert digests[0] == digests[1]
+
+    def test_sharded_bulk_appends_recover(self, tmp_path):
+        records = _records(200)
+        engine, _obs = _engine(tmp_path, flush_threshold_records=None,
+                               wal_shards=4)
+        engine.append_records(records, batch_records=16)
+        assert len(engine.wal_paths()) == 4
+        engine.crash()
+        info = engine.recover()
+        assert info.wal_files == 4
+        assert info.wal_records == 200
+        assert engine.memtable.digest() == _reference(records).digest()
+
+
+class TestEnvelopeCompat:
+    def test_legacy_lines_envelope_still_replays(self, tmp_path):
+        engine, _obs = _engine(tmp_path, flush_threshold_records=None)
+        new_style = _records(20)
+        engine.append_records(new_style)
+        legacy = _records(10, device="dev-legacy")
+        envelope = {"kind": "bulk", "seq": 99,
+                    "lines": [record_to_line(r) for r in legacy]}
+        engine.wal.append(json.dumps(envelope, sort_keys=True,
+                                     separators=(",", ":")).encode())
+        engine.wal.commit()
+        engine.crash()
+        info = engine.recover()
+        assert info.wal_records == 30
+        assert engine.memtable.digest() == \
+            _reference(new_style + legacy).digest()

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""CI performance guards for the parallel-ingest and recovery paths.
+
+Two cheap, binary checks that would have caught the two regressions
+this repo shipped and later had to fix:
+
+* ``scaling``  -- shard-parallel ingest must not be *slower* than
+  serial (the old whole-store-pickle merge made 4 workers run at
+  0.9x).  Asserts digest parity always, and speedup >= 1.0 when the
+  host actually has >= 2 CPUs.
+* ``replay``   -- with checkpoints enabled, crash-recovery replay
+  work must be bounded by the checkpoint interval, not the run
+  length: a 3x longer run must not replay 3x the records, and its
+  recovery wall must stay within a small factor of the short run's.
+
+Run both (the default) or one by name::
+
+    PYTHONPATH=src python tools/perf_guards.py [scaling|replay]
+
+Exit code 0 on pass, 1 on any guard failure.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+SCALE = float(os.environ.get("MOPEYE_GUARD_SCALE", "0.02"))
+SEED = 2016
+CKPT_INTERVAL = 10_000
+
+
+def _dataset(root):
+    from repro.crowd import CampaignConfig, ShardedCampaign
+    campaign = ShardedCampaign(
+        config=CampaignConfig(scale=SCALE, seed=SEED),
+        workers=2, shard_dir=os.path.join(root, "shards"))
+    return campaign.run()
+
+
+def _fail(message):
+    print("GUARD FAIL: %s" % message)
+    return 1
+
+
+def guard_scaling(dataset):
+    """1 worker vs 2 workers: identical digest, and on a multi-core
+    host the parallel run must not lose to serial."""
+    from repro.backend import RollupConfig, ingest_shard_files
+
+    start = time.perf_counter()
+    serial = ingest_shard_files(dataset.paths, config=RollupConfig(),
+                                workers=1)
+    serial_s = time.perf_counter() - start
+
+    report = {}
+    start = time.perf_counter()
+    parallel = ingest_shard_files(dataset.paths, config=RollupConfig(),
+                                  workers=2, report=report)
+    parallel_s = time.perf_counter() - start
+
+    speedup = serial_s / parallel_s if parallel_s else 0.0
+    cpus = os.cpu_count() or 1
+    print("scaling: serial %.2fs, 2 workers %.2fs (speedup %.2fx, "
+          "merge %.2fs, mode %s, %d CPUs)"
+          % (serial_s, parallel_s, speedup, report["merge_wall_s"],
+             report["mode"], cpus))
+    if serial.digest() != parallel.digest():
+        return _fail("worker count changed the rollup digest")
+    if cpus >= 2 and speedup < 1.0:
+        return _fail("parallel ingest is slower than serial "
+                     "(%.2fx) on a %d-CPU host" % (speedup, cpus))
+    if cpus < 2:
+        print("scaling: single-CPU host, speedup assertion skipped "
+              "(digest parity still enforced)")
+    return 0
+
+
+def guard_replay(dataset):
+    """Recovery replay work with checkpoints: bounded by the interval
+    for any run length."""
+    from repro.core.persist import _record_from_dict
+    from repro.obs import Observability
+    from repro.store import StoreConfig, StoreEngine
+
+    entries = []
+    for path in dataset.paths:
+        with open(path, "rb") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    entries.append(
+                        (_record_from_dict(json.loads(line)), line))
+
+    walls = []
+    failures = 0
+    for label, count in (("short", len(entries) // 3),
+                         ("long", len(entries))):
+        root = tempfile.mkdtemp(prefix="guard-replay-")
+        engine = StoreEngine(
+            os.path.join(root, "store"),
+            config=StoreConfig(
+                flush_threshold_records=None,
+                checkpoint_interval_records=CKPT_INTERVAL),
+            obs=Observability())
+        engine.append_entries(entries[:count])
+        engine.crash()
+        start = time.perf_counter()
+        info = engine.recover()
+        wall = time.perf_counter() - start
+        walls.append(wall)
+        print("replay: %-5s run=%d records -> replayed %d "
+              "(checkpoint %s) in %.2fs"
+              % (label, count, info.wal_records,
+                 info.checkpoint_loaded or "-", wall))
+        if info.wal_records > CKPT_INTERVAL + 512:
+            failures += _fail(
+                "replayed %d records; checkpoints every %d should "
+                "bound the tail" % (info.wal_records, CKPT_INTERVAL))
+        engine.close()
+    # Wall-clock bound with generous slack: the long run loads a
+    # bigger checkpoint but must not replay proportionally more.
+    if walls[1] > 3.0 * walls[0] + 1.0:
+        failures += _fail(
+            "recovery wall grew with run length (%.2fs -> %.2fs); "
+            "replay is not bounded" % (walls[0], walls[1]))
+    return failures
+
+
+def main(argv):
+    which = argv[1] if len(argv) > 1 else "all"
+    with tempfile.TemporaryDirectory(prefix="guard-data-") as root:
+        dataset = _dataset(root)
+        print("dataset: %d records in %d shards (scale %g)"
+              % (dataset.total_records, len(dataset.paths), SCALE))
+        failures = 0
+        if which in ("all", "scaling"):
+            failures += guard_scaling(dataset)
+        if which in ("all", "replay"):
+            failures += guard_replay(dataset)
+    if failures:
+        return 1
+    print("perf guards: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
