@@ -19,10 +19,13 @@ Commands:
                    case-study detector, and save the rollup state
                    (``--state FILE`` for canonical JSON, ``--data-dir
                    DIR`` for the segment-encoded storage engine).
-* ``query``     -- read a saved rollup state (a ``--state`` file or a
-                   ``--data-dir`` directory): ``summary``, ``apps``,
-                   ``networks``, ``windows``, or ``cases`` (the
-                   detector's findings).
+* ``query``     -- query a saved rollup state (a ``--state`` file or
+                   a ``--data-dir`` directory) through the serving
+                   tier: scan views (``summary``, ``apps``,
+                   ``networks``, ``windows``, ``cases``, ``table``),
+                   pruned percentile panels (``panel --app`` /
+                   ``--operator``), and the simulated ``dashboard``
+                   fan-out.  See docs/QUERY.md.
 * ``store``     -- operate on a storage-engine data directory:
                    ``inspect`` prints the manifest/segment/WAL summary,
                    ``compact`` merges segments (optionally evicting
@@ -289,45 +292,88 @@ def cmd_serve(args) -> int:
     return 0
 
 
-def _load_rollup_state(state: str):
-    """``--state`` file or ``--data-dir`` directory, same view."""
+def cmd_query(args) -> int:
+    import json as _json
     import os
 
     from repro.backend import RollupStore
+    from repro.serve import DashboardWorkload, QueryEngine, QueryError, ReadView
 
-    if os.path.isdir(state):
-        from repro.store import StoreEngine
-
-        engine = StoreEngine(state)
-        try:
-            rollups = engine.materialize()
-            if "findings" not in rollups.meta:
-                rollups.meta["findings"] = list(engine.findings)
-        finally:
-            engine.close()
-        return rollups
-    return RollupStore.load(state)
-
-
-def cmd_query(args) -> int:
-    import json as _json
-
-    from repro.backend import query as backend_query
-
-    try:
-        rollups = _load_rollup_state(args.state)
-    except (OSError, ValueError, KeyError) as exc:
-        print("error: cannot read rollup state: %s" % exc,
-              file=sys.stderr)
+    def _usage(message: str) -> int:
+        print("error: %s" % message, file=sys.stderr)
         return 2
-    view = {
-        "summary": backend_query.summary,
-        "apps": lambda r: backend_query.apps(r, top=args.top),
-        "networks": lambda r: backend_query.networks(r, top=args.top),
-        "windows": backend_query.windows,
-        "cases": backend_query.cases,
-    }[args.view](rollups)
-    print(_json.dumps(view, indent=1, sort_keys=True,
+
+    if args.top is not None and args.top < 1:
+        return _usage("--top must be a positive row count (got %d)"
+                      % args.top)
+    if args.view == "table":
+        if args.name is None:
+            return _usage("the table view needs --name; tables are %s"
+                          % ", ".join(RollupStore.TABLES))
+        if args.name not in RollupStore.TABLES:
+            return _usage("unknown table %r; tables are %s"
+                          % (args.name, ", ".join(RollupStore.TABLES)))
+    if args.view == "panel" and \
+            (args.app is None) == (args.operator is None):
+        return _usage("the panel view needs exactly one of --app or "
+                      "--operator")
+    if args.panels < 0:
+        return _usage("--panels must be >= 0 (got %d)" % args.panels)
+    if args.cache_mb < 0:
+        return _usage("--cache-mb must be >= 0 (got %d)"
+                      % args.cache_mb)
+
+    engine = None
+    view_obj = None
+    try:
+        try:
+            if os.path.isdir(args.state):
+                from repro.store import StoreEngine
+
+                engine = StoreEngine(args.state)
+                query_engine = QueryEngine(
+                    engine, cache_bytes=args.cache_mb << 20)
+                view_obj = query_engine.snapshot()
+            else:
+                view_obj = ReadView.from_rollups(
+                    RollupStore.load(args.state))
+        except (OSError, ValueError, KeyError, QueryError) as exc:
+            print("error: cannot read rollup state: %s" % exc,
+                  file=sys.stderr)
+            return 2
+        try:
+            if args.view == "summary":
+                out = view_obj.summary()
+            elif args.view == "apps":
+                out = view_obj.apps(top=args.top)
+            elif args.view == "networks":
+                out = view_obj.networks(top=args.top)
+            elif args.view == "windows":
+                out = view_obj.window_series()
+            elif args.view == "cases":
+                out = view_obj.cases()
+            elif args.view == "table":
+                out = {"table": args.name,
+                       "rows": view_obj.table_rows(args.name,
+                                                   top=args.top)}
+            elif args.view == "panel":
+                if args.app is not None:
+                    out = view_obj.app_panel(args.app)
+                else:
+                    out = view_obj.network_panel(args.operator)
+            else:                       # dashboard
+                workload = DashboardWorkload(
+                    view_obj, seed=args.seed, panels=args.panels)
+                out = workload.run(include_latency=args.latency)
+        except QueryError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+    finally:
+        if view_obj is not None:
+            view_obj.close()
+        if engine is not None:
+            engine.close()
+    print(_json.dumps(out, indent=1, sort_keys=True,
                       separators=(",", ": ")))
     return 0
 
@@ -538,13 +584,33 @@ def main(argv=None) -> int:
                             "`repro store inspect DIR`")
     serve.add_argument("--metrics", action="store_true",
                        help="print the backend's registry snapshot")
-    query = sub.add_parser("query", help="query a saved rollup state")
+    from repro.serve import VIEW_ORDER
+
+    query = sub.add_parser("query", help="query a saved rollup state "
+                                         "(see docs/QUERY.md)")
     query.add_argument("state", help="state file from serve --state, "
                                      "or a serve --data-dir directory")
-    query.add_argument("view", choices=["summary", "apps", "networks",
-                                        "windows", "cases"])
+    query.add_argument("view", choices=list(VIEW_ORDER))
     query.add_argument("--top", type=int, default=20,
-                       help="row cap for apps/networks views")
+                       help="row cap for apps/networks/table views "
+                            "(must be >= 1)")
+    query.add_argument("--name", default=None,
+                       help="rollup table for the table view")
+    query.add_argument("--app", default=None,
+                       help="app package for the panel view")
+    query.add_argument("--operator", default=None,
+                       help="operator (ISP) for the panel view")
+    query.add_argument("--panels", type=int, default=64,
+                       help="dashboard view: panel queries to issue")
+    query.add_argument("--seed", type=int, default=0,
+                       help="dashboard view: workload RNG seed")
+    query.add_argument("--cache-mb", type=int, default=32,
+                       help="block-cache budget in MiB (data-dir "
+                            "states only)")
+    query.add_argument("--latency", action="store_true",
+                       help="dashboard view: include wall-clock "
+                            "latency percentiles (volatile; excluded "
+                            "by default so output stays diffable)")
     chaos = sub.add_parser("chaos", help="run a fault-injection "
                                          "scenario with ground truth")
     chaos.add_argument("--scenario", type=str, default=None,

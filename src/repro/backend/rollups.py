@@ -91,6 +91,13 @@ class MergeHist:
         self.count += other.count
         self.overflow += other.overflow
 
+    def copy(self) -> "MergeHist":
+        dup = MergeHist()
+        dup.bins = dict(self.bins)
+        dup.count = self.count
+        dup.overflow = self.overflow
+        return dup
+
     def quantile(self, q: float) -> float:
         """Quantile by linear interpolation inside the landing bin."""
         if self.count == 0:
@@ -264,6 +271,19 @@ class RollupStore:
                 if existing is None:
                     existing = mine[key] = MergeHist()
                 existing.merge(hist)
+
+    def clone(self) -> "RollupStore":
+        """Deep, independent copy: the serving tier pins one as its
+        memtable snapshot while ingestion keeps mutating the live
+        store."""
+        dup = RollupStore(config=self.config, meta=self.meta)
+        dup.records = self.records
+        dup.failure_records = self.failure_records
+        for table in self.TABLES:
+            dup.tables[table] = {
+                key: hist.copy()
+                for key, hist in self.tables[table].items()}
+        return dup
 
     # -- queries -----------------------------------------------------
 

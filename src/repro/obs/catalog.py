@@ -336,6 +336,40 @@ CATALOG: Dict[str, MetricSpec] = dict([
        "fresh one opened (checkpoint or flush)."),
     _m("store.wal_files", GAUGE, "files", "repro.store.engine",
        "WAL files currently on disk across generations and shards."),
+    _m("store.blocks_read", COUNTER, "blocks", "repro.store.segments",
+       "Segment blocks fetched on the read path (block-cache hits "
+       "included: a hit still serves that block to the query)."),
+    _m("store.blocks_pruned", COUNTER, "blocks",
+       "repro.store.segments",
+       "Candidate blocks skipped because their zone-map [min, max] "
+       "key range cannot intersect the query."),
+    _m("store.cache.hits", COUNTER, "blocks",
+       "repro.store.blockcache",
+       "Block-cache lookups served from a cached decoded block."),
+    _m("store.cache.misses", COUNTER, "blocks",
+       "repro.store.blockcache",
+       "Block-cache lookups that fell through to a disk read + "
+       "decode."),
+    _m("store.cache.evictions", COUNTER, "blocks",
+       "repro.store.blockcache",
+       "Decoded blocks evicted from the LRU end to fit the byte "
+       "budget."),
+    _m("store.cache.bytes", GAUGE, "bytes", "repro.store.blockcache",
+       "Decoded payload bytes currently resident in the block cache."),
+    _m("store.cache.entries", GAUGE, "blocks",
+       "repro.store.blockcache",
+       "Decoded blocks currently resident in the block cache."),
+    # -- serving tier (the query engine over the store) --------------------
+    _m("serve.snapshots", COUNTER, "views", "repro.serve.engine",
+       "Snapshot read views opened (each pins the segment list and a "
+       "memtable copy for its lifetime)."),
+    _m("serve.queries", COUNTER, "queries", "repro.serve.engine",
+       "Queries answered by read views: panels, tables, and "
+       "dashboard-style views alike."),
+    _m("serve.query_latency_ms", HISTOGRAM, "ms",
+       "repro.serve.workload",
+       "Wall-clock latency of one dashboard panel query.",
+       volatile=True, max_x=1000.0, n_bins=2000),
     # -- access link (loss / latency faults land here) ---------------------
     _m("link.packets_dropped", COUNTER, "packets", "repro.network.link",
        "Packets lost on a link direction, i.i.d. and burst losses "

@@ -1,0 +1,29 @@
+"""repro.serve: the read-path serving tier over :mod:`repro.store`.
+
+Dashboard-style queries (per-app / per-ISP percentile panels) over a
+live storage engine, with the three properties a real serving tier
+needs: **snapshot isolation** (a query pins the segment list and a
+memtable clone, so concurrent flush/compaction/retention cannot tear
+its result), **zone-map pruning** (point and range reads open only
+the segment blocks whose key range can match, byte-identical to a
+full scan), and a shared **LRU block cache**.  See ``docs/QUERY.md``
+for the operator guide.
+"""
+
+from repro.serve.engine import (
+    VIEW_ORDER,
+    VIEWS,
+    QueryEngine,
+    QueryError,
+    ReadView,
+)
+from repro.serve.workload import DashboardWorkload
+
+__all__ = [
+    "DashboardWorkload",
+    "QueryEngine",
+    "QueryError",
+    "ReadView",
+    "VIEWS",
+    "VIEW_ORDER",
+]

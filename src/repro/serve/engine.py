@@ -1,0 +1,446 @@
+"""Snapshot-isolated query engine over a :class:`StoreEngine`.
+
+The dashboard problem: MopEye's backend serves per-app / per-ISP
+percentile comparisons to many concurrent viewers while ingestion
+keeps flushing, compacting and retiring segments underneath them.  A
+query that reads "whatever the engine has right now" can tear -- half
+its rows from a pre-compaction segment, half from the merged
+replacement.  This module gives every query a **pinned view** instead:
+
+* :meth:`QueryEngine.snapshot` opens one
+  :class:`~repro.store.segments.SegmentReader` per live segment and
+  deep-clones the memtable.  The readers hold open file descriptors,
+  so even after compaction or retention *unlinks* a segment file the
+  pinned bytes keep serving (POSIX semantics); the memtable clone is
+  immune to concurrent ingest by construction.  A
+  :class:`ReadView` therefore answers every query from exactly the
+  state that existed at snapshot time -- flush, compaction and
+  retention racing the reader cannot tear a result.
+* Point and prefix queries go through the segment zone maps
+  (``footer.blocks[].min/max``), opening only the blocks that can
+  match -- strictly fewer than a scan, with byte-identical results
+  (``scan=True`` on every panel recomputes the answer the slow way
+  for exactly that assertion).
+* All readers of one engine share a byte-budgeted
+  :class:`~repro.store.blockcache.BlockCache`, so a fan-out of panels
+  over the same hot windows decodes each block once.
+
+Anything wrong with the underlying files -- a segment quarantined
+mid-read, a block failing its CRC -- surfaces as :class:`QueryError`
+with the file named, never a crash or a silently partial answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.backend import query as backend_query
+from repro.backend.rollups import Key, MergeHist, RollupStore
+from repro.core.records import MeasurementKind
+from repro.obs import Observability
+from repro.store.blockcache import DEFAULT_CACHE_BYTES, BlockCache
+from repro.store.segments import ReadStats, SegmentCorruption
+
+#: The CLI query surface, in display order.  ``tests/test_query_docs``
+#: enforces that docs/QUERY.md documents exactly these views, both
+#: directions.
+VIEWS: Dict[str, str] = {
+    "summary": "record counts, per-table group sizes, windows, digest "
+               "and meta for the whole state",
+    "apps": "per-app RTT table merged across windows, by volume",
+    "networks": "per-(operator, technology) app-vs-DNS median table",
+    "windows": "per-window volume and app-RTT median time series",
+    "cases": "detector findings persisted with the state",
+    "table": "raw rows of one rollup table (pick with --name)",
+    "panel": "pruned per-app (--app) or per-ISP (--operator) "
+             "percentile panel",
+    "dashboard": "simulated dashboard fan-out of Zipf-popular panels "
+                 "(--panels, --seed, --latency)",
+}
+VIEW_ORDER: Tuple[str, ...] = tuple(VIEWS)
+
+
+class QueryError(Exception):
+    """A query could not be answered cleanly (unreadable or corrupt
+    segment, quarantined file).  The message names the file."""
+
+
+def _quantiles(hist: MergeHist) -> Dict[str, float]:
+    return {"median_ms": round(hist.median(), 2),
+            "p90_ms": round(hist.quantile(0.9), 2),
+            "p99_ms": round(hist.quantile(0.99), 2)}
+
+
+class ReadView:
+    """One pinned, immutable snapshot of the rollup state.
+
+    Scan views (:meth:`summary`, :meth:`apps`, :meth:`networks`,
+    :meth:`window_series`, :meth:`cases`, :meth:`table_rows`) answer
+    from a lazily materialised merge of every pinned segment plus the
+    memtable clone -- byte-compatible with the pre-serving-tier CLI.
+    Pruned views (:meth:`app_panel`, :meth:`network_panel`) answer
+    from zone-mapped point/prefix reads instead, opening only the
+    blocks that can match; pass ``scan=True`` to recompute the same
+    panel by full scan (the byte-identity check the tests and perf
+    guard run).
+
+    Views must be closed (or used as context managers): close()
+    releases the pinned file descriptors.
+    """
+
+    def __init__(self, readers: List, memtable: RollupStore,
+                 meta: Optional[Dict[str, object]] = None,
+                 findings: Optional[List[dict]] = None,
+                 stats: Optional[ReadStats] = None,
+                 obs: Optional[Observability] = None,
+                 inject_findings: bool = False) -> None:
+        self.readers = list(readers)
+        self.memtable = memtable
+        self.meta: Dict[str, object] = dict(meta or {})
+        self.findings: List[dict] = list(findings or [])
+        self.stats = stats if stats is not None else ReadStats()
+        self.obs = obs
+        self._inject_findings = inject_findings
+        self._materialized: Optional[RollupStore] = None
+        self._scanned: Dict[str, Dict[Key, MergeHist]] = {}
+        self._closed = False
+
+    @classmethod
+    def from_rollups(cls, rollups: RollupStore) -> "ReadView":
+        """A view over an in-memory / JSON-state store (no segments,
+        nothing to pin -- the store is already immutable to us)."""
+        return cls(readers=[], memtable=rollups, meta=rollups.meta)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for reader in self.readers:
+            reader.close()
+
+    def __enter__(self) -> "ReadView":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _count_query(self) -> None:
+        if self.obs is not None:
+            self.obs.inc("serve.queries")
+
+    # -- the merged whole (scan views) ---------------------------------
+
+    def materialize(self) -> RollupStore:
+        """Segments (seq order) + memtable merged into one store;
+        cached -- the view is immutable, so once is enough."""
+        if self._materialized is None:
+            merged = RollupStore(config=self.memtable.config,
+                                 meta=self.meta)
+            try:
+                for reader in self.readers:
+                    merged.merge(reader.to_store())
+            except SegmentCorruption as exc:
+                raise QueryError(str(exc))
+            merged.merge(self.memtable)
+            if self._inject_findings and \
+                    "findings" not in merged.meta:
+                merged.meta["findings"] = list(self.findings)
+            self._materialized = merged
+        return self._materialized
+
+    def summary(self) -> Dict[str, object]:
+        self._count_query()
+        return backend_query.summary(self.materialize())
+
+    def apps(self, top: Optional[int] = 20) -> List[Dict[str, object]]:
+        self._count_query()
+        return backend_query.apps(self.materialize(), top=top)
+
+    def networks(self, top: Optional[int] = 20
+                 ) -> List[Dict[str, object]]:
+        self._count_query()
+        return backend_query.networks(self.materialize(), top=top)
+
+    def window_series(self) -> List[Dict[str, object]]:
+        self._count_query()
+        return backend_query.windows(self.materialize())
+
+    def cases(self) -> List[Dict[str, object]]:
+        self._count_query()
+        return backend_query.cases(self.materialize())
+
+    def table_rows(self, name: str, top: Optional[int] = None
+                   ) -> List[Dict[str, object]]:
+        """Raw rows of one rollup table, highest volume first."""
+        if name not in RollupStore.TABLES:
+            raise QueryError("unknown table %r; tables are %s"
+                             % (name, ", ".join(RollupStore.TABLES)))
+        self._count_query()
+        rows = [dict([("key", list(key)), ("count", hist.count)],
+                     **_quantiles(hist))
+                for key, hist in self._scan_table(name).items()]
+        rows.sort(key=lambda row: (-row["count"], row["key"]))
+        return rows[:top] if top is not None else rows
+
+    # -- pruned primitives ---------------------------------------------
+
+    def windows(self) -> List[int]:
+        """Every rollup window in the view, from footer metadata alone
+        where possible (zero block reads for v2 segments)."""
+        seen = set(self.memtable.windows())
+        for reader in self.readers:
+            listed = reader.windows()
+            if listed is None:          # v1 footer: derive by scan
+                for table in ("network", "app"):
+                    for key, _hist in reader.iter_table(table):
+                        seen.add(int(key[0]))
+            else:
+                seen.update(listed)
+        return sorted(seen)
+
+    def get(self, table: str, key: Key) -> Optional[MergeHist]:
+        """Point read merged across every pinned segment plus the
+        memtable; zone maps mean at most one block per segment."""
+        merged: Optional[MergeHist] = None
+        try:
+            for reader in self.readers:
+                hist = reader.get(table, key)
+                if hist is not None:
+                    if merged is None:
+                        merged = MergeHist()
+                    merged.merge(hist)
+        except SegmentCorruption as exc:
+            raise QueryError(str(exc))
+        hist = self.memtable.tables[table].get(tuple(key))
+        if hist is not None:
+            if merged is None:
+                merged = MergeHist()
+            merged.merge(hist)
+        return merged
+
+    def get_many(self, table: str, keys: List[Key]
+                 ) -> Dict[Key, MergeHist]:
+        """Batched point reads merged across segments + memtable:
+        each segment walks its zone maps once, opening every
+        candidate block at most once for the whole key set."""
+        out: Dict[Key, MergeHist] = {}
+
+        def _fold(key: Key, hist: MergeHist) -> None:
+            merged = out.get(key)
+            if merged is None:
+                merged = out[key] = MergeHist()
+            merged.merge(hist)
+
+        try:
+            for reader in self.readers:
+                for key, hist in reader.get_many(table, keys).items():
+                    _fold(key, hist)
+        except SegmentCorruption as exc:
+            raise QueryError(str(exc))
+        for key in set(map(tuple, keys)):
+            hist = self.memtable.tables[table].get(key)
+            if hist is not None:
+                _fold(key, hist)
+        return out
+
+    def scan_prefix(self, table: str, prefix_parts: Tuple[str, ...]
+                    ) -> Dict[Key, MergeHist]:
+        """Prefix range merged across segments + memtable, opening
+        only the blocks whose zone map intersects the prefix."""
+        return self.scan_prefixes(table, [tuple(prefix_parts)])
+
+    def scan_prefixes(self, table: str,
+                      prefixes: List[Tuple[str, ...]]
+                      ) -> Dict[Key, MergeHist]:
+        """Rows matching any of the (equal-length) prefixes, merged
+        across segments + memtable in one batched pass per segment."""
+        out: Dict[Key, MergeHist] = {}
+        if not prefixes:
+            return out
+        wanted = {tuple(prefix) for prefix in prefixes}
+        n = len(next(iter(wanted)))
+
+        def _fold(key: Key, hist: MergeHist) -> None:
+            merged = out.get(key)
+            if merged is None:
+                merged = out[key] = MergeHist()
+            merged.merge(hist)
+
+        try:
+            for reader in self.readers:
+                for key, hist in reader.scan_prefixes(
+                        table, sorted(wanted)):
+                    _fold(key, hist)
+        except SegmentCorruption as exc:
+            raise QueryError(str(exc))
+        for key, hist in self.memtable.tables[table].items():
+            if key[:n] in wanted:
+                _fold(key, hist)
+        return out
+
+    def _scan_table(self, name: str,
+                    cached: bool = True) -> Dict[Key, MergeHist]:
+        """The whole table merged across segments + memtable (reads
+        every block).  Cached per view by default; ``cached=False``
+        re-reads every block -- the honest cost a ``scan=True`` panel
+        is charged, so the pruned-vs-scan blocks-read comparison
+        compares real work."""
+        if cached:
+            scanned = self._scanned.get(name)
+            if scanned is not None:
+                return scanned
+        scanned = {}
+        try:
+            for reader in self.readers:
+                for key, hist in reader.iter_table(name):
+                    merged = scanned.get(key)
+                    if merged is None:
+                        merged = scanned[key] = MergeHist()
+                    merged.merge(hist)
+        except SegmentCorruption as exc:
+            raise QueryError(str(exc))
+        for key, hist in self.memtable.tables[name].items():
+            merged = scanned.get(key)
+            if merged is None:
+                merged = scanned[key] = MergeHist()
+            merged.merge(hist)
+        self._scanned[name] = scanned
+        return scanned
+
+    # -- dashboard panels ----------------------------------------------
+
+    def app_panel(self, app: str, scan: bool = False
+                  ) -> Dict[str, object]:
+        """Per-window RTT percentiles for one app (MopEye section 5's
+        per-app comparison).  Pruned by default: one batched point
+        read across all windows, so each segment opens every
+        candidate block at most once."""
+        self._count_query()
+        windows = self.windows()
+        keys = [(str(window), app, MeasurementKind.TCP)
+                for window in windows]
+        if scan:
+            source = self._scan_table("app", cached=False)
+            hits = {key: source[key] for key in keys
+                    if key in source}
+        else:
+            hits = self.get_many("app", keys)
+        rows: List[Dict[str, object]] = []
+        overall = MergeHist()
+        for window in windows:
+            hist = hits.get((str(window), app, MeasurementKind.TCP))
+            if hist is None or hist.count == 0:
+                continue
+            rows.append(dict([("window", window),
+                              ("count", hist.count)],
+                             **_quantiles(hist)))
+            overall.merge(hist)
+        return {
+            "panel": "app",
+            "app": app,
+            "windows": rows,
+            "overall": (dict([("count", overall.count)],
+                             **_quantiles(overall))
+                        if overall.count else None),
+        }
+
+    def network_panel(self, operator: str, scan: bool = False
+                      ) -> Dict[str, object]:
+        """Per-window app-vs-DNS medians and a per-technology
+        breakdown for one operator (the per-ISP comparison).  Pruned
+        by default: one batched prefix pass covering every window, so
+        each segment opens every candidate block at most once."""
+        self._count_query()
+        windows = self.windows()
+        prefixes = [(str(window), operator) for window in windows]
+        if scan:
+            source = self._scan_table("network", cached=False)
+            wanted = set(prefixes)
+            hits = {key: hist for key, hist in source.items()
+                    if key[:2] in wanted}
+        else:
+            hits = self.scan_prefixes("network", prefixes) \
+                if prefixes else {}
+        rows: List[Dict[str, object]] = []
+        by_tech: Dict[str, MergeHist] = {}
+        overall = MergeHist()
+        for window in windows:
+            prefix = (str(window), operator)
+            matches = {key: hist for key, hist in hits.items()
+                       if key[:2] == prefix}
+            if not matches:
+                continue
+            tcp = MergeHist()
+            dns = MergeHist()
+            for key, hist in matches.items():
+                _window, _operator, tech, kind = key
+                if kind == MeasurementKind.TCP:
+                    tcp.merge(hist)
+                    merged = by_tech.get(tech)
+                    if merged is None:
+                        merged = by_tech[tech] = MergeHist()
+                    merged.merge(hist)
+                    overall.merge(hist)
+                elif kind == MeasurementKind.DNS:
+                    dns.merge(hist)
+            rows.append({
+                "window": window,
+                "count": tcp.count + dns.count,
+                "app_median_ms": (round(tcp.median(), 2)
+                                  if tcp.count else None),
+                "app_p99_ms": (round(tcp.quantile(0.99), 2)
+                               if tcp.count else None),
+                "dns_median_ms": (round(dns.median(), 2)
+                                  if dns.count else None),
+            })
+        return {
+            "panel": "network",
+            "operator": operator,
+            "windows": rows,
+            "technologies": [
+                dict([("technology", tech),
+                      ("count", by_tech[tech].count)],
+                     **_quantiles(by_tech[tech]))
+                for tech in sorted(by_tech)],
+            "overall": (dict([("count", overall.count)],
+                             **_quantiles(overall))
+                        if overall.count else None),
+        }
+
+
+class QueryEngine:
+    """Query front-end over one :class:`StoreEngine`: a shared block
+    cache plus snapshot factories."""
+
+    def __init__(self, engine, cache_bytes: int = DEFAULT_CACHE_BYTES,
+                 obs: Optional[Observability] = None) -> None:
+        self.engine = engine
+        self.obs = obs if obs is not None else engine.obs
+        self.cache = BlockCache(cache_bytes, obs=self.obs)
+
+    def snapshot(self) -> ReadView:
+        """Pin the current state: open readers over the live segments
+        and deep-clone the memtable.  Raises :class:`QueryError` if a
+        listed segment cannot be opened."""
+        stats = ReadStats()
+        try:
+            readers = self.engine.segment_readers(
+                cache=self.cache, obs=self.obs, stats=stats)
+        except SegmentCorruption as exc:
+            raise QueryError(str(exc))
+        if self.obs is not None:
+            self.obs.inc("serve.snapshots")
+        return ReadView(
+            readers=readers,
+            memtable=self.engine.memtable.clone(),
+            meta=self.engine.meta,
+            findings=self.engine.findings,
+            stats=stats,
+            obs=self.obs,
+            inject_findings=True)
+
+
+__all__ = ["QueryEngine", "QueryError", "ReadView", "VIEWS",
+           "VIEW_ORDER"]

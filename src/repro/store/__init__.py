@@ -8,6 +8,7 @@ memtable, tiered compaction, retention, and crash recovery.  See
 ``docs/STORAGE.md`` for the operator guide.
 """
 
+from repro.store.blockcache import BlockCache, DEFAULT_CACHE_BYTES
 from repro.store.checkpoint import (
     CheckpointCorruption,
     read_checkpoint,
@@ -15,6 +16,7 @@ from repro.store.checkpoint import (
 )
 from repro.store.engine import RecoveryInfo, StoreConfig, StoreEngine
 from repro.store.segments import (
+    ReadStats,
     SegmentCorruption,
     SegmentReader,
     write_segment,
@@ -22,8 +24,11 @@ from repro.store.segments import (
 from repro.store.wal import FsyncModel, WriteAheadLog, replay
 
 __all__ = [
+    "BlockCache",
     "CheckpointCorruption",
+    "DEFAULT_CACHE_BYTES",
     "FsyncModel",
+    "ReadStats",
     "RecoveryInfo",
     "SegmentCorruption",
     "SegmentReader",

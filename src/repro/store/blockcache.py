@@ -1,0 +1,102 @@
+"""Byte-budgeted LRU cache for decoded segment blocks.
+
+One cache is shared by every :class:`~repro.store.segments.SegmentReader`
+a :class:`~repro.serve.QueryEngine` opens, so a dashboard fan-out that
+hits the same hot blocks (popular apps, the current window) decodes
+each block once.  Entries are keyed ``(segment path, table, block
+index)`` -- segment names are never reused within a data dir (``seq``
+is monotonic), so a key uniquely names immutable bytes and entries
+never need invalidation.
+
+The budget is counted in **decoded** payload bytes (the decompressed
+block payload length), which tracks resident cost far better than the
+on-disk size of a ~4x-deflated block.  Inserting past the budget
+evicts from the least-recently-used end until the new entry fits; an
+entry larger than the whole budget is not admitted (it would only
+evict everything for a single-use row set).
+
+Metrics (catalog-enforced, see docs/OBSERVABILITY.md):
+``store.cache.hits`` / ``store.cache.misses`` / ``store.cache.evictions``
+counters and ``store.cache.bytes`` / ``store.cache.entries`` gauges.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.obs import Observability
+
+#: Default byte budget: 32 MiB of decoded blocks.
+DEFAULT_CACHE_BYTES = 32 << 20
+
+
+class BlockCache:
+    """LRU over decoded blocks with a byte budget."""
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CACHE_BYTES,
+                 obs: Optional[Observability] = None) -> None:
+        self.capacity_bytes = max(0, int(capacity_bytes))
+        self.obs = obs
+        self._entries: "OrderedDict[Hashable, Tuple[object, int]]" = \
+            OrderedDict()
+        self._bytes = 0
+
+    def get(self, key: Hashable):
+        """The cached value, refreshed to most-recently-used, or
+        ``None`` on a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            if self.obs is not None:
+                self.obs.inc("store.cache.misses")
+            return None
+        self._entries.move_to_end(key)
+        if self.obs is not None:
+            self.obs.inc("store.cache.hits")
+        return entry[0]
+
+    def put(self, key: Hashable, value: object, nbytes: int) -> None:
+        """Insert ``value`` costed at ``nbytes``, evicting LRU entries
+        to stay under budget.  Oversized values are not admitted."""
+        nbytes = max(0, int(nbytes))
+        if nbytes > self.capacity_bytes:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old[1]
+        while self._entries and self._bytes + nbytes > self.capacity_bytes:
+            _evicted_key, (_value, evicted_bytes) = \
+                self._entries.popitem(last=False)
+            self._bytes -= evicted_bytes
+            if self.obs is not None:
+                self.obs.inc("store.cache.evictions")
+        self._entries[key] = (value, nbytes)
+        self._bytes += nbytes
+        self._update_gauges()
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+        self._update_gauges()
+
+    def _update_gauges(self) -> None:
+        if self.obs is None:
+            return
+        self.obs.set_gauge("store.cache.bytes", float(self._bytes))
+        self.obs.set_gauge("store.cache.entries",
+                           float(len(self._entries)))
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def bytes_used(self) -> int:
+        return self._bytes
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "bytes": self._bytes,
+                "capacity_bytes": self.capacity_bytes}
+
+
+__all__ = ["BlockCache", "DEFAULT_CACHE_BYTES"]

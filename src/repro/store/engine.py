@@ -70,7 +70,12 @@ from repro.store.checkpoint import (
     read_checkpoint,
     write_checkpoint,
 )
-from repro.store.segments import SegmentCorruption, SegmentReader, write_segment
+from repro.store.segments import (
+    DEFAULT_BLOCK_ROWS,
+    SegmentCorruption,
+    SegmentReader,
+    write_segment,
+)
 from repro.store.wal import FsyncModel, WriteAheadLog, replay
 from repro.store.wal import MAGIC as WAL_MAGIC
 
@@ -98,6 +103,7 @@ class StoreConfig:
                  checkpoint_interval_records: Optional[int] = None,
                  checkpoint_keep: int = 2,
                  dedup_capacity: int = 4096,
+                 segment_block_rows: int = DEFAULT_BLOCK_ROWS,
                  fsync: Optional[FsyncModel] = None) -> None:
         #: Freeze the memtable into a segment at this many records
         #: (``None`` disables auto-flush; the WAL -- bounded by
@@ -128,6 +134,10 @@ class StoreConfig:
         #: checkpoint covers them.
         self.checkpoint_keep = max(1, int(checkpoint_keep))
         self.dedup_capacity = int(dedup_capacity)
+        #: Rows per zone-mapped segment block.  Smaller blocks prune
+        #: harder (a point read decodes less); larger blocks compress
+        #: better.  The default is a good middle for both.
+        self.segment_block_rows = max(1, int(segment_block_rows))
         self.fsync = fsync or FsyncModel()
 
 
@@ -462,7 +472,8 @@ class StoreEngine:
         self._next_seq += 1
         name = "seg-%06d.seg" % seq
         nbytes = write_segment(self._segment_path(name), store, seq,
-                               obs=self.obs)
+                               obs=self.obs,
+                               block_rows=self.config.segment_block_rows)
         self._segments.append(name)
         self.obs.inc("store.flushes")
         self.obs.inc("store.segment_flush_bytes", nbytes)
@@ -587,15 +598,16 @@ class StoreEngine:
         merged = RollupStore(config=self.rollup_config)
         old = list(self._segments)
         for name in old:
-            merged.merge(SegmentReader(self._segment_path(name))
-                         .to_store())
+            with SegmentReader(self._segment_path(name)) as reader:
+                merged.merge(reader.to_store())
         if self.config.retention_ms is not None and now_ms is not None:
             self._evict_old_windows(merged, now_ms)
         seq = self._next_seq
         self._next_seq += 1
         name = "seg-%06d.seg" % seq
         write_segment(self._segment_path(name), merged, seq,
-                      obs=self.obs)
+                      obs=self.obs,
+                      block_rows=self.config.segment_block_rows)
         self._segments = [name]
         self._write_manifest()
         for stale in old:
@@ -845,7 +857,8 @@ class StoreEngine:
         """Full checksum pass; quarantine the file on failure."""
         path = self._segment_path(name)
         try:
-            SegmentReader(path).verify()
+            with SegmentReader(path) as reader:
+                reader.verify()
             return True
         except SegmentCorruption:
             quarantine = os.path.join(self.data_dir, QUARANTINE_DIR)
@@ -862,14 +875,31 @@ class StoreEngine:
         merged = RollupStore(config=self.rollup_config,
                              meta=self.meta)
         for name in self._segments:
-            merged.merge(SegmentReader(self._segment_path(name))
-                         .to_store())
+            with SegmentReader(self._segment_path(name)) as reader:
+                merged.merge(reader.to_store())
         merged.merge(self.memtable)
         return merged
 
-    def segment_readers(self) -> List[SegmentReader]:
-        return [SegmentReader(self._segment_path(name))
-                for name in self._segments]
+    def segment_readers(self, cache=None, obs=None,
+                        stats=None) -> List[SegmentReader]:
+        """Open one reader per live segment (seq order).  The caller
+        owns the readers -- and with them a pinned view: the open file
+        handles keep serving even after compaction or retention
+        unlinks the files.  Pass a shared
+        :class:`~repro.store.blockcache.BlockCache` and a
+        :class:`~repro.store.segments.ReadStats` to share decoded
+        blocks and account reads (the serving tier does both)."""
+        readers: List[SegmentReader] = []
+        try:
+            for name in self._segments:
+                readers.append(
+                    SegmentReader(self._segment_path(name),
+                                  cache=cache, obs=obs, stats=stats))
+        except SegmentCorruption:
+            for reader in readers:
+                reader.close()
+            raise
+        return readers
 
     def disk_bytes(self) -> int:
         total = self.wal_bytes()

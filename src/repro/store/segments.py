@@ -3,25 +3,41 @@
 Layout, front to back::
 
     MOPSEG1\\n                         8-byte magic
-    [table block]  x len(TABLES)      CRC frame per rollup table
+    [row block] x N per table         CRC frame per zone-mapped block
     [footer]                          CRC frame, canonical JSON
     u64 LE footer offset              where the footer frame starts
     MOPSEGF1                          8-byte tail magic
 
-Each table block holds its rows sorted by encoded key -- ``varint
+Each rollup table's rows are sorted by **encoded key** -- ``varint
 key-length + key utf-8 + hist codec`` (see
-:mod:`repro.store.encoding`) -- deflated with zlib before framing
-(the CRC covers the compressed bytes), so two stores with equal
-content produce byte-identical segments regardless of insertion order
-or ``PYTHONHASHSEED``.  The footer indexes every block by offset/length,
-which is what makes point and range reads possible without touching
-the other tables: a reader seeks to the tail, loads the footer, then
-loads exactly the blocks a query needs.
+:mod:`repro.store.encoding`) -- then split into blocks of at most
+``block_rows`` rows, each deflated with zlib before framing (the CRC
+covers the compressed bytes).  Two stores with equal content produce
+byte-identical segments regardless of insertion order or
+``PYTHONHASHSEED``.
+
+The footer indexes every block by offset/length **and by zone map**:
+the minimum and maximum encoded key the block holds.  Blocks within a
+table are disjoint and ascending, so a point read binary-searches the
+zone maps and opens at most one block, and a range read opens only the
+blocks whose ``[min, max]`` intersects the requested range -- this is
+what makes the serving tier's pruned queries (docs/QUERY.md) read
+strictly fewer blocks than a scan.  The footer also records the set of
+rollup windows the segment holds, so a reader can enumerate windows
+without touching a single row block.
+
+Reads go through an open file handle (``seek`` + bounded ``read`` per
+block), never a whole-file slurp: a pinned reader touches only the
+blocks its queries need, and -- because the handle stays open -- keeps
+serving a consistent view even after compaction or retention has
+unlinked the file (the snapshot-isolation contract in
+:mod:`repro.serve`).
 
 Every block and the footer carry their own CRC32.  A reader that
 trips a checksum raises :class:`SegmentCorruption`; the engine's
 recovery pass catches it and quarantines the file rather than serving
-silently wrong aggregates.
+silently wrong aggregates, and the serving tier surfaces it as a
+clean :class:`~repro.serve.QueryError`.
 
 Writes are atomic: the segment is assembled in a ``.tmp`` sibling and
 renamed into place, so a crash mid-flush leaves no half-segment for
@@ -33,7 +49,8 @@ from __future__ import annotations
 import json
 import os
 import zlib
-from typing import Dict, Iterator, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.backend.rollups import (
     Key,
@@ -44,60 +61,109 @@ from repro.backend.rollups import (
     _encode_key,
 )
 from repro.obs import Observability
-from repro.store.encoding import (
-    FRAME_HEADER_BYTES,
-    FRAME_OK,
-    decode_hist,
-    encode_hist,
-    frame,
-    pack_u64,
-    read_frame,
-    read_uvarint,
-    unpack_u64,
-    write_uvarint,
-)
 
 MAGIC = b"MOPSEG1\n"
 TAIL_MAGIC = b"MOPSEGF1"
-SEGMENT_SCHEMA = 1
+#: v1 (PR 5) stored one monolithic block per table; v2 splits tables
+#: into zone-mapped blocks and records the window set in the footer.
+#: The reader accepts both.
+SEGMENT_SCHEMA = 2
+#: Default rows per zone-mapped block.  Small enough that a point
+#: query decodes a few KB, large enough that zlib still has a real
+#: window to compress over.
+DEFAULT_BLOCK_ROWS = 256
+
+#: Exclusive upper bound used for prefix ranges over encoded keys.
+_PREFIX_CEILING = "\U0010ffff"
 
 
 class SegmentCorruption(Exception):
     """A segment failed structural or checksum validation."""
 
 
-def _encode_block(table: Dict[Key, MergeHist]) -> Tuple[bytes, int]:
+@dataclass
+class ReadStats:
+    """Per-view read accounting (shared by every pinned reader of one
+    :class:`repro.serve.ReadView`)."""
+    blocks_read: int = 0
+    blocks_pruned: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"blocks_read": self.blocks_read,
+                "blocks_pruned": self.blocks_pruned,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses}
+
+    def delta_since(self, other: "ReadStats") -> "ReadStats":
+        return ReadStats(
+            blocks_read=self.blocks_read - other.blocks_read,
+            blocks_pruned=self.blocks_pruned - other.blocks_pruned,
+            cache_hits=self.cache_hits - other.cache_hits,
+            cache_misses=self.cache_misses - other.cache_misses)
+
+    def copy(self) -> "ReadStats":
+        return ReadStats(self.blocks_read, self.blocks_pruned,
+                         self.cache_hits, self.cache_misses)
+
+
+def _encode_rows(rows: List[Tuple[str, Key, MergeHist]]) -> bytes:
+    """Encode ``(encoded_key, key, hist)`` rows (already sorted by
+    encoded key) as one block payload."""
+    from repro.store.encoding import encode_hist, write_uvarint
+
     out = bytearray()
-    keys = sorted(table)
-    write_uvarint(out, len(keys))
-    for key in keys:
-        encoded = _encode_key(key).encode("utf-8")
-        write_uvarint(out, len(encoded))
-        out.extend(encoded)
-        encode_hist(out, table[key])
-    return bytes(out), len(keys)
+    write_uvarint(out, len(rows))
+    for encoded, _key, hist in rows:
+        raw = encoded.encode("utf-8")
+        write_uvarint(out, len(raw))
+        out.extend(raw)
+        encode_hist(out, hist)
+    return bytes(out)
+
+
+def _encode_block(table: Dict[Key, MergeHist]) -> Tuple[bytes, int]:
+    """One whole table as a single payload (the checkpoint format
+    still uses this monolithic form)."""
+    rows = sorted(((_encode_key(key), key, hist)
+                   for key, hist in table.items()),
+                  key=lambda row: row[0])
+    return _encode_rows(rows), len(rows)
 
 
 def write_segment(path: str, store: RollupStore, seq: int,
-                  obs: Optional[Observability] = None) -> int:
+                  obs: Optional[Observability] = None,
+                  block_rows: int = DEFAULT_BLOCK_ROWS) -> int:
     """Write ``store`` as segment ``seq`` at ``path`` (atomically).
     Returns the file size in bytes."""
+    from repro.store.encoding import frame, pack_u64
+
+    block_rows = max(1, int(block_rows))
     parts = [MAGIC]
     offset = len(MAGIC)
-    index: Dict[str, Dict[str, int]] = {}
+    index: Dict[str, Dict[str, object]] = {}
     for name in RollupStore.TABLES:
-        payload, rows = _encode_block(store.tables[name])
-        block = frame(zlib.compress(payload, 9))
-        parts.append(block)
-        index[name] = {"offset": offset, "length": len(block),
-                       "rows": rows}
-        offset += len(block)
+        rows = sorted(((_encode_key(key), key, hist)
+                       for key, hist in store.tables[name].items()),
+                      key=lambda row: row[0])
+        blocks: List[Dict[str, object]] = []
+        for start in range(0, len(rows), block_rows):
+            chunk = rows[start:start + block_rows]
+            block = frame(zlib.compress(_encode_rows(chunk), 9))
+            parts.append(block)
+            blocks.append({"offset": offset, "length": len(block),
+                           "rows": len(chunk),
+                           "min": chunk[0][0], "max": chunk[-1][0]})
+            offset += len(block)
+        index[name] = {"rows": len(rows), "blocks": blocks}
     footer = {
         "schema": SEGMENT_SCHEMA,
         "seq": int(seq),
         "config": store.config.to_dict(),
         "records": store.records,
         "failure_records": store.failure_records,
+        "windows": store.windows(),
         "tables": index,
     }
     footer_frame = frame(json.dumps(footer, sort_keys=True,
@@ -118,40 +184,91 @@ def write_segment(path: str, store: RollupStore, seq: int,
 
 
 class SegmentReader:
-    """Random access over one segment file.
+    """Block-granular random access over one segment file.
 
-    The footer is validated on open; table blocks are CRC-checked
-    lazily on first access and cached.  Any structural or checksum
-    failure raises :class:`SegmentCorruption`.
+    The footer is validated on open; row blocks are CRC-checked lazily
+    on first access.  Point reads (:meth:`get`) and prefix ranges
+    (:meth:`scan_prefix`) consult the footer's zone maps and open only
+    the blocks that can match; a full scan (:meth:`iter_table`,
+    :meth:`to_store`) opens them all.  Decoded blocks go through the
+    shared :class:`~repro.store.blockcache.BlockCache` when one is
+    supplied, else a private per-reader cache.  Any structural or
+    checksum failure raises :class:`SegmentCorruption`.
+
+    The reader keeps its file handle open for its whole life, so a
+    segment deleted by compaction or retention keeps serving the
+    pinned bytes (POSIX unlink semantics) -- close() releases it.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, cache=None,
+                 obs: Optional[Observability] = None,
+                 stats: Optional[ReadStats] = None) -> None:
         self.path = path
+        self.cache = cache
+        self.obs = obs
+        self.stats = stats
         try:
-            with open(path, "rb") as handle:
-                self._data = handle.read()
+            self._handle = open(path, "rb")
+            self._size = os.fstat(self._handle.fileno()).st_size
         except OSError as exc:
             raise SegmentCorruption("unreadable segment %s: %s"
                                     % (path, exc))
-        self.footer = self._load_footer()
+        self._cache_prefix = os.path.abspath(path)
+        self._local: Dict[Tuple[str, int], Dict[Key, MergeHist]] = {}
+        try:
+            self.footer = self._load_footer()
+        except SegmentCorruption:
+            self._handle.close()
+            raise
         self.seq = int(self.footer["seq"])
         self.records = int(self.footer["records"])
         self.failure_records = int(self.footer.get("failure_records", 0))
         self.config = RollupConfig.from_dict(self.footer["config"])
-        self._tables: Dict[str, Dict[Key, MergeHist]] = {}
+        self._tables = {
+            name: self._normalize_entry(name)
+            for name in RollupStore.TABLES
+        }
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "SegmentReader":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- structure -----------------------------------------------------
+
+    def _read_at(self, offset: int, length: int) -> bytes:
+        self._handle.seek(offset)
+        return self._handle.read(length)
 
     def _load_footer(self) -> Dict[str, object]:
-        data = self._data
-        if len(data) < len(MAGIC) + 16 or not data.startswith(MAGIC):
+        from repro.store.encoding import (
+            FRAME_OK,
+            read_frame,
+            unpack_u64,
+        )
+
+        if self._size < len(MAGIC) + 16:
+            raise SegmentCorruption("segment %s is too short"
+                                    % self.path)
+        if self._read_at(0, len(MAGIC)) != MAGIC:
             raise SegmentCorruption("bad segment magic in %s" % self.path)
-        if data[-8:] != TAIL_MAGIC:
+        tail = self._read_at(self._size - 16, 16)
+        if tail[8:] != TAIL_MAGIC:
             raise SegmentCorruption("bad tail magic in %s" % self.path)
-        footer_offset = unpack_u64(data, len(data) - 16)
-        if not len(MAGIC) <= footer_offset < len(data) - 16:
+        footer_offset = unpack_u64(tail, 0)
+        if not len(MAGIC) <= footer_offset < self._size - 16:
             raise SegmentCorruption("footer offset out of range in %s"
                                     % self.path)
-        payload, end, status = read_frame(data, footer_offset)
-        if status != FRAME_OK or end != len(data) - 16:
+        buffer = self._read_at(footer_offset,
+                               self._size - 16 - footer_offset)
+        payload, end, status = read_frame(buffer, 0)
+        if status != FRAME_OK or end != len(buffer):
             raise SegmentCorruption("footer frame invalid in %s"
                                     % self.path)
         try:
@@ -159,43 +276,102 @@ class SegmentReader:
         except ValueError:
             raise SegmentCorruption("footer is not JSON in %s"
                                     % self.path)
-        if footer.get("schema") != SEGMENT_SCHEMA:
+        if footer.get("schema") not in (1, SEGMENT_SCHEMA):
             raise SegmentCorruption(
-                "segment %s has schema %r; this reader understands %d"
-                % (self.path, footer.get("schema"), SEGMENT_SCHEMA))
+                "segment %s has schema %r; this reader understands "
+                "1..%d" % (self.path, footer.get("schema"),
+                           SEGMENT_SCHEMA))
         return footer
 
-    def _block(self, name: str) -> Dict[Key, MergeHist]:
-        cached = self._tables.get(name)
-        if cached is not None:
-            return cached
+    def _normalize_entry(self, name: str) -> Dict[str, object]:
+        """v2 entries carry zone-mapped block lists; a v1 entry is one
+        monolithic block with an unbounded zone map."""
         try:
             entry = self.footer["tables"][name]
         except KeyError:
             raise SegmentCorruption("table %r missing from footer of %s"
                                     % (name, self.path))
-        offset = int(entry["offset"])
-        payload, _end, status = read_frame(self._data, offset)
+        if "blocks" in entry:
+            return entry
+        return {"rows": int(entry["rows"]),
+                "blocks": [{"offset": int(entry["offset"]),
+                            "length": int(entry["length"]),
+                            "rows": int(entry["rows"]),
+                            "min": None, "max": None}]
+                if int(entry["rows"]) else []}
+
+    def blocks(self, name: str) -> List[Dict[str, object]]:
+        """Block metadata (offset, length, rows, zone-map min/max)."""
+        return list(self._tables[name]["blocks"])
+
+    def rows(self, name: str) -> int:
+        return int(self._tables[name]["rows"])
+
+    def windows(self) -> Optional[List[int]]:
+        """Rollup windows this segment holds, straight from the footer
+        (``None`` for a v1 segment, which predates the field)."""
+        windows = self.footer.get("windows")
+        if windows is None:
+            return None
+        return [int(window) for window in windows]
+
+    # -- block loading -------------------------------------------------
+
+    def _load_block(self, name: str, index: int) -> Dict[Key, MergeHist]:
+        if self.stats is not None:
+            self.stats.blocks_read += 1
+        if self.obs is not None:
+            self.obs.inc("store.blocks_read")
+        if self.cache is not None:
+            cache_key = (self._cache_prefix, name, index)
+            rows = self.cache.get(cache_key)
+            if rows is not None:
+                if self.stats is not None:
+                    self.stats.cache_hits += 1
+                return rows
+            if self.stats is not None:
+                self.stats.cache_misses += 1
+            rows, nbytes = self._decode_block(name, index)
+            self.cache.put(cache_key, rows, nbytes)
+            return rows
+        local_key = (name, index)
+        rows = self._local.get(local_key)
+        if rows is None:
+            rows, _nbytes = self._decode_block(name, index)
+            self._local[local_key] = rows
+        return rows
+
+    def _decode_block(self, name: str, index: int
+                      ) -> Tuple[Dict[Key, MergeHist], int]:
+        from repro.store.encoding import FRAME_OK, read_frame
+
+        entry = self._tables[name]["blocks"][index]
+        buffer = self._read_at(int(entry["offset"]),
+                               int(entry["length"]))
+        payload, _end, status = read_frame(buffer, 0)
         if status != FRAME_OK:
             raise SegmentCorruption(
-                "table %r block failed its checksum in %s (%s)"
-                % (name, self.path, status))
+                "table %r block %d failed its checksum in %s (%s)"
+                % (name, index, self.path, status))
         try:
             payload = zlib.decompress(payload)
         except zlib.error as exc:
-            raise SegmentCorruption("table %r block undeflatable in "
-                                    "%s: %s" % (name, self.path, exc))
+            raise SegmentCorruption(
+                "table %r block %d undeflatable in %s: %s"
+                % (name, index, self.path, exc))
         try:
-            table = self._decode_rows(payload, int(entry["rows"]))
+            rows = self._decode_rows(payload, int(entry["rows"]))
         except (ValueError, IndexError) as exc:
-            raise SegmentCorruption("table %r rows undecodable in %s: %s"
-                                    % (name, self.path, exc))
-        self._tables[name] = table
-        return table
+            raise SegmentCorruption(
+                "table %r block %d rows undecodable in %s: %s"
+                % (name, index, self.path, exc))
+        return rows, len(payload)
 
     @staticmethod
     def _decode_rows(payload: bytes, expected_rows: int
                      ) -> Dict[Key, MergeHist]:
+        from repro.store.encoding import decode_hist, read_uvarint
+
         table: Dict[Key, MergeHist] = {}
         n_rows, pos = read_uvarint(payload, 0)
         if n_rows != expected_rows:
@@ -211,13 +387,137 @@ class SegmentReader:
 
     # -- the read path -------------------------------------------------
 
-    def iter_table(self, name: str) -> Iterator[Tuple[Key, MergeHist]]:
-        table = self._block(name)
-        for key in sorted(table):
-            yield key, table[key]
+    @staticmethod
+    def _block_holds(entry: Dict[str, object], encoded: str) -> bool:
+        low = entry["min"]
+        high = entry["max"]
+        if low is not None and encoded < low:
+            return False
+        if high is not None and encoded > high:
+            return False
+        return True
+
+    def _prune(self, skipped: int) -> None:
+        if skipped <= 0:
+            return
+        if self.stats is not None:
+            self.stats.blocks_pruned += skipped
+        if self.obs is not None:
+            self.obs.inc("store.blocks_pruned", skipped)
 
     def get(self, name: str, key: Key) -> Optional[MergeHist]:
-        return self._block(name).get(tuple(key))
+        """Zone-map point read: opens at most one block."""
+        blocks = self._tables[name]["blocks"]
+        encoded = _encode_key(tuple(key))
+        for index, entry in enumerate(blocks):
+            if self._block_holds(entry, encoded):
+                self._prune(len(blocks) - 1)
+                return self._load_block(name, index).get(tuple(key))
+            if entry["max"] is not None and entry["max"] > encoded:
+                break
+        self._prune(len(blocks))
+        return None
+
+    def get_many(self, name: str, keys: List[Key]
+                 ) -> Dict[Key, MergeHist]:
+        """Batched point reads: one merge-join pass over the zone
+        maps, opening each candidate block at most once however many
+        keys land in it.  Absent keys are simply missing from the
+        result."""
+        blocks = self._tables[name]["blocks"]
+        encoded = sorted((_encode_key(tuple(key)), tuple(key))
+                         for key in set(map(tuple, keys)))
+        out: Dict[Key, MergeHist] = {}
+        skipped = 0
+        index = 0
+        for block_index, entry in enumerate(blocks):
+            if index >= len(encoded):
+                skipped += len(blocks) - block_index
+                break
+            low = entry["min"]
+            high = entry["max"]
+            while index < len(encoded) and low is not None \
+                    and encoded[index][0] < low:
+                index += 1               # below every later block too
+            end = index
+            while end < len(encoded) and \
+                    (high is None or encoded[end][0] <= high):
+                end += 1
+            if end == index:
+                skipped += 1
+                continue
+            rows = self._load_block(name, block_index)
+            for _encoded_key, key in encoded[index:end]:
+                hist = rows.get(key)
+                if hist is not None:
+                    out[key] = hist
+            index = end
+        self._prune(skipped)
+        return out
+
+    @staticmethod
+    def _prefix_range(prefix_parts: Tuple[str, ...]) -> Tuple[str, str]:
+        low = _encode_key(tuple(prefix_parts)) + "|" \
+            if prefix_parts else ""
+        return low, low + _PREFIX_CEILING
+
+    def scan_prefix(self, name: str, prefix_parts: Tuple[str, ...]
+                    ) -> Iterator[Tuple[Key, MergeHist]]:
+        """All rows whose key starts with ``prefix_parts``, opening
+        only the blocks whose zone map intersects the prefix range."""
+        return self.scan_prefixes(name, [tuple(prefix_parts)])
+
+    def scan_prefixes(self, name: str,
+                      prefixes: List[Tuple[str, ...]]
+                      ) -> Iterator[Tuple[Key, MergeHist]]:
+        """All rows matching *any* of the (equal-length) prefixes, in
+        one pass: each block is opened at most once however many
+        prefix ranges intersect it."""
+        if not prefixes:
+            return
+        lengths = {len(prefix) for prefix in prefixes}
+        if len(lengths) != 1:
+            raise ValueError("scan_prefixes wants equal-length "
+                             "prefixes, got lengths %s"
+                             % sorted(lengths))
+        n = lengths.pop()
+        wanted = {tuple(prefix) for prefix in prefixes}
+        ranges = sorted(self._prefix_range(prefix)
+                        for prefix in wanted)
+        blocks = self._tables[name]["blocks"]
+        skipped = 0
+        for index, entry in enumerate(blocks):
+            low = entry["min"]
+            high = entry["max"]
+            candidate = False
+            for range_low, range_high in ranges:
+                if high is not None and high < range_low:
+                    break    # block sits below this and later ranges
+                if low is not None and low >= range_high:
+                    continue             # above this range; try next
+                candidate = True
+                break
+            if not candidate:
+                skipped += 1
+                continue
+            rows = self._load_block(name, index)
+            for key in sorted(rows, key=_encode_key):
+                if key[:n] in wanted:
+                    yield key, rows[key]
+        self._prune(skipped)
+
+    def iter_table(self, name: str) -> Iterator[Tuple[Key, MergeHist]]:
+        for index in range(len(self._tables[name]["blocks"])):
+            rows = self._load_block(name, index)
+            for key in sorted(rows, key=_encode_key):
+                yield key, rows[key]
+
+    def table(self, name: str) -> Dict[Key, MergeHist]:
+        """The whole table, merged across its blocks (a full scan)."""
+        merged: Dict[Key, MergeHist] = {}
+        for index in range(len(self._tables[name]["blocks"])):
+            merged.update(self._load_block(name, index))
+        return merged
 
     def to_store(self) -> RollupStore:
         """Materialise the whole segment as a RollupStore."""
@@ -225,18 +525,20 @@ class SegmentReader:
         store.records = self.records
         store.failure_records = self.failure_records
         for name in RollupStore.TABLES:
-            store.tables[name] = dict(self._block(name))
+            store.tables[name] = self.table(name)
         return store
 
     def verify(self) -> None:
         """Force-check every block's checksum (used by recovery and
         ``store inspect``)."""
         for name in RollupStore.TABLES:
-            self._block(name)
+            for index in range(len(self._tables[name]["blocks"])):
+                self._load_block(name, index)
 
     def size_bytes(self) -> int:
-        return len(self._data)
+        return self._size
 
 
-__all__ = ["MAGIC", "SEGMENT_SCHEMA", "SegmentCorruption",
-           "SegmentReader", "TAIL_MAGIC", "write_segment"]
+__all__ = ["DEFAULT_BLOCK_ROWS", "MAGIC", "ReadStats", "SEGMENT_SCHEMA",
+           "SegmentCorruption", "SegmentReader", "TAIL_MAGIC",
+           "write_segment"]

@@ -154,6 +154,104 @@ class TestChaos:
         assert main(["chaos", "--scenario", "volcano"]) == 2
 
 
+class TestQuery:
+    @pytest.fixture()
+    def data_dir(self, tmp_path):
+        from repro.core.records import MeasurementRecord
+        from repro.store import StoreConfig, StoreEngine
+        engine = StoreEngine(
+            str(tmp_path / "store"),
+            config=StoreConfig(flush_threshold_records=40,
+                               segment_block_rows=8))
+        engine.append_records([
+            MeasurementRecord(
+                kind="DNS" if i % 7 == 0 else "TCP",
+                rtt_ms=20.0 + i % 30,
+                timestamp_ms=(i % 3) * 28 * 24 * 3600 * 1000.0,
+                app_package="com.app.%02d" % (i % 12),
+                app_uid=10001, dst_ip="203.0.113.1", dst_port=443,
+                domain="d%d.example" % (i % 3),
+                network_type="LTE" if i % 2 == 0 else "WIFI",
+                operator="Op%d" % ((i // 5) % 3), country="US",
+                device_id="dev-1")
+            for i in range(160)])
+        return str(tmp_path / "store")
+
+    def test_query_views_render(self, data_dir, capsys):
+        for view in ("summary", "apps", "networks", "windows",
+                     "cases"):
+            assert main(["query", data_dir, view]) == 0
+            json.loads(capsys.readouterr().out)
+
+    def test_query_dir_matches_state_file(self, data_dir, tmp_path,
+                                          capsys):
+        from repro.store import StoreEngine
+        state = str(tmp_path / "state.json")
+        store = StoreEngine(data_dir).materialize()
+        store.meta.setdefault("findings", [])  # as serve --state does
+        store.save(state)
+        assert main(["query", data_dir, "summary"]) == 0
+        from_dir = capsys.readouterr().out
+        assert main(["query", state, "summary"]) == 0
+        assert capsys.readouterr().out == from_dir
+
+    def test_query_panel_and_table_views(self, data_dir, capsys):
+        assert main(["query", data_dir, "panel", "--app",
+                     "com.app.01"]) == 0
+        panel = json.loads(capsys.readouterr().out)
+        assert panel["panel"] == "app" and panel["windows"]
+        assert main(["query", data_dir, "panel", "--operator",
+                     "Op1"]) == 0
+        panel = json.loads(capsys.readouterr().out)
+        assert panel["panel"] == "network"
+        assert main(["query", data_dir, "table", "--name", "network",
+                     "--top", "5"]) == 0
+        table = json.loads(capsys.readouterr().out)
+        assert table["table"] == "network"
+        assert len(table["rows"]) <= 5
+
+    def test_query_dashboard_deterministic(self, data_dir, capsys):
+        assert main(["query", data_dir, "dashboard", "--panels", "16",
+                     "--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(["query", data_dir, "dashboard", "--panels", "16",
+                     "--seed", "7"]) == 0
+        assert capsys.readouterr().out == first
+        report = json.loads(first)
+        assert report["panels"] == 16
+        assert "latency_ms" not in report
+
+    def test_query_top_must_be_positive(self, data_dir, capsys):
+        for bad in ("0", "-3"):
+            assert main(["query", data_dir, "apps", "--top", bad]) == 2
+            err = capsys.readouterr().err
+            assert "error:" in err and "--top" in err
+
+    def test_query_unknown_table_name_rejected(self, data_dir, capsys):
+        assert main(["query", data_dir, "table", "--name",
+                     "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "app" in err and "network" in err
+        assert main(["query", data_dir, "table"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_panel_needs_exactly_one_subject(self, data_dir,
+                                                   capsys):
+        assert main(["query", data_dir, "panel"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["query", data_dir, "panel", "--app", "a",
+                     "--operator", "b"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_negative_knobs_rejected(self, data_dir, capsys):
+        assert main(["query", data_dir, "dashboard", "--panels",
+                     "-1"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["query", data_dir, "summary", "--cache-mb",
+                     "-1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestArgs:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -18,7 +18,7 @@ def _documented_names():
     """Backticked names in table rows: ``| `some.name` | ...``."""
     names = set()
     for line in open(DOC_PATH):
-        match = re.match(r"\|\s*`([a-z_]+\.[a-z_]+)`\s*\|", line)
+        match = re.match(r"\|\s*`([a-z_]+(?:\.[a-z_]+)+)`\s*\|", line)
         if match:
             names.add(match.group(1))
     return names

@@ -1,0 +1,86 @@
+"""docs/QUERY.md must document exactly the query surface -- both
+directions: every view the code exposes has a row, every documented
+view and CLI flag still exists, and the promised sections are there."""
+
+import os
+import re
+
+from repro.serve import VIEWS
+
+DOC_PATH = os.path.join(os.path.dirname(__file__), "..", "docs",
+                        "QUERY.md")
+MAIN_PATH = os.path.join(os.path.dirname(__file__), "..", "src",
+                         "repro", "__main__.py")
+
+REQUIRED_SECTIONS = [
+    "## Views",
+    "## Flags",
+    "## Result schemas",
+    "## Pruning semantics",
+    "## Block cache",
+    "## Snapshot reads",
+]
+
+
+def _doc_text():
+    with open(DOC_PATH) as handle:
+        return handle.read()
+
+
+def _documented_views():
+    """First-column backticked names in table rows: ``| `view` |``."""
+    names = set()
+    for line in _doc_text().splitlines():
+        match = re.match(r"\|\s*`([a-z]+)`\s*\|", line)
+        if match:
+            names.add(match.group(1))
+    return names
+
+
+def _documented_flags():
+    """Every backticked ``--flag`` anywhere in the document."""
+    return set(re.findall(r"`(--[a-z-]+)`", _doc_text()))
+
+
+def _query_parser_flags():
+    """Flags of the ``query`` subparser, read from the CLI source."""
+    with open(MAIN_PATH) as handle:
+        source = handle.read()
+    start = source.index('sub.add_parser("query"')
+    end = source.index("sub.add_parser(", start + 1)
+    return set(re.findall(r'add_argument\("(--[a-z-]+)"',
+                          source[start:end]))
+
+
+class TestViewCoverage:
+    def test_every_view_is_documented(self):
+        missing = set(VIEWS) - _documented_views()
+        assert not missing, "undocumented views: %s" % sorted(missing)
+
+    def test_every_documented_view_exists(self):
+        stale = _documented_views() - set(VIEWS)
+        assert not stale, \
+            "documented but gone from VIEWS: %s" % sorted(stale)
+
+
+class TestFlagCoverage:
+    def test_parser_flags_are_sane(self):
+        flags = _query_parser_flags()
+        assert "--top" in flags and "--cache-mb" in flags
+
+    def test_every_flag_is_documented(self):
+        missing = _query_parser_flags() - _documented_flags()
+        assert not missing, "undocumented flags: %s" % sorted(missing)
+
+    def test_every_documented_flag_exists(self):
+        stale = _documented_flags() - _query_parser_flags()
+        assert not stale, \
+            "documented but gone from the parser: %s" % sorted(stale)
+
+
+class TestSections:
+    def test_promised_sections_exist(self):
+        text = _doc_text()
+        missing = [heading for heading in REQUIRED_SECTIONS
+                   if heading not in text]
+        assert not missing, "missing sections: %s" % missing

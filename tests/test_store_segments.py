@@ -7,8 +7,11 @@ import pytest
 from repro.backend.rollups import MergeHist, RollupConfig, RollupStore
 from repro.core.records import MeasurementRecord
 from repro.obs import Observability
+from repro.backend.rollups import _encode_key
+from repro.store.blockcache import BlockCache
 from repro.store.encoding import decode_hist, encode_hist
 from repro.store.segments import (
+    ReadStats,
     SEGMENT_SCHEMA,
     SegmentCorruption,
     SegmentReader,
@@ -102,7 +105,8 @@ class TestSegmentRoundTrip:
         path = str(tmp_path / "seg.seg")
         write_segment(path, store, seq=1)
         probe = SegmentReader(path)
-        entry = probe.footer["tables"]["network"]
+        entry = probe.blocks("network")[0]
+        probe.close()
         with open(path, "r+b") as handle:
             handle.seek(entry["offset"] + 10)
             byte = handle.read(1)
@@ -178,6 +182,139 @@ class TestSegmentCorruption:
     def test_missing_file_rejected(self, tmp_path):
         with pytest.raises(SegmentCorruption, match="unreadable"):
             SegmentReader(str(tmp_path / "nope.seg"))
+
+
+class TestZoneMaps:
+    """v2 block splitting: zone-map pruning must give byte-identical
+    answers to full scans while opening strictly fewer blocks."""
+
+    def _reader(self, tmp_path, block_rows=8, cache=None):
+        store = _populated_store()
+        path = str(tmp_path / "seg.seg")
+        write_segment(path, store, seq=1, block_rows=block_rows)
+        stats = ReadStats()
+        return store, SegmentReader(path, cache=cache,
+                                    stats=stats), stats
+
+    def test_tables_split_into_bounded_sorted_blocks(self, tmp_path):
+        store, reader, _stats = self._reader(tmp_path, block_rows=8)
+        for name in RollupStore.TABLES:
+            blocks = reader.blocks(name)
+            assert sum(b["rows"] for b in blocks) \
+                == len(store.tables[name])
+            previous_max = None
+            for block in blocks:
+                assert 1 <= block["rows"] <= 8
+                assert block["min"] <= block["max"]
+                if previous_max is not None:
+                    # Disjoint and ascending: what makes the zone
+                    # maps binary-searchable.
+                    assert block["min"] > previous_max
+                previous_max = block["max"]
+
+    def test_point_read_opens_at_most_one_block(self, tmp_path):
+        store, reader, stats = self._reader(tmp_path, block_rows=8)
+        total = len(reader.blocks("app"))
+        assert total >= 3
+        for key in sorted(store.tables["app"]):
+            before = stats.copy()
+            hist = reader.get("app", key)
+            assert hist is not None
+            assert hist.bins == store.tables["app"][key].bins
+            delta = stats.delta_since(before)
+            assert delta.blocks_read == 1
+            assert delta.blocks_pruned == total - 1
+
+    def test_missing_key_reads_zero_blocks(self, tmp_path):
+        _store, reader, stats = self._reader(tmp_path, block_rows=8)
+        # Sorts far past every real key: all blocks pruned, none read.
+        assert reader.get("app", ("99999", "zzz.nope", "TCP")) is None
+        assert stats.blocks_read == 0
+        assert stats.blocks_pruned == len(reader.blocks("app"))
+
+    def test_scan_prefix_matches_filtered_full_scan(self, tmp_path):
+        store, reader, stats = self._reader(tmp_path, block_rows=4)
+        windows = sorted({key[0] for key in store.tables["network"]})
+        for window in windows:
+            before = stats.copy()
+            pruned = dict(reader.scan_prefix("network", (window,)))
+            expected = {key: hist
+                        for key, hist in store.tables["network"].items()
+                        if key[0] == window}
+            assert pruned.keys() == expected.keys()
+            for key in expected:
+                assert pruned[key].bins == expected[key].bins
+            delta = stats.delta_since(before)
+            assert delta.blocks_pruned > 0 or \
+                delta.blocks_read == len(reader.blocks("network"))
+            assert delta.blocks_read < len(reader.blocks("network")) \
+                or len(windows) == 1
+
+    def test_footer_lists_the_windows(self, tmp_path):
+        store, reader, _stats = self._reader(tmp_path)
+        assert reader.windows() == store.windows()
+
+    def test_v1_monolithic_footer_still_readable(self, tmp_path):
+        """A PR-5 segment (one unindexed block per table, schema 1)
+        must load, scan, and point-read through the same API."""
+        import json
+
+        from repro.store import encoding
+        store = _populated_store()
+        path = str(tmp_path / "seg.seg")
+        # One block per table == the v1 payload layout.
+        write_segment(path, store, seq=1, block_rows=1 << 30)
+        data = open(path, "rb").read()
+        offset = encoding.unpack_u64(data, len(data) - 16)
+        payload, _end, _status = encoding.read_frame(data, offset)
+        footer = json.loads(payload)
+        footer["schema"] = 1
+        footer.pop("windows")
+        for name, entry in footer["tables"].items():
+            blocks = entry.pop("blocks")
+            if blocks:
+                entry.update(offset=blocks[0]["offset"],
+                             length=blocks[0]["length"])
+            else:
+                entry.update(offset=0, length=0)
+        new_payload = json.dumps(footer, sort_keys=True,
+                                 separators=(",", ":")).encode()
+        blob = (data[:offset] + encoding.frame(new_payload)
+                + encoding.pack_u64(offset) + data[-8:])
+        open(path, "wb").write(blob)
+        reader = SegmentReader(path)
+        assert reader.windows() is None
+        assert reader.to_store().digest() == store.digest()
+        key = next(iter(sorted(store.tables["app"])))
+        assert reader.get("app", key) is not None
+
+    def test_shared_cache_decodes_each_block_once(self, tmp_path):
+        cache = BlockCache(capacity_bytes=1 << 20)
+        store, reader, stats = self._reader(tmp_path, block_rows=8,
+                                            cache=cache)
+        for key in sorted(store.tables["app"]):
+            assert reader.get("app", key) is not None
+        assert stats.cache_misses == len(reader.blocks("app"))
+        assert stats.cache_hits == stats.blocks_read \
+            - stats.cache_misses
+        assert stats.cache_hits > 0
+        # A second reader over the same file shares the entries.
+        other_stats = ReadStats()
+        other = SegmentReader(reader.path, cache=cache,
+                              stats=other_stats)
+        key = next(iter(sorted(store.tables["app"])))
+        assert other.get("app", key) is not None
+        assert other_stats.cache_misses == 0
+
+    def test_order_is_by_encoded_key(self, tmp_path):
+        """Rows sort by the encoded key string (what the zone maps
+        compare), so blocks stay disjoint even when tuple order and
+        encoded order disagree."""
+        _store, reader, _stats = self._reader(tmp_path, block_rows=4)
+        for name in RollupStore.TABLES:
+            encoded = [_encode_key(key)
+                       for key, _hist in reader.iter_table(name)]
+            assert encoded == sorted(encoded)
 
 
 class TestDeterminism:

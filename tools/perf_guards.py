@@ -1,8 +1,8 @@
 #!/usr/bin/env python
-"""CI performance guards for the parallel-ingest and recovery paths.
+"""CI performance guards for the ingest, recovery and query paths.
 
-Two cheap, binary checks that would have caught the two regressions
-this repo shipped and later had to fix:
+Cheap, binary checks that would have caught regressions this repo
+shipped (or could ship) and later had to fix:
 
 * ``scaling``  -- shard-parallel ingest must not be *slower* than
   serial (the old whole-store-pickle merge made 4 workers run at
@@ -12,10 +12,14 @@ this repo shipped and later had to fix:
   work must be bounded by the checkpoint interval, not the run
   length: a 3x longer run must not replay 3x the records, and its
   recovery wall must stay within a small factor of the short run's.
+* ``query``    -- zone-map pruning must earn its keep: dashboard
+  panels answered through the pruned read path must serialise
+  byte-identically to the same panels computed by full table scans
+  while reading *strictly fewer* blocks.
 
-Run both (the default) or one by name::
+Run all (the default) or one by name::
 
-    PYTHONPATH=src python tools/perf_guards.py [scaling|replay]
+    PYTHONPATH=src python tools/perf_guards.py [scaling|replay|query]
 
 Exit code 0 on pass, 1 on any guard failure.
 """
@@ -128,6 +132,61 @@ def guard_replay(dataset):
     return failures
 
 
+def guard_query(dataset):
+    """Pruned dashboard panels: byte-identical to full scans, and
+    strictly fewer blocks read."""
+    from repro.core.persist import _record_from_dict
+    from repro.obs import Observability
+    from repro.serve import DashboardWorkload, QueryEngine, QueryError
+    from repro.store import StoreConfig, StoreEngine
+
+    entries = []
+    for path in dataset.paths:
+        with open(path, "rb") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    entries.append(
+                        (_record_from_dict(json.loads(line)), line))
+
+    root = tempfile.mkdtemp(prefix="guard-query-")
+    engine = StoreEngine(
+        os.path.join(root, "store"),
+        config=StoreConfig(
+            flush_threshold_records=max(2_000, len(entries) // 5)),
+        obs=Observability())
+    engine.append_entries(entries)
+    engine.flush()
+    segments = len(engine.segment_names())
+    view = QueryEngine(engine).snapshot()
+    try:
+        workload = DashboardWorkload(view, seed=SEED, panels=0)
+        try:
+            verify = workload.verify_against_scan(sample=8)
+        except QueryError as exc:
+            return _fail("pruned panel diverged from its full scan: "
+                         "%s" % exc)
+        print("query: %d panels over %d segments -> pruned read %d "
+              "blocks, scan read %d"
+              % (verify["panels_checked"], segments,
+                 verify["pruned_blocks_read"],
+                 verify["scan_blocks_read"]))
+        if segments < 2:
+            return _fail("guard needs >= 2 segments, got %d"
+                         % segments)
+        if verify["pruned_blocks_read"] \
+                >= verify["scan_blocks_read"]:
+            return _fail(
+                "pruning read %d blocks, full scans read %d; zone "
+                "maps are not pruning"
+                % (verify["pruned_blocks_read"],
+                   verify["scan_blocks_read"]))
+    finally:
+        view.close()
+        engine.close()
+    return 0
+
+
 def main(argv):
     which = argv[1] if len(argv) > 1 else "all"
     with tempfile.TemporaryDirectory(prefix="guard-data-") as root:
@@ -139,6 +198,8 @@ def main(argv):
             failures += guard_scaling(dataset)
         if which in ("all", "replay"):
             failures += guard_replay(dataset)
+        if which in ("all", "query"):
+            failures += guard_query(dataset)
     if failures:
         return 1
     print("perf guards: OK")
