@@ -1,0 +1,157 @@
+"""Cluster tier scaling: ring-sharded ingest + global merge.
+
+Shards the synthetic crowdsourcing dataset across N collector nodes
+by consistent-hash placement on ``device_id`` (exactly what the
+coordinator does to the live fleet), ingests each node's share,
+measures the per-node ingest walls and the global ``merge_stores``
+wall, and asserts the merged digest is byte-identical to one
+collector ingesting everything -- the cluster tier's core invariant,
+measured at benchmark scale.
+
+The JSON lands in ``benchmarks/results/BENCH_cluster.json`` next to
+``BENCH_backend.json`` (whose serial wall is the natural baseline:
+the cluster's ideal ingest wall at N nodes is the baseline wall / N,
+plus the merge tax -- which must stay a small fraction).
+
+Scale/node knobs for quick local runs:
+
+    MOPEYE_CLUSTER_BENCH_SCALE=0.02 MOPEYE_CLUSTER_BENCH_NODES=1,2 \
+        PYTHONPATH=src python -m pytest benchmarks/test_cluster_scaling.py
+"""
+
+import json
+import os
+import time
+
+from repro.backend import RollupConfig, ingest_shard_files
+from repro.cluster import HashRing, merge_stores, node_name
+from repro.crowd import CampaignConfig, ShardedCampaign
+
+SCALE = float(os.environ.get("MOPEYE_CLUSTER_BENCH_SCALE", "0.05"))
+NODE_LADDER = [
+    int(part) for part in
+    os.environ.get("MOPEYE_CLUSTER_BENCH_NODES", "1,2,4").split(",")
+    if part.strip()]
+SEED = 2016
+
+
+def _shard_by_ring(paths, nodes, out_dir):
+    """Split the dataset's shard files into one JSONL file per
+    collector node, routing each record by ring placement of its
+    ``device_id`` -- the benchmark-scale analogue of the coordinator
+    homing each device's uploader."""
+    ring = HashRing(nodes=[node_name(i) for i in range(nodes)])
+    os.makedirs(out_dir, exist_ok=True)
+    out_paths = {node_name(i): os.path.join(out_dir,
+                                            "%s.jsonl" % node_name(i))
+                 for i in range(nodes)}
+    handles = {node: open(path, "wb")
+               for node, path in out_paths.items()}
+    homes = {}
+    try:
+        for path in paths:
+            with open(path, "rb") as shard:
+                for line in shard:
+                    if not line.strip():
+                        continue
+                    device = json.loads(line)["device_id"]
+                    home = homes.get(device)
+                    if home is None:
+                        home = homes[device] = ring.node_for(device)
+                    handles[home].write(line)
+    finally:
+        for handle in handles.values():
+            handle.close()
+    return [out_paths[node_name(i)] for i in range(nodes)]
+
+
+def test_cluster_scaling_and_merge_parity(tmp_path, benchmark):
+    from benchmarks._common import RESULTS_DIR, save_result
+    from repro.analysis import format_table
+
+    ladder = sorted(set(NODE_LADDER) | {1})
+    campaign = ShardedCampaign(
+        config=CampaignConfig(scale=SCALE, seed=SEED),
+        workers=2, shard_dir=str(tmp_path / "shards"))
+    dataset = campaign.run()
+
+    rows = []
+    box = {}
+
+    def ladder_run():
+        for nodes in ladder:
+            node_paths = _shard_by_ring(
+                dataset.paths, nodes, str(tmp_path / ("n%d" % nodes)))
+            node_walls = []
+            stores = []
+            for path in node_paths:
+                start = time.perf_counter()
+                stores.append(ingest_shard_files(
+                    [path], config=RollupConfig(), workers=1))
+                node_walls.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            merged = merge_stores(stores)
+            merge_wall = time.perf_counter() - start
+            rows.append({
+                "nodes": nodes,
+                "ingest_wall_s": round(sum(node_walls), 3),
+                "node_walls_s": [round(w, 3) for w in node_walls],
+                "merge_wall_s": round(merge_wall, 4),
+                "digest": merged.digest(),
+            })
+            box[nodes] = merged
+
+    benchmark.pedantic(ladder_run, rounds=1, iterations=1)
+
+    solo = rows[0]
+    assert solo["nodes"] == 1
+    for row in rows:
+        # The tentpole invariant at benchmark scale: merging N
+        # ring-sharded collectors == one collector with everything.
+        assert row["digest"] == solo["digest"], row
+        # The merge is a cheap fold over integer histogram state; it
+        # must stay a small tax on the ingest work it federates.
+        assert row["merge_wall_s"] < 0.15 * row["ingest_wall_s"], row
+        row["merge_tax"] = round(
+            row["merge_wall_s"] / row["ingest_wall_s"], 4)
+
+    baseline_wall = None
+    baseline_path = os.path.join(RESULTS_DIR, "BENCH_backend.json")
+    if os.path.exists(baseline_path):
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+        serial_rows = [r for r in baseline.get("scaling", [])
+                       if r.get("workers") == 1]
+        if serial_rows:
+            baseline_wall = serial_rows[0]["wall_s"]
+
+    merged = box[max(ladder)]
+    text = format_table(
+        ["Nodes", "Ingest (s)", "Node walls (s)", "Merge (s)",
+         "Merge tax", "Digest (first 12)"],
+        [[row["nodes"], "%.1f" % row["ingest_wall_s"],
+          " ".join("%.1f" % w for w in row["node_walls_s"]),
+          "%.3f" % row["merge_wall_s"],
+          "%.1f%%" % (100.0 * row["merge_tax"]),
+          row["digest"][:12]] for row in rows],
+        title="Cluster ring-sharded ingest + global merge, scale=%g: "
+              "%d records, digest parity at every node count." % (
+                  SCALE, merged.records))
+    save_result("cluster_scaling", text)
+
+    payload = {
+        "benchmark": "cluster_scaling",
+        "scale": SCALE,
+        "cpus": os.cpu_count() or 1,
+        "records": merged.records,
+        "scaling": rows,
+        "digest": merged.digest(),
+        "digest_matches_single_collector": True,
+        "merge_tax_max": max(row["merge_tax"] for row in rows),
+        "backend_serial_baseline_wall_s": baseline_wall,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_cluster.json"),
+              "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

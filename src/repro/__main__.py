@@ -36,6 +36,12 @@ Commands:
                    ground-truth ledger, and the closed-loop
                    verification report (``--list`` to enumerate
                    scenarios).
+* ``cluster``   -- run a cluster scenario against the federated
+                   multi-collector tier (see docs/CLUSTER.md):
+                   consistent-hash device sharding over ``--nodes``
+                   collectors, coordinator-driven failover/rebalance,
+                   and the merged global rollup whose digest must be
+                   byte-identical for any node count.
 * ``accuracy``  -- Table 2 live: MopEye vs MobiPerf vs tcpdump.
 
 See docs/OBSERVABILITY.md for the metric/span catalog and how to read
@@ -433,6 +439,84 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_cluster(args) -> int:
+    """One cluster scenario end to end: shard the fleet across
+    ``--nodes`` collectors, inject the cluster faults, merge the
+    per-collector rollups, and check the digest invariant -- the
+    merged global rollup must byte-match a single-collector reference
+    built straight from the measurement records."""
+    from repro.backend.rollups import RollupStore
+    from repro.faults import (
+        SCENARIOS,
+        ChaosRunner,
+        get_scenario,
+        verify_scenario,
+    )
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            scenario = SCENARIOS[name]
+            if scenario.cluster_nodes:
+                print("%-20s nodes=%d %s"
+                      % (name, scenario.cluster_nodes,
+                         scenario.description))
+        return 0
+    if not args.scenario:
+        print("error: --scenario NAME required (or --list)",
+              file=sys.stderr)
+        return 2
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as exc:
+        print("error: %s" % exc.args[0], file=sys.stderr)
+        return 2
+    if not scenario.cluster_nodes:
+        print("error: scenario %r does not declare a cluster "
+              "(cluster_nodes=0); run it via `chaos`" % args.scenario,
+              file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1 (got %d)" % args.workers,
+              file=sys.stderr)
+        return 2
+    if args.nodes is not None and args.nodes < 1:
+        print("error: --nodes must be >= 1 (got %d)" % args.nodes,
+              file=sys.stderr)
+        return 2
+    runner = ChaosRunner(scenario, seed=args.seed, workers=args.workers,
+                         shard_dir=args.shard_dir,
+                         cluster_nodes=args.nodes)
+    result = runner.run()
+    nodes = args.nodes or scenario.cluster_nodes
+    print("scenario %s seed=%d nodes=%d: %d records from %d device(s) "
+          "in %d shard(s)" % (scenario.name, args.seed, nodes,
+                              result.records, len(scenario.devices()),
+                              len(result.paths)))
+    print("shard dir:      %s" % result.shard_dir)
+    print("dataset sha256: %s" % result.digest())
+    print("plan sha256:    %s" % result.plan.digest())
+    print("ledger sha256:  %s" % result.ledger.digest())
+    # The global rollup is the merge of every collector's store
+    # (failed nodes folded in from their disks); the reference is
+    # built straight from the dataset records.  Byte-inequality here
+    # means the cluster tier lost, duplicated, or perturbed records.
+    global_digest = result.rollup_digest()
+    reference = RollupStore()
+    reference.add_all(result.iter_records())
+    print("global rollup sha256:    %s" % global_digest)
+    print("reference rollup sha256: %s" % reference.digest())
+    if args.ledger:
+        result.ledger.save(args.ledger)
+        print("wrote ledger to %s" % args.ledger)
+    report = verify_scenario(result)
+    print(report.summary())
+    if global_digest != reference.digest():
+        print("error: global rollup digest != single-collector "
+              "reference", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_store(args) -> int:
     """Operate on a storage-engine data directory (docs/STORAGE.md)."""
     import os
@@ -630,6 +714,28 @@ def main(argv=None) -> int:
                        help="merge the shards into one JSONL dataset")
     chaos.add_argument("--list", action="store_true",
                        help="list scenarios and exit")
+    cluster = sub.add_parser("cluster",
+                             help="run a scenario against the "
+                                  "federated multi-collector tier")
+    cluster.add_argument("--scenario", type=str, default=None,
+                         help="cluster scenario name (see --list)")
+    cluster.add_argument("--nodes", type=int, default=None,
+                         help="active collector count (default: the "
+                              "scenario's cluster_nodes); the global "
+                              "rollup digest is identical for any "
+                              "value")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--workers", type=int, default=1,
+                         help="worker processes; output is "
+                              "byte-identical for any value")
+    cluster.add_argument("--shard-dir", type=str, default=None,
+                         help="directory for the dataset shards "
+                              "(default: a fresh temp dir)")
+    cluster.add_argument("--ledger", type=str, default=None,
+                         metavar="FILE",
+                         help="write the ground-truth ledger JSON")
+    cluster.add_argument("--list", action="store_true",
+                         help="list cluster scenarios and exit")
     store = sub.add_parser("store", help="inspect or compact a storage "
                                          "engine data directory")
     store.add_argument("action", choices=["inspect", "compact"],
@@ -647,7 +753,8 @@ def main(argv=None) -> int:
     return {"demo": cmd_demo, "metrics": cmd_metrics,
             "obsreport": cmd_obsreport, "crowd": cmd_crowd,
             "serve": cmd_serve, "query": cmd_query,
-            "chaos": cmd_chaos, "store": cmd_store,
+            "chaos": cmd_chaos, "cluster": cmd_cluster,
+            "store": cmd_store,
             "accuracy": cmd_accuracy}[args.command](args)
 
 

@@ -261,6 +261,37 @@ class IngestPipeline:
             for name in self.rollups.TABLES:
                 self.rollups.tables[name].clear()
 
+    # -- cluster dedup handoff ----------------------------------------
+
+    def adopt_dedup(self, device_id: str, batch_seq: int,
+                    acked: int) -> bool:
+        """Seed one foreign batch identity into the dedup cache.
+
+        The cluster coordinator calls this when a device re-homes
+        here: identities the previous owner already ingested must be
+        absorbed as duplicates when the uploader replays them, or the
+        records would be counted twice in the global rollup.  The seed
+        is made durable (an empty-batch WAL envelope) when a store is
+        attached, so a crash of *this* node after the handoff still
+        deduplicates the replay.  Returns False if the identity was
+        already known."""
+        key = (device_id, int(batch_seq))
+        if key in self._dedup:
+            self._dedup.move_to_end(key)
+            return False
+        self._remember(key, int(acked))
+        if self.store is not None:
+            self.store.log_batch(device_id, int(batch_seq),
+                                 int(acked), [], lines=[])
+        return True
+
+    def dedup_entries(self, device_id: str) -> List[Tuple[int, int]]:
+        """``(batch_seq, acked)`` this pipeline remembers for one
+        device, sorted -- the live side of a rebalance handoff."""
+        return sorted((int(seq), int(acked))
+                      for (device, seq), acked in self._dedup.items()
+                      if device == device_id)
+
     # -- offline entry point -----------------------------------------
 
     def ingest_records(self, records: Iterable[MeasurementRecord]

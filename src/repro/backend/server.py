@@ -51,11 +51,22 @@ class BackendServer(AppServer):
                  data_dir: Optional[str] = None,
                  store=None,
                  store_config=None,
+                 node_id: Optional[str] = None,
                  **kwargs):
         super().__init__(sim, ips, name=name, **kwargs)
         # Per-instance scope by default: two collectors in one process
         # must not share counters (same rule as MopEyeService).
         self.obs = obs or Observability(sim=sim)
+        #: Which cluster node this server is.  Falls back to ``name``
+        #: for single-collector deployments; when given explicitly the
+        #: id is stamped as a metric label so N nodes' ``backend.*`` /
+        #: ``store.*`` snapshots never alias, and onto every failure
+        #: record in :attr:`failure_log`.
+        self.node_id = node_id or name
+        if node_id is not None:
+            self.obs.labels["node_id"] = node_id
+        #: Crash/restart records, each tagged with the node identity.
+        self.failure_log: list = []
         self.received = MeasurementStore()
         #: Durable storage.  ``data_dir`` builds a
         #: :class:`repro.store.StoreEngine` under that directory;
@@ -107,6 +118,9 @@ class BackendServer(AppServer):
         self.set_outage(mode)
         self._connections.clear()
         self.crashes += 1
+        self.failure_log.append({"node_id": self.node_id,
+                                 "event": "crash", "mode": mode,
+                                 "time_ms": self.sim.now})
         if self.store is not None:
             self.store.crash()
         self.received = MeasurementStore()
@@ -126,6 +140,9 @@ class BackendServer(AppServer):
             on_record = self.received.add if self._keep_records else None
             self.store.recover(on_record=on_record)
             self.recoveries += 1
+        self.failure_log.append({"node_id": self.node_id,
+                                 "event": "restart",
+                                 "time_ms": self.sim.now})
         self.clear_outage()
 
     # -- registry views (the legacy attributes) ------------------------

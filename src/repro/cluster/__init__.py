@@ -1,0 +1,26 @@
+"""repro.cluster -- the federated multi-collector tier.
+
+A consistent-hash ring (:mod:`~repro.cluster.ring`) shards devices
+across N collector nodes (:mod:`~repro.cluster.node`), a coordinator
+(:mod:`~repro.cluster.coordinator`) owns membership/epochs/failover,
+and the global view (:mod:`~repro.cluster.merge`) folds the
+per-collector rollups into one store whose digest must be
+byte-identical to a single-collector run.  See docs/CLUSTER.md.
+"""
+
+from repro.cluster.coordinator import Coordinator, CoordinatorEvent
+from repro.cluster.merge import merge_stores
+from repro.cluster.node import CollectorNode, cluster_node_ip, node_name
+from repro.cluster.ring import HashRing, check_minimal_movement, moved_keys
+
+__all__ = [
+    "Coordinator",
+    "CoordinatorEvent",
+    "CollectorNode",
+    "HashRing",
+    "check_minimal_movement",
+    "cluster_node_ip",
+    "merge_stores",
+    "moved_keys",
+    "node_name",
+]

@@ -1,0 +1,46 @@
+"""Global view: fold N per-collector rollups into one rollup.
+
+``RollupStore`` merge is commutative and associative (each cell is a
+count/sum/``MergeHist`` fold), and the cluster shards by device, so
+folding the collectors' stores in *any* order yields the same global
+rollup -- byte-identical, by digest, to what a single collector
+ingesting the whole fleet would hold.  That is the federation's
+correctness invariant, and everything here exists to make it cheap to
+state: runner, CLI, benchmark, and perf guard all call
+:func:`merge_stores`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional
+
+from repro.backend.rollups import RollupStore
+from repro.obs import Observability
+
+
+def merge_stores(stores: Iterable[RollupStore],
+                 config: Optional[dict] = None,
+                 obs: Optional[Observability] = None) -> RollupStore:
+    """Fold per-collector rollup stores into a fresh global store.
+
+    ``config`` seeds the global store's rollup config when no input
+    store is available to copy it from (all inputs must agree --
+    ``RollupStore.merge`` enforces that).  The merge wall-clock lands
+    in the ``cluster.merge_wall_ms`` gauge when ``obs`` is given.
+    """
+    stores = list(stores)
+    start = time.perf_counter()
+    if stores:
+        merged = stores[0].clone()
+        for store in stores[1:]:
+            merged.merge(store)
+    else:
+        merged = RollupStore(config=config)
+    wall_ms = (time.perf_counter() - start) * 1000.0
+    if obs is not None:
+        obs.set_gauge("cluster.merge_wall_ms", wall_ms)
+    return merged
+
+
+__all__ = ["merge_stores"]

@@ -1,0 +1,119 @@
+"""One collector node: today's backend + store engine, addressable.
+
+A :class:`CollectorNode` wraps a :class:`~repro.backend.server.
+BackendServer` (with its :class:`~repro.store.engine.StoreEngine`
+under a per-node ``data_dir``) behind the small surface the
+coordinator drives:
+
+* ``fail(mode)``      -- the node process dies (a real ``crash()``:
+  volatile state gone, WAL + segments survive) and stays dead; the
+  coordinator's heartbeats notice and drive failover.
+* ``partition(mode)`` -- the node is unreachable (blackholed) but the
+  *process is fine*: no state is lost, heartbeats keep succeeding
+  (the control plane runs out of band), and ``heal()`` restores
+  reachability.  Partition must never trigger failover -- that is the
+  semantic difference the ``network_partition`` scenario asserts.
+* ``durable_dedup()`` -- what a dead node's disk knows about acked
+  batches, for seeding its successors' dedup caches during failover.
+
+Each node gets an explicit ``node_id`` threaded into its backend (and
+from there into the metric labels and failure records -- see the
+``node_id`` satellite on ``BackendServer``), so N nodes in one
+process never alias each other's counters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.backend.ingest import IngestLoadModel
+from repro.backend.server import BackendServer
+
+
+def cluster_node_ip(index: int) -> str:
+    """Deterministic address plan: node ``i`` lives at
+    ``203.0.113.(60+i)`` (clear of the legacy single-collector
+    ``203.0.113.50``)."""
+    if not 0 <= index < 190:
+        raise ValueError("node index %d outside the /24 plan" % index)
+    return "203.0.113.%d" % (60 + index)
+
+
+def node_name(index: int) -> str:
+    return "node-%02d" % index
+
+
+class CollectorNode:
+    def __init__(self, sim, node_id: str, ip: str, *,
+                 data_dir: str,
+                 path_oneway=None,
+                 accept_delay=None,
+                 load: Optional[IngestLoadModel] = None,
+                 store_config=None,
+                 rng=None) -> None:
+        self.node_id = node_id
+        self.ip = ip
+        self.sim = sim
+        #: Process dead (crash-stopped); heartbeats miss.
+        self.failed = False
+        #: Reachability lost; the process (and its state) is fine.
+        self.partitioned = False
+        #: The campaign/config epoch last pushed by the coordinator.
+        self.config_epoch = 0
+        self.backend = BackendServer(
+            sim, [ip], name=node_id, node_id=node_id,
+            path_oneway=path_oneway, accept_delay=accept_delay,
+            load=load, data_dir=data_dir, store_config=store_config,
+            rng=rng)
+
+    # -- fault hooks (driven by the coordinator facade) ----------------
+
+    def fail(self, mode: str = "refuse") -> None:
+        """The collector process dies and stays dead (failover, not
+        restart, is the recovery path)."""
+        self.backend.crash(mode)
+        self.failed = True
+
+    def partition(self, mode: str = "blackhole") -> None:
+        """Unreachable, not dead: packets drop, state survives, and
+        in-flight ACKs are lost (the uploader's idempotent-replay
+        path absorbs that on heal)."""
+        self.backend.set_outage(mode)
+        self.partitioned = True
+
+    def heal(self) -> None:
+        if self.failed:
+            raise RuntimeError(
+                "node %s is failed, not partitioned; failover is the "
+                "only way back" % self.node_id)
+        self.backend.clear_outage()
+        self.partitioned = False
+
+    # -- dedup handoff -------------------------------------------------
+
+    def durable_dedup(self) -> List[Tuple[str, int, int]]:
+        """``(device_id, batch_seq, acked)`` for every batch identity
+        this node's *disk* remembers, sorted.
+
+        Every accepted batch commits its WAL envelope before the ACK
+        leaves, so recovering the dead node's store yields exactly the
+        identities a successor must treat as already-ingested --
+        derived from disk, never from the dead process's RAM."""
+        store = self.backend.store
+        store.recover()
+        return sorted((device, int(seq), int(acked))
+                      for (device, seq), acked in store.dedup.items())
+
+    # -- end-of-run ----------------------------------------------------
+
+    def materialize(self):
+        """The node's rollups, re-materialised purely from disk."""
+        store = self.backend.store
+        store.recover()
+        return store.materialize()
+
+    def close(self) -> None:
+        self.backend.store.close()
+
+
+__all__ = ["CollectorNode", "cluster_node_ip", "node_name"]

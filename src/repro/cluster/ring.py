@@ -1,0 +1,131 @@
+"""Consistent-hash ring: deterministic device -> collector placement.
+
+Devices are sharded across collector nodes by hashing ``device_id``
+onto a ring of virtual nodes.  The hash is CRC-32 (`zlib.crc32`), the
+same PYTHONHASHSEED-proof discipline as ``crowd/sharding.py`` and the
+store's WAL shard router: placement is a pure function of the strings
+involved, so every device world, worker process, and CI hash-seed
+lane derives the identical ring.
+
+Virtual nodes smooth the load: each physical node owns ``vnodes``
+points on the ring, and a key belongs to the first vnode at or after
+its own point (wrapping).  The payoff is *minimal movement*:
+
+* **join** -- the new node's vnodes claim arcs from existing owners;
+  the only keys that move are the ones landing on those arcs, and
+  every one of them moves *to the joined node*;
+* **leave** -- the removed node's arcs fall to their ring successors;
+  the only keys that move are the ones the dead node owned.
+
+Both properties are structural (they follow from point ownership, not
+probability), so the coordinator asserts them outright after every
+membership change instead of trusting an expected-value argument.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def _point(data: str) -> int:
+    return zlib.crc32(data.encode("utf-8")) & 0xFFFFFFFF
+
+
+class HashRing:
+    """A consistent-hash ring over string keys with virtual nodes."""
+
+    def __init__(self, vnodes: int = 64,
+                 nodes: Iterable[str] = ()) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1 (got %d)" % vnodes)
+        self.vnodes = vnodes
+        # Sorted (point, node_id) pairs; ties break on node_id so the
+        # ring order is total whatever the CRC collisions.
+        self._points: List[Tuple[int, str]] = []
+        self._nodes: set = set()
+        for node_id in nodes:
+            self.add(node_id)
+
+    # -- membership ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def add(self, node_id: str) -> None:
+        if node_id in self._nodes:
+            raise ValueError("node %r already on the ring" % node_id)
+        self._nodes.add(node_id)
+        for replica in range(self.vnodes):
+            pair = (_point("%s#%d" % (node_id, replica)), node_id)
+            bisect.insort(self._points, pair)
+
+    def remove(self, node_id: str) -> None:
+        if node_id not in self._nodes:
+            raise ValueError("node %r not on the ring" % node_id)
+        self._nodes.discard(node_id)
+        self._points = [pair for pair in self._points
+                        if pair[1] != node_id]
+
+    # -- placement ----------------------------------------------------
+
+    def node_for(self, key: str) -> str:
+        """The home node of ``key``: the first vnode at or after the
+        key's point, wrapping past the top of the ring."""
+        if not self._points:
+            raise LookupError("ring is empty")
+        index = bisect.bisect_left(self._points, (_point(key), ""))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def placement(self, keys: Sequence[str]) -> Dict[str, str]:
+        """``{key: node_id}`` for every key, in one pass."""
+        return {key: self.node_for(key) for key in keys}
+
+
+def moved_keys(before: Dict[str, str],
+               after: Dict[str, str]) -> List[str]:
+    """Keys whose home changed between two placements (sorted)."""
+    return sorted(key for key in before
+                  if key in after and before[key] != after[key])
+
+
+def check_minimal_movement(before: Dict[str, str],
+                           after: Dict[str, str],
+                           joined: str = None,
+                           left: str = None) -> List[str]:
+    """Verify the ring's structural minimal-movement bound for one
+    membership change and return the moved keys.
+
+    * ``joined=N``: every moved key must now live on ``N``;
+    * ``left=N``:   every moved key must have lived on ``N``.
+
+    Raises ``AssertionError`` with the offending keys otherwise --
+    the coordinator calls this after every failover and rebalance, so
+    a ring regression is loud, not a silent reshuffle.
+    """
+    moved = moved_keys(before, after)
+    if joined is not None:
+        strays = [key for key in moved if after[key] != joined]
+        if strays:
+            raise AssertionError(
+                "join of %r moved keys to other nodes: %r"
+                % (joined, strays[:5]))
+    if left is not None:
+        strays = [key for key in moved if before[key] != left]
+        if strays:
+            raise AssertionError(
+                "leave of %r moved keys it never owned: %r"
+                % (left, strays[:5]))
+    return moved
+
+
+__all__ = ["HashRing", "check_minimal_movement", "moved_keys"]

@@ -49,7 +49,8 @@ class MeasurementUploader:
                  min_batch: int = 10,
                  wifi_only: bool = True,
                  ack_timeout_ms: float = 10_000.0,
-                 max_batch: Optional[int] = None):
+                 max_batch: Optional[int] = None,
+                 isn_rng: Optional[random.Random] = None):
         self.service = service
         self.device = service.device
         self.sim = service.sim
@@ -71,8 +72,15 @@ class MeasurementUploader:
         self._backoff_until = 0.0
         # Deterministic jitter stream, keyed on the device identity.
         self._rng = random.Random("uploader|%s" % self.device_id)
+        # Optional dedicated ISN stream for upload sockets.  In cluster
+        # worlds the number of upload connects varies with node count
+        # (failover refusals, retries); drawing those ISNs from the
+        # shared device stream would shift later measurement-side
+        # draws and break the digest invariant across --nodes.
+        self._isn_rng = isn_rng
         self.running = False
         self._thread: Optional[Event] = None
+        self._flush_active = False
 
     # Registry-backed views of the upload counters.
     @property
@@ -109,6 +117,11 @@ class MeasurementUploader:
     def final_flushes(self) -> int:
         return int(self.obs.value("uploader.final_flush"))
 
+    @property
+    def rehomes(self) -> int:
+        """Times the home collector changed under this uploader."""
+        return int(self.obs.value("uploader.rehomes"))
+
     def start(self) -> None:
         if self.running:
             raise RuntimeError("uploader already running")
@@ -124,7 +137,40 @@ class MeasurementUploader:
         but still honours ``wifi_only``: shutdown does not justify
         cellular spend."""
         self.running = False
+        self._flush_active = True
         self.sim.process(self._final_flush(), name="uploader-flush")
+
+    def rehome(self, collector_ip: str) -> None:
+        """Point the uploader at a new home collector.
+
+        The coordinator calls this when the device's placement changes
+        (failover or rebalance).  The in-flight batch, if any, is NOT
+        rebuilt: ``_next_batch`` returns it verbatim and the next
+        attempt connects to the new address, so the batch travels
+        under its original ``(device_id, seq)`` identity and the
+        successor's (handed-off) dedup cache absorbs a replay of
+        anything the dead node already ingested.  Re-homing to the
+        *same* address is a pure ``kick()`` -- how a healed partition
+        re-drives a stranded shutdown flush."""
+        if collector_ip != self.collector_ip:
+            self.collector_ip = collector_ip
+            self.obs.inc("uploader.rehomes")
+        self.kick()
+
+    def kick(self) -> None:
+        """Re-drive the shutdown flush if it gave up.
+
+        ``_final_flush`` deliberately stops on no-progress (backend
+        down); when the cluster re-homes or heals after that, the
+        stranded tail must ship or the global-vs-single digest
+        invariant breaks.  No-op while the periodic thread or a flush
+        is still active -- they will pick the records up themselves."""
+        if self.running or self._flush_active:
+            return
+        if self._inflight is None and not self._pending():
+            return
+        self._flush_active = True
+        self.sim.process(self._final_flush(), name="uploader-kick")
 
     # -- internals -----------------------------------------------------------
     def _pending(self) -> list:
@@ -147,20 +193,24 @@ class MeasurementUploader:
             yield from self._upload()
 
     def _final_flush(self):
-        if self.wifi_only and \
-                self.device.link.network_type != NetworkType.WIFI:
-            self.obs.inc("uploader.deferred_cellular")
-            return
-        while self._inflight is not None or self._pending():
-            before = self._cursor
-            had_inflight = self._inflight is not None
-            self.obs.inc("uploader.final_flush")
-            yield from self._upload()
-            if self._cursor == before and \
-                    (had_inflight or self._inflight is not None):
-                # No progress (backend down or shedding): records stay
-                # in the store; a future start() would retry them.
+        try:
+            if self.wifi_only and \
+                    self.device.link.network_type != NetworkType.WIFI:
+                self.obs.inc("uploader.deferred_cellular")
                 return
+            while self._inflight is not None or self._pending():
+                before = self._cursor
+                had_inflight = self._inflight is not None
+                self.obs.inc("uploader.final_flush")
+                yield from self._upload()
+                if self._cursor == before and \
+                        (had_inflight or self._inflight is not None):
+                    # No progress (backend down or shedding): records
+                    # stay in the store; a future start() or a cluster
+                    # kick() retries them.
+                    return
+        finally:
+            self._flush_active = False
 
     def _next_batch(self) -> Optional[Tuple[int, bytes, int]]:
         """The batch to send: the in-flight one verbatim, or a fresh
@@ -185,7 +235,8 @@ class MeasurementUploader:
         if batch is None:
             return
         seq, payload, count = batch
-        socket = self.device.create_tcp_socket(self.service.uid)
+        socket = self.device.create_tcp_socket(self.service.uid,
+                                               isn_rng=self._isn_rng)
         span = obs.start_span("uploader.upload", records=count, seq=seq)
         started = self.sim.now
         try:

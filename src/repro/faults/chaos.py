@@ -84,9 +84,19 @@ def _world_rng(seed: int, device_id: str, purpose: str) -> random.Random:
 
 
 def run_device_world(scenario: Scenario, plan: FaultPlan, seed: int,
-                     device_index: int) -> DeviceRun:
+                     device_index: int,
+                     cluster_nodes: Optional[int] = None) -> DeviceRun:
     """Build and run one device's world; pure function of
-    ``(scenario, seed, device_index)``."""
+    ``(scenario, seed, device_index)``.  Cluster scenarios (or an
+    explicit ``cluster_nodes`` override) delegate to the federated
+    runner in :mod:`repro.cluster.runner`."""
+    nodes = scenario.cluster_nodes if cluster_nodes is None \
+        else int(cluster_nodes)
+    if nodes:
+        # Imported lazily: repro.cluster.runner imports this module.
+        from repro.cluster.runner import run_cluster_device_world
+        return run_cluster_device_world(scenario, plan, seed,
+                                        device_index, nodes=nodes)
     device_id, operator = scenario.devices()[device_index]
     sim = Simulator()
     internet = Internet(sim)
@@ -259,7 +269,8 @@ def _merge_rollup(total: Optional[RollupStore],
     return total
 
 
-def _run_chaos_shard(task: Tuple[str, int, int, int, str]
+def _run_chaos_shard(task: Tuple[str, int, int, int, str,
+                                 Optional[int]]
                      ) -> Tuple[int, int, str,
                                 Dict[str, Dict[str, int]],
                                 Dict[str, int],
@@ -267,7 +278,8 @@ def _run_chaos_shard(task: Tuple[str, int, int, int, str]
     """Worker entry point: one contiguous device range -> one shard.
     Rebuilds everything from (scenario name, seed) so fork and spawn
     behave identically."""
-    scenario_name, seed, device_lo, device_hi, path = task
+    scenario_name, seed, device_lo, device_hi, path, cluster_nodes \
+        = task
     scenario = get_scenario(scenario_name)
     plan = scenario.plan(seed)
     sha = hashlib.sha256()
@@ -277,7 +289,8 @@ def _run_chaos_shard(task: Tuple[str, int, int, int, str]
     rollup: Optional[RollupStore] = None
     with open(path, "w") as handle:
         for device_index in range(device_lo, device_hi):
-            run = run_device_world(scenario, plan, seed, device_index)
+            run = run_device_world(scenario, plan, seed, device_index,
+                                   cluster_nodes=cluster_nodes)
             for record in run.records:
                 line = record_to_line(record) + "\n"
                 handle.write(line)
@@ -332,7 +345,8 @@ class ChaosRunner:
     """
 
     def __init__(self, scenario, seed: int = 0, workers: int = 1,
-                 shard_dir: Optional[str] = None):
+                 shard_dir: Optional[str] = None,
+                 cluster_nodes: Optional[int] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if isinstance(scenario, str):
@@ -340,10 +354,19 @@ class ChaosRunner:
         if workers > 1 and SCENARIOS.get(scenario.name) is not scenario:
             raise ValueError("multi-worker runs need a registry "
                              "scenario (workers rebuild it by name)")
+        if cluster_nodes is not None:
+            if cluster_nodes < 1:
+                raise ValueError("cluster_nodes must be >= 1")
+            if not scenario.cluster_nodes:
+                raise ValueError(
+                    "scenario %r is not a cluster scenario; "
+                    "cluster_nodes only overrides the node count of "
+                    "scenarios that declare one" % scenario.name)
         self.scenario: Scenario = scenario
         self.seed = seed
         self.workers = workers
         self.shard_dir = shard_dir
+        self.cluster_nodes = cluster_nodes
 
     def run(self) -> ChaosResult:
         shard_dir = self.shard_dir or tempfile.mkdtemp(
@@ -353,7 +376,7 @@ class ChaosRunner:
             os.remove(stale)
         devices = self.scenario.devices()
         tasks = [(self.scenario.name, self.seed, index, index + 1,
-                  shard_path(shard_dir, index))
+                  shard_path(shard_dir, index), self.cluster_nodes)
                  for index in range(len(devices))]
         if self.workers == 1:
             outcomes = [self._run_inline(task) for task in tasks]
@@ -384,7 +407,7 @@ class ChaosRunner:
         while sharing the exact serialisation code of the worker."""
         if SCENARIOS.get(self.scenario.name) is self.scenario:
             return _run_chaos_shard(task)
-        _name, seed, device_lo, device_hi, path = task
+        _name, seed, device_lo, device_hi, path, cluster_nodes = task
         plan = self.scenario.plan(seed)
         sha = hashlib.sha256()
         count = 0
@@ -394,7 +417,8 @@ class ChaosRunner:
         with open(path, "w") as handle:
             for device_index in range(device_lo, device_hi):
                 run = run_device_world(self.scenario, plan, seed,
-                                       device_index)
+                                       device_index,
+                                       cluster_nodes=cluster_nodes)
                 for record in run.records:
                     line = record_to_line(record) + "\n"
                     handle.write(line)

@@ -44,6 +44,7 @@ class FaultInjector:
                  dns=None,
                  service=None,
                  backend=None,
+                 cluster=None,
                  obs: Optional[Observability] = None):
         self.sim = sim
         self.plan = plan
@@ -54,6 +55,9 @@ class FaultInjector:
         self.dns = dns
         self.service = service
         self.backend = backend
+        #: A :class:`repro.cluster.coordinator.Coordinator` facade for
+        #: the cluster fault kinds (None outside cluster worlds).
+        self.cluster = cluster
         self.obs = obs or Observability(sim=sim)
         #: ``{event_id: {"activations": n, "deactivations": n}}`` --
         #: folded into the GroundTruthLedger after the run.
@@ -96,6 +100,16 @@ class FaultInjector:
             return operator is None or operator == self.operator
         if event.kind == FaultKind.BACKEND_CRASH:
             return self.backend is not None
+        if event.kind in (FaultKind.COLLECTOR_FAIL,
+                          FaultKind.NET_PARTITION):
+            # Only nodes the cluster actually runs: a fail scoped to
+            # node-01 is a no-op in a --nodes 1 cluster, by design
+            # (the digest invariant must hold with or without it).
+            return self.cluster is not None and \
+                self.cluster.is_active(str(event.scope.get("node")))
+        if event.kind == FaultKind.NODE_JOIN:
+            return self.cluster is not None and \
+                self.cluster.is_standby(str(event.scope.get("node")))
         return False
 
     # -- the driver process --------------------------------------------------
@@ -137,6 +151,15 @@ class FaultInjector:
             self.dns.set_outage(str(params.get("mode", "blackhole")))
         elif event.kind == FaultKind.BACKEND_CRASH:
             self.backend.crash(str(params.get("mode", "refuse")))
+        elif event.kind == FaultKind.COLLECTOR_FAIL:
+            self.cluster.fail_node(str(event.scope["node"]),
+                                   str(params.get("mode", "refuse")))
+        elif event.kind == FaultKind.NET_PARTITION:
+            self.cluster.partition_node(
+                str(event.scope["node"]),
+                str(params.get("mode", "blackhole")))
+        elif event.kind == FaultKind.NODE_JOIN:
+            self.cluster.join_node(str(event.scope["node"]))
         else:
             raise ValueError("no activator for %r" % event.kind)
 
@@ -151,6 +174,8 @@ class FaultInjector:
             self.dns.clear_outage()
         elif event.kind == FaultKind.BACKEND_CRASH:
             self.backend.restart()
+        elif event.kind == FaultKind.NET_PARTITION:
+            self.cluster.heal_node(str(event.scope["node"]))
 
     def _drive_vpn_revoke(self, event: FaultEvent):
         """Consent revoked: the service tears itself down (via the

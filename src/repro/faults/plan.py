@@ -35,9 +35,13 @@ class FaultKind:
     VPN_REVOKE = "vpn_revoke"        # consent revoked; service restart
     BACKEND_CRASH = "backend_crash"  # collector crash/restart window
     HANDOVER = "handover"            # wifi<->LTE flip with a loss gap
+    COLLECTOR_FAIL = "collector_fail"  # cluster node dies; failover
+    NET_PARTITION = "net_partition"  # cluster node unreachable; heals
+    NODE_JOIN = "node_join"          # standby node joins; rebalance
 
     ALL = (BURST_LOSS, LATENCY_SPIKE, SERVER_OUTAGE, DNS_OUTAGE,
-           VPN_REVOKE, BACKEND_CRASH, HANDOVER)
+           VPN_REVOKE, BACKEND_CRASH, HANDOVER, COLLECTOR_FAIL,
+           NET_PARTITION, NODE_JOIN)
 
 
 def event_rng(seed: int, event_id: str,

@@ -29,6 +29,12 @@ Each preset is designed so the faults leave a *diagnosable* footprint
   rollups must digest-match the device's own records.
 * ``vpn_flap``        -- VPN consent revoked twice mid-run; the relay
   tears down and restarts (the no-hang watchdog scenario).
+* ``collector_failover`` -- cluster tier: one of three collector nodes
+  dies; heartbeat detection, ring failover, dedup handoff.
+* ``network_partition``  -- cluster tier: a node is unreachable for a
+  window but alive; no failover, heal re-drives stranded uploads.
+* ``rebalance_storm``    -- cluster tier: two standby nodes join;
+  bounded key movement with live dedup handoff.
 """
 
 from __future__ import annotations
@@ -78,6 +84,14 @@ class Scenario:
     uploader_interval_ms: float = 2_000.0
     uploader_min_batch: int = 4
     uploader_ack_timeout_ms: float = 3_000.0
+    #: Collector nodes in the cluster tier (0 = classic single
+    #: collector; >0 hands the world to ``repro.cluster.runner``).
+    cluster_nodes: int = 0
+    #: Standby nodes available for ``node_join`` rebalances.
+    cluster_standby: int = 0
+    cluster_vnodes: int = 32
+    cluster_heartbeat_ms: float = 1_000.0
+    cluster_miss_threshold: int = 3
 
     def plan(self, seed: int) -> FaultPlan:
         """The fault plan for one run.  Events are static data; the
@@ -282,10 +296,105 @@ def _vpn_flap() -> Scenario:
     )
 
 
+def _collector_failover() -> Scenario:
+    return Scenario(
+        name="collector_failover",
+        description="One of three collector nodes dies mid-campaign; "
+                    "heartbeats miss, the ring re-homes its devices, "
+                    "dedup handoff absorbs replays, and the global "
+                    "rollup digest must still equal a single-collector "
+                    "run.",
+        operators=(
+            ScenarioOperator("Cinnabar Wifi", NetworkType.WIFI, 4.0,
+                             devices=3),
+            ScenarioOperator("Verdant Wifi", NetworkType.WIFI, 5.0,
+                             devices=2),
+        ),
+        apps=(
+            ScenarioApp("web.plover", "plover.example", 9.0),
+            ScenarioApp("mail.dunlin", "dunlin.example", 10.0),
+        ),
+        events=(
+            FaultEvent("e-node-fail", FaultKind.COLLECTOR_FAIL,
+                       12_000.0, 0.0,
+                       scope={"node": "node-01"},
+                       params={"mode": "refuse"}),
+        ),
+        connects=35,
+        think_ms=(300.0, 1200.0),
+        with_backend=True,
+        cluster_nodes=3,
+    )
+
+
+def _network_partition() -> Scenario:
+    return Scenario(
+        name="network_partition",
+        description="One collector node is blackholed for a window "
+                    "but never dies: heartbeats keep passing, no "
+                    "failover fires, and the heal re-drives any "
+                    "stranded uploads -- zero loss without movement.",
+        operators=(
+            ScenarioOperator("Cinnabar Wifi", NetworkType.WIFI, 4.0,
+                             devices=3),
+            ScenarioOperator("Verdant Wifi", NetworkType.WIFI, 5.0,
+                             devices=2),
+        ),
+        apps=(
+            ScenarioApp("web.plover", "plover.example", 9.0),
+            ScenarioApp("mail.dunlin", "dunlin.example", 10.0),
+        ),
+        events=(
+            FaultEvent("e-partition", FaultKind.NET_PARTITION,
+                       10_000.0, 12_000.0,
+                       scope={"node": "node-00"},
+                       params={"mode": "blackhole"}),
+        ),
+        connects=35,
+        think_ms=(300.0, 1200.0),
+        with_backend=True,
+        cluster_nodes=3,
+    )
+
+
+def _rebalance_storm() -> Scenario:
+    return Scenario(
+        name="rebalance_storm",
+        description="Two standby collector nodes join mid-campaign; "
+                    "each join must move only the keys the ring's "
+                    "minimal-movement bound allows, with live dedup "
+                    "handoff keeping replays idempotent.",
+        operators=(
+            ScenarioOperator("Cinnabar Wifi", NetworkType.WIFI, 4.0,
+                             devices=3),
+            ScenarioOperator("Verdant Wifi", NetworkType.WIFI, 5.0,
+                             devices=2),
+        ),
+        apps=(
+            ScenarioApp("web.plover", "plover.example", 9.0),
+            ScenarioApp("mail.dunlin", "dunlin.example", 10.0),
+        ),
+        events=(
+            FaultEvent("e-join-1", FaultKind.NODE_JOIN,
+                       10_000.0, 0.0,
+                       scope={"node": "node-03"}, params={}),
+            FaultEvent("e-join-2", FaultKind.NODE_JOIN,
+                       18_000.0, 0.0,
+                       scope={"node": "node-04"}, params={}),
+        ),
+        connects=35,
+        think_ms=(300.0, 1200.0),
+        with_backend=True,
+        cluster_nodes=3,
+        cluster_standby=2,
+    )
+
+
 def _build_registry() -> Dict[str, Scenario]:
     scenarios = [_bursty_lte(), _server_brownout(), _dns_outage(),
                  _handover_storm(), _backend_crash(), _multi_crash(),
-                 _vpn_flap()]
+                 _vpn_flap(), _collector_failover(),
+                 _network_partition(), _rebalance_storm()]
     return {scenario.name: scenario for scenario in scenarios}
 
 

@@ -233,6 +233,74 @@ def _check_entry(entry: LedgerEntry, store, records, stats,
                 "resynced=%s rollups_recovered=%s"
                 % (crashes, recoveries, disrupted, resynced, recovered))
 
+    # The cluster.* counters are scenario-global (one coordinator
+    # timeline per world, all events folded together), while a ledger
+    # entry counts only its own activations -- scale by how many
+    # same-kind events the scenario injects.
+    peers = sum(1 for e in scenario.events if e.kind == entry.kind)
+
+    if entry.kind == FaultKind.COLLECTOR_FAIL:
+        failovers = stats.get("cluster_failovers", 0)
+        rehomed = stats.get("uploader_rehomes", 0)
+        worlds = stats.get("workloads_completed", 0)
+        # Failovers observed == failures injected (each device world
+        # re-derives the same coordinator timeline, so both sides sum
+        # across worlds), with zero record loss and the global merged
+        # rollup digest-matching a single-collector reference.
+        observed = (failovers == entry.activations * peers
+                    and failovers > 0)
+        zero_loss = stats.get("cluster_zero_loss", -1) == worlds
+        merged_ok = (stats.get("cluster_rollup_matches_reference", -1)
+                     == worlds)
+        resynced = (stats.get("uploader_records_acked", 0)
+                    == stats.get("store_records", -1))
+        ok = observed and zero_loss and merged_ok and resynced
+        return (ok, "failovers=%d/%d rehomed_uploaders=%d "
+                "zero_loss=%s merged_matches_reference=%s resynced=%s"
+                % (failovers, entry.activations * peers, rehomed,
+                   zero_loss, merged_ok, resynced))
+
+    if entry.kind == FaultKind.NET_PARTITION:
+        partitions = stats.get("cluster_partitions", 0)
+        heals = stats.get("cluster_heals", 0)
+        worlds = stats.get("workloads_completed", 0)
+        # A partition is NOT a failure: the coordinator must observe
+        # it and heal it without a single failover firing.
+        observed = (partitions == entry.activations * peers
+                    and partitions > 0
+                    and heals == entry.deactivations * peers)
+        no_failover = stats.get("cluster_failovers", 0) == 0
+        zero_loss = stats.get("cluster_zero_loss", -1) == worlds
+        merged_ok = (stats.get("cluster_rollup_matches_reference", -1)
+                     == worlds)
+        resynced = (stats.get("uploader_records_acked", 0)
+                    == stats.get("store_records", -1))
+        ok = observed and no_failover and zero_loss and merged_ok \
+            and resynced
+        return (ok, "partitions=%d/%d heals=%d/%d no_failover=%s "
+                "zero_loss=%s merged_matches_reference=%s resynced=%s"
+                % (partitions, entry.activations * peers, heals,
+                   entry.deactivations * peers, no_failover, zero_loss,
+                   merged_ok, resynced))
+
+    if entry.kind == FaultKind.NODE_JOIN:
+        joins = stats.get("cluster_joins", 0)
+        worlds = stats.get("workloads_completed", 0)
+        # The coordinator raises outright if a join moves a key the
+        # ring's minimal-movement bound forbids, so reaching this
+        # check at all implies the bound held in every world.
+        observed = joins == entry.activations * peers and joins > 0
+        zero_loss = stats.get("cluster_zero_loss", -1) == worlds
+        merged_ok = (stats.get("cluster_rollup_matches_reference", -1)
+                     == worlds)
+        ok = observed and zero_loss and merged_ok
+        return (ok, "joins=%d/%d keys_moved=%d dedup_handoffs=%d "
+                "zero_loss=%s merged_matches_reference=%s"
+                % (joins, entry.activations * peers,
+                   stats.get("cluster_keys_moved", 0),
+                   stats.get("cluster_dedup_handoffs", 0), zero_loss,
+                   merged_ok))
+
     return (False, "no evidence rule for kind %r" % entry.kind)
 
 

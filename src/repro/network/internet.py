@@ -27,6 +27,13 @@ class Internet:
         #: Destinations whose route is withdrawn (fault injection):
         #: packets to them are treated exactly like unknown IPs.
         self.unreachable_ips: set = set()
+        #: Per-destination access-link override: traffic to (and
+        #: replies from) these IPs rides a dedicated link instead of
+        #: ``device.link``.  The cluster tier routes uploads this way
+        #: so collector traffic shares no queue or RNG state with the
+        #: measurement path -- uploads must never perturb what the
+        #: fleet measures.
+        self._route_links: Dict[str, object] = {}
         #: When True, unroutable uplink packets bounce an ICMP-style
         #: destination-unreachable back to the sender (after the uplink
         #: latency, as a first-hop router would).  Off by default: the
@@ -46,6 +53,11 @@ class Internet:
 
     def server_for(self, ip: str):
         return self._servers.get(ip)
+
+    def set_route_link(self, ip: str, link) -> None:
+        """Route traffic to/from ``ip`` over ``link`` instead of the
+        device's access link (see ``_route_links``)."""
+        self._route_links[ip] = link
 
     def add_tap(self, tap: Callable[[str, IPPacket, float], None]) -> None:
         """Register a wire observer (e.g. the tcpdump baseline)."""
@@ -85,7 +97,8 @@ class Internet:
             arrive = self.sim.timeout(arrival - self.sim.now)
             arrive.callbacks.append(lambda _evt: server.receive(pkt))
 
-        device.link.up.send(packet, packet.total_length, after_uplink)
+        link = self._route_links.get(packet.dst_str, device.link)
+        link.up.send(packet, packet.total_length, after_uplink)
 
     def send_to_device(self, packet: IPPacket,
                        from_server=None) -> None:
@@ -94,13 +107,14 @@ class Internet:
         if device is None:
             return
         extra = from_server.path_oneway_ms() if from_server else 0.0
+        link = self._route_links.get(packet.src_str, device.link)
 
         def after_path(_evt) -> None:
             def deliver(pkt: IPPacket) -> None:
                 self._notify_taps("down", pkt)
                 device.deliver_from_network(pkt)
 
-            device.link.down.send(packet, packet.total_length, deliver)
+            link.down.send(packet, packet.total_length, deliver)
 
         arrive = self.sim.timeout(extra)
         arrive.callbacks.append(after_path)

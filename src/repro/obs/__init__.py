@@ -23,6 +23,7 @@ of the import graph and every layer above may depend on it.
 
 from __future__ import annotations
 
+import json
 from typing import Any, Optional
 
 from repro.obs.catalog import CATALOG, SPANS, MetricSpec, SpanSpec
@@ -41,6 +42,11 @@ class Observability:
     def __init__(self, sim=None, trace: bool = False):
         self.sim = sim
         self.registry = MetricsRegistry()
+        #: Identity labels stamped onto snapshots (``{"node_id":
+        #: "node-02"}``).  Empty by default -- and an empty dict keeps
+        #: snapshot/to_json byte-identical to the unlabelled layout,
+        #: so only multi-node scopes pay the extra key.
+        self.labels: dict = {}
         if sim is not None:
             clock = lambda: sim.now                      # noqa: E731
             current = lambda: sim._active_process        # noqa: E731
@@ -82,10 +88,18 @@ class Observability:
 
     # -- snapshots ---------------------------------------------------------
     def snapshot(self, include_volatile: bool = False) -> dict:
-        return self.registry.snapshot(include_volatile)
+        snap = self.registry.snapshot(include_volatile)
+        if self.labels:
+            snap["_labels"] = {key: self.labels[key]
+                               for key in sorted(self.labels)}
+        return snap
 
     def to_json(self, include_volatile: bool = False) -> str:
-        return self.registry.to_json(include_volatile)
+        if not self.labels:
+            return self.registry.to_json(include_volatile)
+        return json.dumps(self.snapshot(include_volatile),
+                          sort_keys=True, indent=1,
+                          separators=(",", ": "))
 
 
 _default: Optional[Observability] = None

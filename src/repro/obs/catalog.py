@@ -204,6 +204,11 @@ CATALOG: Dict[str, MetricSpec] = dict([
        "ACKs discarded because a concurrent attempt already consumed "
        "the batch (periodic upload racing the shutdown flush); "
        "counting them would over-advance the cursor."),
+    _m("uploader.rehomes", COUNTER, "rehomes",
+       "repro.core.uploader",
+       "Times the cluster coordinator pointed this uploader at a new "
+       "home collector (failover or rebalance); the in-flight batch "
+       "travels to the new node verbatim."),
     # -- collection backend ------------------------------------------------
     _m("backend.batches", COUNTER, "batches", "repro.backend.ingest",
        "Upload batches accepted and ingested (duplicates excluded)."),
@@ -380,6 +385,49 @@ CATALOG: Dict[str, MetricSpec] = dict([
     _m("link.latency_extra_ms", GAUGE, "ms", "repro.network.link",
        "Extra one-way latency currently injected on a link direction "
        "(0 when no latency-spike fault is active)."),
+    # -- cluster tier (coordinator + global merge) -------------------------
+    _m("cluster.heartbeats", COUNTER, "probes",
+       "repro.cluster.coordinator",
+       "Heartbeat probes the coordinator sent to active collector "
+       "nodes (one per node per interval)."),
+    _m("cluster.heartbeat_misses", COUNTER, "probes",
+       "repro.cluster.coordinator",
+       "Heartbeat probes a failed node did not answer; "
+       "miss_threshold consecutive misses drive a failover."),
+    _m("cluster.failovers", COUNTER, "failovers",
+       "repro.cluster.coordinator",
+       "Failed nodes removed from the ring with their devices "
+       "re-homed to ring successors."),
+    _m("cluster.rebalances", COUNTER, "joins",
+       "repro.cluster.coordinator",
+       "Standby nodes joined into the ring (each join's key movement "
+       "is checked against the ring's minimal-movement bound)."),
+    _m("cluster.partitions", COUNTER, "partitions",
+       "repro.cluster.coordinator",
+       "Network partitions observed by the coordinator (node "
+       "unreachable for uploads but alive -- never a failover)."),
+    _m("cluster.devices_rehomed", COUNTER, "devices",
+       "repro.cluster.coordinator",
+       "Device uploaders pointed at a new home collector by "
+       "failovers and rebalances."),
+    _m("cluster.keys_moved", COUNTER, "keys",
+       "repro.cluster.coordinator",
+       "Placement keys whose home node changed across all membership "
+       "changes (== devices_rehomed unless a device world never "
+       "instantiated the key)."),
+    _m("cluster.dedup_handoffs", COUNTER, "batches",
+       "repro.cluster.coordinator",
+       "Batch identities ((device, seq) -> acked) seeded into a "
+       "successor's dedup cache during failover (from the dead "
+       "node's disk) or join (from the old owner, live)."),
+    _m("cluster.nodes", GAUGE, "nodes", "repro.cluster.coordinator",
+       "Active collector nodes currently in the ring."),
+    _m("cluster.epoch", GAUGE, "epochs", "repro.cluster.coordinator",
+       "Config epoch last pushed to the fleet (bumped on every "
+       "membership change)."),
+    _m("cluster.merge_wall_ms", GAUGE, "ms", "repro.cluster.merge",
+       "Wall-clock time of the last global rollup merge.",
+       volatile=True),
     # -- fault injection ---------------------------------------------------
     _m("faults.events_installed", COUNTER, "events",
        "repro.faults.injector",

@@ -126,8 +126,10 @@ class AndroidDevice:
         return out
 
     def create_tcp_socket(self, uid: int, protected: bool = False,
-                          ipv6: bool = False) -> KernelTcpSocket:
-        return KernelTcpSocket(self, uid, protected=protected, ipv6=ipv6)
+                          ipv6: bool = False,
+                          isn_rng=None) -> KernelTcpSocket:
+        return KernelTcpSocket(self, uid, protected=protected, ipv6=ipv6,
+                               isn_rng=isn_rng)
 
     def create_udp_socket(self, uid: int,
                           protected: bool = False) -> KernelUdpSocket:

@@ -64,7 +64,7 @@ class KernelTcpSocket:
     MSS = 1460
 
     def __init__(self, device, uid: int, protected: bool = False,
-                 ipv6: bool = False):
+                 ipv6: bool = False, isn_rng=None):
         self.device = device
         self.sim: Simulator = device.sim
         self.uid = uid
@@ -75,7 +75,11 @@ class KernelTcpSocket:
         self.local_port: Optional[int] = None
         self.remote_ip: Optional[str] = None
         self.remote_port: Optional[int] = None
-        self._snd_nxt = device.rng.randrange(1 << 32)
+        # The ISN draw normally comes from the shared device stream;
+        # callers whose socket count may vary between otherwise
+        # identical runs (the cluster uploader) pass their own stream
+        # so app-measurement draws stay untouched.
+        self._snd_nxt = (isn_rng or device.rng).randrange(1 << 32)
         self._snd_una = self._snd_nxt  # lowest unacknowledged seq
         self._rcv_nxt: Optional[int] = None
         self._connect_event: Optional[Event] = None

@@ -1,0 +1,99 @@
+"""docs/CLUSTER.md must document exactly the cluster surface -- both
+directions: every cluster scenario and CLI flag has a row, every
+documented name still exists, and the promised sections are there."""
+
+import os
+import re
+
+from repro.faults import SCENARIOS
+
+DOC_PATH = os.path.join(os.path.dirname(__file__), "..", "docs",
+                        "CLUSTER.md")
+MAIN_PATH = os.path.join(os.path.dirname(__file__), "..", "src",
+                         "repro", "__main__.py")
+
+REQUIRED_SECTIONS = [
+    "## The ring",
+    "## Nodes",
+    "## The coordinator",
+    "## The global merge and the digest invariant",
+    "## Scenarios",
+    "## Flags",
+    "## Metrics",
+]
+
+
+def _doc_text():
+    with open(DOC_PATH) as handle:
+        return handle.read()
+
+
+def _documented_scenarios():
+    """First-column backticked names in table rows: ``| `name` |``."""
+    names = set()
+    for line in _doc_text().splitlines():
+        match = re.match(r"\|\s*`([a-z_]+)`\s*\|", line)
+        if match and not match.group(1).startswith("--"):
+            names.add(match.group(1))
+    return names
+
+
+def _documented_flags():
+    """Every backticked ``--flag`` anywhere in the document."""
+    return set(re.findall(r"`(--[a-z-]+)`", _doc_text()))
+
+
+def _cluster_parser_flags():
+    """Flags of the ``cluster`` subparser, read from the CLI source."""
+    with open(MAIN_PATH) as handle:
+        source = handle.read()
+    start = source.index('sub.add_parser("cluster"')
+    end = source.index("sub.add_parser(", start + 1)
+    return set(re.findall(r'add_argument\("(--[a-z-]+)"',
+                          source[start:end]))
+
+
+def _cluster_scenarios():
+    return {name for name, scenario in SCENARIOS.items()
+            if scenario.cluster_nodes}
+
+
+class TestScenarioCoverage:
+    def test_there_are_cluster_scenarios(self):
+        assert len(_cluster_scenarios()) >= 3
+
+    def test_every_cluster_scenario_is_documented(self):
+        missing = _cluster_scenarios() - _documented_scenarios()
+        assert not missing, \
+            "undocumented scenarios: %s" % sorted(missing)
+
+    def test_every_documented_scenario_exists(self):
+        documented = {name for name in _documented_scenarios()
+                      if name.startswith(("collector", "network",
+                                          "rebalance"))}
+        stale = documented - _cluster_scenarios()
+        assert not stale, \
+            "documented but gone from SCENARIOS: %s" % sorted(stale)
+
+
+class TestFlagCoverage:
+    def test_parser_flags_are_sane(self):
+        flags = _cluster_parser_flags()
+        assert "--nodes" in flags and "--scenario" in flags
+
+    def test_every_flag_is_documented(self):
+        missing = _cluster_parser_flags() - _documented_flags()
+        assert not missing, "undocumented flags: %s" % sorted(missing)
+
+    def test_every_documented_flag_exists(self):
+        stale = _documented_flags() - _cluster_parser_flags()
+        assert not stale, \
+            "documented but gone from the parser: %s" % sorted(stale)
+
+
+class TestSections:
+    def test_promised_sections_exist(self):
+        text = _doc_text()
+        missing = [heading for heading in REQUIRED_SECTIONS
+                   if heading not in text]
+        assert not missing, "missing sections: %s" % missing

@@ -1,0 +1,122 @@
+"""Regression for the uploader re-home path: a batch in flight when
+the coordinator points the uploader at a new collector is resent to
+the new node *verbatim* (same sequence number, same payload) -- no
+record lost, no record double-counted."""
+
+import pytest
+
+from repro.backend.server import BackendServer
+from repro.core import MopEyeService
+from repro.core.uploader import MeasurementUploader
+from repro.phone import App
+
+NODE_A = "198.51.100.201"
+NODE_B = "198.51.100.202"
+
+
+@pytest.fixture
+def cluster_world(world):
+    world.node_a = BackendServer(world.sim, [NODE_A], name="node-a",
+                                 node_id="node-a")
+    world.node_b = BackendServer(world.sim, [NODE_B], name="node-b",
+                                 node_id="node-b")
+    world.internet.add_server(world.node_a)
+    world.internet.add_server(world.node_b)
+    world.mopeye = MopEyeService(world.device)
+    world.mopeye.start()
+    return world
+
+
+def _measure(world, n=12):
+    app = App(world.device, "com.example.app")
+    for i in range(n):
+        world.run_process(app.request("93.184.216.34", 80,
+                                      b"m%d\n" % i))
+
+
+class TestMidFlightRehome:
+    def test_inflight_batch_travels_verbatim(self, cluster_world):
+        """The home node becomes unreachable with a batch in flight;
+        the re-home resends that exact batch to the new node."""
+        w = cluster_world
+        uploader = MeasurementUploader(w.mopeye, NODE_A,
+                                       interval_ms=3_000.0,
+                                       min_batch=2,
+                                       ack_timeout_ms=2_000.0)
+        _measure(w, n=8)
+        w.run(until=2_000)
+        w.node_a.set_outage("blackhole")  # batch 0 will strand
+        uploader.start()
+        w.run(until=20_000)
+        assert uploader.uploaded == 0
+        assert uploader.rehomes == 0
+        stranded = uploader._inflight
+        assert stranded is not None
+        uploader.rehome(NODE_B)
+        w.run(until=40_000)
+        assert uploader.rehomes == 1
+        # The stranded batch landed on B under its original sequence
+        # number with every record intact.
+        measured = len(w.mopeye.store)
+        assert uploader.uploaded == measured
+        assert len(w.node_b.received) == measured
+        assert len(w.node_a.received) == 0
+        entries = w.node_b.pipeline.dedup_entries(w.device.model)
+        assert entries[0] == (stranded[0], stranded[2])
+
+    def test_rehome_never_double_counts(self, cluster_world):
+        """Node A ingested the batch but its ACK was lost; the dedup
+        handoff makes the replay on node B a duplicate, so the fleet
+        ingests each record exactly once."""
+        w = cluster_world
+        uploader = MeasurementUploader(w.mopeye, NODE_A,
+                                       interval_ms=3_000.0,
+                                       min_batch=2,
+                                       ack_timeout_ms=2_000.0)
+        _measure(w, n=6)
+        uploader.start()
+        w.run(until=8_000)
+        assert uploader.uploaded > 0  # batch 0 acked by A
+        acked = uploader.uploaded
+        # Coordinator-style failover: seed B's dedup cache from A's
+        # entries, then re-home the uploader.
+        for seq, n in w.node_a.pipeline.dedup_entries(w.device.model):
+            assert w.node_b.pipeline.adopt_dedup(w.device.model,
+                                                 seq, n)
+        w.node_a.set_outage("blackhole")
+        uploader.rehome(NODE_B)
+        _measure(w, n=6)
+        w.run(until=30_000)
+        uploader.stop()
+        w.run(until=60_000)
+        measured = len(w.mopeye.store)
+        ingested = (w.node_a.pipeline.rollups.records
+                    + w.node_b.pipeline.rollups.records)
+        assert uploader.uploaded == measured
+        assert ingested == measured  # exactly once across the fleet
+        assert uploader.uploaded > acked
+
+    def test_same_ip_rehome_is_a_pure_kick(self, cluster_world):
+        """A heal re-homes to the *same* address: no rehome counted,
+        but a stranded flush is re-driven."""
+        w = cluster_world
+        uploader = MeasurementUploader(w.mopeye, NODE_A,
+                                       interval_ms=3_000.0,
+                                       min_batch=2,
+                                       ack_timeout_ms=2_000.0)
+        _measure(w, n=6)
+        w.node_a.set_outage("blackhole")
+        uploader.start()
+        w.run(until=10_000)
+        uploader.stop()
+        # Blackholed connects burn the full SYN-retry ladder before
+        # the flush gives up on no-progress.
+        w.run(until=150_000)
+        assert uploader.uploaded == 0
+        assert not uploader._flush_active
+        w.node_a.clear_outage()
+        uploader.rehome(NODE_A)  # what Coordinator.heal_node drives
+        w.run(until=200_000)
+        assert uploader.rehomes == 0
+        assert uploader.uploaded == len(w.mopeye.store)
+        assert len(w.node_a.received) == len(w.mopeye.store)

@@ -1,0 +1,142 @@
+"""The consistent-hash ring: placement is deterministic (CRC-32, not
+``hash()``), load is balanced across realistic node counts, and
+membership changes move only the keys they must."""
+
+import os
+import subprocess
+import sys
+import zlib
+
+import pytest
+
+from repro.cluster import HashRing, check_minimal_movement, moved_keys
+from repro.cluster.ring import _point
+
+
+def _fleet(count=200):
+    return ["device-%03d" % i for i in range(count)]
+
+
+def _nodes(count):
+    return ["node-%02d" % i for i in range(count)]
+
+
+class TestPlacement:
+    def test_deterministic(self):
+        ring_a = HashRing(nodes=_nodes(4))
+        ring_b = HashRing(nodes=_nodes(4))
+        fleet = _fleet()
+        assert ring_a.placement(fleet) == ring_b.placement(fleet)
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(nodes=["solo"])
+        assert set(ring.placement(_fleet()).values()) == {"solo"}
+
+    def test_empty_ring_rejects_lookups(self):
+        with pytest.raises(LookupError):
+            HashRing().node_for("device-000")
+
+    def test_zero_vnodes_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(nodes=["a"])
+        with pytest.raises(ValueError):
+            ring.add("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(nodes=["a"]).remove("b")
+
+    def test_membership_protocol(self):
+        ring = HashRing(nodes=_nodes(3))
+        assert len(ring) == 3
+        assert "node-01" in ring
+        assert ring.nodes() == _nodes(3)
+
+
+class TestBalance:
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 8, 16])
+    def test_load_bounded(self, count):
+        """With 128 vnodes no node carries more than ~2.5x the mean
+        share of a 600-key fleet (loose, but catches a broken hash)."""
+        ring = HashRing(vnodes=128, nodes=_nodes(count))
+        fleet = _fleet(600)
+        owners = ring.placement(fleet)
+        loads = [sum(1 for owner in owners.values() if owner == node)
+                 for node in ring.nodes()]
+        assert sum(loads) == len(fleet)
+        mean = len(fleet) / count
+        assert max(loads) / mean <= 2.5, loads
+
+    def test_more_vnodes_never_strand_a_node(self):
+        ring = HashRing(vnodes=64, nodes=_nodes(8))
+        owners = ring.placement(_fleet(2000))
+        assert set(owners.values()) == set(_nodes(8))
+
+
+class TestMinimalMovement:
+    def test_join_moves_only_to_joiner(self):
+        fleet = _fleet()
+        before = HashRing(nodes=_nodes(4)).placement(fleet)
+        ring = HashRing(nodes=_nodes(4))
+        ring.add("node-99")
+        after = ring.placement(fleet)
+        moved = check_minimal_movement(before, after, joined="node-99")
+        assert moved  # the joiner took some share
+        assert all(after[key] == "node-99" for key in moved)
+
+    def test_leave_moves_only_from_leaver(self):
+        fleet = _fleet()
+        ring = HashRing(nodes=_nodes(4))
+        before = ring.placement(fleet)
+        ring.remove("node-02")
+        after = ring.placement(fleet)
+        moved = check_minimal_movement(before, after, left="node-02")
+        assert moved
+        assert all(before[key] == "node-02" for key in moved)
+        assert all(after[key] != "node-02" for key in moved)
+
+    def test_stray_movement_is_flagged(self):
+        fleet = _fleet(50)
+        before = HashRing(nodes=_nodes(3)).placement(fleet)
+        # Forge an "after" where a key moved between two survivors.
+        after = dict(before)
+        victims = [k for k, v in before.items() if v == "node-01"]
+        after[victims[0]] = "node-02"
+        with pytest.raises(AssertionError):
+            check_minimal_movement(before, after, left="node-00")
+
+    def test_moved_keys_reports_changes(self):
+        before = {"a": "n0", "b": "n1"}
+        after = {"a": "n0", "b": "n2"}
+        assert moved_keys(before, after) == ["b"]
+
+
+class TestHashSeedIndependence:
+    def test_point_is_crc32(self):
+        # Anchor the placement function itself: CRC-32 of the UTF-8
+        # key, never the interpreter's seeded hash().
+        for key in ("device-000", "node-01#17", "verdant-00"):
+            expected = zlib.crc32(key.encode("utf-8")) & 0xFFFFFFFF
+            assert _point(key) == expected
+
+    def test_placement_survives_hash_seed(self):
+        """The same placement under two PYTHONHASHSEED values."""
+        root = os.path.join(os.path.dirname(__file__), "..")
+        script = (
+            "from repro.cluster import HashRing\n"
+            "ring = HashRing(nodes=['node-%02d' % i for i in range(5)])\n"
+            "fleet = ['device-%03d' % i for i in range(100)]\n"
+            "print(sorted(ring.placement(fleet).items()))\n")
+        outs = set()
+        for seed in ("0", "271828"):
+            env = dict(os.environ,
+                       PYTHONHASHSEED=seed,
+                       PYTHONPATH=os.path.join(root, "src"))
+            proc = subprocess.run(
+                [sys.executable, "-c", script], check=True,
+                capture_output=True, text=True, env=env)
+            outs.add(proc.stdout)
+        assert len(outs) == 1

@@ -16,10 +16,15 @@ shipped (or could ship) and later had to fix:
   panels answered through the pruned read path must serialise
   byte-identically to the same panels computed by full table scans
   while reading *strictly fewer* blocks.
+* ``cluster``  -- the federated tier's merge must stay a small tax:
+  ring-shard the dataset across 3 collectors, ingest each share, and
+  the global ``merge_stores`` wall must be < 15% of the total ingest
+  wall -- with the merged digest byte-identical to a single collector
+  ingesting everything.
 
 Run all (the default) or one by name::
 
-    PYTHONPATH=src python tools/perf_guards.py [scaling|replay|query]
+    PYTHONPATH=src python tools/perf_guards.py [scaling|replay|query|cluster]
 
 Exit code 0 on pass, 1 on any guard failure.
 """
@@ -187,6 +192,65 @@ def guard_query(dataset):
     return 0
 
 
+def guard_cluster(dataset):
+    """Ring-sharded ingest over 3 nodes: global merge digest parity
+    with a single collector, and the merge wall bounded."""
+    from repro.backend import RollupConfig, ingest_shard_files
+    from repro.cluster import HashRing, merge_stores, node_name
+
+    nodes = 3
+    ring = HashRing(nodes=[node_name(i) for i in range(nodes)])
+    root = tempfile.mkdtemp(prefix="guard-cluster-")
+    paths = {node_name(i): os.path.join(root,
+                                        "%s.jsonl" % node_name(i))
+             for i in range(nodes)}
+    handles = {node: open(path, "wb")
+               for node, path in paths.items()}
+    homes = {}
+    try:
+        for path in dataset.paths:
+            with open(path, "rb") as shard:
+                for line in shard:
+                    if not line.strip():
+                        continue
+                    device = json.loads(line)["device_id"]
+                    home = homes.get(device)
+                    if home is None:
+                        home = homes[device] = ring.node_for(device)
+                    handles[home].write(line)
+    finally:
+        for handle in handles.values():
+            handle.close()
+
+    node_walls = []
+    stores = []
+    for i in range(nodes):
+        start = time.perf_counter()
+        stores.append(ingest_shard_files(
+            [paths[node_name(i)]], config=RollupConfig(), workers=1))
+        node_walls.append(time.perf_counter() - start)
+    start = time.perf_counter()
+    merged = merge_stores(stores)
+    merge_s = time.perf_counter() - start
+    ingest_s = sum(node_walls)
+
+    single = ingest_shard_files(dataset.paths, config=RollupConfig(),
+                                workers=1)
+    print("cluster: %d nodes ingested %s in %.2fs total, merge %.3fs "
+          "(%.1f%% of ingest)"
+          % (nodes,
+             "/".join("%d" % s.records for s in stores),
+             ingest_s, merge_s, 100.0 * merge_s / ingest_s))
+    if merged.digest() != single.digest():
+        return _fail("merged global rollup digest != single-collector "
+                     "digest; the cluster tier perturbed the data")
+    if merge_s >= 0.15 * ingest_s:
+        return _fail("global merge took %.3fs against %.2fs of ingest "
+                     "(>= 15%%); the merge tax regressed"
+                     % (merge_s, ingest_s))
+    return 0
+
+
 def main(argv):
     which = argv[1] if len(argv) > 1 else "all"
     with tempfile.TemporaryDirectory(prefix="guard-data-") as root:
@@ -200,6 +264,8 @@ def main(argv):
             failures += guard_replay(dataset)
         if which in ("all", "query"):
             failures += guard_query(dataset)
+        if which in ("all", "cluster"):
+            failures += guard_cluster(dataset)
     if failures:
         return 1
     print("perf guards: OK")
