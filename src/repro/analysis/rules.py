@@ -108,6 +108,33 @@ def chat_degradation_verdict(chat_median_ms: float,
     return True
 
 
+# -- coexistence: bulk transfer inflating foreground RTTs --------------------
+
+#: The Android download-manager package -- the bulk transfers the
+#: coexistence rule keys on run under this app (see
+#: repro.phone.download_manager and docs/MODALITIES.md).
+COEX_BULK_PACKAGE = "com.android.providers.downloads"
+#: A network's TCP median must exceed its peers' merged median by this
+#: factor for the contention verdict to fire.
+COEX_RTT_INFLATION = 1.5
+#: ... and the dataset must hold at least this many bulk-app
+#: throughput samples (no bulk transfer, no coexistence story).
+COEX_MIN_BULK_SAMPLES = 1
+
+
+def coexistence_verdict(app_median_ms: float, peer_median_ms: float,
+                        bulk_samples: int) -> bool:
+    """Coexistence: a bulk transfer is active (throughput records from
+    the download-manager package) *and* the affected network's TCP
+    median is inflated well past its peers' -- self-inflicted
+    contention, not a network fault."""
+    if bulk_samples < COEX_MIN_BULK_SAMPLES:
+        return False
+    if peer_median_ms <= 0:
+        return False
+    return app_median_ms > COEX_RTT_INFLATION * peer_median_ms
+
+
 def isp_anomaly_verdict(app_median_ms: float, dns_median_ms: float,
                         comparable_domains: int,
                         domains_faster_elsewhere: int,
@@ -134,6 +161,9 @@ __all__ = [
     "CHAT",
     "CHAT_DEGRADED_DOMAIN_SHARE",
     "CHAT_DEGRADED_MEDIAN_MS",
+    "COEX_BULK_PACKAGE",
+    "COEX_MIN_BULK_SAMPLES",
+    "COEX_RTT_INFLATION",
     "ISP_ANOMALY_APP_DNS_RATIO",
     "ISP_ANOMALY_FASTER_ELSEWHERE_SHARE",
     "ISP_ANOMALY_MIN_APP_MEDIAN_MS",
@@ -143,6 +173,7 @@ __all__ = [
     "WHATSAPP_CDN_PREFIXES",
     "WHATSAPP_SUFFIX",
     "chat_degradation_verdict",
+    "coexistence_verdict",
     "domain_matches_suffix",
     "isp_anomaly_verdict",
     "jio_domain_bands",

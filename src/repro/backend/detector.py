@@ -240,6 +240,64 @@ class IspRttAnomalyRule:
         return findings
 
 
+class CoexistenceRule:
+    """Coexistence (docs/MODALITIES.md): a bulk-transfer app inflates
+    a foreground app's RTT on one network.
+
+    Pure rollup evidence: the ``app_throughput`` table shows the
+    bulk-app package moving bytes, and the ``network`` table shows one
+    operator's TCP median far above its peers' merged median.  The
+    verdict is :func:`repro.analysis.rules.coexistence_verdict` -- the
+    same function the offline ledger check applies to raw records, so
+    the two paths cannot disagree.  Without modality records the bulk
+    count is zero and the rule never fires.
+    """
+
+    name = "coexistence_bulk_contention"
+
+    def evaluate(self, rollups: RollupStore, scale: float
+                 ) -> List[Finding]:
+        tput = rollups.table("app_throughput")
+        bulk = sum(tput[key].count for key in sorted(tput)
+                   if key[1] == rules.COEX_BULK_PACKAGE)
+        if bulk < rules.COEX_MIN_BULK_SAMPLES:
+            return []
+        # Per-operator TCP hists over every technology, merged across
+        # windows (the contention is on the access link, whatever the
+        # radio).
+        per_operator: Dict[str, MergeHist] = {}
+        table = rollups.table("network")
+        for key in sorted(table):
+            _window, operator, _tech, kind = key
+            if kind != MeasurementKind.TCP:
+                continue
+            hist = per_operator.get(operator)
+            if hist is None:
+                hist = per_operator[operator] = MergeHist()
+            hist.merge(table[key])
+        findings: List[Finding] = []
+        for operator in sorted(per_operator):
+            peers = _merged([hist for other, hist
+                             in per_operator.items()
+                             if other != operator])
+            if not peers.count:
+                continue
+            median = per_operator[operator].median()
+            peer_median = peers.median()
+            if rules.coexistence_verdict(median, peer_median, bulk):
+                findings.append(Finding(
+                    rule=self.name, subject=operator,
+                    detected_at_records=rollups.records,
+                    summary={
+                        "operator": operator,
+                        "tcp_median_ms": median,
+                        "peer_median_ms": peer_median,
+                        "bulk_throughput_samples": bulk,
+                        "bulk_package": rules.COEX_BULK_PACKAGE,
+                    }))
+        return findings
+
+
 class OnlineDetector:
     """Periodically evaluates the rules against live rollups and keeps
     the earliest detection per (rule, subject)."""
@@ -253,7 +311,8 @@ class OnlineDetector:
         self.check_interval_records = check_interval_records
         self.obs = obs or get_default()
         self.rules = rules_ if rules_ is not None else [
-            ChatDomainDegradationRule(), IspRttAnomalyRule()]
+            ChatDomainDegradationRule(), IspRttAnomalyRule(),
+            CoexistenceRule()]
         self.findings: Dict[Tuple[str, str], Finding] = {}
         self._next_check = check_interval_records
 

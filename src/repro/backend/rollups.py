@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.analysis import rules
@@ -54,9 +55,41 @@ DEFAULT_WINDOW_MS = 28 * 24 * 3600 * 1000.0
 _SEP = "|"
 
 #: Snapshot wire-format version.  v1 (PR 3) had no ``schema`` key;
-#: v2 added it alongside the escaped key encoding.  ``load`` accepts
-#: both and rejects anything newer with a clear error.
-SNAPSHOT_SCHEMA = 2
+#: v2 added it alongside the escaped key encoding; v3 (PR 9) added the
+#: modality tables (``app_throughput``/``app_energy``/``aoi``).
+#: ``load`` accepts all three and rejects anything newer with a clear
+#: error; a missing table in an older snapshot loads as empty.
+SNAPSHOT_SCHEMA = 3
+
+#: Log-spaced bin grid for the modality tables.  Throughput (KB/s),
+#: energy (mJ) and AoI (ms) all span several decades, so a linear
+#: 0.25-unit grid would waste resolution at the bottom and overflow at
+#: the top.  Values map onto the *same* [0, N_BINS) integer index
+#: space as the RTT grid -- bin = round(BINS_PER_DECADE * log10(v/V0))
+#: -- so every downstream codec (segments, checkpoints, shardmerge's
+#: gid*stride+bin packing) works on modality histograms unchanged.
+LOG_BINS_PER_DECADE = 2000
+LOG_BIN_FLOOR = 1e-3
+
+
+def log_bin(value: float) -> int:
+    """Log-spaced bin index for a modality sample; clipped to the
+    shared [0, N_BINS) index space."""
+    if value <= LOG_BIN_FLOOR:
+        return 0
+    index = int(round(LOG_BINS_PER_DECADE
+                      * math.log10(value / LOG_BIN_FLOOR)))
+    if index < 0:
+        return 0
+    if index >= N_BINS:
+        return N_BINS - 1
+    return index
+
+
+def log_bin_value(index: float) -> float:
+    """Representative value for a (possibly fractional) log bin index
+    -- the inverse of :func:`log_bin`, used by quantile readout."""
+    return LOG_BIN_FLOOR * 10.0 ** (index / LOG_BINS_PER_DECADE)
 
 
 class MergeHist:
@@ -84,6 +117,34 @@ class MergeHist:
                 index = 0
         self.bins[index] = self.bins.get(index, 0) + 1
         self.count += 1
+
+    def add_bin(self, index: int) -> None:
+        """Increment a precomputed bin index directly -- how the
+        modality tables drive their log-spaced grid (the caller maps
+        value -> index via :func:`log_bin`).  State and serialisation
+        are identical to linear-grid histograms."""
+        if index >= N_BINS:
+            self.overflow += 1
+            index = N_BINS - 1
+        elif index < 0:
+            index = 0
+        self.bins[index] = self.bins.get(index, 0) + 1
+        self.count += 1
+
+    def quantile_index(self, q: float) -> float:
+        """Quantile as a fractional bin *index* (no grid assumed), so
+        log-grid callers can decode via :func:`log_bin_value`."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index in sorted(self.bins):
+            n = self.bins[index]
+            if seen + n >= target:
+                frac = (target - seen) / n if n else 0.0
+                return index + frac
+            seen += n
+        return float(N_BINS)
 
     def merge(self, other: "MergeHist") -> None:
         for index, n in other.bins.items():
@@ -203,7 +264,12 @@ class RollupStore:
     """
 
     TABLES = ("network", "app", "watch_domain", "watch_network",
-              "lte_domain")
+              "lte_domain", "app_throughput", "app_energy", "aoi")
+
+    #: Tables added by the modality work (PR 9); segments and
+    #: checkpoints written before it simply lack these, and the readers
+    #: treat a table missing from an older footer as empty.
+    MODALITY_TABLES = ("app_throughput", "app_energy", "aoi")
 
     def __init__(self, config: Optional[RollupConfig] = None,
                  meta: Optional[Dict[str, object]] = None) -> None:
@@ -236,8 +302,8 @@ class RollupStore:
         operator = record.operator or "unknown"
         tech = record.network_type or "unknown"
 
-        self._hist("network", (window, operator, tech, kind)).add(rtt)
         if kind == MeasurementKind.TCP:
+            self._hist("network", (window, operator, tech, kind)).add(rtt)
             self._hist("app", (window, record.app_package, kind)).add(rtt)
             domain = record.domain
             for suffix in self.config.watch_suffixes:
@@ -249,6 +315,24 @@ class RollupStore:
                                (suffix, cls, operator, tech)).add(rtt)
             if domain is not None and tech == NetworkType.LTE:
                 self._hist("lte_domain", (domain, operator)).add(rtt)
+        elif kind == MeasurementKind.DNS:
+            self._hist("network", (window, operator, tech, kind)).add(rtt)
+        elif kind == MeasurementKind.TPUT_UP or \
+                kind == MeasurementKind.TPUT_DOWN:
+            # rtt_ms carries the throughput sample in KB/s; log grid.
+            self._hist("app_throughput",
+                       (window, record.app_package or "unknown",
+                        kind)).add_bin(log_bin(rtt))
+        elif kind == MeasurementKind.ENERGY:
+            # rtt_ms carries the flow's attributed energy in mJ.
+            self._hist("app_energy",
+                       (window, record.app_package or "unknown")
+                       ).add_bin(log_bin(rtt))
+        elif kind == MeasurementKind.AOI:
+            # rtt_ms carries the record-to-ACK staleness in ms.
+            self._hist("aoi",
+                       (window, record.device_id or "unknown",
+                        tech)).add_bin(log_bin(rtt))
 
     def add_all(self, records: Iterable[MeasurementRecord]) -> int:
         n = 0
@@ -293,9 +377,13 @@ class RollupStore:
     def group_count(self) -> int:
         return sum(len(t) for t in self.tables.values())
 
+    #: Tables whose key tuples lead with the window number.
+    WINDOWED_TABLES = ("network", "app", "app_throughput",
+                       "app_energy", "aoi")
+
     def windows(self) -> List[int]:
         seen = set()
-        for table in ("network", "app"):
+        for table in self.WINDOWED_TABLES:
             for key in self.tables[table]:
                 seen.add(int(key[0]))
         return sorted(seen)
@@ -351,7 +439,7 @@ class RollupStore:
         anything newer is rejected with a clear error rather than a
         KeyError somewhere downstream."""
         version = data.get("schema", 1)
-        if version not in (1, SNAPSHOT_SCHEMA):
+        if version not in (1, 2, SNAPSHOT_SCHEMA):
             raise ValueError(
                 "rollup snapshot has schema version %r; this build "
                 "reads versions 1..%d -- refusing to guess at a "

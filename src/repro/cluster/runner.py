@@ -100,7 +100,13 @@ def run_cluster_device_world(scenario: Scenario, plan: FaultPlan,
         internet.add_server(server)
         zone.add(spec.domain, ip)
         servers[spec.domain] = server
-    service = MopEyeService(device)
+    # Modalities from the relay (throughput/energy) are node-count
+    # independent -- they depend only on the measurement side, which is
+    # identical to a classic chaos world.  AoI is NOT enabled here:
+    # its samples are ACK timings, which legitimately vary with node
+    # count (failover retries, rebalance pauses) and would break the
+    # digest-invariance the cluster tier proves.
+    service = MopEyeService(device, modalities=scenario.modalities)
     service.start()
 
     # -- cluster side: dedicated link, dedicated RNG streams -----------

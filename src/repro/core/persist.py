@@ -41,7 +41,7 @@ def _normalize_kind(kind) -> str:
     if isinstance(kind, bytes):
         kind = kind.decode("utf-8", "replace")
     kind = str(kind).strip().upper()
-    if kind not in (MeasurementKind.TCP, MeasurementKind.DNS):
+    if kind not in MeasurementKind.ALL:
         raise ValueError("unknown measurement kind %r" % kind)
     return kind
 
@@ -50,7 +50,7 @@ def _record_to_dict(record: MeasurementRecord) -> dict:
     # Spelled out (not a getattr loop): this is the sharded campaign's
     # serialization hot path, run 5.25 M times at full scale.
     kind = record.kind
-    if kind != MeasurementKind.TCP and kind != MeasurementKind.DNS:
+    if kind not in MeasurementKind.ALL:
         kind = _normalize_kind(kind)
     location = record.location
     return {

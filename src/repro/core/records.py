@@ -15,6 +15,26 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional
 class MeasurementKind:
     TCP = "TCP"
     DNS = "DNS"
+    #: Measurement modalities beyond RTT (docs/MODALITIES.md).  A
+    #: throughput sample is per-direction -- bytes moved through the
+    #: relay divided by flow duration, in KB/s -- so up and down are
+    #: distinct kinds and roll up into distinct histogram rows.
+    TPUT_UP = "TPUT_UP"
+    TPUT_DOWN = "TPUT_DOWN"
+    #: Per-flow energy attribution in millijoules: radio per-byte cost
+    #: plus RRC promotion/tail energy (see repro.phone.battery).
+    ENERGY = "ENERGY"
+    #: Age-of-information: how stale a record was (ms) when the
+    #: collector acknowledged it, emitted by the uploader at ACK time.
+    AOI = "AOI"
+
+    #: The post-RTT modalities added by the `repro.modalities` work;
+    #: rtt_ms carries the sample value (KB/s, mJ, or ms -- the record
+    #: schema stays 14 fields wide so every persisted dataset still
+    #: round-trips).
+    MODALITIES = (TPUT_UP, TPUT_DOWN, ENERGY, AOI)
+
+    ALL = (TCP, DNS) + MODALITIES
 
 
 class FailureKind:
@@ -55,7 +75,7 @@ class MeasurementRecord:
     def __post_init__(self):
         if self.rtt_ms < 0:
             raise ValueError("negative RTT %r" % self.rtt_ms)
-        if self.kind not in (MeasurementKind.TCP, MeasurementKind.DNS):
+        if self.kind not in MeasurementKind.ALL:
             raise ValueError("unknown measurement kind %r" % self.kind)
         if self.failure is not None and \
                 self.failure not in FailureKind.ALL:

@@ -65,6 +65,13 @@ class TcpClient:
         self.opened_at = self.sim.now
         self.bytes_up = 0
         self.bytes_down = 0
+        # RRC promotion counts at flow open (RrcAwareLink only):
+        # record_flow charges this flow the promotions that happened
+        # during its lifetime when attributing energy.
+        machine = getattr(service.device.link, "machine", None)
+        self.rrc_promos_at_open = (
+            (machine.promotions_full, machine.promotions_partial)
+            if machine is not None else None)
         # Socket write buffer (section 2.3): tunnel data is buffered
         # here and a write event is triggered for the socket instance.
         self.write_buffer = bytearray()
@@ -202,6 +209,7 @@ class TcpClient:
                     service.config.per_packet_inspection_ms * packets,
                     "inspection")
             self.bytes_up += len(data)
+            service.obs.inc("relay.bytes_up", len(data))
             self.channel.write(data)
             yield from service.emit_tunnel_segment(
                 self, self.machine.make_ack())
@@ -219,6 +227,7 @@ class TcpClient:
         data = self.channel.read_all()
         if data:
             self.bytes_down += len(data)
+            service.obs.inc("relay.bytes_down", len(data))
             if self.service.config.per_packet_inspection_ms:
                 packets = max(1, len(data) // self.machine.mss)
                 yield self.device.busy(

@@ -48,6 +48,7 @@ class UdpRelay:
         # Count the captured datagram itself: the TCP path counts every
         # packet it touches, the UDP path historically counted none.
         self.obs.inc("udp_relay.datagrams")
+        self.obs.inc("udp_relay.bytes_up", len(datagram.payload))
         span = self.obs.start_span("udp_relay.relay",
                                    dst_port=datagram.dst_port)
         is_dns = datagram.dst_port == 53 and service.config.measure_dns
@@ -80,6 +81,7 @@ class UdpRelay:
         payload, (src_ip, src_port) = reply.value
         socket.close()
         self.obs.inc("udp_relay.replies")
+        self.obs.inc("udp_relay.bytes_down", len(payload))
         domain = None
         if is_dns:
             domain = self._learn_bindings(payload)

@@ -47,6 +47,10 @@ class RelayStats:
         "connect_failures": "relay.connect_failures",
         "packets_to_tunnel": "relay.packets_to_tunnel",
         "udp_datagrams": "udp_relay.datagrams",
+        "bytes_up": "relay.bytes_up",
+        "bytes_down": "relay.bytes_down",
+        "udp_bytes_up": "udp_relay.bytes_up",
+        "udp_bytes_down": "udp_relay.bytes_down",
     }
 
     def __init__(self, obs: Optional[Observability] = None):
@@ -70,11 +74,17 @@ class MopEyeService:
     def __init__(self, device, config: Optional[MopEyeConfig] = None,
                  store: Optional[MeasurementStore] = None,
                  dummy_server_ip: Optional[str] = None,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None,
+                 modalities: bool = False):
         self.device = device
         self.sim = device.sim
         self.config = (config or MopEyeConfig()).validate()
         self.store = store or MeasurementStore()
+        #: When on, flow close emits the beyond-RTT modality records
+        #: (per-direction throughput + attributed energy) alongside
+        #: the FlowRecord (docs/MODALITIES.md).  Off by default so the
+        #: record stream is unchanged for RTT-only experiments.
+        self.modalities = modalities
         self.obs = obs or Observability(sim=self.sim)
         self.stats = RelayStats(self.obs)
         self.vpn = VpnService(device, self.config.package)
@@ -259,7 +269,7 @@ class MopEyeService:
 
     def record_flow(self, client: TcpClient) -> None:
         """Beyond-RTT metrics: per-connection traffic summary."""
-        self.flows.append(FlowRecord(
+        flow = FlowRecord(
             app_package=client.app_package,
             dst_ip=client.four_tuple[2],
             dst_port=client.four_tuple[3],
@@ -267,7 +277,62 @@ class MopEyeService:
             bytes_up=client.bytes_up,
             bytes_down=client.bytes_down,
             opened_at_ms=client.opened_at,
-            duration_ms=self.sim.now - client.opened_at))
+            duration_ms=self.sim.now - client.opened_at)
+        self.flows.append(flow)
+        if self.modalities:
+            self._record_modalities(client, flow)
+
+    def _record_modalities(self, client: TcpClient,
+                           flow: FlowRecord) -> None:
+        """Emit the flow's throughput and energy modality records.
+
+        ``rtt_ms`` carries the sample value: bytes moved per
+        millisecond of flow lifetime (== KB/s) for the per-direction
+        throughput kinds, attributed millijoules for ENERGY.  Energy
+        joins the relay's byte counters against the battery constants
+        and -- when the device link is RRC-aware -- the promotions the
+        flow triggered (see repro.phone.battery.flow_energy_mj).
+        """
+        from repro.phone.battery import flow_energy_mj
+        link = self.device.link
+        now = self.sim.now
+        common = dict(
+            timestamp_ms=now,
+            app_package=client.app_package,
+            app_uid=client.app_uid,
+            dst_ip=client.four_tuple[2],
+            dst_port=client.four_tuple[3],
+            domain=flow.domain,
+            network_type=link.network_type,
+            operator=link.operator,
+            device_id=self.device.model)
+        if flow.duration_ms > 0:
+            if flow.bytes_up:
+                self.store.add(MeasurementRecord(
+                    kind=MeasurementKind.TPUT_UP,
+                    rtt_ms=flow.bytes_up / flow.duration_ms,
+                    **common))
+            if flow.bytes_down:
+                self.store.add(MeasurementRecord(
+                    kind=MeasurementKind.TPUT_DOWN,
+                    rtt_ms=flow.bytes_down / flow.duration_ms,
+                    **common))
+        promos_full = promos_partial = 0
+        machine = getattr(link, "machine", None)
+        if machine is not None and \
+                client.rrc_promos_at_open is not None:
+            full_at_open, partial_at_open = client.rrc_promos_at_open
+            promos_full = max(0, machine.promotions_full - full_at_open)
+            promos_partial = max(
+                0, machine.promotions_partial - partial_at_open)
+        energy = flow_energy_mj(
+            link.network_type, flow.total_bytes,
+            duration_ms=flow.duration_ms,
+            promotions_full=promos_full,
+            promotions_partial=promos_partial)
+        if energy > 0:
+            self.store.add(MeasurementRecord(
+                kind=MeasurementKind.ENERGY, rtt_ms=energy, **common))
 
     def record_dns(self, rtt_ms: float, server_ip: str,
                    domain: Optional[str]) -> None:

@@ -33,6 +33,7 @@ import random
 from typing import Optional, Tuple
 
 from repro.core.persist import _record_to_dict
+from repro.core.records import MeasurementKind, MeasurementRecord
 from repro.network.link import NetworkType
 from repro.phone.ktcp import (
     ConnectionRefused,
@@ -50,7 +51,8 @@ class MeasurementUploader:
                  wifi_only: bool = True,
                  ack_timeout_ms: float = 10_000.0,
                  max_batch: Optional[int] = None,
-                 isn_rng: Optional[random.Random] = None):
+                 isn_rng: Optional[random.Random] = None,
+                 emit_aoi: bool = False):
         self.service = service
         self.device = service.device
         self.sim = service.sim
@@ -62,6 +64,13 @@ class MeasurementUploader:
         self.ack_timeout_ms = ack_timeout_ms
         #: Cap on records per batch (None = everything pending).
         self.max_batch = max_batch
+        #: Age-of-information modality (docs/MODALITIES.md): when on,
+        #: each ACK emits one AOI record per acknowledged measurement,
+        #: carrying creation-to-ACK staleness in ``rtt_ms``.  Off by
+        #: default -- ACK timing depends on the collector deployment
+        #: (e.g. it varies with cluster node count), so worlds whose
+        #: digests must be invariant to that leave it off.
+        self.emit_aoi = emit_aoi
         self.obs = service.obs
         self.device_id = self.device.model
         self._cursor = 0           # store index of first un-uploaded
@@ -69,6 +78,9 @@ class MeasurementUploader:
         # (seq, payload, count) retained verbatim across failed
         # attempts; cleared on any ACK.
         self._inflight: Optional[Tuple[int, bytes, int]] = None
+        # The records behind the in-flight payload, kept so an ACK can
+        # compute each one's staleness without re-parsing the payload.
+        self._inflight_records: Optional[list] = None
         self._backoff_until = 0.0
         # Deterministic jitter stream, keyed on the device identity.
         self._rng = random.Random("uploader|%s" % self.device_id)
@@ -226,8 +238,35 @@ class MeasurementUploader:
             json.dumps(_record_to_dict(record))
             for record in records).encode() + b"\n"
         self._inflight = (self._seq, payload, len(records))
+        self._inflight_records = list(records)
         self._seq += 1
         return self._inflight
+
+    def _emit_aoi(self, acked_records: list) -> None:
+        """Record the age-of-information of just-ACKed measurements.
+
+        Each acknowledged record contributes one AOI sample: the time
+        between its creation and the collector's acknowledgement --
+        the staleness the serving tier would observe had it been
+        queried an instant before the upload landed.  AOI records
+        themselves are skipped (they are created at ACK time, so their
+        staleness is the *next* upload's latency, and recursing would
+        keep the store from ever draining at shutdown).
+        """
+        now = self.sim.now
+        link = self.device.link
+        for record in acked_records:
+            if record.kind == MeasurementKind.AOI:
+                continue
+            self.service.store.add(MeasurementRecord(
+                kind=MeasurementKind.AOI,
+                rtt_ms=max(0.0, now - record.timestamp_ms),
+                timestamp_ms=now,
+                app_package=record.app_package,
+                network_type=link.network_type,
+                operator=link.operator,
+                device_id=self.device_id))
+            self.obs.inc("uploader.aoi_records")
 
     def _upload(self):
         obs = self.obs
@@ -282,12 +321,16 @@ class MeasurementUploader:
             # short ACK leaves the unacked tail pending, so the next
             # interval retries it instead of silently dropping it.
             acked = max(0, min(acked, count))
+            acked_records = (self._inflight_records or [])[:acked]
             self._cursor += acked
             self._inflight = None
+            self._inflight_records = None
             obs.inc("uploader.records_acked", acked)
             obs.inc("uploader.batches")
             if acked < count:
                 obs.inc("uploader.short_acks")
+            if self.emit_aoi:
+                self._emit_aoi(acked_records)
             obs.end_span(span, acked=acked)
         elif response.startswith(b"BUSY"):
             try:

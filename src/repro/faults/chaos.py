@@ -126,7 +126,7 @@ def run_device_world(scenario: Scenario, plan: FaultPlan, seed: int,
         internet.add_server(server)
         zone.add(spec.domain, ip)
         servers[spec.domain] = server
-    service = MopEyeService(device)
+    service = MopEyeService(device, modalities=scenario.modalities)
     service.start()
     backend = uploader = None
     backend_data_dir = None
@@ -156,7 +156,8 @@ def run_device_world(scenario: Scenario, plan: FaultPlan, seed: int,
             service, COLLECTOR_IP,
             interval_ms=scenario.uploader_interval_ms,
             min_batch=scenario.uploader_min_batch,
-            ack_timeout_ms=scenario.uploader_ack_timeout_ms)
+            ack_timeout_ms=scenario.uploader_ack_timeout_ms,
+            emit_aoi=scenario.modalities)
         uploader.start()
     injector = FaultInjector(sim, plan, device_id=device_id,
                              operator=operator.name, link=link,
@@ -194,6 +195,12 @@ def run_device_world(scenario: Scenario, plan: FaultPlan, seed: int,
         raise RuntimeError(
             "chaos workload for %s did not finish within the %.0f ms "
             "budget (deadlock?)" % (device_id, scenario.duration_ms))
+    # A fault process can outlive the workload and keep producing
+    # records (e.g. coex_bulk's download loop emits throughput/energy
+    # flows until its window closes); drain to the plan horizon first
+    # so the periodic uploader keeps shipping them, then flush.
+    horizon = max([event.end_ms for event in plan] + [0.0])
+    sim.run(until=max(sim.now, horizon + 5_000.0))
     if uploader is not None:
         uploader.stop()
         sim.run(until=sim.now + 15_000.0)

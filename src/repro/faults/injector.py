@@ -63,6 +63,10 @@ class FaultInjector:
         #: folded into the GroundTruthLedger after the run.
         self.counts: Dict[str, Dict[str, int]] = {}
         self._active = 0
+        # Per-event run flags for the coexistence bulk-transfer loop:
+        # deactivation flips the flag and the loop exits after the
+        # download in flight completes.
+        self._bulk_flags: Dict[str, list] = {}
 
     # -- installation --------------------------------------------------------
     def install(self) -> int:
@@ -110,6 +114,13 @@ class FaultInjector:
         if event.kind == FaultKind.NODE_JOIN:
             return self.cluster is not None and \
                 self.cluster.is_standby(str(event.scope.get("node")))
+        if event.kind == FaultKind.COEX_BULK:
+            # Needs a live service (to host the DownloadManager) and a
+            # link (the contention is on this device's access link).
+            if self.service is None or self.link is None:
+                return False
+            operator = scope.get("operator")
+            return operator is None or operator == self.operator
         return False
 
     # -- the driver process --------------------------------------------------
@@ -160,6 +171,20 @@ class FaultInjector:
                 str(params.get("mode", "blackhole")))
         elif event.kind == FaultKind.NODE_JOIN:
             self.cluster.join_node(str(event.scope["node"]))
+        elif event.kind == FaultKind.COEX_BULK:
+            # Self-inflicted contention (docs/MODALITIES.md): a bulk
+            # download app hammers the link while the foreground apps
+            # keep measuring.  The queueing the bulk flow induces is
+            # modelled directly as a latency spike on the access link;
+            # the bulk app's own flows mark the cause in the dataset
+            # (the detector keys on its throughput records).
+            self.link.set_latency_spike(
+                float(params.get("extra_ms", 80.0)))
+            flag = [True]
+            self._bulk_flags[event.event_id] = flag
+            self.sim.process(
+                self._bulk_transfer(event, flag),
+                name="fault-bulk:%s" % event.event_id)
         else:
             raise ValueError("no activator for %r" % event.kind)
 
@@ -176,6 +201,30 @@ class FaultInjector:
             self.backend.restart()
         elif event.kind == FaultKind.NET_PARTITION:
             self.cluster.heal_node(str(event.scope["node"]))
+        elif event.kind == FaultKind.COEX_BULK:
+            self.link.clear_latency_spike()
+            flag = self._bulk_flags.pop(event.event_id, None)
+            if flag is not None:
+                flag[0] = False
+
+    def _bulk_transfer(self, event: FaultEvent, flag: list):
+        """The coexistence workload: repeated DownloadManager fetches
+        from the scoped domain's server for as long as the event is
+        active.  Runs through the relay like any app traffic, so the
+        bulk app's flows land in the dataset as TPUT_* / ENERGY
+        records under the DownloadManager package -- the ground-truth
+        marker the shared coexistence rule keys on."""
+        from repro.crowd.campaign import stable_ip_for_domain
+        from repro.phone.download_manager import DownloadManager
+        domain = str(event.params.get("domain", "bulk.example"))
+        server_ip = str(event.params.get("server_ip",
+                                         stable_ip_for_domain(domain)))
+        manager = DownloadManager(self.service.device)
+        rng = self.plan.rng(event.event_id,
+                            "bulk:%s" % self.device_id)
+        while flag[0]:
+            yield manager.enqueue(server_ip, port=443)
+            yield self.sim.timeout(rng.uniform(80.0, 240.0))
 
     def _drive_vpn_revoke(self, event: FaultEvent):
         """Consent revoked: the service tears itself down (via the

@@ -38,10 +38,11 @@ class FaultKind:
     COLLECTOR_FAIL = "collector_fail"  # cluster node dies; failover
     NET_PARTITION = "net_partition"  # cluster node unreachable; heals
     NODE_JOIN = "node_join"          # standby node joins; rebalance
+    COEX_BULK = "coex_bulk"          # bulk transfer contends with apps
 
     ALL = (BURST_LOSS, LATENCY_SPIKE, SERVER_OUTAGE, DNS_OUTAGE,
            VPN_REVOKE, BACKEND_CRASH, HANDOVER, COLLECTOR_FAIL,
-           NET_PARTITION, NODE_JOIN)
+           NET_PARTITION, NODE_JOIN, COEX_BULK)
 
 
 def event_rng(seed: int, event_id: str,

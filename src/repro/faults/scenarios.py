@@ -35,6 +35,10 @@ Each preset is designed so the faults leave a *diagnosable* footprint
   window but alive; no failover, heal re-drives stranded uploads.
 * ``rebalance_storm``    -- cluster tier: two standby nodes join;
   bounded key movement with live dedup handoff.
+* ``coexistence``        -- a bulk download app inflates a foreground
+  app's RTTs on one operator; runs with the beyond-RTT modality
+  records enabled so the bulk transfer is visible as throughput
+  evidence (docs/MODALITIES.md).
 """
 
 from __future__ import annotations
@@ -92,6 +96,9 @@ class Scenario:
     cluster_vnodes: int = 32
     cluster_heartbeat_ms: float = 1_000.0
     cluster_miss_threshold: int = 3
+    #: Emit the beyond-RTT modality records (throughput / energy from
+    #: the relay, AoI from the uploader) -- see docs/MODALITIES.md.
+    modalities: bool = False
 
     def plan(self, seed: int) -> FaultPlan:
         """The fault plan for one run.  Events are static data; the
@@ -390,11 +397,45 @@ def _rebalance_storm() -> Scenario:
     )
 
 
+def _coexistence() -> Scenario:
+    return Scenario(
+        name="coexistence",
+        description="A bulk download app saturates one operator's "
+                    "access link while foreground apps keep "
+                    "measuring: their connect RTTs inflate, and the "
+                    "bulk app's own throughput records mark the "
+                    "cause.  Runs with the modality records on "
+                    "(docs/MODALITIES.md).",
+        operators=(
+            ScenarioOperator("Onyx Wifi", NetworkType.WIFI, 5.0,
+                             devices=2),
+            ScenarioOperator("Pearl Wifi", NetworkType.WIFI, 5.0,
+                             devices=2),
+        ),
+        apps=(
+            ScenarioApp("web.plover", "plover.example", 9.0),
+            ScenarioApp("chat.pigeon", "pigeon.example", 9.0),
+        ),
+        events=(
+            FaultEvent("e-coex", FaultKind.COEX_BULK,
+                       5_000.0, 45_000.0,
+                       scope={"operator": "Onyx Wifi"},
+                       params={"domain": "plover.example",
+                               "extra_ms": 60.0}),
+        ),
+        connects=30,
+        think_ms=(300.0, 1200.0),
+        with_backend=True,
+        modalities=True,
+    )
+
+
 def _build_registry() -> Dict[str, Scenario]:
     scenarios = [_bursty_lte(), _server_brownout(), _dns_outage(),
                  _handover_storm(), _backend_crash(), _multi_crash(),
                  _vpn_flap(), _collector_failover(),
-                 _network_partition(), _rebalance_storm()]
+                 _network_partition(), _rebalance_storm(),
+                 _coexistence()]
     return {scenario.name: scenario for scenario in scenarios}
 
 

@@ -30,6 +30,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import statistics
+
+from repro.analysis import rules
 from repro.analysis.diagnosis import (
     Finding,
     Verdict,
@@ -138,11 +141,16 @@ def verify_scenario(result, scenario: Optional[Scenario] = None,
     explained_operators = {
         e.scope.get("operator") for e in ledger.activated()
         if e.kind in (FaultKind.BURST_LOSS, FaultKind.LATENCY_SPIKE,
-                      FaultKind.HANDOVER)}
+                      FaultKind.HANDOVER, FaultKind.COEX_BULK)}
     explained_apps = {
         package_of_domain.get(e.scope.get("domain"))
         for e in ledger.activated()
         if e.kind == FaultKind.SERVER_OUTAGE}
+    # The bulk-transfer app is the coexistence fault's own traffic:
+    # any finding about it (or about apps pinned to the congested
+    # operator) traces straight to the injection.
+    if any(e.kind == FaultKind.COEX_BULK for e in ledger.activated()):
+        explained_apps.add(rules.COEX_BULK_PACKAGE)
     for finding in report.findings:
         if finding.kind == "operator" and \
                 finding.subject in explained_operators:
@@ -232,6 +240,33 @@ def _check_entry(entry: LedgerEntry, store, records, stats,
         return (ok, "crashes=%d recoveries=%d upload_disruptions=%d "
                 "resynced=%s rollups_recovered=%s"
                 % (crashes, recoveries, disrupted, resynced, recovered))
+
+    if entry.kind == FaultKind.COEX_BULK:
+        # The evidence is the *shared* coexistence rule over the raw
+        # records: bulk-app throughput samples present, and the
+        # faulted operator's TCP median inflated past the merged
+        # peers' median (repro.analysis.rules.coexistence_verdict --
+        # the same function the online detector applies to rollups).
+        operator = entry.scope.get("operator")
+        bulk = sum(1 for r in records
+                   if r.kind in (MeasurementKind.TPUT_UP,
+                                 MeasurementKind.TPUT_DOWN)
+                   and r.app_package == rules.COEX_BULK_PACKAGE)
+        faulted = [r.rtt_ms for r in records
+                   if r.kind == MeasurementKind.TCP
+                   and r.failure is None and r.operator == operator]
+        peers = [r.rtt_ms for r in records
+                 if r.kind == MeasurementKind.TCP
+                 and r.failure is None and r.operator != operator]
+        if not faulted or not peers:
+            return (False, "no TCP samples to compare (faulted=%d "
+                    "peer=%d)" % (len(faulted), len(peers)))
+        median = statistics.median(faulted)
+        peer_median = statistics.median(peers)
+        verdict = rules.coexistence_verdict(median, peer_median, bulk)
+        return (verdict, "operator %s median %.1f ms vs peers %.1f ms "
+                "with %d bulk throughput samples"
+                % (operator, median, peer_median, bulk))
 
     # The cluster.* counters are scenario-global (one coordinator
     # timeline per world, all events folded together), while a ledger

@@ -70,30 +70,74 @@ class RrcProfile:
             low_tail_ms=12_000.0)
 
 
-class RrcMachine:
-    """Tracks the radio state from observed send instants."""
+#: State -> dwell-time metric (docs/OBSERVABILITY.md).
+_DWELL_METRIC = {
+    RrcState.IDLE: "rrc.dwell_idle_ms",
+    RrcState.LOW: "rrc.dwell_low_ms",
+    RrcState.HIGH: "rrc.dwell_high_ms",
+}
 
-    def __init__(self, sim: Simulator, profile: RrcProfile):
+
+class RrcMachine:
+    """Tracks the radio state from observed send instants.
+
+    Besides the promotion counters, the machine accounts *dwell time*
+    per state and the share of powered dwell that was pure tail
+    (lingering after the last activity) -- the quantities the per-app
+    energy modality joins against.  Dwell is attributed at the instant
+    a demotion is *judged* (timers are lazy), but credited at the sim
+    time the inactivity timer actually expired, so accounting is
+    independent of how often callers poll.
+    """
+
+    def __init__(self, sim: Simulator, profile: RrcProfile,
+                 obs=None):
         self.sim = sim
         self.profile = profile
+        self.obs = obs
         self.state = RrcState.IDLE
         self._busy_until = 0.0   # promotion in progress until here
         self._last_activity = 0.0
+        self._state_since = 0.0  # when the current state was entered
         self.promotions_full = 0
         self.promotions_partial = 0
+        self.dwell = {RrcState.IDLE: 0.0, RrcState.LOW: 0.0,
+                      RrcState.HIGH: 0.0}
+        self.tail_ms = 0.0
+
+    def _enter(self, state: str, at: float) -> None:
+        elapsed = max(0.0, at - self._state_since)
+        self.dwell[self.state] += elapsed
+        if self.obs is not None and elapsed > 0:
+            self.obs.inc(_DWELL_METRIC[self.state], elapsed)
+        self.state = state
+        self._state_since = max(at, self._state_since)
+
+    def _credit_tail(self, ms: float) -> None:
+        self.tail_ms += ms
+        if self.obs is not None and ms > 0:
+            self.obs.inc("rrc.tail_ms", ms)
 
     def _apply_timers(self) -> None:
         """Demote according to inactivity before judging a new send."""
         idle_for = self.sim.now - self._last_activity
         if self.state == RrcState.HIGH:
-            if idle_for > self.profile.high_tail_ms + \
-                    self.profile.low_tail_ms:
-                self.state = RrcState.IDLE
-            elif idle_for > self.profile.high_tail_ms:
-                self.state = RrcState.LOW
+            if idle_for > self.profile.high_tail_ms:
+                demoted_at = self._last_activity \
+                    + self.profile.high_tail_ms
+                self._credit_tail(self.profile.high_tail_ms)
+                self._enter(RrcState.LOW, demoted_at)
+                if idle_for > self.profile.high_tail_ms + \
+                        self.profile.low_tail_ms:
+                    self._credit_tail(self.profile.low_tail_ms)
+                    self._enter(RrcState.IDLE,
+                                demoted_at + self.profile.low_tail_ms)
         elif self.state == RrcState.LOW:
             if idle_for > self.profile.low_tail_ms:
-                self.state = RrcState.IDLE
+                self._credit_tail(self.profile.low_tail_ms)
+                self._enter(RrcState.IDLE,
+                            self._last_activity
+                            + self.profile.low_tail_ms)
 
     def send_delay_ms(self) -> float:
         """Extra delay the radio imposes on a packet sent now; also
@@ -103,12 +147,12 @@ class RrcMachine:
         if self.state == RrcState.IDLE:
             delay = self.profile.idle_to_high_ms.sample()
             self.promotions_full += 1
-            self.state = RrcState.HIGH
+            self._enter(RrcState.HIGH, now)
             self._busy_until = now + delay
         elif self.state == RrcState.LOW:
             delay = self.profile.low_to_high_ms.sample()
             self.promotions_partial += 1
-            self.state = RrcState.HIGH
+            self._enter(RrcState.HIGH, now)
             self._busy_until = now + delay
         else:
             # Already HIGH: packets queued behind an in-flight
@@ -116,6 +160,16 @@ class RrcMachine:
             delay = max(0.0, self._busy_until - now)
         self._last_activity = max(now + delay, self._last_activity)
         return delay
+
+    def dwell_snapshot(self) -> dict:
+        """Dwell accounted up to now, current state included."""
+        self._apply_timers()
+        out = dict(self.dwell)
+        out[self.state] += max(0.0, self.sim.now - self._state_since)
+        return {"idle_ms": out[RrcState.IDLE],
+                "low_ms": out[RrcState.LOW],
+                "high_ms": out[RrcState.HIGH],
+                "tail_ms": self.tail_ms}
 
     @property
     def current_state(self) -> str:
@@ -131,9 +185,10 @@ class RrcAwareLink:
     ``up.send`` defers packets by the radio's promotion delay first.
     """
 
-    def __init__(self, link: AccessLink, profile: RrcProfile):
+    def __init__(self, link: AccessLink, profile: RrcProfile,
+                 obs=None):
         self.link = link
-        self.machine = RrcMachine(link.sim, profile)
+        self.machine = RrcMachine(link.sim, profile, obs=obs)
         self.down = link.down
         self.network_type = link.network_type
         self.operator = link.operator

@@ -75,6 +75,12 @@ CATALOG: Dict[str, MetricSpec] = dict([
        "repro.core.service",
        "Packets written toward the app, TCP and UDP alike (every "
        "producer funnels through MopEyeService.emit_packet)."),
+    _m("relay.bytes_up", COUNTER, "bytes", "repro.core.relay_tcp",
+       "App payload bytes relayed outward (tunnel -> external socket) "
+       "across all TCP connections."),
+    _m("relay.bytes_down", COUNTER, "bytes", "repro.core.relay_tcp",
+       "Server payload bytes relayed inward (external socket -> "
+       "tunnel) across all TCP connections."),
     # -- TunReader (section 3.1) -------------------------------------------
     _m("tun_reader.packets_read", COUNTER, "packets",
        "repro.core.tun_reader",
@@ -168,6 +174,23 @@ CATALOG: Dict[str, MetricSpec] = dict([
     _m("udp_relay.dns_measured", COUNTER, "queries",
        "repro.core.relay_udp",
        "Port-53 round trips recorded as DNS measurements."),
+    _m("udp_relay.bytes_up", COUNTER, "bytes", "repro.core.relay_udp",
+       "UDP payload bytes relayed outward (tunnel -> server)."),
+    _m("udp_relay.bytes_down", COUNTER, "bytes",
+       "repro.core.relay_udp",
+       "UDP payload bytes forwarded back into the tunnel."),
+    # -- cellular RRC state machine (docs/MODALITIES.md) -------------------
+    _m("rrc.dwell_idle_ms", COUNTER, "ms", "repro.network.rrc",
+       "Sim time the radio spent in IDLE (no radio resources)."),
+    _m("rrc.dwell_low_ms", COUNTER, "ms", "repro.network.rrc",
+       "Sim time the radio spent in LOW (FACH / connected-DRX)."),
+    _m("rrc.dwell_high_ms", COUNTER, "ms", "repro.network.rrc",
+       "Sim time the radio spent in HIGH (DCH / RRC_CONNECTED "
+       "active)."),
+    _m("rrc.tail_ms", COUNTER, "ms", "repro.network.rrc",
+       "Sim time the radio lingered in a powered state after its last "
+       "activity (the inactivity-timer tail that dominates cellular "
+       "energy)."),
     # -- uploader ----------------------------------------------------------
     _m("uploader.batches", COUNTER, "batches", "repro.core.uploader",
        "Upload batches fully or partly acknowledged."),
@@ -209,6 +232,10 @@ CATALOG: Dict[str, MetricSpec] = dict([
        "Times the cluster coordinator pointed this uploader at a new "
        "home collector (failover or rebalance); the in-flight batch "
        "travels to the new node verbatim."),
+    _m("uploader.aoi_records", COUNTER, "records",
+       "repro.core.uploader",
+       "Age-of-information records emitted at ACK time (one per "
+       "acknowledged non-AoI record when emit_aoi is on)."),
     # -- collection backend ------------------------------------------------
     _m("backend.batches", COUNTER, "batches", "repro.backend.ingest",
        "Upload batches accepted and ingested (duplicates excluded)."),

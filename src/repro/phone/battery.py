@@ -47,6 +47,44 @@ _TAIL_MS = {
     NetworkType.GPRS: 2_000.0,
 }
 
+# RRC promotion energy (mJ per full promotion): the promotion delay at
+# high-state power (LTE ~260 ms at ~1080 mW, UMTS ~2 s at ~800 mW).
+# WiFi has no RRC machine, so promotions are free there.
+_PROMOTION_MJ = {
+    NetworkType.WIFI: 0.0,
+    NetworkType.LTE: 280.0,
+    NetworkType.UMTS: 1600.0,
+    NetworkType.GPRS: 200.0,
+}
+
+
+def flow_energy_mj(network_type: str, nbytes: int,
+                   duration_ms: float = 0.0,
+                   promotions_full: int = 0,
+                   promotions_partial: int = 0) -> float:
+    """Radio energy attributable to one flow, in millijoules.
+
+    Three components, all from the constants above: per-byte TX/RX
+    cost, powered-radio dwell over the flow's lifetime (capped at the
+    technology's tail timer -- a longer flow re-arms the tail rather
+    than paying it repeatedly), and RRC promotion energy when the flow
+    triggered promotions (a partial promotion costs half a full one).
+    This is the per-app energy modality's sample value (see
+    docs/MODALITIES.md); an unknown technology is charged at WiFi
+    rates.
+    """
+    wifi = NetworkType.WIFI
+    energy = (_ENERGY_PER_BYTE_UJ.get(network_type,
+                                      _ENERGY_PER_BYTE_UJ[wifi])
+              * max(0, nbytes) / 1000.0)
+    tail_ms = _TAIL_MS.get(network_type, _TAIL_MS[wifi])
+    tail_mw = _TAIL_MW.get(network_type, _TAIL_MW[wifi])
+    energy += tail_mw * min(max(duration_ms, 0.0), tail_ms) / 1000.0
+    promo_mj = _PROMOTION_MJ.get(network_type, 0.0)
+    energy += promo_mj * (max(0, promotions_full)
+                          + 0.5 * max(0, promotions_partial))
+    return energy
+
 
 @dataclass
 class BatteryReport:

@@ -35,7 +35,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.backend import query as backend_query
-from repro.backend.rollups import Key, MergeHist, RollupStore
+from repro.backend.rollups import (
+    Key,
+    MergeHist,
+    RollupStore,
+    log_bin_value,
+)
 from repro.core.records import MeasurementKind
 from repro.obs import Observability
 from repro.store.blockcache import DEFAULT_CACHE_BYTES, BlockCache
@@ -53,7 +58,8 @@ VIEWS: Dict[str, str] = {
     "cases": "detector findings persisted with the state",
     "table": "raw rows of one rollup table (pick with --name)",
     "panel": "pruned per-app (--app) or per-ISP (--operator) "
-             "percentile panel",
+             "percentile panel; app panels add throughput, energy "
+             "and AoI sections when modality rollups are present",
     "dashboard": "simulated dashboard fan-out of Zipf-popular panels "
                  "(--panels, --seed, --latency)",
 }
@@ -69,6 +75,39 @@ def _quantiles(hist: MergeHist) -> Dict[str, float]:
     return {"median_ms": round(hist.median(), 2),
             "p90_ms": round(hist.quantile(0.9), 2),
             "p99_ms": round(hist.quantile(0.99), 2)}
+
+
+# Modality tables aggregate on the shared log grid; their quantile
+# indices must decode through log_bin_value, and each carries its own
+# unit (KB/s, mJ, staleness ms) -- see docs/MODALITIES.md.
+MODALITY_UNITS = {"app_throughput": "kb_s",
+                  "app_energy": "mj",
+                  "aoi": "ms"}
+
+
+def _log_quantiles(hist: MergeHist, unit: str) -> Dict[str, float]:
+    return {"median_%s" % unit:
+                round(log_bin_value(hist.quantile_index(0.5)), 3),
+            "p90_%s" % unit:
+                round(log_bin_value(hist.quantile_index(0.9)), 3),
+            "p99_%s" % unit:
+                round(log_bin_value(hist.quantile_index(0.99)), 3)}
+
+
+def _log_summary(hist: MergeHist, unit: str
+                 ) -> Optional[Dict[str, object]]:
+    """count/median/p90 summary of a log-grid modality histogram
+    (throughput, energy, AoI) -- quantile indices decoded through
+    :func:`log_bin_value` instead of the linear RTT grid."""
+    if hist.count == 0:
+        return None
+    return {
+        "count": hist.count,
+        "median_%s" % unit:
+            round(log_bin_value(hist.quantile_index(0.5)), 3),
+        "p90_%s" % unit:
+            round(log_bin_value(hist.quantile_index(0.9)), 3),
+    }
 
 
 class ReadView:
@@ -178,8 +217,11 @@ class ReadView:
             raise QueryError("unknown table %r; tables are %s"
                              % (name, ", ".join(RollupStore.TABLES)))
         self._count_query()
+        unit = MODALITY_UNITS.get(name)
+        summarize = (_quantiles if unit is None
+                     else lambda hist: _log_quantiles(hist, unit))
         rows = [dict([("key", list(key)), ("count", hist.count)],
-                     **_quantiles(hist))
+                     **summarize(hist))
                 for key, hist in self._scan_table(name).items()]
         rows.sort(key=lambda row: (-row["count"], row["key"]))
         return rows[:top] if top is not None else rows
@@ -314,19 +356,45 @@ class ReadView:
     def app_panel(self, app: str, scan: bool = False
                   ) -> Dict[str, object]:
         """Per-window RTT percentiles for one app (MopEye section 5's
-        per-app comparison).  Pruned by default: one batched point
-        read across all windows, so each segment opens every
-        candidate block at most once."""
+        per-app comparison), plus the app's modality summaries --
+        per-direction throughput, attributed energy, and the device
+        fleet's age-of-information (docs/MODALITIES.md).  Pruned by
+        default: batched point/prefix reads across all windows, so
+        each segment opens every candidate block at most once."""
         self._count_query()
         windows = self.windows()
         keys = [(str(window), app, MeasurementKind.TCP)
                 for window in windows]
+        tput_keys = [(str(window), app, kind)
+                     for window in windows
+                     for kind in (MeasurementKind.TPUT_UP,
+                                  MeasurementKind.TPUT_DOWN)]
+        energy_keys = [(str(window), app) for window in windows]
+        aoi_prefixes = [(str(window),) for window in windows]
         if scan:
             source = self._scan_table("app", cached=False)
             hits = {key: source[key] for key in keys
                     if key in source}
+            tput_source = self._scan_table("app_throughput",
+                                           cached=False)
+            tput_hits = {key: tput_source[key] for key in tput_keys
+                         if key in tput_source}
+            energy_source = self._scan_table("app_energy",
+                                             cached=False)
+            energy_hits = {key: energy_source[key]
+                           for key in energy_keys
+                           if key in energy_source}
+            wanted = set(aoi_prefixes)
+            aoi_hits = {key: hist for key, hist
+                        in self._scan_table("aoi",
+                                            cached=False).items()
+                        if key[:1] in wanted}
         else:
             hits = self.get_many("app", keys)
+            tput_hits = self.get_many("app_throughput", tput_keys)
+            energy_hits = self.get_many("app_energy", energy_keys)
+            aoi_hits = self.scan_prefixes("aoi", aoi_prefixes) \
+                if aoi_prefixes else {}
         rows: List[Dict[str, object]] = []
         overall = MergeHist()
         for window in windows:
@@ -337,6 +405,17 @@ class ReadView:
                               ("count", hist.count)],
                              **_quantiles(hist)))
             overall.merge(hist)
+        up = MergeHist()
+        down = MergeHist()
+        for key, hist in tput_hits.items():
+            (up if key[2] == MeasurementKind.TPUT_UP
+             else down).merge(hist)
+        energy = MergeHist()
+        for hist in energy_hits.values():
+            energy.merge(hist)
+        aoi = MergeHist()
+        for hist in aoi_hits.values():
+            aoi.merge(hist)
         return {
             "panel": "app",
             "app": app,
@@ -344,6 +423,10 @@ class ReadView:
             "overall": (dict([("count", overall.count)],
                              **_quantiles(overall))
                         if overall.count else None),
+            "throughput": {"up": _log_summary(up, "kb_s"),
+                           "down": _log_summary(down, "kb_s")},
+            "energy": _log_summary(energy, "mj"),
+            "aoi": _log_summary(aoi, "ms"),
         }
 
     def network_panel(self, operator: str, scan: bool = False

@@ -115,7 +115,12 @@ def read_checkpoint(path: str) -> Tuple[RollupStore, int]:
         config=RollupConfig.from_dict(header["config"]))
     store.records = int(header["records"])
     store.failure_records = int(header.get("failure_records", 0))
-    for name in RollupStore.TABLES:
+    # The header records which tables were written, in order, so a
+    # checkpoint taken before a schema widening (fewer tables) still
+    # reads back next to the current TABLES tuple: absent tables stay
+    # empty, and any table this build does not know is decoded (to
+    # keep frame positions honest) and dropped.
+    for name in header.get("tables", list(RollupStore.TABLES)):
         payload, pos, status = read_frame(data, pos)
         if status != FRAME_OK:
             raise CheckpointCorruption(
@@ -127,11 +132,13 @@ def read_checkpoint(path: str) -> Tuple[RollupStore, int]:
                 "table %r block undeflatable in %s: %s"
                 % (name, path, exc))
         try:
-            store.tables[name] = _decode_rows(rows)
+            decoded = _decode_rows(rows)
         except (ValueError, IndexError) as exc:
             raise CheckpointCorruption(
                 "table %r rows undecodable in %s: %s"
                 % (name, path, exc))
+        if name in store.tables:
+            store.tables[name] = decoded
     if pos != len(data) - len(TAIL_MAGIC):
         raise CheckpointCorruption("trailing garbage in %s" % path)
     return store, int(header["covers_gen"])

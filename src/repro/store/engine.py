@@ -624,7 +624,7 @@ class StoreEngine:
         cutoff = self.rollup_config.window_of(
             now_ms - self.config.retention_ms)
         evicted_windows = set()
-        for table in ("network", "app"):
+        for table in RollupStore.WINDOWED_TABLES:
             rows = store.tables[table]
             for key in [k for k in rows if int(k[0]) < cutoff]:
                 evicted_windows.add(int(key[0]))

@@ -65,9 +65,11 @@ from repro.obs import Observability
 MAGIC = b"MOPSEG1\n"
 TAIL_MAGIC = b"MOPSEGF1"
 #: v1 (PR 5) stored one monolithic block per table; v2 splits tables
-#: into zone-mapped blocks and records the window set in the footer.
-#: The reader accepts both.
-SEGMENT_SCHEMA = 2
+#: into zone-mapped blocks and records the window set in the footer;
+#: v3 (PR 9) adds the modality tables.  The reader accepts all three:
+#: a table absent from an older footer is served as empty, so pre-PR-9
+#: segments keep reading next to widened ones.
+SEGMENT_SCHEMA = 3
 #: Default rows per zone-mapped block.  Small enough that a point
 #: query decodes a few KB, large enough that zlib still has a real
 #: window to compress over.
@@ -276,7 +278,7 @@ class SegmentReader:
         except ValueError:
             raise SegmentCorruption("footer is not JSON in %s"
                                     % self.path)
-        if footer.get("schema") not in (1, SEGMENT_SCHEMA):
+        if footer.get("schema") not in (1, 2, SEGMENT_SCHEMA):
             raise SegmentCorruption(
                 "segment %s has schema %r; this reader understands "
                 "1..%d" % (self.path, footer.get("schema"),
@@ -285,12 +287,13 @@ class SegmentReader:
 
     def _normalize_entry(self, name: str) -> Dict[str, object]:
         """v2 entries carry zone-mapped block lists; a v1 entry is one
-        monolithic block with an unbounded zone map."""
+        monolithic block with an unbounded zone map.  A table missing
+        from the footer means the segment predates that table (the v3
+        schema widening) -- it reads as empty, not as corruption."""
         try:
             entry = self.footer["tables"][name]
         except KeyError:
-            raise SegmentCorruption("table %r missing from footer of %s"
-                                    % (name, self.path))
+            return {"rows": 0, "blocks": []}
         if "blocks" in entry:
             return entry
         return {"rows": int(entry["rows"]),

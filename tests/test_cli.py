@@ -210,6 +210,71 @@ class TestQuery:
         assert table["table"] == "network"
         assert len(table["rows"]) <= 5
 
+    def test_query_panel_modality_sections(self, tmp_path, capsys):
+        """An app panel over modality rollups gains throughput,
+        energy and AoI columns (docs/MODALITIES.md); an RTT-only
+        panel answers them as null."""
+        from repro.core.records import MeasurementRecord
+        from repro.store import StoreConfig, StoreEngine
+        engine = StoreEngine(
+            str(tmp_path / "store"),
+            config=StoreConfig(flush_threshold_records=40,
+                               segment_block_rows=8))
+        records = [MeasurementRecord(
+            kind="TCP", rtt_ms=25.0 + i, timestamp_ms=1000.0 * i,
+            app_package="com.app.mod") for i in range(20)]
+        records += [
+            MeasurementRecord(kind="TPUT_UP", rtt_ms=120.0,
+                              timestamp_ms=0.0,
+                              app_package="com.app.mod"),
+            MeasurementRecord(kind="TPUT_DOWN", rtt_ms=480.0,
+                              timestamp_ms=0.0,
+                              app_package="com.app.mod"),
+            MeasurementRecord(kind="ENERGY", rtt_ms=55.0,
+                              timestamp_ms=0.0,
+                              app_package="com.app.mod"),
+            MeasurementRecord(kind="AOI", rtt_ms=2500.0,
+                              timestamp_ms=0.0, device_id="dev-1"),
+        ]
+        records += [MeasurementRecord(
+            kind="TCP", rtt_ms=30.0 + i, timestamp_ms=1000.0 * i,
+            app_package="com.app.rtt") for i in range(20)]
+        engine.append_records(records)
+        data_dir = str(tmp_path / "store")
+        assert main(["query", data_dir, "panel", "--app",
+                     "com.app.mod"]) == 0
+        panel = json.loads(capsys.readouterr().out)
+        assert panel["throughput"]["up"]["count"] == 1
+        assert panel["throughput"]["down"]["count"] == 1
+        assert panel["energy"]["count"] == 1
+        assert panel["aoi"]["count"] == 1
+        assert main(["query", data_dir, "panel", "--app",
+                     "com.app.rtt"]) == 0
+        panel = json.loads(capsys.readouterr().out)
+        assert panel["windows"]
+        assert panel["throughput"] == {"up": None, "down": None}
+        assert panel["energy"] is None
+        # AoI is fleet staleness per window, not per app: the windows
+        # com.app.rtt was active in do carry the device's samples.
+        assert panel["aoi"]["count"] == 1
+        assert main(["query", data_dir, "table", "--name",
+                     "app_throughput"]) == 0
+        table = json.loads(capsys.readouterr().out)
+        assert table["table"] == "app_throughput"
+        assert len(table["rows"]) == 2
+        # Modality tables decode through the log grid with their own
+        # unit suffix, not the linear RTT grid (docs/QUERY.md).
+        assert all("median_kb_s" in row and "median_ms" not in row
+                   for row in table["rows"])
+        down = next(row for row in table["rows"]
+                    if row["key"][2] == "TPUT_DOWN")
+        assert down["median_kb_s"] == pytest.approx(480.0, rel=0.01)
+        assert main(["query", data_dir, "table", "--name",
+                     "app_energy"]) == 0
+        energy = json.loads(capsys.readouterr().out)
+        assert energy["rows"][0]["median_mj"] == \
+            pytest.approx(55.0, rel=0.01)
+
     def test_query_dashboard_deterministic(self, data_dir, capsys):
         assert main(["query", data_dir, "dashboard", "--panels", "16",
                      "--seed", "7"]) == 0

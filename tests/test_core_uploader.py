@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import MopEyeService
+from repro.core.records import MeasurementRecord
 from repro.core.uploader import MeasurementUploader
 from repro.network.collector import CollectorServer
 from repro.phone import App
@@ -135,6 +136,97 @@ class TestUploader:
         uploader.start()
         with pytest.raises(RuntimeError):
             uploader.start()
+
+
+class TestNewRecordKinds:
+    """Regression: the uploader is kind-agnostic.  Records of kinds
+    newer than the uploader (the modality kinds, docs/MODALITIES.md)
+    must ride wifi-only gating, batch dedup and the final flush
+    exactly like TCP/DNS samples."""
+
+    def _seed_modality_records(self, store, n=6):
+        from repro.core.records import MeasurementKind
+        for i in range(n):
+            store.add(MeasurementRecord(
+                kind=MeasurementKind.MODALITIES[
+                    i % len(MeasurementKind.MODALITIES)],
+                rtt_ms=1.5 + 7.3 * i, timestamp_ms=100.0 * i,
+                app_package="com.example.app"))
+
+    def test_modality_kinds_round_trip_end_to_end(self, upload_world):
+        w = upload_world
+        uploader = MeasurementUploader(w.mopeye, "198.51.100.200",
+                                       interval_ms=2000.0, min_batch=2)
+        uploader.start()
+        self._seed_modality_records(w.mopeye.store)
+        w.run(until=20000)
+        assert uploader.uploaded == len(w.mopeye.store)
+        sent = sorted((r.kind, round(r.rtt_ms, 9))
+                      for r in w.mopeye.store)
+        got = sorted((r.kind, round(r.rtt_ms, 9))
+                     for r in w.collector.received)
+        assert got == sent
+
+    def test_wifi_only_gating_covers_new_kinds(self, upload_world):
+        from repro.network.link import NetworkType
+        w = upload_world
+        uploader = MeasurementUploader(w.mopeye, "198.51.100.200",
+                                       interval_ms=2000.0, min_batch=2)
+        uploader.start()
+        self._seed_modality_records(w.mopeye.store)
+        w.device.link.network_type = NetworkType.LTE
+        w.run(until=20000)
+        assert uploader.uploaded == 0
+        assert len(uploader._pending()) == len(w.mopeye.store)
+        w.device.link.network_type = NetworkType.WIFI
+        w.run(until=20000)
+        assert uploader.uploaded == len(w.mopeye.store)
+
+    def test_replayed_modality_batch_dedups(self, upload_world):
+        """A lost-ACK replay of a batch full of new kinds gets the
+        cached ACK, never a double ingest."""
+        from repro.core.persist import record_to_line
+        from repro.core.records import MeasurementKind
+        w = upload_world
+        lines = [record_to_line(MeasurementRecord(
+            kind=kind, rtt_ms=10.0 + i, timestamp_ms=1000.0 * i))
+            for i, kind in enumerate(MeasurementKind.MODALITIES)]
+        payload = ("\n".join(lines) + "\n").encode()
+        header = b"PUSH2 %d 9 phone-b\n" % len(payload)
+        responses = []
+
+        def push():
+            socket = w.device.create_tcp_socket(w.mopeye.uid,
+                                                protected=True)
+            yield socket.connect("198.51.100.200", 443)
+            socket.send(header)
+            socket.send(payload)
+            response = yield socket.recv()
+            socket.close()
+            responses.append(response)
+
+        w.run_process(push())
+        w.run_process(push())
+        assert responses == [b"ACK 4\n", b"ACK 4\n"]
+        assert len(w.collector.received) == 4
+        assert w.collector.duplicates == 1
+
+    def test_final_flush_ships_modality_tail(self, upload_world):
+        """A sub-min_batch tail of new-kind records must not be
+        stranded at shutdown."""
+        w = upload_world
+        uploader = MeasurementUploader(w.mopeye, "198.51.100.200",
+                                       interval_ms=5000.0,
+                                       min_batch=50)
+        uploader.start()
+        self._seed_modality_records(w.mopeye.store, n=3)
+        w.run(until=15000)
+        assert uploader.uploaded == 0
+        uploader.stop()
+        w.run(until=40000)
+        assert uploader.final_flushes >= 1
+        assert uploader.uploaded == len(w.mopeye.store)
+        assert len(w.collector.received) == len(w.mopeye.store)
 
 
 class TestPartialAck:

@@ -171,6 +171,59 @@ class TestPrunedVersusScan:
                 < after.delta_since(mid).blocks_read
         view.close()
 
+    def test_modality_sections_byte_identical_pruned_vs_scan(
+            self, tmp_path):
+        """The app panel's throughput/energy/AoI sections are served
+        from the modality tables (docs/MODALITIES.md) through the
+        same pruned path; both paths must serialise identically."""
+        engine, obs = _engine(tmp_path)
+        records = _records(600)
+        for w in range(2):
+            ts = w * 28 * DAY_MS
+            for app in ("com.app.01", "com.app.03"):
+                records += [
+                    _rec(kind="TPUT_UP", rtt=120.0 + w, ts=ts, app=app),
+                    _rec(kind="TPUT_DOWN", rtt=480.0 + w, ts=ts,
+                         app=app),
+                    _rec(kind="ENERGY", rtt=55.0 + w, ts=ts, app=app),
+                ]
+            records.append(_rec(kind="AOI", rtt=2500.0 + w, ts=ts,
+                                app=None))
+        engine.append_records(records)
+        view = QueryEngine(engine, obs=obs).snapshot()
+        for app in ("com.app.01", "com.app.03"):
+            pruned = view.app_panel(app)
+            scanned = view.app_panel(app, scan=True)
+            assert _canonical(pruned) == _canonical(scanned)
+            assert pruned["throughput"]["up"]["count"] == 2
+            assert pruned["throughput"]["down"]["count"] == 2
+            assert pruned["energy"]["count"] == 2
+            assert pruned["aoi"]["count"] == 2
+            # Log-grid readback: the summarised medians land on the
+            # injected values to within the grid's resolution.
+            assert pruned["throughput"]["down"]["median_kb_s"] == \
+                pytest.approx(480.5, rel=0.01)
+            assert pruned["energy"]["median_mj"] == \
+                pytest.approx(55.5, rel=0.01)
+            assert pruned["aoi"]["median_ms"] == \
+                pytest.approx(2500.5, rel=0.01)
+        view.close()
+
+    def test_modality_sections_null_without_modality_records(
+            self, tmp_path):
+        """An RTT-only state answers the widened panel with null
+        modality sections -- old data keeps serving."""
+        engine, obs = _engine(tmp_path)
+        engine.append_records(_records(300))
+        view = QueryEngine(engine, obs=obs).snapshot()
+        panel = view.app_panel("com.app.01")
+        assert panel == view.app_panel("com.app.01", scan=True)
+        assert panel["overall"]["count"] > 0
+        assert panel["throughput"] == {"up": None, "down": None}
+        assert panel["energy"] is None
+        assert panel["aoi"] is None
+        view.close()
+
     def test_panel_subject_with_no_data_is_empty_both_ways(
             self, tmp_path):
         engine, obs = _engine(tmp_path)

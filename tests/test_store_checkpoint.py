@@ -281,3 +281,55 @@ class TestEnvelopeCompat:
         assert info.wal_records == 30
         assert engine.memtable.digest() == \
             _reference(new_style + legacy).digest()
+
+
+class TestSchemaWidening:
+    """The header's ``tables`` list is the read contract: checkpoints
+    taken before PR-9 widened ``RollupStore.TABLES`` name only the
+    original five tables and must read back next to the current
+    tuple, and a header naming a table this build does not know must
+    be decoded (to keep frame positions honest) and dropped."""
+
+    OLD_TABLES = ("network", "app", "watch_domain", "watch_network",
+                  "lte_domain")
+
+    def test_pre_widening_checkpoint_reads_back(self, tmp_path,
+                                                monkeypatch):
+        from repro.store.checkpoint import (
+            read_checkpoint,
+            write_checkpoint,
+        )
+        records = _records(90)
+        store = _reference(records)
+        path = str(tmp_path / "old.ckpt")
+        with monkeypatch.context() as patch:
+            patch.setattr(RollupStore, "TABLES", self.OLD_TABLES)
+            write_checkpoint(path, store, covers_gen=3)
+        loaded, covers_gen = read_checkpoint(path)
+        assert covers_gen == 3
+        assert set(loaded.tables) == set(RollupStore.TABLES)
+        for name in RollupStore.MODALITY_TABLES:
+            assert loaded.tables[name] == {}
+        # No modality records existed pre-widening, so the digest of
+        # the recovered store matches the widened reference exactly.
+        assert loaded.digest() == store.digest()
+
+    def test_unknown_header_table_decoded_and_dropped(self, tmp_path,
+                                                      monkeypatch):
+        from repro.store.checkpoint import (
+            read_checkpoint,
+            write_checkpoint,
+        )
+        records = _records(60)
+        store = _reference(records)
+        store.tables["flux_capacitor"] = \
+            dict(store.tables["network"])
+        path = str(tmp_path / "future.ckpt")
+        with monkeypatch.context() as patch:
+            patch.setattr(RollupStore, "TABLES",
+                          RollupStore.TABLES + ("flux_capacitor",))
+            write_checkpoint(path, store, covers_gen=1)
+        del store.tables["flux_capacitor"]
+        loaded, _covers_gen = read_checkpoint(path)
+        assert "flux_capacitor" not in loaded.tables
+        assert loaded.digest() == store.digest()

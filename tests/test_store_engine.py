@@ -200,6 +200,55 @@ class TestCompactionAndRetention:
         engine.recover()
         assert engine.materialize().digest() == digest
 
+    def test_old_schema_segment_recovers_compacts_and_serves(
+            self, tmp_path):
+        """A segment flushed before PR-9 widened the rollup schema
+        (schema 2, no modality tables in its footer) must recover,
+        merge with a new-schema segment carrying modality rows, and
+        serve the exact widened reference."""
+        from repro.store.engine import SEGMENT_DIR
+        from tests.test_store_segments import _rewrite_footer
+
+        engine, _obs = _engine(tmp_path, flush_threshold_records=None,
+                               compaction_fanout=10)
+        old_records = _records(60)
+        engine.append_records(old_records)
+        engine.flush()
+        old_name = engine.segment_names()[0]
+
+        def downgrade(footer):
+            footer["schema"] = 2
+            for name in RollupStore.MODALITY_TABLES:
+                del footer["tables"][name]
+        _rewrite_footer(os.path.join(str(tmp_path / "store"),
+                                     SEGMENT_DIR, old_name),
+                        downgrade)
+        engine.crash()
+        info = engine.recover()
+        assert info.segments_loaded == 1
+        assert info.segments_quarantined == 0
+        mod_records = [
+            _rec(kind="TPUT_UP", rtt=120.0, app="com.app.0"),
+            _rec(kind="TPUT_DOWN", rtt=480.0, app="com.app.0"),
+            _rec(kind="ENERGY", rtt=55.0, app="com.app.1"),
+            _rec(kind="AOI", rtt=2500.0, app=None),
+        ]
+        engine.append_records(mod_records)
+        engine.flush()                        # schema-3 neighbour
+        assert len(engine.segment_names()) == 2
+        reference = RollupStore()
+        reference.add_all(old_records + mod_records)
+        assert engine.materialize().digest() == reference.digest()
+        assert engine.compact(force=True)
+        merged = engine.materialize()
+        assert merged.digest() == reference.digest()
+        window = str(reference.config.window_of(0.0))
+        assert merged.tables["app_energy"][(window, "com.app.1")] \
+            .count == 1
+        assert merged.tables["aoi"][(window, "dev-1", "WIFI")] \
+            .count == 1
+        engine.close()
+
     def test_compaction_waits_for_fanout(self, tmp_path):
         engine, _obs = _engine(tmp_path, flush_threshold_records=None,
                                compaction_fanout=4)

@@ -317,6 +317,68 @@ class TestZoneMaps:
             assert encoded == sorted(encoded)
 
 
+def _rewrite_footer(path, mutate):
+    """Re-frame the footer JSON after ``mutate(footer)`` edits it in
+    place, preserving the block payload bytes before it."""
+    import json
+
+    from repro.store import encoding
+    data = open(path, "rb").read()
+    offset = encoding.unpack_u64(data, len(data) - 16)
+    payload, _end, _status = encoding.read_frame(data, offset)
+    footer = json.loads(payload)
+    mutate(footer)
+    new_payload = json.dumps(footer, sort_keys=True,
+                             separators=(",", ":")).encode()
+    blob = (data[:offset] + encoding.frame(new_payload)
+            + encoding.pack_u64(offset) + data[-8:])
+    open(path, "wb").write(blob)
+
+
+class TestSchemaWidening:
+    """PR-9 widened ``RollupStore.TABLES`` with the modality tables
+    and bumped the segment schema; segments written before that must
+    keep reading (absent tables are empty, not corruption), and a
+    footer naming a table this build doesn't know must be ignored."""
+
+    def test_pre_widening_segment_serves_empty_modality_tables(
+            self, tmp_path):
+        store = _populated_store()            # TCP/DNS records only
+        path = str(tmp_path / "old.seg")
+        write_segment(path, store, seq=1, block_rows=8)
+
+        def downgrade(footer):
+            footer["schema"] = 2
+            for name in RollupStore.MODALITY_TABLES:
+                del footer["tables"][name]
+        _rewrite_footer(path, downgrade)
+        reader = SegmentReader(path)
+        for name in RollupStore.MODALITY_TABLES:
+            assert reader.blocks(name) == []
+            assert list(reader.iter_table(name)) == []
+            assert reader.get(name, ("0", "com.app.a")) is None
+        # The widened read path re-materialises the old segment
+        # byte-for-byte: empty modality tables, same digest.
+        loaded = reader.to_store()
+        assert set(loaded.tables) == set(RollupStore.TABLES)
+        assert loaded.digest() == store.digest()
+
+    def test_footer_table_unknown_to_this_build_is_ignored(
+            self, tmp_path):
+        store = _populated_store()
+        path = str(tmp_path / "future.seg")
+        write_segment(path, store, seq=1, block_rows=8)
+
+        def widen(footer):
+            footer["tables"]["flux_capacitor"] = \
+                dict(footer["tables"]["network"])
+        _rewrite_footer(path, widen)
+        reader = SegmentReader(path)
+        loaded = reader.to_store()
+        assert "flux_capacitor" not in loaded.tables
+        assert loaded.digest() == store.digest()
+
+
 class TestDeterminism:
     def test_insertion_order_cannot_change_the_bytes(self, tmp_path):
         day = 24 * 3600 * 1000.0

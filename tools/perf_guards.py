@@ -21,10 +21,17 @@ shipped (or could ship) and later had to fix:
   the global ``merge_stores`` wall must be < 15% of the total ingest
   wall -- with the merged digest byte-identical to a single collector
   ingesting everything.
+* ``modalities`` -- the PR-9 schema widening (throughput/energy/AoI
+  tables) must not tax the hot rollup path: a same-host A/B of N
+  legacy-kind records vs the same N with a quarter modality records
+  must stay within 15% (the line ``BENCH_modalities.json`` records;
+  the ``BENCH_backend.json`` rate is printed for context -- absolute
+  rec/s is hardware-dependent, so only the ratio is gated).
 
 Run all (the default) or one by name::
 
-    PYTHONPATH=src python tools/perf_guards.py [scaling|replay|query|cluster]
+    PYTHONPATH=src python tools/perf_guards.py \
+        [scaling|replay|query|cluster|modalities]
 
 Exit code 0 on pass, 1 on any guard failure.
 """
@@ -251,6 +258,76 @@ def guard_cluster(dataset):
     return 0
 
 
+def guard_modalities(dataset):
+    """Widened-schema ingest A/B: legacy kinds only vs a stream with
+    a quarter modality records, same count, best of 3 runs each --
+    the widened rate must stay within 15% of the legacy rate."""
+    del dataset                       # self-contained synthetic A/B
+    from repro.backend.rollups import RollupStore
+    from repro.core.records import MeasurementKind, MeasurementRecord
+
+    count = int(os.environ.get("MOPEYE_GUARD_MODALITY_RECORDS",
+                               "40000"))
+    day = 24 * 3600 * 1000.0
+
+    def records(modality_share):
+        out = []
+        for i in range(count):
+            if modality_share and i % modality_share == 0:
+                kind = MeasurementKind.MODALITIES[
+                    (i // modality_share) % 4]
+            elif i % 7 == 0:
+                kind = MeasurementKind.DNS
+            else:
+                kind = MeasurementKind.TCP
+            out.append(MeasurementRecord(
+                kind=kind, rtt_ms=0.5 + (i % 900) * 1.7,
+                timestamp_ms=(i % 40) * day,
+                app_package="com.app.%d" % (i % 20),
+                domain="d%d.example" % (i % 11),
+                network_type="LTE" if i % 3 else "WIFI",
+                operator="Op%d" % (i % 5),
+                device_id="dev-%d" % (i % 8)))
+        return out
+
+    def best_wall(stream):
+        walls = []
+        store = None
+        for _ in range(3):
+            store = RollupStore()
+            start = time.perf_counter()
+            store.add_all(stream)
+            walls.append(time.perf_counter() - start)
+        return min(walls), store
+
+    legacy_wall, _legacy = best_wall(records(0))
+    widened_wall, widened = best_wall(records(4))
+    ratio = legacy_wall / widened_wall if widened_wall else 0.0
+    baseline = None
+    baseline_path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir,
+        "benchmarks", "results", "BENCH_backend.json")
+    try:
+        with open(baseline_path) as handle:
+            baseline = json.load(handle).get("records_per_s")
+    except (OSError, ValueError):
+        pass
+    print("modalities: %d records, legacy %.3fs (%.0f rec/s), "
+          "widened %.3fs (%.0f rec/s), ratio %.3f%s"
+          % (count, legacy_wall, count / legacy_wall,
+             widened_wall, count / widened_wall, ratio,
+             ", BENCH_backend baseline %.0f rec/s (context only)"
+             % baseline if baseline else ""))
+    for table in RollupStore.MODALITY_TABLES:
+        if not widened.tables[table]:
+            return _fail("widened ingest left table %r empty; the "
+                         "A/B measured nothing" % table)
+    if ratio < 0.85:
+        return _fail("widened-schema ingest runs at %.3fx the legacy "
+                     "rate (floor 0.85)" % ratio)
+    return 0
+
+
 def main(argv):
     which = argv[1] if len(argv) > 1 else "all"
     with tempfile.TemporaryDirectory(prefix="guard-data-") as root:
@@ -266,6 +343,8 @@ def main(argv):
             failures += guard_query(dataset)
         if which in ("all", "cluster"):
             failures += guard_cluster(dataset)
+        if which in ("all", "modalities"):
+            failures += guard_modalities(dataset)
     if failures:
         return 1
     print("perf guards: OK")
