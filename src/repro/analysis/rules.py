@@ -135,6 +135,36 @@ def coexistence_verdict(app_median_ms: float, peer_median_ms: float,
     return app_median_ms > COEX_RTT_INFLATION * peer_median_ms
 
 
+# -- transparent proxy: SYN RTT diverging from app-layer RTT -----------------
+
+#: A middlebox verdict needs the app-layer median to exceed the SYN
+#: median by this factor.  Without a split-connection proxy both RTTs
+#: span the same path and the ratio sits near 1 (server think time
+#: only); behind one, the SYN terminates at the middlebox while the
+#: response still crosses the full path.
+PROXY_DIVERGENCE_RATIO = 2.0
+#: ... and by at least this absolute gap, so sub-millisecond paths
+#: with fixed processing delays cannot trip the ratio alone.
+PROXY_MIN_GAP_MS = 25.0
+#: ... over at least this many app-layer samples per operator.
+PROXY_MIN_APP_SAMPLES = 6
+
+
+def proxy_divergence_verdict(syn_median_ms: float,
+                             app_median_ms: float,
+                             app_samples: int) -> bool:
+    """Transparent-proxy detection: the operator's SYN-RTT and
+    app-layer-RTT distributions have split -- the SYN is answered by
+    something much closer than whatever serves the response bytes."""
+    if app_samples < PROXY_MIN_APP_SAMPLES:
+        return False
+    if syn_median_ms <= 0:
+        return False
+    if app_median_ms - syn_median_ms < PROXY_MIN_GAP_MS:
+        return False
+    return app_median_ms > PROXY_DIVERGENCE_RATIO * syn_median_ms
+
+
 def isp_anomaly_verdict(app_median_ms: float, dns_median_ms: float,
                         comparable_domains: int,
                         domains_faster_elsewhere: int,
@@ -170,6 +200,9 @@ __all__ = [
     "ISP_ANOMALY_MIN_GAP_MS",
     "NETWORK_BAND_EDGES",
     "NETWORK_BAND_LABELS",
+    "PROXY_DIVERGENCE_RATIO",
+    "PROXY_MIN_APP_SAMPLES",
+    "PROXY_MIN_GAP_MS",
     "WHATSAPP_CDN_PREFIXES",
     "WHATSAPP_SUFFIX",
     "chat_degradation_verdict",
@@ -177,6 +210,7 @@ __all__ = [
     "domain_matches_suffix",
     "isp_anomaly_verdict",
     "jio_domain_bands",
+    "proxy_divergence_verdict",
     "network_band",
     "whatsapp_domain_class",
 ]

@@ -298,6 +298,67 @@ class CoexistenceRule:
         return findings
 
 
+class ProxyDivergenceRule:
+    """Middlebox detection (docs/MIDDLEBOX.md): an operator whose
+    SYN-RTT and app-layer-RTT distributions have split.
+
+    Pure rollup evidence: the ``network`` table holds both kinds per
+    (window, operator, technology); merged across windows, an operator
+    behind a split-connection proxy shows an APP_RTT median far above
+    its TCP (SYN) median -- the SYN was answered by the middlebox, the
+    response bytes crossed the full path.  The verdict is
+    :func:`repro.analysis.rules.proxy_divergence_verdict`, shared
+    verbatim with the offline ledger check.  Without APP_RTT records
+    (every proxy-free preset) the sample gate keeps the rule inert.
+    """
+
+    name = "proxy_divergence"
+
+    def _per_operator(self, rollups: RollupStore, kind: str
+                      ) -> Dict[str, MergeHist]:
+        """Hists per operator for one record kind over *every*
+        technology, merged across windows (a PEP sits in cellular and
+        satellite paths alike)."""
+        out: Dict[str, MergeHist] = {}
+        table = rollups.table("network")
+        for key in sorted(table):
+            _window, operator, _tech, key_kind = key
+            if key_kind != kind:
+                continue
+            hist = out.get(operator)
+            if hist is None:
+                hist = out[operator] = MergeHist()
+            hist.merge(table[key])
+        return out
+
+    def evaluate(self, rollups: RollupStore, scale: float
+                 ) -> List[Finding]:
+        syn = self._per_operator(rollups, MeasurementKind.TCP)
+        app = self._per_operator(rollups, MeasurementKind.APP_RTT)
+        findings: List[Finding] = []
+        for operator in sorted(app):
+            app_hist = app[operator]
+            syn_hist = syn.get(operator)
+            if syn_hist is None or not syn_hist.count:
+                continue
+            syn_median = syn_hist.median()
+            app_median = app_hist.median()
+            if rules.proxy_divergence_verdict(syn_median, app_median,
+                                              app_hist.count):
+                findings.append(Finding(
+                    rule=self.name, subject=operator,
+                    detected_at_records=rollups.records,
+                    summary={
+                        "operator": operator,
+                        "syn_median_ms": syn_median,
+                        "app_median_ms": app_median,
+                        "app_rtt_samples": app_hist.count,
+                        "divergence_ratio": (app_median / syn_median
+                                             if syn_median else 0.0),
+                    }))
+        return findings
+
+
 class OnlineDetector:
     """Periodically evaluates the rules against live rollups and keeps
     the earliest detection per (rule, subject)."""
@@ -312,7 +373,7 @@ class OnlineDetector:
         self.obs = obs or get_default()
         self.rules = rules_ if rules_ is not None else [
             ChatDomainDegradationRule(), IspRttAnomalyRule(),
-            CoexistenceRule()]
+            CoexistenceRule(), ProxyDivergenceRule()]
         self.findings: Dict[Tuple[str, str], Finding] = {}
         self._next_check = check_interval_records
 
@@ -335,6 +396,8 @@ class OnlineDetector:
                 if key not in self.findings:
                     self.findings[key] = finding
                     self.obs.inc("backend.detector_findings")
+                    if finding.rule == ProxyDivergenceRule.name:
+                        self.obs.inc("mbox.divergence_findings")
                     new.append(finding)
         return new
 

@@ -317,6 +317,16 @@ class RollupStore:
                 self._hist("lte_domain", (domain, operator)).add(rtt)
         elif kind == MeasurementKind.DNS:
             self._hist("network", (window, operator, tech, kind)).add(rtt)
+        elif kind == MeasurementKind.APP_RTT:
+            # App-layer RTT samples land next to the SYN RTTs on the
+            # same linear grid, keyed by kind -- the divergence rule
+            # compares the TCP and APP_RTT rows per operator.  The
+            # first response byte can beat the lazy app mapping, so
+            # the package may still be unknown here (the SYN RTT is
+            # only recorded *after* mapping, hence never is).
+            self._hist("network", (window, operator, tech, kind)).add(rtt)
+            self._hist("app", (window, record.app_package or "unknown",
+                               kind)).add(rtt)
         elif kind == MeasurementKind.TPUT_UP or \
                 kind == MeasurementKind.TPUT_DOWN:
             # rtt_ms carries the throughput sample in KB/s; log grid.

@@ -28,13 +28,22 @@ class MeasurementKind:
     #: collector acknowledged it, emitted by the uploader at ACK time.
     AOI = "AOI"
 
+    #: Application-layer RTT: first request byte written to first
+    #: response byte read on the relayed connection.  A transparent
+    #: split-connection proxy terminates the SYN near the client --
+    #: the SYN RTT then measures the middlebox, not the server -- but
+    #: the response still has to cross the full path, so SYN-RTT vs
+    #: APP_RTT divergence is the middlebox signature
+    #: (docs/MIDDLEBOX.md).
+    APP_RTT = "APP_RTT"
+
     #: The post-RTT modalities added by the `repro.modalities` work;
     #: rtt_ms carries the sample value (KB/s, mJ, or ms -- the record
     #: schema stays 14 fields wide so every persisted dataset still
     #: round-trips).
     MODALITIES = (TPUT_UP, TPUT_DOWN, ENERGY, AOI)
 
-    ALL = (TCP, DNS) + MODALITIES
+    ALL = (TCP, DNS) + MODALITIES + (APP_RTT,)
 
 
 class FailureKind:

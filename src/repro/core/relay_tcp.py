@@ -65,6 +65,11 @@ class TcpClient:
         self.opened_at = self.sim.now
         self.bytes_up = 0
         self.bytes_down = 0
+        # App-layer RTT (docs/MIDDLEBOX.md): first request byte out to
+        # first response byte in.  Unlike the SYN RTT this spans the
+        # full path even behind a split-connection proxy.
+        self.first_request_at: Optional[float] = None
+        self.app_rtt_recorded = False
         # RRC promotion counts at flow open (RrcAwareLink only):
         # record_flow charges this flow the promotions that happened
         # during its lifetime when attributing energy.
@@ -123,7 +128,10 @@ class TcpClient:
             return
         if service.config.connect_mode == "blocking_thread":
             end = costs.quantize_nano(self.sim.now)
-            self.rtt_ms = end - start
+            # A jittered clock (repro.middlebox.imperfect) can stamp
+            # the end before the start on a short connect; a negative
+            # RTT would be rejected by the record schema.
+            self.rtt_ms = max(0.0, end - start)
             service.obs.end_span(span, rtt_ms=self.rtt_ms)
             service.obs.observe("tcp.connect_rtt_ms", self.rtt_ms)
             # Lazy mapping happens only after the connect, so it never
@@ -208,6 +216,12 @@ class TcpClient:
                 yield self.device.busy(
                     service.config.per_packet_inspection_ms * packets,
                     "inspection")
+            if self.bytes_up == 0 and self.first_request_at is None:
+                # Timestamp the first request byte the same way the
+                # connect() is bracketed (section 4.1.1): just before
+                # the write call, through the same quantised clock.
+                self.first_request_at = \
+                    self.device.costs.quantize_nano(self.sim.now)
             self.bytes_up += len(data)
             service.obs.inc("relay.bytes_up", len(data))
             self.channel.write(data)
@@ -226,6 +240,12 @@ class TcpClient:
         yield self.device.busy(cost, "mopeye.worker")
         data = self.channel.read_all()
         if data:
+            if self.bytes_down == 0 and not self.app_rtt_recorded \
+                    and self.first_request_at is not None:
+                self.app_rtt_recorded = True
+                end = self.device.costs.quantize_nano(self.sim.now)
+                service.record_app_rtt(
+                    self, max(0.0, end - self.first_request_at))
             self.bytes_down += len(data)
             service.obs.inc("relay.bytes_down", len(data))
             if self.service.config.per_packet_inspection_ms:

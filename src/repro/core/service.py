@@ -75,7 +75,8 @@ class MopEyeService:
                  store: Optional[MeasurementStore] = None,
                  dummy_server_ip: Optional[str] = None,
                  obs: Optional[Observability] = None,
-                 modalities: bool = False):
+                 modalities: bool = False,
+                 app_rtt: bool = False):
         self.device = device
         self.sim = device.sim
         self.config = (config or MopEyeConfig()).validate()
@@ -85,6 +86,12 @@ class MopEyeService:
         #: the FlowRecord (docs/MODALITIES.md).  Off by default so the
         #: record stream is unchanged for RTT-only experiments.
         self.modalities = modalities
+        #: When on, the relay emits an APP_RTT record per connection
+        #: (first request byte to first response byte) alongside the
+        #: SYN RTT -- the dual-RTT view the middlebox divergence rule
+        #: compares (docs/MIDDLEBOX.md).  Off by default so the record
+        #: stream is unchanged for SYN-only experiments.
+        self.app_rtt = app_rtt
         self.obs = obs or Observability(sim=self.sim)
         self.stats = RelayStats(self.obs)
         self.vpn = VpnService(device, self.config.package)
@@ -234,6 +241,29 @@ class MopEyeService:
         self.store.add(MeasurementRecord(
             kind=MeasurementKind.TCP,
             rtt_ms=client.rtt_ms,
+            timestamp_ms=self.sim.now,
+            app_package=client.app_package,
+            app_uid=client.app_uid,
+            dst_ip=client.four_tuple[2],
+            dst_port=client.four_tuple[3],
+            domain=self.domain_of_ip.get(client.four_tuple[2]),
+            network_type=link.network_type,
+            operator=link.operator,
+            device_id=self.device.model))
+
+    def record_app_rtt(self, client: TcpClient,
+                       rtt_ms: float) -> None:
+        """App-layer RTT for one relayed connection: first request
+        byte written to first response byte read.  Behind a
+        split-connection proxy this still spans the full path while
+        the SYN RTT only reaches the middlebox -- the divergence the
+        detection rule measures (docs/MIDDLEBOX.md)."""
+        if not self.app_rtt:
+            return
+        link = self.device.link
+        self.store.add(MeasurementRecord(
+            kind=MeasurementKind.APP_RTT,
+            rtt_ms=rtt_ms,
             timestamp_ms=self.sim.now,
             app_package=client.app_package,
             app_uid=client.app_uid,

@@ -51,8 +51,9 @@ from repro.store.engine import StoreConfig
 from repro.crowd.campaign import stable_ip_for_domain
 from repro.faults.injector import FaultInjector
 from repro.faults.ledger import GroundTruthLedger
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FaultKind, FaultPlan
 from repro.faults.scenarios import Scenario, SCENARIOS, get_scenario
+from repro.middlebox.proxy import DEFAULT_INTERCEPT_PORTS, TransparentProxy
 from repro.network import AccessLink, AppServer, DnsServer, DnsZone, Internet
 from repro.phone import AndroidDevice, App
 from repro.phone.device import ResolveError
@@ -126,8 +127,27 @@ def run_device_world(scenario: Scenario, plan: FaultPlan, seed: int,
         internet.add_server(server)
         zone.add(spec.domain, ip)
         servers[spec.domain] = server
-    service = MopEyeService(device, modalities=scenario.modalities)
+    service = MopEyeService(device, modalities=scenario.modalities,
+                            app_rtt=scenario.app_rtt)
     service.start()
+    # A transparent proxy exists only in worlds whose operator the
+    # event scopes: clean-operator worlds never construct one, so
+    # their packet schedules (and record bytes) stay identical to a
+    # proxy-free run.  The proxy is built disabled; the injector flips
+    # its ``enabled`` flag at the event's start time.
+    proxy = None
+    for event in plan:
+        if event.kind == FaultKind.TRANSPARENT_PROXY and \
+                event.scope.get("operator") in (None, operator.name):
+            ports = tuple(
+                int(p) for p in event.params.get(
+                    "intercept_ports", DEFAULT_INTERCEPT_PORTS))
+            proxy = TransparentProxy(
+                sim, internet, intercept_ports=ports,
+                bypass_ips=(COLLECTOR_IP,),
+                rng=_world_rng(seed, device_id, "middlebox"),
+                obs=service.obs)
+            break
     backend = uploader = None
     backend_data_dir = None
     if scenario.with_backend:
@@ -162,7 +182,8 @@ def run_device_world(scenario: Scenario, plan: FaultPlan, seed: int,
     injector = FaultInjector(sim, plan, device_id=device_id,
                              operator=operator.name, link=link,
                              servers=servers, dns=dns, service=service,
-                             backend=backend)
+                             backend=backend, middlebox=proxy,
+                             obs=service.obs)
     injector.install()
 
     apps = {spec.package: App(device, spec.package,
@@ -175,7 +196,7 @@ def run_device_world(scenario: Scenario, plan: FaultPlan, seed: int,
     def one_connect(spec):
         try:
             yield from apps[spec.package].resolve_and_request(
-                spec.domain, 443, b"GET / HTTP/1.1\r\n\r\n")
+                spec.domain, spec.port, b"GET / HTTP/1.1\r\n\r\n")
         except ResolveError:
             resolve_failures[0] += 1
 
@@ -219,6 +240,23 @@ def run_device_world(scenario: Scenario, plan: FaultPlan, seed: int,
         "vpn_revocations": device.vpn.revocations,
         "service_running": int(service.running),
     }
+    if proxy is not None:
+        # Fold the world's mbox.* counters into the cross-world stats
+        # (the same registry the MiddleboxStats view reads).
+        for short, metric in (
+                ("mbox_intercepted_connects", "mbox.intercepted_connects"),
+                ("mbox_split_connections", "mbox.split_connections"),
+                ("mbox_upstream_failures", "mbox.upstream_failures"),
+                ("mbox_dns_tcp_refused", "mbox.dns_tcp_refused"),
+                ("mbox_rewritten_bytes", "mbox.rewritten_bytes"),
+                ("mbox_bytes_up", "mbox.bytes_up"),
+                ("mbox_bytes_down", "mbox.bytes_down")):
+            stats[short] = int(service.obs.value(metric))
+    if any(event.kind == FaultKind.NOISY_CLOCK for event in plan):
+        stats["imperfect_quantised_samples"] = int(
+            service.obs.value("imperfect.quantised_samples"))
+        stats["imperfect_jitter_applied"] = int(
+            service.obs.value("imperfect.jitter_applied"))
     rollup_snapshot = None
     if backend is not None:
         # Digest parity is the crash-recovery proof: the rollup store

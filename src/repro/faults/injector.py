@@ -45,6 +45,7 @@ class FaultInjector:
                  service=None,
                  backend=None,
                  cluster=None,
+                 middlebox=None,
                  obs: Optional[Observability] = None):
         self.sim = sim
         self.plan = plan
@@ -58,6 +59,13 @@ class FaultInjector:
         #: A :class:`repro.cluster.coordinator.Coordinator` facade for
         #: the cluster fault kinds (None outside cluster worlds).
         self.cluster = cluster
+        #: A :class:`repro.middlebox.TransparentProxy` (or the DNS
+        #: variant) pre-installed disabled in this world; the
+        #: ``transparent_proxy`` kind just flips its ``enabled`` flag.
+        self.middlebox = middlebox
+        #: Installed :class:`repro.middlebox.ImperfectClock` hooks,
+        #: keyed by event id (``noisy_clock`` kind).
+        self._clocks: Dict[str, object] = {}
         self.obs = obs or Observability(sim=sim)
         #: ``{event_id: {"activations": n, "deactivations": n}}`` --
         #: folded into the GroundTruthLedger after the run.
@@ -118,6 +126,19 @@ class FaultInjector:
             # Needs a live service (to host the DownloadManager) and a
             # link (the contention is on this device's access link).
             if self.service is None or self.link is None:
+                return False
+            operator = scope.get("operator")
+            return operator is None or operator == self.operator
+        if event.kind == FaultKind.TRANSPARENT_PROXY:
+            # The chaos runner only builds a proxy in worlds whose
+            # operator is in the event's scope, so clean-operator
+            # worlds stay byte-identical to a proxy-free run.
+            if self.middlebox is None:
+                return False
+            operator = scope.get("operator")
+            return operator is None or operator == self.operator
+        if event.kind == FaultKind.NOISY_CLOCK:
+            if self.service is None:
                 return False
             operator = scope.get("operator")
             return operator is None or operator == self.operator
@@ -185,6 +206,17 @@ class FaultInjector:
             self.sim.process(
                 self._bulk_transfer(event, flag),
                 name="fault-bulk:%s" % event.event_id)
+        elif event.kind == FaultKind.TRANSPARENT_PROXY:
+            self.middlebox.enabled = True
+        elif event.kind == FaultKind.NOISY_CLOCK:
+            from repro.middlebox import install_imperfect_clock
+            self._clocks[event.event_id] = install_imperfect_clock(
+                self.service.device,
+                quantum_ms=float(params.get("quantum_ms", 0.0)),
+                jitter_ms=float(params.get("jitter_ms", 0.0)),
+                rng=self.plan.rng(event.event_id,
+                                  "clock:%s" % self.device_id),
+                obs=self.obs)
         else:
             raise ValueError("no activator for %r" % event.kind)
 
@@ -206,6 +238,12 @@ class FaultInjector:
             flag = self._bulk_flags.pop(event.event_id, None)
             if flag is not None:
                 flag[0] = False
+        elif event.kind == FaultKind.TRANSPARENT_PROXY:
+            self.middlebox.enabled = False
+        elif event.kind == FaultKind.NOISY_CLOCK:
+            clock = self._clocks.pop(event.event_id, None)
+            if clock is not None:
+                clock.uninstall()
 
     def _bulk_transfer(self, event: FaultEvent, flag: list):
         """The coexistence workload: repeated DownloadManager fetches

@@ -39,10 +39,13 @@ class FaultKind:
     NET_PARTITION = "net_partition"  # cluster node unreachable; heals
     NODE_JOIN = "node_join"          # standby node joins; rebalance
     COEX_BULK = "coex_bulk"          # bulk transfer contends with apps
+    TRANSPARENT_PROXY = "transparent_proxy"  # split-connection middlebox
+    NOISY_CLOCK = "noisy_clock"      # quantised/jittered device clock
 
     ALL = (BURST_LOSS, LATENCY_SPIKE, SERVER_OUTAGE, DNS_OUTAGE,
            VPN_REVOKE, BACKEND_CRASH, HANDOVER, COLLECTOR_FAIL,
-           NET_PARTITION, NODE_JOIN, COEX_BULK)
+           NET_PARTITION, NODE_JOIN, COEX_BULK, TRANSPARENT_PROXY,
+           NOISY_CLOCK)
 
 
 def event_rng(seed: int, event_id: str,

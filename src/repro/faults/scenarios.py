@@ -39,6 +39,15 @@ Each preset is designed so the faults leave a *diagnosable* footprint
   app's RTTs on one operator; runs with the beyond-RTT modality
   records enabled so the bulk transfer is visible as throughput
   evidence (docs/MODALITIES.md).
+* ``transparent_proxy``  -- a split-connection middlebox on one
+  operator answers SYNs locally on ports 80/443; SYN RTTs collapse to
+  middlebox RTT while app-layer RTTs still span the full path, and
+  the shared divergence rule flags the operator
+  (docs/MIDDLEBOX.md).
+* ``noisy_clock``        -- the device clock quantises every
+  timestamp read to a coarse grid; both RTT kinds distort *together*,
+  so the divergence rule must stay inert while the ablation
+  quantifies the accuracy cost.
 """
 
 from __future__ import annotations
@@ -57,6 +66,10 @@ class ScenarioApp:
     domain: str
     path_oneway_ms: float = 10.0
     sigma: float = 0.2
+    #: Destination port the app connects to.  443 by default; the
+    #: middlebox scenarios put one app on a non-intercepted port to
+    #: prove port-selectivity (docs/MIDDLEBOX.md).
+    port: int = 443
 
 
 @dataclass(frozen=True)
@@ -99,6 +112,10 @@ class Scenario:
     #: Emit the beyond-RTT modality records (throughput / energy from
     #: the relay, AoI from the uploader) -- see docs/MODALITIES.md.
     modalities: bool = False
+    #: Emit app-layer RTT records (first request byte to first
+    #: response byte) alongside the SYN RTTs -- the second half of the
+    #: middlebox-divergence signal (docs/MIDDLEBOX.md).
+    app_rtt: bool = False
 
     def plan(self, seed: int) -> FaultPlan:
         """The fault plan for one run.  Events are static data; the
@@ -430,12 +447,77 @@ def _coexistence() -> Scenario:
     )
 
 
+def _transparent_proxy() -> Scenario:
+    return Scenario(
+        name="transparent_proxy",
+        description="A split-connection middlebox on one operator "
+                    "answers SYNs at middlebox RTT on ports 80/443 "
+                    "and relays the bytes upstream itself.  SYN RTTs "
+                    "collapse while app-layer RTTs still span the "
+                    "full path; the shared divergence rule flags the "
+                    "operator (docs/MIDDLEBOX.md).  One app sits on "
+                    "a non-intercepted port as the in-scenario "
+                    "port-selectivity control.",
+        operators=(
+            ScenarioOperator("Ferrite Wifi", NetworkType.WIFI, 4.0,
+                             devices=2),
+            ScenarioOperator("Lumen Wifi", NetworkType.WIFI, 4.0,
+                             devices=2),
+        ),
+        apps=(
+            ScenarioApp("web.plover", "plover.example", 25.0),
+            ScenarioApp("chat.pigeon", "pigeon.example", 25.0),
+            ScenarioApp("news.egret", "egret.example", 25.0,
+                        port=8443),
+        ),
+        events=(
+            FaultEvent("e-proxy", FaultKind.TRANSPARENT_PROXY,
+                       0.0, 0.0,
+                       scope={"operator": "Ferrite Wifi"},
+                       params={"intercept_ports": [80, 443]}),
+        ),
+        connects=36,
+        think_ms=(300.0, 1200.0),
+        with_backend=True,
+        app_rtt=True,
+    )
+
+
+def _noisy_clock() -> Scenario:
+    return Scenario(
+        name="noisy_clock",
+        description="The device clock quantises every timestamp read "
+                    "to a 5 ms grid -- no middlebox anywhere.  Both "
+                    "RTT kinds distort together, so the divergence "
+                    "rule must stay inert; the imperfection ablation "
+                    "quantifies the per-source accuracy cost "
+                    "(docs/MIDDLEBOX.md).",
+        operators=(
+            ScenarioOperator("Topaz Wifi", NetworkType.WIFI, 4.0,
+                             devices=2),
+        ),
+        apps=(
+            ScenarioApp("web.plover", "plover.example", 10.0),
+            ScenarioApp("chat.pigeon", "pigeon.example", 9.0),
+        ),
+        events=(
+            FaultEvent("e-clock", FaultKind.NOISY_CLOCK, 0.0, 0.0,
+                       scope={},
+                       params={"quantum_ms": 5.0, "jitter_ms": 0.0}),
+        ),
+        connects=30,
+        think_ms=(300.0, 1200.0),
+        with_backend=True,
+        app_rtt=True,
+    )
+
+
 def _build_registry() -> Dict[str, Scenario]:
     scenarios = [_bursty_lte(), _server_brownout(), _dns_outage(),
                  _handover_storm(), _backend_crash(), _multi_crash(),
                  _vpn_flap(), _collector_failover(),
                  _network_partition(), _rebalance_storm(),
-                 _coexistence()]
+                 _coexistence(), _transparent_proxy(), _noisy_clock()]
     return {scenario.name: scenario for scenario in scenarios}
 
 

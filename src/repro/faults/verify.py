@@ -17,7 +17,11 @@ and the analysis localises it correctly:
 * ``vpn_revoke`` -> a measurement gap in the down-window, the service
   running again afterwards, records after recovery;
 * ``backend_crash`` -> upload failures/ack-timeouts during the crash
-  and a fully re-synced uploader afterwards.
+  and a fully re-synced uploader afterwards;
+* ``transparent_proxy`` -> the shared divergence rule fires on the
+  proxied operator's raw SYN vs app-layer RTTs;
+* ``noisy_clock`` -> the imperfect-clock counters fired and quantised
+  SYN RTTs sit on the configured grid.
 
 Recall is the fraction of activated faults whose evidence shows up;
 precision is the fraction of non-healthy diagnosis findings explained
@@ -141,7 +145,9 @@ def verify_scenario(result, scenario: Optional[Scenario] = None,
     explained_operators = {
         e.scope.get("operator") for e in ledger.activated()
         if e.kind in (FaultKind.BURST_LOSS, FaultKind.LATENCY_SPIKE,
-                      FaultKind.HANDOVER, FaultKind.COEX_BULK)}
+                      FaultKind.HANDOVER, FaultKind.COEX_BULK,
+                      FaultKind.TRANSPARENT_PROXY,
+                      FaultKind.NOISY_CLOCK)}
     explained_apps = {
         package_of_domain.get(e.scope.get("domain"))
         for e in ledger.activated()
@@ -151,6 +157,23 @@ def verify_scenario(result, scenario: Optional[Scenario] = None,
     # operator) traces straight to the injection.
     if any(e.kind == FaultKind.COEX_BULK for e in ledger.activated()):
         explained_apps.add(rules.COEX_BULK_PACKAGE)
+    # A split-connection proxy corrupts the comparative baselines: the
+    # proxied operator's SYN median collapses to middlebox RTT, so
+    # clean *operators* look inflated by contrast, and apps on
+    # non-intercepted ports look slow next to their proxied peers.
+    # Both trace straight to the injection.
+    proxy_events = [e for e in ledger.activated()
+                    if e.kind == FaultKind.TRANSPARENT_PROXY]
+    if proxy_events:
+        explained_operators.update(
+            f.subject for f in report.findings if f.kind == "operator")
+        intercepted = set()
+        for e in proxy_events:
+            intercepted.update(
+                int(p) for p in e.params.get("intercept_ports",
+                                             (80, 443)))
+        explained_apps.update(spec.package for spec in scenario.apps
+                              if spec.port not in intercepted)
     for finding in report.findings:
         if finding.kind == "operator" and \
                 finding.subject in explained_operators:
@@ -267,6 +290,59 @@ def _check_entry(entry: LedgerEntry, store, records, stats,
         return (verdict, "operator %s median %.1f ms vs peers %.1f ms "
                 "with %d bulk throughput samples"
                 % (operator, median, peer_median, bulk))
+
+    if entry.kind == FaultKind.TRANSPARENT_PROXY:
+        # The evidence is the *shared* divergence rule over the raw
+        # records: the proxied operator's SYN-RTT median has split
+        # from its app-layer-RTT median
+        # (repro.analysis.rules.proxy_divergence_verdict -- the same
+        # function ProxyDivergenceRule applies to rollups online).
+        operator = entry.scope.get("operator")
+        syn = [r.rtt_ms for r in records
+               if r.kind == MeasurementKind.TCP
+               and r.failure is None and r.operator == operator]
+        app = [r.rtt_ms for r in records
+               if r.kind == MeasurementKind.APP_RTT
+               and r.operator == operator]
+        if not syn or not app:
+            return (False, "no RTT samples to compare (syn=%d app=%d)"
+                    % (len(syn), len(app)))
+        syn_median = statistics.median(syn)
+        app_median = statistics.median(app)
+        verdict = rules.proxy_divergence_verdict(
+            syn_median, app_median, len(app))
+        return (verdict, "operator %s syn median %.1f ms vs app-layer "
+                "median %.1f ms over %d app samples"
+                % (operator, syn_median, app_median, len(app)))
+
+    if entry.kind == FaultKind.NOISY_CLOCK:
+        # The clock hook charges every distorted read to a counter, so
+        # the evidence is direct: each configured imperfection source
+        # fired at least once, and (for quantisation) the recorded
+        # successful SYN RTTs actually sit on the configured grid --
+        # RTT = end - start with both ends quantised to the same
+        # quantum is itself a quantum multiple.
+        quantum = float(entry.params.get("quantum_ms", 0.0))
+        jitter = float(entry.params.get("jitter_ms", 0.0))
+        quantised = stats.get("imperfect_quantised_samples", 0)
+        jittered = stats.get("imperfect_jitter_applied", 0)
+        ok = (quantum <= 0 or quantised > 0) \
+            and (jitter <= 0 or jittered > 0)
+        on_grid = True
+        if quantum > 0 and jitter <= 0:
+            end = (entry.end_ms if entry.end_ms > entry.start_ms
+                   else float("inf"))
+            rtts = [r.rtt_ms for r in records
+                    if r.kind == MeasurementKind.TCP
+                    and r.failure is None
+                    and entry.start_ms <= r.timestamp_ms <= end]
+            on_grid = all(
+                abs(rtt / quantum - round(rtt / quantum)) < 1e-9
+                for rtt in rtts)
+            ok = ok and bool(rtts) and on_grid
+        return (ok, "quantised_reads=%d jitter_applied=%d "
+                "rtts_on_%.1fms_grid=%s"
+                % (quantised, jittered, quantum, on_grid))
 
     # The cluster.* counters are scenario-global (one coordinator
     # timeline per world, all events folded together), while a ledger

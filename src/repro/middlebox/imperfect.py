@@ -1,0 +1,100 @@
+"""Deterministic measurement-imperfection layer (docs/MIDDLEBOX.md).
+
+Hoque et al. show that in-situ RTT measurement on Android suffers two
+systematic error sources beyond the network itself: **timer
+quantisation** (a coarse clock floors every timestamp to its tick) and
+**scheduler jitter** (the thread reading the clock runs late by a
+scheduling delay).  :class:`ImperfectClock` reproduces both on the
+*observed* timeline only -- it wraps the device cost model's
+``quantize_nano`` timestamp path, so simulation scheduling is
+untouched and two runs that differ only in the imperfection settings
+align event for event.  That is what makes the per-source ablation
+(quantisation vs jitter vs both) exact: same connects, same wire RTTs,
+different recorded values.
+
+Jitter draws come from a string-seeded RNG stream passed in by the
+caller (the fault injector uses the event's own stream), so the noise
+is byte-identical across worker counts and PYTHONHASHSEED.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.obs import Observability
+
+
+class ImperfectClock:
+    """Wraps a device cost model's timestamp quantisation.
+
+    ``quantum_ms > 0`` floors every observed timestamp to N-ms ticks
+    (MobiPerf-style millisecond clocks are ``quantum_ms=1.0``);
+    ``jitter_ms > 0`` adds a non-negative uniform scheduling delay to
+    each clock read before quantisation.  Either alone composes with
+    any scenario; both model a cheap handset.
+    """
+
+    def __init__(self, costs, quantum_ms: float = 0.0,
+                 jitter_ms: float = 0.0,
+                 rng: Optional[random.Random] = None,
+                 obs: Optional[Observability] = None):
+        if quantum_ms < 0 or jitter_ms < 0:
+            raise ValueError("imperfection magnitudes must be >= 0")
+        self.costs = costs
+        self.quantum_ms = quantum_ms
+        self.jitter_ms = jitter_ms
+        self.rng = rng or random.Random(0)
+        self.obs = obs or Observability()
+        self._original = None
+
+    def install(self) -> None:
+        """Replace ``costs.quantize_nano`` with the imperfect read.
+        Idempotent; :meth:`uninstall` restores the original."""
+        if self._original is not None:
+            return
+        self._original = self.costs.quantize_nano
+        self.costs.quantize_nano = self.read
+
+    def uninstall(self) -> None:
+        if self._original is None:
+            return
+        self.costs.quantize_nano = self._original
+        self._original = None
+
+    @property
+    def installed(self) -> bool:
+        return self._original is not None
+
+    def read(self, t_ms: float) -> float:
+        """One imperfect clock read: scheduling delay, then the coarse
+        tick floor (falling back to the true nano granularity when no
+        quantum is configured)."""
+        if self.jitter_ms > 0:
+            t_ms = t_ms + self.rng.uniform(0.0, self.jitter_ms)
+            self.obs.inc("imperfect.jitter_applied")
+        if self.quantum_ms > 0:
+            self.obs.inc("imperfect.quantised_samples")
+            return int(t_ms / self.quantum_ms) * self.quantum_ms
+        original = self._original
+        if original is not None:
+            return original(t_ms)
+        return t_ms
+
+    def __repr__(self) -> str:
+        return "<ImperfectClock quantum=%gms jitter=%gms %s>" % (
+            self.quantum_ms, self.jitter_ms,
+            "installed" if self.installed else "detached")
+
+
+def install_imperfect_clock(device, quantum_ms: float,
+                            jitter_ms: float,
+                            rng: Optional[random.Random] = None,
+                            obs: Optional[Observability] = None
+                            ) -> ImperfectClock:
+    """Build and install an :class:`ImperfectClock` on ``device``'s
+    cost model; returns it so the caller can ``uninstall()`` later."""
+    clock = ImperfectClock(device.costs, quantum_ms=quantum_ms,
+                           jitter_ms=jitter_ms, rng=rng, obs=obs)
+    clock.install()
+    return clock

@@ -39,6 +39,12 @@ class Internet:
         #: latency, as a first-hop router would).  Off by default: the
         #: classic Internet here drops silently and lets TCP time out.
         self.notify_unreachable = notify_unreachable
+        #: In-path middleboxes (repro.middlebox): each may claim an
+        #: uplink packet via ``wants(packet, server)`` and is then
+        #: substituted for the real server -- a transparent proxy the
+        #: sender cannot see.  Resolution order is install order; a
+        #: middlebox's *own* upstream traffic is never re-diverted.
+        self._middleboxes: List[object] = []
 
     # -- topology -----------------------------------------------------------
     def attach_device(self, device) -> None:
@@ -58,6 +64,16 @@ class Internet:
         """Route traffic to/from ``ip`` over ``link`` instead of the
         device's access link (see ``_route_links``)."""
         self._route_links[ip] = link
+
+    def install_middlebox(self, middlebox) -> None:
+        """Place a middlebox in-path (see ``_middleboxes``).  The
+        middlebox stays installed but inert until its ``enabled`` flag
+        is set (fault-injector driven), so installing one cannot move
+        a byte on its own."""
+        self._middleboxes.append(middlebox)
+
+    def remove_middlebox(self, middlebox) -> None:
+        self._middleboxes.remove(middlebox)
 
     def add_tap(self, tap: Callable[[str, IPPacket, float], None]) -> None:
         """Register a wire observer (e.g. the tcpdump baseline)."""
@@ -87,6 +103,17 @@ class Internet:
                         pkt, 64,
                         lambda orig: device.deliver_unreachable(orig)))
             return
+
+        # Transparent interception: a middlebox may claim the packet
+        # and stand in for the server.  Only routable destinations are
+        # divertible (the unreachable/unknown cases above keep their
+        # exact semantics), and a middlebox never intercepts its own
+        # upstream traffic.
+        for middlebox in self._middleboxes:
+            if device is not middlebox and server is not middlebox \
+                    and middlebox.wants(packet, server):
+                server = middlebox
+                break
 
         def after_uplink(pkt: IPPacket) -> None:
             # Path segments are FIFO too: clamp per-server arrivals.

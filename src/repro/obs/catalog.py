@@ -455,6 +455,47 @@ CATALOG: Dict[str, MetricSpec] = dict([
     _m("cluster.merge_wall_ms", GAUGE, "ms", "repro.cluster.merge",
        "Wall-clock time of the last global rollup merge.",
        volatile=True),
+    # -- middlebox (repro.middlebox, docs/MIDDLEBOX.md) --------------------
+    _m("mbox.intercepted_connects", COUNTER, "connections",
+       "repro.middlebox.proxy",
+       "SYNs to intercepted ports answered locally by the transparent "
+       "proxy (each becomes a split connection attempt)."),
+    _m("mbox.split_connections", COUNTER, "connections",
+       "repro.middlebox.proxy",
+       "Upstream halves successfully opened to the real server; the "
+       "two halves are spliced from then on."),
+    _m("mbox.upstream_failures", COUNTER, "connections",
+       "repro.middlebox.proxy",
+       "Upstream connects that failed after the SYN was already "
+       "answered locally; the client gets a late RST."),
+    _m("mbox.rewritten_bytes", COUNTER, "bytes",
+       "repro.middlebox.proxy",
+       "Response-stream bytes emitted by the rewrite hook when it "
+       "changed the payload."),
+    _m("mbox.dns_tcp_refused", COUNTER, "connections",
+       "repro.middlebox.proxy",
+       "DNS-over-TCP SYNs on intercepted ports refused with RST (the "
+       "split proxy does not speak DNS; never a silent drop)."),
+    _m("mbox.dns_intercepted", COUNTER, "queries",
+       "repro.middlebox.proxy",
+       "UDP DNS queries answered locally by the DNS interception "
+       "variant, spoofing the resolver."),
+    _m("mbox.bytes_up", COUNTER, "bytes", "repro.middlebox.proxy",
+       "Client payload bytes forwarded to upstream connections."),
+    _m("mbox.bytes_down", COUNTER, "bytes", "repro.middlebox.proxy",
+       "Server payload bytes spliced back toward clients (after any "
+       "rewriting)."),
+    _m("mbox.divergence_findings", COUNTER, "findings",
+       "repro.backend.detector",
+       "Proxy-divergence verdicts raised by the online detector "
+       "(SYN-RTT vs app-layer-RTT distributions split)."),
+    # -- measurement imperfections (repro.middlebox.imperfect) -------------
+    _m("imperfect.quantised_samples", COUNTER, "reads",
+       "repro.middlebox.imperfect",
+       "Clock reads floored to the configured N-ms tick."),
+    _m("imperfect.jitter_applied", COUNTER, "reads",
+       "repro.middlebox.imperfect",
+       "Clock reads delayed by seeded scheduling jitter."),
     # -- fault injection ---------------------------------------------------
     _m("faults.events_installed", COUNTER, "events",
        "repro.faults.injector",

@@ -449,6 +449,7 @@ class ReadView:
         rows: List[Dict[str, object]] = []
         by_tech: Dict[str, MergeHist] = {}
         overall = MergeHist()
+        app_layer = MergeHist()
         for window in windows:
             prefix = (str(window), operator)
             matches = {key: hist for key, hist in hits.items()
@@ -468,6 +469,8 @@ class ReadView:
                     overall.merge(hist)
                 elif kind == MeasurementKind.DNS:
                     dns.merge(hist)
+                elif kind == MeasurementKind.APP_RTT:
+                    app_layer.merge(hist)
             rows.append({
                 "window": window,
                 "count": tcp.count + dns.count,
@@ -478,10 +481,25 @@ class ReadView:
                 "dns_median_ms": (round(dns.median(), 2)
                                   if dns.count else None),
             })
+        # The middlebox tell (docs/MIDDLEBOX.md): SYN RTT vs app-layer
+        # RTT for this operator.  Null when the relay never emitted
+        # APP_RTT records (every pre-middlebox state).
+        app_rtt = None
+        if app_layer.count and overall.count:
+            syn_median = overall.median()
+            app_median = app_layer.median()
+            app_rtt = {
+                "count": app_layer.count,
+                "median_ms": round(app_median, 2),
+                "syn_median_ms": round(syn_median, 2),
+                "divergence_ratio": (round(app_median / syn_median, 3)
+                                     if syn_median else None),
+            }
         return {
             "panel": "network",
             "operator": operator,
             "windows": rows,
+            "app_rtt": app_rtt,
             "technologies": [
                 dict([("technology", tech),
                       ("count", by_tech[tech].count)],

@@ -27,11 +27,16 @@ shipped (or could ship) and later had to fix:
   must stay within 15% (the line ``BENCH_modalities.json`` records;
   the ``BENCH_backend.json`` rate is printed for context -- absolute
   rec/s is hardware-dependent, so only the ratio is gated).
+* ``middlebox`` -- the dual-RTT view (``APP_RTT`` records landing in
+  the ``network`` and ``app`` tables next to the SYN RTTs) must not
+  tax the hot rollup path either: the same A/B with a quarter
+  app-layer RTT records must stay within 15% of the legacy rate
+  (the line ``BENCH_middlebox.json`` records).
 
 Run all (the default) or one by name::
 
     PYTHONPATH=src python tools/perf_guards.py \
-        [scaling|replay|query|cluster|modalities]
+        [scaling|replay|query|cluster|modalities|middlebox]
 
 Exit code 0 on pass, 1 on any guard failure.
 """
@@ -328,6 +333,64 @@ def guard_modalities(dataset):
     return 0
 
 
+def guard_middlebox(dataset):
+    """App-layer-RTT ingest A/B: legacy kinds only vs a stream with a
+    quarter APP_RTT records, same count, best of 3 runs each -- the
+    widened rate must stay within 15% of the legacy rate."""
+    del dataset                       # self-contained synthetic A/B
+    from repro.backend.rollups import RollupStore
+    from repro.core.records import MeasurementKind, MeasurementRecord
+
+    count = int(os.environ.get("MOPEYE_GUARD_MIDDLEBOX_RECORDS",
+                               "40000"))
+    day = 24 * 3600 * 1000.0
+
+    def records(app_rtt_share):
+        out = []
+        for i in range(count):
+            if app_rtt_share and i % app_rtt_share == 0:
+                kind = MeasurementKind.APP_RTT
+            elif i % 7 == 0:
+                kind = MeasurementKind.DNS
+            else:
+                kind = MeasurementKind.TCP
+            out.append(MeasurementRecord(
+                kind=kind, rtt_ms=0.5 + (i % 900) * 1.7,
+                timestamp_ms=(i % 40) * day,
+                app_package="com.app.%d" % (i % 20),
+                domain="d%d.example" % (i % 11),
+                network_type="LTE" if i % 3 else "WIFI",
+                operator="Op%d" % (i % 5),
+                device_id="dev-%d" % (i % 8)))
+        return out
+
+    def best_wall(stream):
+        walls = []
+        store = None
+        for _ in range(3):
+            store = RollupStore()
+            start = time.perf_counter()
+            store.add_all(stream)
+            walls.append(time.perf_counter() - start)
+        return min(walls), store
+
+    legacy_wall, _legacy = best_wall(records(0))
+    widened_wall, widened = best_wall(records(4))
+    ratio = legacy_wall / widened_wall if widened_wall else 0.0
+    print("middlebox: %d records, legacy %.3fs (%.0f rec/s), "
+          "widened %.3fs (%.0f rec/s), ratio %.3f"
+          % (count, legacy_wall, count / legacy_wall,
+             widened_wall, count / widened_wall, ratio))
+    if not any(key[3] == MeasurementKind.APP_RTT
+               for key in widened.tables["network"]):
+        return _fail("widened ingest left no APP_RTT rows in the "
+                     "network table; the A/B measured nothing")
+    if ratio < 0.85:
+        return _fail("app-layer-RTT ingest runs at %.3fx the legacy "
+                     "rate (floor 0.85)" % ratio)
+    return 0
+
+
 def main(argv):
     which = argv[1] if len(argv) > 1 else "all"
     with tempfile.TemporaryDirectory(prefix="guard-data-") as root:
@@ -345,6 +408,8 @@ def main(argv):
             failures += guard_cluster(dataset)
         if which in ("all", "modalities"):
             failures += guard_modalities(dataset)
+        if which in ("all", "middlebox"):
+            failures += guard_middlebox(dataset)
     if failures:
         return 1
     print("perf guards: OK")
